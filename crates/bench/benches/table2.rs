@@ -1,0 +1,12 @@
+//! Criterion bench for Table 2: prints the regenerated table and
+//! times the analytic model.
+use criterion::{criterion_group, criterion_main, Criterion};
+use snoc_core::experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table2::run());
+    c.bench_function("table2/cacti_lite", |b| b.iter(table2::run));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations (hold slack, WB window, VC count,
+//! bank intake depth).
+fn main() {
+    let scale = snoc_bench::scale_from_args();
+    println!("{}", snoc_core::experiments::ablations::run(scale));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 2 (SRAM vs STT-RAM at 32 nm).
+fn main() {
+    println!("{}", snoc_core::experiments::table2::run());
+}

@@ -1,0 +1,18 @@
+//! Benchmark harness for the STT-RAM NoC reproduction.
+//!
+//! One `repro-*` binary per table/figure regenerates the paper's
+//! rows/series at full scale (pass `--quick` for a fast pass), and one
+//! Criterion bench per table/figure prints the quick-scale result and
+//! times a representative kernel.
+
+use snoc_core::experiments::Scale;
+
+/// Parses the experiment scale from the command line (`--quick` for
+/// the reduced configuration; full scale otherwise).
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    }
+}

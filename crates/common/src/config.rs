@@ -1,0 +1,405 @@
+//! Global simulation configuration.
+//!
+//! [`SystemConfig`] captures every knob of Table 1 and Table 2 of the
+//! paper plus the design-space parameters explored in the evaluation
+//! (number of logical regions, TSB placement, parent-child hop distance,
+//! busy-estimation scheme, write-buffer baseline). The six named design
+//! scenarios of Section 4.1 are built on top of this type by the
+//! `snoc-core` crate.
+
+use serde::{Deserialize, Serialize};
+
+/// The memory technology of the L2 banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemTech {
+    /// 1 MB SRAM banks: 3-cycle reads and writes.
+    Sram,
+    /// 4 MB STT-RAM banks: 3-cycle reads, 33-cycle writes.
+    SttRam,
+}
+
+impl MemTech {
+    /// Capacity multiplier relative to the SRAM bank of equal area.
+    pub fn capacity_factor(self) -> usize {
+        match self {
+            MemTech::Sram => 1,
+            MemTech::SttRam => 4,
+        }
+    }
+}
+
+/// How core->cache request traffic crosses between the dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestPathMode {
+    /// Requests descend at the source node through any of the 64 TSVs
+    /// (Z-X-Y routing). Used by the `*-64TSB` scenarios.
+    AllTsvs,
+    /// Requests are first X-Y routed in the core layer to the TSB of the
+    /// destination bank's region, descend there, then X-Y route in the
+    /// cache layer. Used by the `*-4TSB` scenarios.
+    RegionTsbs,
+}
+
+/// Where each region's TSB is placed (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TsbPlacement {
+    /// At the innermost corner of each region (towards the mesh centre).
+    Corner,
+    /// Staggered so that the TSB columns of different regions do not
+    /// overlap, avoiding Y-direction flow collisions in the core layer.
+    Staggered,
+}
+
+/// The congestion-estimation scheme used by bank-aware arbitration
+/// (Section 3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Estimator {
+    /// Simplistic Scheme: congestion assumed zero.
+    Simple,
+    /// Regional Congestion Awareness: aggregated buffer-occupancy
+    /// estimates propagated over dedicated 8-bit side wires.
+    Rca,
+    /// Window-Based: every `window`-th request is tagged with an 8-bit
+    /// timestamp that the child acknowledges; congestion = RTT/2 minus
+    /// the uncontended latency.
+    WindowBased,
+}
+
+/// The router arbitration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArbitrationPolicy {
+    /// Plain round-robin (the paper's baseline routers).
+    RoundRobin,
+    /// STT-RAM-aware arbitration: parent routers delay requests to busy
+    /// child banks and prioritize requests to idle banks, coherence
+    /// traffic and memory-controller traffic.
+    BankAware {
+        /// How the parent estimates congestion towards the child.
+        estimator: Estimator,
+    },
+}
+
+impl ArbitrationPolicy {
+    /// `true` if this policy re-orders requests at parent routers.
+    pub fn is_bank_aware(self) -> bool {
+        matches!(self, ArbitrationPolicy::BankAware { .. })
+    }
+}
+
+/// Optional per-bank SRAM write buffer (the BUFF-20 comparison point of
+/// Section 4.4, after Sun et al. HPCA'09).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WriteBufferConfig {
+    /// Number of buffered writes per bank (20 in the paper).
+    pub entries: usize,
+    /// Extra cycles on every bank access to detect read vs write before
+    /// buffer insertion (1 in the paper).
+    pub detect_cycles: u64,
+    /// Whether a read may preempt an in-progress STT-RAM array write.
+    pub read_preemption: bool,
+}
+
+impl Default for WriteBufferConfig {
+    fn default() -> Self {
+        Self { entries: 20, detect_cycles: 1, read_preemption: true }
+    }
+}
+
+/// NoC parameters (Table 1, "Network Router" and "Network Topology").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh width of each layer (8).
+    pub width: u8,
+    /// Mesh height of each layer (8).
+    pub height: u8,
+    /// Virtual channels per input port (6).
+    pub vcs_per_port: usize,
+    /// Flit buffer depth per VC (5).
+    pub vc_depth: usize,
+    /// Payload flits per data packet (8); +1 header flit on the wire.
+    pub data_flits: usize,
+    /// Router pipeline depth in cycles (2).
+    pub router_stages: u64,
+    /// Link traversal latency in cycles (1).
+    pub link_latency: u64,
+    /// Width multiplier of the region TSBs relative to a normal 128b
+    /// link (2 for the 256b TSBs; two flits of a packet may cross per
+    /// cycle).
+    pub tsb_width_factor: usize,
+    /// Release slack of held packets: a held request is let go this
+    /// many cycles before the predicted bank-idle time to cover
+    /// allocation/switch contention on the way.
+    pub hold_slack: u64,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self {
+            width: 8,
+            height: 8,
+            vcs_per_port: 6,
+            vc_depth: 5,
+            data_flits: 8,
+            router_stages: 2,
+            link_latency: 1,
+            tsb_width_factor: 2,
+            hold_slack: 8,
+        }
+    }
+}
+
+/// Memory-hierarchy parameters (Table 1, caches and main memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// L1 size in bytes (32 KB).
+    pub l1_bytes: usize,
+    /// L1 associativity (4).
+    pub l1_ways: usize,
+    /// Cache block size in bytes (128).
+    pub block_bytes: usize,
+    /// L1 hit latency in cycles (2).
+    pub l1_latency: u64,
+    /// L1 MSHR count (32).
+    pub l1_mshrs: usize,
+    /// SRAM L2 bank size in bytes (1 MB); STT-RAM banks are
+    /// `capacity_factor()` times larger.
+    pub l2_bank_bytes: usize,
+    /// L2 associativity (16).
+    pub l2_ways: usize,
+    /// L2 bank read (and SRAM write) latency in cycles (3).
+    pub l2_read_latency: u64,
+    /// STT-RAM write latency in cycles (33).
+    pub stt_write_latency: u64,
+    /// L2 MSHR count per bank (32).
+    pub l2_mshrs: usize,
+    /// Bank controller intake queue depth: requests beyond this wait
+    /// in the NI and then in the network (the congestion the paper's
+    /// scheme avoids).
+    pub bank_queue: usize,
+    /// DRAM access latency in cycles (320).
+    pub dram_latency: u64,
+    /// Number of on-chip memory controllers (4, one per cache-layer
+    /// corner).
+    pub mem_controllers: usize,
+    /// Maximum outstanding memory requests per controller (16 per
+    /// processor in the paper; modelled per controller).
+    pub mc_outstanding: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self {
+            l1_bytes: 32 * 1024,
+            l1_ways: 4,
+            block_bytes: 128,
+            l1_latency: 2,
+            l1_mshrs: 32,
+            l2_bank_bytes: 1024 * 1024,
+            l2_ways: 16,
+            l2_read_latency: 3,
+            stt_write_latency: 33,
+            l2_mshrs: 32,
+            bank_queue: 4,
+            dram_latency: 320,
+            mem_controllers: 4,
+            mc_outstanding: 64,
+        }
+    }
+}
+
+/// Core-model parameters (Table 1, "Processor Pipeline").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instruction window entries (128).
+    pub window_entries: usize,
+    /// Fetch/commit width (2).
+    pub width: usize,
+    /// Maximum memory operations issued per cycle (1).
+    pub mem_ops_per_cycle: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self { window_entries: 128, width: 2, mem_ops_per_cycle: 1 }
+    }
+}
+
+/// The complete configuration of one simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// NoC parameters.
+    pub noc: NocConfig,
+    /// Memory-hierarchy parameters.
+    pub mem: MemConfig,
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// L2 bank technology.
+    pub tech: MemTech,
+    /// How requests cross between dies.
+    pub path_mode: RequestPathMode,
+    /// Number of logical cache-layer regions (4, 8 or 16).
+    pub regions: usize,
+    /// TSB placement within each region.
+    pub tsb_placement: TsbPlacement,
+    /// Parent-child re-ordering distance in hops (2 in the paper).
+    pub parent_hops: u32,
+    /// Router arbitration policy.
+    pub arbitration: ArbitrationPolicy,
+    /// WB-scheme sampling window: every `wb_window`-th request per child
+    /// carries a timestamp (100).
+    pub wb_window: u32,
+    /// Optional per-bank write buffer (the BUFF-20 baseline); `None`
+    /// for all six of the paper's design scenarios except Section 4.4.
+    pub write_buffer: Option<WriteBufferConfig>,
+    /// Warm-up cycles excluded from measurement.
+    pub warmup_cycles: u64,
+    /// Measured cycles after warm-up.
+    pub measure_cycles: u64,
+    /// Master RNG seed; identical configs and seeds reproduce runs
+    /// bit-for-bit.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            noc: NocConfig::default(),
+            mem: MemConfig::default(),
+            core: CoreConfig::default(),
+            tech: MemTech::Sram,
+            path_mode: RequestPathMode::AllTsvs,
+            regions: 4,
+            tsb_placement: TsbPlacement::Corner,
+            parent_hops: 2,
+            arbitration: ArbitrationPolicy::RoundRobin,
+            wb_window: 100,
+            write_buffer: None,
+            warmup_cycles: 2_000,
+            measure_cycles: 20_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Number of cores (= nodes per layer).
+    pub fn cores(&self) -> usize {
+        self.noc.width as usize * self.noc.height as usize
+    }
+
+    /// Number of L2 banks (= nodes per layer).
+    pub fn banks(&self) -> usize {
+        self.cores()
+    }
+
+    /// The L2 write service latency for the configured technology.
+    pub fn l2_write_latency(&self) -> u64 {
+        match self.tech {
+            MemTech::Sram => self.mem.l2_read_latency,
+            MemTech::SttRam => self.mem.stt_write_latency,
+        }
+    }
+
+    /// Effective per-bank capacity in bytes for the configured
+    /// technology (the STT-RAM bank is 4x denser at equal area).
+    pub fn l2_bank_capacity(&self) -> usize {
+        self.mem.l2_bank_bytes * self.tech.capacity_factor()
+    }
+
+    /// The minimum uncontended latency from a parent router to a child
+    /// bank `parent_hops` away: one intermediate router per hop beyond
+    /// the first plus the link traversals (Section 3.5: "4 cycles" for
+    /// 2 hops with a 2-stage router).
+    pub fn parent_child_base_latency(&self) -> u64 {
+        let hops = self.parent_hops as u64;
+        if hops == 0 {
+            return 0;
+        }
+        (hops - 1) * self.noc.router_stages + hops * self.noc.link_latency
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if any parameter combination is
+    /// unusable (zero regions, regions not dividing the bank count,
+    /// zero VCs, etc.).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.noc.vcs_per_port == 0 {
+            return Err("vcs_per_port must be at least 1".into());
+        }
+        if self.noc.vc_depth == 0 {
+            return Err("vc_depth must be at least 1".into());
+        }
+        if self.regions == 0 || self.banks() % self.regions != 0 {
+            return Err(format!(
+                "regions ({}) must evenly divide the bank count ({})",
+                self.regions,
+                self.banks()
+            ));
+        }
+        if self.parent_hops == 0 {
+            return Err("parent_hops must be at least 1".into());
+        }
+        if self.mem.block_bytes == 0 || !self.mem.block_bytes.is_power_of_two() {
+            return Err("block size must be a power of two".into());
+        }
+        if self.mem.mem_controllers != 4 {
+            return Err("exactly 4 memory controllers (one per corner) are supported".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_table1() {
+        let c = SystemConfig::default();
+        assert_eq!(c.cores(), 64);
+        assert_eq!(c.banks(), 64);
+        assert_eq!(c.noc.vcs_per_port, 6);
+        assert_eq!(c.noc.vc_depth, 5);
+        assert_eq!(c.noc.data_flits, 8);
+        assert_eq!(c.mem.dram_latency, 320);
+        assert_eq!(c.mem.mem_controllers, 4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn write_latency_depends_on_tech() {
+        let mut c = SystemConfig::default();
+        assert_eq!(c.l2_write_latency(), 3);
+        c.tech = MemTech::SttRam;
+        assert_eq!(c.l2_write_latency(), 33);
+        assert_eq!(c.l2_bank_capacity(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn parent_child_base_latency_is_4_for_two_hops() {
+        // Section 3.5: one intermediate router (2 cycles) + 2 links.
+        let c = SystemConfig::default();
+        assert_eq!(c.parent_child_base_latency(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_region_counts() {
+        let mut c = SystemConfig::default();
+        c.regions = 3;
+        assert!(c.validate().is_err());
+        c.regions = 0;
+        assert!(c.validate().is_err());
+        c.regions = 16;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn bank_aware_flag() {
+        assert!(!ArbitrationPolicy::RoundRobin.is_bank_aware());
+        assert!(ArbitrationPolicy::BankAware { estimator: Estimator::WindowBased }
+            .is_bank_aware());
+    }
+}

@@ -1,0 +1,357 @@
+//! Mesh geometry for the two stacked layers.
+//!
+//! Both dies are laid out as a `width x height` mesh (8x8 in the paper).
+//! A position on the chip is a [`Coord`]: an `(x, y)` pair plus the
+//! [`Layer`]. `x` grows eastward (the paper's X direction, along a row),
+//! `y` grows northward (the Y direction, along a column); node ids grow
+//! row-major, so node `y * width + x` matches the paper's Figure 4
+//! numbering with node 0 at the south-west corner.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which die a coordinate refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// The top die: 64 cores with their private L1 caches.
+    Core,
+    /// The bottom die: 64 shared L2 banks plus the memory controllers.
+    Cache,
+}
+
+impl Layer {
+    /// The other layer.
+    pub fn opposite(self) -> Layer {
+        match self {
+            Layer::Core => Layer::Cache,
+            Layer::Cache => Layer::Core,
+        }
+    }
+
+    /// `true` for [`Layer::Cache`].
+    pub fn is_cache(self) -> bool {
+        matches!(self, Layer::Cache)
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Core => f.write_str("core"),
+            Layer::Cache => f.write_str("cache"),
+        }
+    }
+}
+
+/// A position on the chip: mesh coordinates plus the layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column (paper's X direction).
+    pub x: u8,
+    /// Row (paper's Y direction).
+    pub y: u8,
+    /// Which die.
+    pub layer: Layer,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub const fn new(x: u8, y: u8, layer: Layer) -> Self {
+        Self { x, y, layer }
+    }
+
+    /// The same (x, y) position on the other die.
+    pub fn through_via(self) -> Coord {
+        Coord { layer: self.layer.opposite(), ..self }
+    }
+
+    /// Manhattan distance within a layer, ignoring the Z dimension.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})@{}", self.x, self.y, self.layer)
+    }
+}
+
+/// One hop direction in the 3D mesh, also used to index router ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// +x within a layer.
+    East,
+    /// -x within a layer.
+    West,
+    /// +y within a layer.
+    North,
+    /// -y within a layer.
+    South,
+    /// Core layer -> cache layer (through a TSV/TSB).
+    Down,
+    /// Cache layer -> core layer (through a TSV/TSB).
+    Up,
+    /// Into or out of the locally attached core / bank / controller.
+    Local,
+}
+
+impl Direction {
+    /// All seven port directions, in port-index order.
+    pub const ALL: [Direction; 7] = [
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+        Direction::Down,
+        Direction::Up,
+        Direction::Local,
+    ];
+
+    /// The port index used by routers for this direction.
+    pub const fn port(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+            Direction::Down => 4,
+            Direction::Up => 5,
+            Direction::Local => 6,
+        }
+    }
+
+    /// The direction a flit travelling this way arrives *from* at the
+    /// next router (e.g. a flit sent East arrives on the West port).
+    pub fn arrival_port(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::Down => Direction::Up,
+            Direction::Up => Direction::Down,
+            Direction::Local => Direction::Local,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::East => "E",
+            Direction::West => "W",
+            Direction::North => "N",
+            Direction::South => "S",
+            Direction::Down => "D",
+            Direction::Up => "U",
+            Direction::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The dimensions of one mesh layer and the id<->coordinate mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    width: u8,
+    height: u8,
+}
+
+impl Mesh {
+    /// Creates a mesh of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the node count exceeds
+    /// `u16::MAX`.
+    pub fn new(width: u8, height: u8) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        assert!(
+            (width as usize) * (height as usize) <= u16::MAX as usize,
+            "mesh too large"
+        );
+        Self { width, height }
+    }
+
+    /// Mesh width (columns).
+    pub fn width(self) -> u8 {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(self) -> u8 {
+        self.height
+    }
+
+    /// Number of nodes per layer.
+    pub fn nodes_per_layer(self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// The coordinate of a layer-local node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this mesh.
+    pub fn coord(self, node: NodeId, layer: Layer) -> Coord {
+        let idx = node.index();
+        assert!(idx < self.nodes_per_layer(), "node {node} out of range");
+        Coord {
+            x: (idx % self.width as usize) as u8,
+            y: (idx / self.width as usize) as u8,
+            layer,
+        }
+    }
+
+    /// The layer-local node id at a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate lies outside the mesh.
+    pub fn node(self, coord: Coord) -> NodeId {
+        assert!(coord.x < self.width && coord.y < self.height, "coord out of range");
+        NodeId::new(coord.y as u16 * self.width as u16 + coord.x as u16)
+    }
+
+    /// The neighbouring coordinate one hop in `dir`, or `None` at the
+    /// mesh / layer boundary. [`Direction::Local`] has no neighbour.
+    pub fn neighbour(self, coord: Coord, dir: Direction) -> Option<Coord> {
+        match dir {
+            Direction::East if coord.x + 1 < self.width => {
+                Some(Coord { x: coord.x + 1, ..coord })
+            }
+            Direction::West if coord.x > 0 => Some(Coord { x: coord.x - 1, ..coord }),
+            Direction::North if coord.y + 1 < self.height => {
+                Some(Coord { y: coord.y + 1, ..coord })
+            }
+            Direction::South if coord.y > 0 => Some(Coord { y: coord.y - 1, ..coord }),
+            Direction::Down if coord.layer == Layer::Core => Some(coord.through_via()),
+            Direction::Up if coord.layer == Layer::Cache => Some(coord.through_via()),
+            _ => None,
+        }
+    }
+
+    /// Iterates over all layer-local node ids.
+    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes_per_layer() as u16).map(NodeId::new)
+    }
+
+    /// The first X-then-Y step from `from` towards `to` within one
+    /// layer, or `None` if already there.
+    ///
+    /// This is the paper's dimension-ordered X-Y routing function.
+    pub fn xy_step(self, from: Coord, to: Coord) -> Option<Direction> {
+        debug_assert_eq!(from.layer, to.layer, "xy_step is intra-layer");
+        if from.x < to.x {
+            Some(Direction::East)
+        } else if from.x > to.x {
+            Some(Direction::West)
+        } else if from.y < to.y {
+            Some(Direction::North)
+        } else if from.y > to.y {
+            Some(Direction::South)
+        } else {
+            None
+        }
+    }
+
+    /// The full X-Y path from `from` to `to` (exclusive of `from`,
+    /// inclusive of `to`), within one layer.
+    pub fn xy_path(self, from: Coord, to: Coord) -> Vec<Coord> {
+        let mut path = Vec::with_capacity(from.manhattan(to) as usize);
+        let mut cur = from;
+        while let Some(dir) = self.xy_step(cur, to) {
+            cur = self.neighbour(cur, dir).expect("xy path stays in mesh");
+            path.push(cur);
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(8, 8)
+    }
+
+    #[test]
+    fn node_coord_round_trip() {
+        let m = mesh();
+        for id in m.nodes() {
+            let c = m.coord(id, Layer::Cache);
+            assert_eq!(m.node(c), id);
+        }
+    }
+
+    #[test]
+    fn paper_node_91_is_row3_col3_of_cache_layer() {
+        // Paper chip node 91 = cache-layer node 27 = (x=3, y=3).
+        let m = mesh();
+        let c = m.coord(NodeId::new(27), Layer::Cache);
+        assert_eq!((c.x, c.y), (3, 3));
+    }
+
+    #[test]
+    fn neighbours_respect_boundaries() {
+        let m = mesh();
+        let sw = Coord::new(0, 0, Layer::Core);
+        assert_eq!(m.neighbour(sw, Direction::West), None);
+        assert_eq!(m.neighbour(sw, Direction::South), None);
+        assert_eq!(m.neighbour(sw, Direction::Up), None, "core layer is the top die");
+        assert_eq!(
+            m.neighbour(sw, Direction::Down),
+            Some(Coord::new(0, 0, Layer::Cache))
+        );
+        let ne = Coord::new(7, 7, Layer::Cache);
+        assert_eq!(m.neighbour(ne, Direction::East), None);
+        assert_eq!(m.neighbour(ne, Direction::North), None);
+        assert_eq!(m.neighbour(ne, Direction::Down), None);
+        assert_eq!(m.neighbour(ne, Direction::Up), Some(Coord::new(7, 7, Layer::Core)));
+    }
+
+    #[test]
+    fn xy_path_goes_x_first() {
+        let m = mesh();
+        // Paper example: requests entering region 0 at node 91 (3,3)
+        // reach bank 74 (chip) = node 10 = (2,1) via 90, 82, 74.
+        let from = m.coord(NodeId::new(27), Layer::Cache);
+        let to = m.coord(NodeId::new(10), Layer::Cache);
+        let path: Vec<_> = m.xy_path(from, to).iter().map(|&c| m.node(c)).collect();
+        assert_eq!(path, vec![NodeId::new(26), NodeId::new(18), NodeId::new(10)]);
+    }
+
+    #[test]
+    fn xy_step_is_none_at_destination() {
+        let m = mesh();
+        let c = Coord::new(4, 4, Layer::Core);
+        assert_eq!(m.xy_step(c, c), None);
+    }
+
+    #[test]
+    fn arrival_ports_invert_directions() {
+        for dir in Direction::ALL {
+            if dir == Direction::Local {
+                continue;
+            }
+            assert_eq!(dir.arrival_port().arrival_port(), dir);
+        }
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord::new(0, 0, Layer::Core);
+        let b = Coord::new(7, 7, Layer::Core);
+        assert_eq!(a.manhattan(b), 14);
+        assert_eq!(b.manhattan(a), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_of_out_of_range_node_panics() {
+        mesh().coord(NodeId::new(64), Layer::Core);
+    }
+}

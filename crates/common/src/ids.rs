@@ -1,0 +1,165 @@
+//! Strongly-typed identifiers.
+//!
+//! The simulated chip has two stacked 8x8 meshes. Routers are numbered
+//! the way the paper numbers them: the core layer holds nodes `0..64`,
+//! the cache layer holds nodes `64..128`. Within a layer we use a
+//! layer-local [`NodeId`] in `0..64`; the layer itself is carried
+//! separately (see [`crate::geom::Layer`]) so the type system prevents
+//! mixing a core-layer router with the cache bank below it.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $short:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        #[derive(serde::Serialize, serde::Deserialize)]
+        pub struct $name(u16);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub const fn new(raw: u16) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw index as `u16`.
+            pub const fn raw(self) -> u16 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl From<u16> for $name {
+            fn from(raw: u16) -> Self {
+                Self::new(raw)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A layer-local router/node index (`0..width*height`).
+    ///
+    /// The same `NodeId` names the router at a given (x, y) position in
+    /// *either* layer; pair it with a [`crate::geom::Layer`] to obtain a
+    /// unique position on the chip.
+    NodeId,
+    "n"
+);
+
+id_type!(
+    /// A processor core. Core `i` sits at core-layer node `i`.
+    CoreId,
+    "c"
+);
+
+id_type!(
+    /// An L2 cache bank. Bank `i` sits at cache-layer node `i`
+    /// (paper numbering: chip node `64 + i`).
+    BankId,
+    "b"
+);
+
+id_type!(
+    /// A logical region of the cache layer (Section 3.4 of the paper).
+    RegionId,
+    "r"
+);
+
+id_type!(
+    /// An on-chip memory controller (four, one per cache-layer corner).
+    McId,
+    "mc"
+);
+
+id_type!(
+    /// A packet identifier, unique within one simulation run.
+    PacketId,
+    "p"
+);
+
+impl NodeId {
+    /// The node's id in the paper's whole-chip numbering, where the
+    /// cache layer is offset by the number of nodes per layer.
+    pub fn chip_index(self, layer_is_cache: bool, nodes_per_layer: usize) -> usize {
+        if layer_is_cache {
+            self.index() + nodes_per_layer
+        } else {
+            self.index()
+        }
+    }
+}
+
+impl CoreId {
+    /// The core-layer node this core is attached to.
+    pub fn node(self) -> NodeId {
+        NodeId::new(self.0)
+    }
+}
+
+impl BankId {
+    /// The cache-layer node this bank is attached to.
+    pub fn node(self) -> NodeId {
+        NodeId::new(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        let n = NodeId::new(91);
+        assert_eq!(n.index(), 91);
+        assert_eq!(usize::from(n), 91);
+        assert_eq!(NodeId::from(91u16), n);
+        assert_eq!(n.to_string(), "n91");
+    }
+
+    #[test]
+    fn core_and_bank_map_to_their_nodes() {
+        assert_eq!(CoreId::new(27).node(), NodeId::new(27));
+        assert_eq!(BankId::new(27).node(), NodeId::new(27));
+    }
+
+    #[test]
+    fn chip_index_offsets_cache_layer() {
+        let n = NodeId::new(27);
+        assert_eq!(n.chip_index(false, 64), 27);
+        assert_eq!(n.chip_index(true, 64), 91);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let set: HashSet<BankId> = (0..8).map(BankId::new).collect();
+        assert_eq!(set.len(), 8);
+        assert!(BankId::new(3) < BankId::new(4));
+    }
+
+    #[test]
+    fn display_prefixes_are_distinct() {
+        assert_eq!(CoreId::new(1).to_string(), "c1");
+        assert_eq!(BankId::new(1).to_string(), "b1");
+        assert_eq!(RegionId::new(1).to_string(), "r1");
+        assert_eq!(McId::new(1).to_string(), "mc1");
+        assert_eq!(PacketId::new(1).to_string(), "p1");
+    }
+}

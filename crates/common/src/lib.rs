@@ -1,0 +1,31 @@
+//! Common substrate for the STT-RAM NoC reproduction.
+//!
+//! This crate holds the vocabulary shared by every other crate in the
+//! workspace: strongly-typed identifiers for nodes, cores, banks and
+//! regions ([`ids`]), mesh geometry for the two stacked 8x8 layers
+//! ([`geom`]), the global simulation configuration ([`config`]),
+//! deterministic random-number helpers ([`rng`]) and lightweight
+//! statistics containers ([`stats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use snoc_common::geom::{Coord, Layer, Mesh};
+//! use snoc_common::ids::NodeId;
+//!
+//! let mesh = Mesh::new(8, 8);
+//! let node = NodeId::new(27);
+//! let coord = mesh.coord(node, Layer::Core);
+//! assert_eq!((coord.x, coord.y), (3, 3));
+//! assert_eq!(mesh.node(coord), node);
+//! ```
+
+pub mod config;
+pub mod geom;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+/// A simulation timestamp or duration, measured in core clock cycles
+/// (3 GHz in the paper's configuration).
+pub type Cycle = u64;

@@ -1,0 +1,427 @@
+//! Lightweight statistics containers used throughout the simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A running mean/min/max accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or 0.0 with no samples.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0.0 with no samples.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A histogram over fixed, caller-supplied bin upper edges.
+///
+/// Bin `i` counts samples `edge[i-1] <= x < edge[i]` (with an implicit
+/// `-inf` lower edge for bin 0); samples at or above the last edge fall
+/// into the overflow bin. This matches the paper's Figure 3 binning:
+/// edges `[16, 33, 66, 99, 132, 165]` with a `165+` overflow bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing upper
+    /// edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly increasing.
+    pub fn new(edges: &[u64]) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly increasing"
+        );
+        Self { edges: edges.to_vec(), counts: vec![0; edges.len() + 1] }
+    }
+
+    /// The Figure 3 binning: 16, 33, 66, 99, 132, 165+.
+    pub fn fig3() -> Self {
+        Self::new(&[16, 33, 66, 99, 132, 165])
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bin = self.edges.partition_point(|&e| e <= value);
+        self.counts[bin] += 1;
+    }
+
+    /// The bin upper edges.
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// Raw bin counts; the final entry is the overflow bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bin fractions in `[0, 1]`; all zeros when empty.
+    pub fn fractions(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// Fraction of samples strictly below `threshold` (which must be
+    /// one of the edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not an edge.
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| e == threshold)
+            .expect("threshold must be a histogram edge");
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.counts[..=idx].iter().sum();
+        below as f64 / total as f64
+    }
+
+    /// Merges another histogram with identical edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.edges, other.edges, "histogram edges must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// A bounded reservoir for tail-latency percentiles.
+///
+/// Keeps a uniform random sample of up to `capacity` observations
+/// (Vitter's Algorithm R with a deterministic LCG) and computes exact
+/// quantiles of the sample on demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reservoir {
+    samples: Vec<f64>,
+    capacity: usize,
+    seen: u64,
+    state: u64,
+}
+
+impl Reservoir {
+    /// Creates a reservoir of `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir needs capacity");
+        Self { samples: Vec::with_capacity(capacity), capacity, seen: 0, state: 0x9E3779B97F4A7C15 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 step: deterministic, seed-independent of config.
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(value);
+        } else {
+            let j = self.next_u64() % self.seen;
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = value;
+            }
+        }
+    }
+
+    /// Observations recorded (not just retained).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The `q`-quantile (0.0..=1.0) of the retained sample; 0.0 when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.samples.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let idx = ((v.len() - 1) as f64 * q).round() as usize;
+        v[idx]
+    }
+
+    /// Convenience: the 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+}
+
+/// A simple event counter keyed by a caller-chosen enum-like index.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSet {
+    counts: Vec<u64>,
+}
+
+impl CounterSet {
+    /// Creates `n` zeroed counters.
+    pub fn new(n: usize) -> Self {
+        Self { counts: vec![0; n] }
+    }
+
+    /// Increments counter `idx` by 1.
+    pub fn bump(&mut self, idx: usize) {
+        self.add(idx, 1);
+    }
+
+    /// Increments counter `idx` by `by`.
+    pub fn add(&mut self, idx: usize, by: u64) {
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += by;
+    }
+
+    /// Reads counter `idx` (0 if never touched).
+    pub fn get(&self, idx: usize) -> u64 {
+        self.counts.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(index, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_tracks_extremes() {
+        let mut a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        for v in [3.0, 1.0, 2.0] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = Accumulator::new();
+        a.record(1.0);
+        let mut b = Accumulator::new();
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.max(), 5.0);
+        let mut empty = Accumulator::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+    }
+
+    #[test]
+    fn fig3_histogram_bins_match_paper() {
+        let mut h = Histogram::fig3();
+        // One sample per bin: <16, [16,33), [33,66), ..., >=165.
+        for v in [5, 20, 40, 70, 100, 140, 200] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[1, 1, 1, 1, 1, 1, 1]);
+        assert_eq!(h.total(), 7);
+        // "Delayable" accesses are those arriving within the 33-cycle
+        // write service time.
+        let delayable = h.fraction_below(33);
+        assert!((delayable - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_edge_values_go_to_next_bin() {
+        let mut h = Histogram::new(&[10, 20]);
+        h.record(10);
+        assert_eq!(h.counts(), &[0, 1, 0]);
+        h.record(20);
+        assert_eq!(h.counts(), &[0, 1, 1]);
+        h.record(9);
+        assert_eq!(h.counts(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_merge_and_fractions() {
+        let mut a = Histogram::new(&[10]);
+        let mut b = Histogram::new(&[10]);
+        a.record(5);
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.fractions(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_bad_edges() {
+        Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn reservoir_quantiles_are_exact_below_capacity() {
+        let mut r = Reservoir::new(1000);
+        for v in 0..100 {
+            r.record(v as f64);
+        }
+        assert_eq!(r.seen(), 100);
+        assert_eq!(r.quantile(0.0), 0.0);
+        assert_eq!(r.quantile(1.0), 99.0);
+        assert!((r.quantile(0.5) - 50.0).abs() <= 1.0);
+        assert!((r.p95() - 94.0).abs() <= 2.0);
+    }
+
+    #[test]
+    fn reservoir_subsamples_long_streams() {
+        let mut r = Reservoir::new(64);
+        for v in 0..100_000 {
+            r.record((v % 1000) as f64);
+        }
+        assert_eq!(r.seen(), 100_000);
+        // The uniform 0..999 stream's median lands near 500.
+        let med = r.quantile(0.5);
+        assert!((250.0..750.0).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn empty_reservoir_is_zero() {
+        let r = Reservoir::new(8);
+        assert_eq!(r.p95(), 0.0);
+    }
+
+    #[test]
+    fn counters_grow_on_demand() {
+        let mut c = CounterSet::new(2);
+        c.bump(0);
+        c.add(5, 3);
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.get(5), 3);
+        assert_eq!(c.get(9), 0);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.iter().count(), 6);
+    }
+}

@@ -1,0 +1,169 @@
+//! `snoc-sim`: run one configuration of the 3D STT-RAM CMP from the
+//! command line.
+//!
+//! ```text
+//! snoc-sim [--app NAME | --mix case1|case2] [--scenario NAME]
+//!          [--cycles N] [--warmup N] [--seed N]
+//!          [--mode profile|fullstack]
+//!          [--regions 4|8|16] [--placement corner|stagger] [--hops H]
+//!          [--list]
+//! ```
+//!
+//! Defaults: `--app tpcc --scenario MRAM-4TSB-WB --cycles 20000
+//! --warmup 2000 --mode profile`.
+
+use snoc_core::scenario::Scenario;
+use snoc_core::system::{DriveMode, System};
+use snoc_workload::mixes::{self, Workload};
+use snoc_workload::table3;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: snoc-sim [--app NAME | --mix case1|case2] [--scenario NAME]\n\
+         \x20               [--cycles N] [--warmup N] [--seed N]\n\
+         \x20               [--mode profile|fullstack]\n\
+         \x20               [--regions 4|8|16] [--placement corner|stagger] [--hops H]\n\
+         \x20               [--list]\n\
+         scenarios: {}",
+        Scenario::ALL.map(|s| s.name()).join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut app = "tpcc".to_string();
+    let mut mix: Option<String> = None;
+    let mut scenario = Scenario::SttRam4TsbWb;
+    let mut cycles = 20_000u64;
+    let mut warmup = 2_000u64;
+    let mut seed: Option<u64> = None;
+    let mut mode = DriveMode::Profile;
+    let mut regions: Option<usize> = None;
+    let mut placement: Option<&str> = None;
+    let mut hops: Option<u32> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--app" => app = take(&mut i),
+            "--mix" => mix = Some(take(&mut i)),
+            "--scenario" => {
+                let name = take(&mut i);
+                scenario = Scenario::ALL
+                    .into_iter()
+                    .find(|s| s.name().eq_ignore_ascii_case(&name))
+                    .unwrap_or_else(|| usage());
+            }
+            "--cycles" => cycles = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--warmup" => warmup = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--mode" => {
+                mode = match take(&mut i).as_str() {
+                    "profile" => DriveMode::Profile,
+                    "fullstack" => DriveMode::FullStack,
+                    _ => usage(),
+                }
+            }
+            "--regions" => regions = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--placement" => {
+                placement = match take(&mut i).as_str() {
+                    "corner" => Some("corner"),
+                    "stagger" | "staggered" => Some("stagger"),
+                    _ => usage(),
+                }
+            }
+            "--hops" => hops = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--list" => {
+                for p in table3::all() {
+                    println!(
+                        "{:12} {:8?} rpki {:6.2} wpki {:6.2} {:?}",
+                        p.name, p.suite, p.l2_rpki, p.l2_wpki, p.bursty
+                    );
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    let mut cfg = scenario.config();
+    cfg.warmup_cycles = warmup;
+    cfg.measure_cycles = cycles;
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(r) = regions {
+        cfg.regions = r;
+    }
+    if let Some(p) = placement {
+        cfg.tsb_placement = match p {
+            "corner" => snoc_common::config::TsbPlacement::Corner,
+            _ => snoc_common::config::TsbPlacement::Staggered,
+        };
+    }
+    if let Some(h) = hops {
+        cfg.parent_hops = h;
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+
+    let workload: Workload = match mix.as_deref() {
+        None => Workload::homogeneous(&app, cfg.cores()).unwrap_or_else(|| {
+            eprintln!("unknown application {app}; try --list");
+            std::process::exit(2)
+        }),
+        Some("case1") => mixes::case1(cfg.cores()),
+        Some("case2") => mixes::case2(cfg.cores()),
+        Some(other) => {
+            eprintln!("unknown mix {other} (case1|case2)");
+            std::process::exit(2)
+        }
+    };
+
+    println!(
+        "running {} on {} for {}+{} cycles ({:?} mode, {} regions, H={})",
+        workload.name,
+        scenario.name(),
+        warmup,
+        cycles,
+        mode,
+        cfg.regions,
+        cfg.parent_hops
+    );
+    let mut system = System::new(cfg, &workload, mode);
+    let m = system.run();
+    println!("instruction throughput : {:8.2}", m.instruction_throughput());
+    println!("avg / slowest core IPC : {:8.3} / {:.3}", m.avg_ipc(), m.slowest_ipc());
+    println!(
+        "uncore round trip      : {:8.1} cycles (p95 {:.0})",
+        m.uncore_rtt, m.uncore_rtt_p95
+    );
+    println!(
+        "net latency (req/resp) : {:8.1} / {:.1} cycles",
+        m.net_request_latency, m.net_response_latency
+    );
+    println!(
+        "bank queue / service   : {:8.1} / {:.1} cycles",
+        m.bank_queue_wait, m.bank_service
+    );
+    println!("bank reads / writes    : {:8} / {}", m.bank_reads, m.bank_writes);
+    println!("memory fetches         : {:8}", m.mem_fetches);
+    println!(
+        "held at parents        : {:8} packets / {} cycles",
+        m.held_packets, m.held_cycles
+    );
+    println!("delayable fraction     : {:8.1}%", m.delayable_fraction * 100.0);
+    println!("uncore energy          : {:8.2} uJ", m.uncore_energy_nj() / 1000.0);
+}

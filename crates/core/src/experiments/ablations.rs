@@ -1,0 +1,146 @@
+//! Ablations of the design choices `DESIGN.md` calls out: the hold
+//! release slack, the WB sampling window, the request-class VC count,
+//! and the bank intake depth. Each sweeps one knob of the WB design on
+//! a bursty, write-intensive workload while everything else stays at
+//! the paper's configuration.
+
+use crate::experiments::Scale;
+use crate::scenario::Scenario;
+use crate::system::System;
+use snoc_workload::table3;
+use std::fmt;
+
+/// One knob sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Knob name.
+    pub knob: &'static str,
+    /// The values swept (as printed).
+    pub values: Vec<String>,
+    /// Instruction throughput at each value.
+    pub throughput: Vec<f64>,
+    /// Mean uncore round trip at each value.
+    pub uncore_rtt: Vec<f64>,
+    /// Packets held at parents at each value.
+    pub held: Vec<u64>,
+}
+
+/// All four sweeps.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// Application used.
+    pub app: &'static str,
+    /// The sweeps.
+    pub sweeps: Vec<Sweep>,
+}
+
+/// Runs the ablations on `lbm` (bursty, write-intensive).
+pub fn run(scale: Scale) -> AblationResult {
+    let p = table3::by_name("lbm").expect("lbm is in Table 3");
+    let base = || scale.apply(Scenario::SttRam4TsbWb.config());
+    let mut sweeps = Vec::new();
+
+    let mut measure = |cfgs: Vec<(String, snoc_common::config::SystemConfig)>,
+                       knob: &'static str| {
+        let mut s = Sweep {
+            knob,
+            values: Vec::new(),
+            throughput: Vec::new(),
+            uncore_rtt: Vec::new(),
+            held: Vec::new(),
+        };
+        for (label, cfg) in cfgs {
+            let m = System::homogeneous(cfg, p).run();
+            s.values.push(label);
+            s.throughput.push(m.instruction_throughput());
+            s.uncore_rtt.push(m.uncore_rtt);
+            s.held.push(m.held_packets);
+        }
+        sweeps.push(s);
+    };
+
+    measure(
+        [0u64, 4, 8, 16]
+            .into_iter()
+            .map(|v| {
+                let mut c = base();
+                c.noc.hold_slack = v;
+                (v.to_string(), c)
+            })
+            .collect(),
+        "hold release slack (cycles)",
+    );
+    measure(
+        [25u32, 100, 400]
+            .into_iter()
+            .map(|v| {
+                let mut c = base();
+                c.wb_window = v;
+                (v.to_string(), c)
+            })
+            .collect(),
+        "WB sampling window (requests)",
+    );
+    measure(
+        [4usize, 5, 6, 7, 8]
+            .into_iter()
+            .map(|v| {
+                let mut c = base();
+                c.noc.vcs_per_port = v;
+                (v.to_string(), c)
+            })
+            .collect(),
+        "virtual channels per port",
+    );
+    measure(
+        [1usize, 4, 16]
+            .into_iter()
+            .map(|v| {
+                let mut c = base();
+                c.mem.bank_queue = v;
+                (v.to_string(), c)
+            })
+            .collect(),
+        "bank intake queue depth",
+    );
+
+    AblationResult { app: p.name, sweeps }
+}
+
+impl fmt::Display for AblationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Design-choice ablations on {} (MRAM-4TSB-WB)", self.app)?;
+        for s in &self.sweeps {
+            writeln!(f, "--- {} ---", s.knob)?;
+            writeln!(f, "{:>10} {:>12} {:>12} {:>10}", "value", "IT", "uncore RTT", "held")?;
+            for i in 0..s.values.len() {
+                writeln!(
+                    f,
+                    "{:>10} {:>12.2} {:>12.1} {:>10}",
+                    s.values[i], s.throughput[i], s.uncore_rtt[i], s.held[i]
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_cover_all_knobs() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.sweeps.len(), 4);
+        for s in &r.sweeps {
+            assert!(s.throughput.iter().all(|&t| t > 0.0), "{}", s.knob);
+            assert_eq!(s.values.len(), s.throughput.len());
+        }
+        // More VCs never hurt throughput catastrophically.
+        let vcs = &r.sweeps[2];
+        let min = vcs.throughput.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vcs.throughput.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 2.0, "VC sweep should be smooth: {:?}", vcs.throughput);
+    }
+}

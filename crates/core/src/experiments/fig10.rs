@@ -1,0 +1,90 @@
+//! Figure 10: maximum slowdown of each application in the Case-2 mix
+//! under MRAM-64TSB vs MRAM-4TSB-WB — the fairness result: the WB
+//! scheme keeps bursty write applications from starving the
+//! read-intensive ones.
+
+use crate::experiments::fig9::AloneCache;
+use crate::experiments::Scale;
+use crate::scenario::Scenario;
+use crate::system::{DriveMode, System};
+use snoc_workload::mixes;
+use std::fmt;
+
+/// The two scenarios compared, as indices into [`Scenario::ALL`].
+pub const FIG10_SCENARIOS: [usize; 2] = [1, 5]; // MRAM-64TSB, MRAM-4TSB-WB
+
+/// Per-application maximum slowdown under both scenarios.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// Application names (lbm, hmmer, bzip2, libqntm).
+    pub apps: Vec<&'static str>,
+    /// `slowdown[s][a]` = slowdown of app `a` under scenario
+    /// `FIG10_SCENARIOS[s]`.
+    pub slowdown: [Vec<f64>; 2],
+}
+
+impl Fig10Result {
+    /// The worst (maximum) slowdown per scenario.
+    pub fn max_slowdown(&self, s: usize) -> f64 {
+        self.slowdown[s].iter().fold(0.0, |a, &b| a.max(b))
+    }
+}
+
+/// Runs the fairness measurement on the Case-2 mix.
+pub fn run(scale: Scale) -> Fig10Result {
+    let w = mixes::case2(64);
+    let apps: Vec<&'static str> = w.distinct().iter().map(|p| p.name).collect();
+    let mut alone = AloneCache::new(scale);
+    let mut slowdown: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for (si, &sc_idx) in FIG10_SCENARIOS.iter().enumerate() {
+        let cfg = scale.apply(Scenario::ALL[sc_idx].config());
+        let m = System::new(cfg, &w, DriveMode::Profile).run();
+        for app in &apps {
+            let shared = m.ipc_of_cores(&w.cores_running(app));
+            let alone_ipc = alone.alone_ipc(app, sc_idx);
+            slowdown[si].push(if shared > 0.0 { alone_ipc / shared } else { f64::INFINITY });
+        }
+    }
+    Fig10Result { apps, slowdown }
+}
+
+impl fmt::Display for Fig10Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 10: per-application slowdown in Case-2 (lower is fairer)")?;
+        write!(f, "{:10}", "app")?;
+        for &i in &FIG10_SCENARIOS {
+            write!(f, " {:>14}", Scenario::ALL[i].name())?;
+        }
+        writeln!(f)?;
+        for (a, app) in self.apps.iter().enumerate() {
+            writeln!(
+                f,
+                "{:10} {:>14.2} {:>14.2}",
+                app, self.slowdown[0][a], self.slowdown[1][a]
+            )?;
+        }
+        writeln!(
+            f,
+            "max slowdown: {:.2} -> {:.2}",
+            self.max_slowdown(0),
+            self.max_slowdown(1)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdowns_are_finite_and_positive() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.apps.len(), 4);
+        for s in &r.slowdown {
+            for &v in s {
+                assert!(v.is_finite() && v > 0.0, "slowdown {v}");
+            }
+        }
+        assert!(r.max_slowdown(0) >= 1.0 || r.max_slowdown(1) >= 0.5);
+    }
+}

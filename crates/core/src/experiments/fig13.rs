@@ -1,0 +1,107 @@
+//! Figure 13: sensitivity to the parent-child distance H — (a) the
+//! number of re-orderable requests a parent sees at H = 1/2/3, and
+//! (b) the average IPC improvement of the WB scheme over the
+//! STT-RAM-4TSB baseline at each H.
+
+use crate::experiments::{norm, Scale};
+use crate::scenario::Scenario;
+use crate::system::System;
+use snoc_workload::table3::{self, figures};
+use std::fmt;
+
+/// The figure's two panels.
+#[derive(Debug, Clone)]
+pub struct Fig13Result {
+    /// Applications measured.
+    pub apps: Vec<&'static str>,
+    /// `requests[a][h-1]`: mean buffered requests H hops from their
+    /// destination when a write is forwarded.
+    pub requests: Vec<[f64; 3]>,
+    /// Average IPC improvement (%) of WB over the 4-TSB round-robin
+    /// baseline, per H in 1..=3.
+    pub ipc_improvement_pct: [f64; 3],
+}
+
+/// Runs both panels.
+pub fn run(scale: Scale) -> Fig13Result {
+    let apps: Vec<&'static str> = scale
+        .take_apps(figures::FIG3)
+        .iter()
+        .map(|n| table3::by_name(n).expect("known app").name)
+        .collect();
+
+    // Panel (a): queue depth by hop distance, from the 4-TSB baseline.
+    let mut requests = Vec::new();
+    for name in &apps {
+        let p = table3::by_name(name).unwrap();
+        let cfg = scale.apply(Scenario::SttRam4Tsb.config());
+        let mut sys = System::homogeneous(cfg, p);
+        sys.run();
+        let net = sys.network();
+        requests.push([
+            net.queue_mean_at_hops(1),
+            net.queue_mean_at_hops(2),
+            net.queue_mean_at_hops(3),
+        ]);
+    }
+
+    // Panel (b): WB vs baseline at each re-ordering distance.
+    let mut improvement = [0.0; 3];
+    for (hi, h) in (1..=3u32).enumerate() {
+        let mut sum = 0.0;
+        for name in &apps {
+            let p = table3::by_name(name).unwrap();
+            let mut base_cfg = scale.apply(Scenario::SttRam4Tsb.config());
+            base_cfg.parent_hops = h;
+            let base = System::homogeneous(base_cfg, p).run().instruction_throughput();
+            let mut wb_cfg = scale.apply(Scenario::SttRam4TsbWb.config());
+            wb_cfg.parent_hops = h;
+            let wb = System::homogeneous(wb_cfg, p).run().instruction_throughput();
+            sum += (norm(wb, base) - 1.0) * 100.0;
+        }
+        improvement[hi] = sum / apps.len() as f64;
+    }
+
+    Fig13Result { apps, requests, ipc_improvement_pct: improvement }
+}
+
+impl fmt::Display for Fig13Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 13a: requests in a router destined H hops away (at write forwards)")?;
+        writeln!(f, "{:10} {:>7} {:>7} {:>7}", "app", "1 hop", "2 hop", "3 hop")?;
+        for (name, r) in self.apps.iter().zip(&self.requests) {
+            writeln!(f, "{:10} {:>7.2} {:>7.2} {:>7.2}", name, r[0], r[1], r[2])?;
+        }
+        let n = self.apps.len().max(1) as f64;
+        let avg: Vec<f64> = (0..3)
+            .map(|h| self.requests.iter().map(|r| r[h]).sum::<f64>() / n)
+            .collect();
+        writeln!(f, "{:10} {:>7.2} {:>7.2} {:>7.2}", "Avg.", avg[0], avg[1], avg[2])?;
+        writeln!(f, "Figure 13b: avg IPC improvement of WB over 4TSB-RR per hop distance")?;
+        for (h, v) in self.ipc_improvement_pct.iter().enumerate() {
+            writeln!(f, "H = {}: {:+.1}%", h + 1, v)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn farther_parents_see_more_requests() {
+        let r = run(Scale::Quick);
+        let n = r.apps.len() as f64;
+        let avg: Vec<f64> =
+            (0..3).map(|h| r.requests.iter().map(|q| q[h]).sum::<f64>() / n).collect();
+        // More routers lie 2-3 hops from a destination than 1 hop, so
+        // the sampled counts grow with H.
+        assert!(
+            avg[2] >= avg[0],
+            "H=3 ({:.3}) should see at least as many as H=1 ({:.3})",
+            avg[2],
+            avg[0]
+        );
+    }
+}

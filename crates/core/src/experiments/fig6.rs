@@ -1,0 +1,158 @@
+//! Figure 6: system throughput of every benchmark under the six design
+//! scenarios, normalized to SRAM-64TSB — IPC for the multi-threaded
+//! suites (reported for the slowest thread, as in the paper),
+//! instruction throughput for the multi-programmed SPEC suite.
+
+use crate::experiments::{norm, Scale};
+use crate::scenario::Scenario;
+use crate::system::System;
+use snoc_workload::table3::{self, figures};
+use snoc_workload::Suite;
+use std::fmt;
+
+/// Per-application, per-scenario measurements.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// One entry per [`Scenario::ALL`]: instruction throughput.
+    pub throughput: Vec<f64>,
+    /// One entry per scenario: slowest-thread IPC.
+    pub slowest_ipc: Vec<f64>,
+    /// One entry per scenario: uncore energy in nJ.
+    pub energy_nj: Vec<f64>,
+    /// One entry per scenario: mean uncore round trip (cycles).
+    pub uncore_latency: Vec<f64>,
+}
+
+impl SweepRow {
+    /// The paper's Figure 6 metric for this row, per scenario:
+    /// slowest-thread IPC for multi-threaded suites, instruction
+    /// throughput for SPEC.
+    pub fn fig6_metric(&self) -> &[f64] {
+        if self.suite == Suite::Spec {
+            &self.throughput
+        } else {
+            &self.slowest_ipc
+        }
+    }
+}
+
+/// Runs every scenario for each named application.
+pub fn sweep(scale: Scale, apps: &[&str]) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for name in apps {
+        let p = table3::by_name(name).expect("known app");
+        let mut throughput = Vec::new();
+        let mut slowest = Vec::new();
+        let mut energy = Vec::new();
+        let mut latency = Vec::new();
+        for sc in Scenario::ALL {
+            let cfg = scale.apply(sc.config());
+            let m = System::homogeneous(cfg, p).run();
+            throughput.push(m.instruction_throughput());
+            slowest.push(m.slowest_ipc());
+            energy.push(m.uncore_energy_nj());
+            latency.push(m.uncore_latency());
+        }
+        rows.push(SweepRow {
+            app: p.name,
+            suite: p.suite,
+            throughput,
+            slowest_ipc: slowest,
+            energy_nj: energy,
+            uncore_latency: latency,
+        });
+    }
+    rows
+}
+
+/// The figure: three suite panels.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// All measured rows.
+    pub rows: Vec<SweepRow>,
+}
+
+impl Fig6Result {
+    /// Rows of one suite.
+    pub fn suite(&self, s: Suite) -> impl Iterator<Item = &SweepRow> {
+        self.rows.iter().filter(move |r| r.suite == s)
+    }
+
+    /// Suite-average normalized metric per scenario.
+    pub fn suite_average(&self, s: Suite) -> Vec<f64> {
+        let rows: Vec<&SweepRow> = self.suite(s).collect();
+        let mut avg = vec![0.0; Scenario::ALL.len()];
+        for r in &rows {
+            let m = r.fig6_metric();
+            for (i, v) in m.iter().enumerate() {
+                avg[i] += norm(*v, m[0]);
+            }
+        }
+        for v in &mut avg {
+            *v /= rows.len().max(1) as f64;
+        }
+        avg
+    }
+}
+
+/// Runs the Figure 6 panels (server + PARSEC + SPEC subsets shown in
+/// the paper's plot; at full scale the averages cover them all).
+pub fn run(scale: Scale) -> Fig6Result {
+    let mut apps: Vec<&str> = Vec::new();
+    apps.extend(scale.take_apps(figures::FIG6_SERVER));
+    apps.extend(scale.take_apps(figures::FIG6_PARSEC));
+    apps.extend(scale.take_apps(figures::FIG6_SPEC));
+    Fig6Result { rows: sweep(scale, &apps) }
+}
+
+impl fmt::Display for Fig6Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 6: throughput normalized to SRAM-64TSB (IPC of slowest thread for\nserver/PARSEC; instruction throughput for SPEC)"
+        )?;
+        write!(f, "{:12}", "benchmark")?;
+        for sc in Scenario::ALL {
+            write!(f, " {:>14}", sc.name())?;
+        }
+        writeln!(f)?;
+        for suite in [Suite::Server, Suite::Parsec, Suite::Spec] {
+            writeln!(f, "--- {suite:?} ---")?;
+            for r in self.suite(suite) {
+                write!(f, "{:12}", r.app)?;
+                let m = r.fig6_metric();
+                for v in m {
+                    write!(f, " {:>14.3}", norm(*v, m[0]))?;
+                }
+                writeln!(f)?;
+            }
+            write!(f, "{:12}", "Avg.")?;
+            for v in self.suite_average(suite) {
+                write!(f, " {:>14.3}", v)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_covers_scenarios() {
+        let r = run(Scale::Quick);
+        assert!(!r.rows.is_empty());
+        for row in &r.rows {
+            assert_eq!(row.throughput.len(), 6);
+            assert!(row.throughput.iter().all(|&t| t > 0.0), "{}", row.app);
+        }
+        let s = r.to_string();
+        assert!(s.contains("SRAM-64TSB"));
+    }
+}

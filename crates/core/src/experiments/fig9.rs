@@ -1,0 +1,160 @@
+//! Figure 9: weighted speedup and instruction throughput for the
+//! multiprogrammed case studies (Case-1, Case-2, and the aggregate of
+//! the 32 Case-3 mixes), normalized to SRAM-64TSB.
+
+use crate::experiments::{norm, Scale};
+use crate::metrics::weighted_speedup;
+use crate::scenario::Scenario;
+use crate::system::{DriveMode, System};
+use snoc_workload::mixes::{self, Workload};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Normalized (weighted speedup, instruction throughput) per scenario.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case label.
+    pub name: String,
+    /// One (WS, IT) pair per [`Scenario::ALL`] entry, normalized to
+    /// the SRAM baseline.
+    pub normalized: Vec<(f64, f64)>,
+}
+
+/// The figure: Case-1, Case-2, Case-3 aggregate.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// The three panels.
+    pub cases: Vec<CaseResult>,
+}
+
+/// Caches each application's "alone" IPC per scenario (its standard
+/// 64-copy solo run under the same configuration).
+pub struct AloneCache {
+    scale: Scale,
+    cache: HashMap<(&'static str, usize), f64>,
+}
+
+impl AloneCache {
+    /// Creates an empty cache.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale, cache: HashMap::new() }
+    }
+
+    /// The IPC of one copy of `app` on an otherwise idle machine under
+    /// scenario `sc` (Eq. 2's `IPC_alone`).
+    pub fn alone_ipc(&mut self, app: &'static str, sc_idx: usize) -> f64 {
+        if let Some(&v) = self.cache.get(&(app, sc_idx)) {
+            return v;
+        }
+        let w = Workload::solo(app, 64).expect("known app");
+        let cfg = self.scale.apply(Scenario::ALL[sc_idx].config());
+        let m = System::new(cfg, &w, DriveMode::Profile).run();
+        let v = m.ipc(0);
+        self.cache.insert((app, sc_idx), v);
+        v
+    }
+}
+
+/// Raw (WS, IT) for one workload under one scenario.
+pub fn measure(
+    w: &Workload,
+    sc_idx: usize,
+    scale: Scale,
+    alone: &mut AloneCache,
+) -> (f64, f64) {
+    let cfg = scale.apply(Scenario::ALL[sc_idx].config());
+    let m = System::new(cfg, w, DriveMode::Profile).run();
+    let apps = w.distinct();
+    let shared: Vec<f64> =
+        apps.iter().map(|p| m.ipc_of_cores(&w.cores_running(p.name))).collect();
+    let alone_ipcs: Vec<f64> = apps.iter().map(|p| alone.alone_ipc(p.name, sc_idx)).collect();
+    (weighted_speedup(&shared, &alone_ipcs), m.instruction_throughput())
+}
+
+fn case_result(
+    name: &str,
+    workloads: &[Workload],
+    scale: Scale,
+    alone: &mut AloneCache,
+) -> CaseResult {
+    let mut raw = vec![(0.0, 0.0); Scenario::ALL.len()];
+    for w in workloads {
+        for i in 0..Scenario::ALL.len() {
+            let (ws, it) = measure(w, i, scale, alone);
+            raw[i].0 += ws;
+            raw[i].1 += it;
+        }
+    }
+    let base = raw[0];
+    let normalized =
+        raw.iter().map(|&(ws, it)| (norm(ws, base.0), norm(it, base.1))).collect();
+    CaseResult { name: name.to_string(), normalized }
+}
+
+/// Runs the three case studies.
+pub fn run(scale: Scale) -> Fig9Result {
+    let cores = 64;
+    let mut alone = AloneCache::new(scale);
+    let mut cases = Vec::new();
+    cases.push(case_result("Case-1", &[mixes::case1(cores)], scale, &mut alone));
+    cases.push(case_result("Case-2", &[mixes::case2(cores)], scale, &mut alone));
+    let all3 = mixes::case3(cores, 0xC0FFEE);
+    let subset: Vec<Workload> = match scale {
+        Scale::Quick => all3.into_iter().step_by(8).collect(), // 4 mixes
+        Scale::Full => all3,
+    };
+    cases.push(case_result("Case-3 (aggregate)", &subset, scale, &mut alone));
+    Fig9Result { cases }
+}
+
+impl fmt::Display for Fig9Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 9: weighted speedup (WS) and instruction throughput (IT),\nnormalized to SRAM-64TSB"
+        )?;
+        for c in &self.cases {
+            writeln!(f, "--- {} ---", c.name)?;
+            write!(f, "{:4}", "")?;
+            for sc in Scenario::ALL {
+                write!(f, " {:>14}", sc.name())?;
+            }
+            writeln!(f)?;
+            write!(f, "{:4}", "WS")?;
+            for (ws, _) in &c.normalized {
+                write!(f, " {:>14.3}", ws)?;
+            }
+            writeln!(f)?;
+            write!(f, "{:4}", "IT")?;
+            for (_, it) in &c.normalized {
+                write!(f, " {:>14.3}", it)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case2_weighted_speedup_is_normalized() {
+        let mut alone = AloneCache::new(Scale::Quick);
+        let w = mixes::case2(64);
+        let (ws, it) = measure(&w, 0, Scale::Quick, &mut alone);
+        // Four applications: WS is bounded by 4 (and positive).
+        assert!(ws > 0.5 && ws < 6.0, "ws {ws}");
+        assert!(it > 0.0);
+    }
+
+    #[test]
+    fn alone_cache_reuses_runs() {
+        let mut alone = AloneCache::new(Scale::Quick);
+        let a = alone.alone_ipc("lbm", 0);
+        let b = alone.alone_ipc("lbm", 0);
+        assert_eq!(a, b);
+        assert_eq!(alone.cache.len(), 1);
+    }
+}

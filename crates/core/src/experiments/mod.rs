@@ -1,0 +1,92 @@
+//! Experiment runners regenerating every table and figure of the
+//! paper's evaluation section (see `DESIGN.md` for the index).
+//!
+//! Each module exposes `run(scale) -> <FigureResult>`; results
+//! implement [`std::fmt::Display`] to print the same rows/series the
+//! paper reports. [`Scale`] trades cycles for fidelity so the same
+//! experiments serve both the Criterion benches (quick) and the
+//! `repro-*` binaries (full).
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+pub mod table3;
+
+use snoc_common::config::SystemConfig;
+
+/// How long each simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A few thousand cycles per run: for smoke tests and Criterion.
+    Quick,
+    /// The full evaluation lengths used by the `repro-*` binaries.
+    Full,
+}
+
+impl Scale {
+    /// `(warmup, measure)` cycles.
+    pub fn cycles(self) -> (u64, u64) {
+        match self {
+            Scale::Quick => (500, 3_000),
+            Scale::Full => (2_000, 16_000),
+        }
+    }
+
+    /// Applies the scale to a configuration.
+    pub fn apply(self, mut cfg: SystemConfig) -> SystemConfig {
+        let (warmup, measure) = self.cycles();
+        cfg.warmup_cycles = warmup;
+        cfg.measure_cycles = measure;
+        cfg
+    }
+
+    /// Caps an application list for quick runs.
+    pub fn take_apps<'a>(self, apps: &'a [&'a str]) -> &'a [&'a str] {
+        match self {
+            Scale::Quick => &apps[..apps.len().min(3)],
+            Scale::Full => apps,
+        }
+    }
+}
+
+/// Renders a normalized value the way the paper's bar charts read.
+pub(crate) fn norm(v: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        v / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_differ() {
+        assert!(Scale::Quick.cycles().1 < Scale::Full.cycles().1);
+        let cfg = Scale::Quick.apply(SystemConfig::default());
+        assert_eq!(cfg.measure_cycles, 3_000);
+    }
+
+    #[test]
+    fn quick_caps_app_lists() {
+        let apps = ["a", "b", "c", "d", "e"];
+        assert_eq!(Scale::Quick.take_apps(&apps).len(), 3);
+        assert_eq!(Scale::Full.take_apps(&apps).len(), 5);
+    }
+
+    #[test]
+    fn norm_guards_zero() {
+        assert_eq!(norm(1.0, 0.0), 0.0);
+        assert_eq!(norm(3.0, 2.0), 1.5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Trace/stream-driven out-of-order core model.
+//!
+//! Table 1: 3 GHz, 128-entry instruction window, 2-wide fetch/commit,
+//! at most one memory operation issued per cycle. The model captures
+//! what the paper's evaluation needs from a core: IPC is limited by
+//! the window filling up with outstanding long-latency L2/memory
+//! accesses, so reductions in uncore round-trip latency translate into
+//! IPC gains.
+//!
+//! # Example
+//!
+//! ```
+//! use snoc_cpu::{Instr, InstructionStream, Issue, MemPort, OooCore};
+//! use snoc_common::config::CoreConfig;
+//! use snoc_common::ids::CoreId;
+//!
+//! // A stream of pure compute retires at the full width of 2 IPC.
+//! struct Compute;
+//! impl InstructionStream for Compute {
+//!     fn next_instr(&mut self) -> Instr {
+//!         Instr::NonMem
+//!     }
+//! }
+//! struct NoMem;
+//! impl MemPort for NoMem {
+//!     fn issue(&mut self, _: CoreId, _: u64, _: bool, _: u64, _: u64) -> Issue {
+//!         unreachable!("compute-only stream")
+//!     }
+//! }
+//! let mut core = OooCore::new(CoreId::new(0), CoreConfig::default());
+//! let (mut stream, mut port) = (Compute, NoMem);
+//! for now in 0..1000 {
+//!     core.tick(now, &mut stream, &mut port);
+//! }
+//! assert!(core.committed() >= 1990);
+//! ```
+
+pub mod core_model;
+pub mod stream;
+
+pub use core_model::{CoreStats, Issue, MemPort, OooCore};
+pub use stream::{Instr, InstructionStream};

@@ -1,0 +1,95 @@
+//! Instruction streams feeding the core model.
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// A non-memory instruction (1-cycle execute).
+    NonMem,
+    /// A load from `addr`.
+    Load {
+        /// Byte address.
+        addr: u64,
+    },
+    /// A store to `addr`.
+    Store {
+        /// Byte address.
+        addr: u64,
+    },
+}
+
+impl Instr {
+    /// `true` for loads and stores.
+    pub fn is_mem(self) -> bool {
+        !matches!(self, Instr::NonMem)
+    }
+
+    /// `true` for stores.
+    pub fn is_write(self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+
+    /// The access address for memory instructions.
+    pub fn addr(self) -> Option<u64> {
+        match self {
+            Instr::NonMem => None,
+            Instr::Load { addr } | Instr::Store { addr } => Some(addr),
+        }
+    }
+}
+
+/// An endless supply of dynamic instructions (the workload crate
+/// provides calibrated implementations).
+pub trait InstructionStream {
+    /// Produces the next instruction in program order.
+    fn next_instr(&mut self) -> Instr;
+}
+
+/// A fixed repeating pattern, for tests.
+#[derive(Debug, Clone)]
+pub struct PatternStream {
+    pattern: Vec<Instr>,
+    pos: usize,
+}
+
+impl PatternStream {
+    /// Creates a stream cycling through `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is empty.
+    pub fn new(pattern: Vec<Instr>) -> Self {
+        assert!(!pattern.is_empty(), "pattern must be non-empty");
+        Self { pattern, pos: 0 }
+    }
+}
+
+impl InstructionStream for PatternStream {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.pattern[self.pos];
+        self.pos = (self.pos + 1) % self.pattern.len();
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_predicates() {
+        assert!(!Instr::NonMem.is_mem());
+        assert!(Instr::Load { addr: 8 }.is_mem());
+        assert!(Instr::Store { addr: 8 }.is_write());
+        assert!(!Instr::Load { addr: 8 }.is_write());
+        assert_eq!(Instr::Load { addr: 8 }.addr(), Some(8));
+        assert_eq!(Instr::NonMem.addr(), None);
+    }
+
+    #[test]
+    fn pattern_cycles() {
+        let mut s = PatternStream::new(vec![Instr::NonMem, Instr::Load { addr: 1 }]);
+        assert_eq!(s.next_instr(), Instr::NonMem);
+        assert_eq!(s.next_instr(), Instr::Load { addr: 1 });
+        assert_eq!(s.next_instr(), Instr::NonMem);
+    }
+}

@@ -1,0 +1,126 @@
+//! Uncore (interconnect + cache) energy accounting — the quantity
+//! Figure 8 normalizes to the SRAM baseline.
+
+use crate::cache_energy::CacheEnergyModel;
+use crate::noc_energy::NocEnergyModel;
+use snoc_mem::tech::TechParams;
+
+/// Activity counters collected from one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UncoreActivity {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Routers in the network.
+    pub routers: usize,
+    /// L2 banks.
+    pub banks: usize,
+    /// Flits written into router buffers.
+    pub buffer_writes: u64,
+    /// Flits through crossbars.
+    pub switch_traversals: u64,
+    /// Flits over in-layer links.
+    pub lateral_flits: u64,
+    /// Flits over vertical TSVs/TSBs.
+    pub vertical_flits: u64,
+    /// L2 bank read accesses.
+    pub bank_reads: u64,
+    /// L2 bank write accesses.
+    pub bank_writes: u64,
+}
+
+/// The resulting energy split, in nJ.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Router + link dynamic energy.
+    pub noc_dynamic_nj: f64,
+    /// Router leakage.
+    pub noc_leakage_nj: f64,
+    /// Cache access energy.
+    pub cache_dynamic_nj: f64,
+    /// Cache leakage.
+    pub cache_leakage_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total uncore energy.
+    pub fn total_nj(&self) -> f64 {
+        self.noc_dynamic_nj + self.noc_leakage_nj + self.cache_dynamic_nj + self.cache_leakage_nj
+    }
+
+    /// Computes the breakdown for a run's activity under a cache
+    /// technology.
+    pub fn compute(activity: &UncoreActivity, tech: TechParams, clock_ghz: f64) -> Self {
+        let noc = NocEnergyModel::at_32nm();
+        let cache = CacheEnergyModel::new(tech, activity.banks, clock_ghz);
+        EnergyBreakdown {
+            noc_dynamic_nj: noc.dynamic_nj(
+                activity.buffer_writes,
+                activity.switch_traversals,
+                activity.lateral_flits,
+                activity.vertical_flits,
+            ),
+            noc_leakage_nj: noc.leakage_nj(activity.routers, activity.cycles),
+            cache_dynamic_nj: cache.dynamic_nj(activity.bank_reads, activity.bank_writes),
+            cache_leakage_nj: cache.leakage_nj(activity.cycles),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activity() -> UncoreActivity {
+        UncoreActivity {
+            cycles: 100_000,
+            routers: 128,
+            banks: 64,
+            buffer_writes: 500_000,
+            switch_traversals: 500_000,
+            lateral_flits: 400_000,
+            vertical_flits: 100_000,
+            bank_reads: 30_000,
+            bank_writes: 20_000,
+        }
+    }
+
+    #[test]
+    fn stt_beats_sram_by_roughly_half() {
+        // Figure 8: ~54% uncore energy reduction, driven by leakage.
+        let a = activity();
+        let sram = EnergyBreakdown::compute(&a, TechParams::sram_1mb(), 3.0);
+        let stt = EnergyBreakdown::compute(&a, TechParams::stt_ram_4mb(), 3.0);
+        let ratio = stt.total_nj() / sram.total_nj();
+        assert!(
+            (0.40..0.60).contains(&ratio),
+            "normalized STT energy {ratio} should be ~0.46"
+        );
+    }
+
+    #[test]
+    fn leakage_dominates() {
+        let b = EnergyBreakdown::compute(&activity(), TechParams::sram_1mb(), 3.0);
+        assert!(b.cache_leakage_nj > 0.8 * b.total_nj());
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let b = EnergyBreakdown::compute(&activity(), TechParams::stt_ram_4mb(), 3.0);
+        let sum = b.noc_dynamic_nj + b.noc_leakage_nj + b.cache_dynamic_nj + b.cache_leakage_nj;
+        assert!((b.total_nj() - sum).abs() < 1e-9);
+        assert!(b.noc_dynamic_nj > 0.0);
+    }
+
+    #[test]
+    fn write_heavy_activity_raises_stt_dynamic_energy() {
+        let mut wa = activity();
+        wa.bank_writes = 60_000;
+        wa.bank_reads = 0;
+        let mut ra = activity();
+        ra.bank_reads = 60_000;
+        ra.bank_writes = 0;
+        let w = EnergyBreakdown::compute(&wa, TechParams::stt_ram_4mb(), 3.0);
+        let r = EnergyBreakdown::compute(&ra, TechParams::stt_ram_4mb(), 3.0);
+        assert!(w.cache_dynamic_nj > 2.0 * r.cache_dynamic_nj);
+    }
+}

@@ -1,0 +1,67 @@
+//! Cache access and leakage energy from the Table 2 technology
+//! parameters.
+
+use snoc_mem::tech::TechParams;
+
+/// Energy tallies for one bank population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheEnergyModel {
+    params: TechParams,
+    banks: usize,
+    clock_ghz: f64,
+}
+
+impl CacheEnergyModel {
+    /// Creates a model for `banks` banks of the given technology at
+    /// `clock_ghz`.
+    pub fn new(params: TechParams, banks: usize, clock_ghz: f64) -> Self {
+        Self { params, banks, clock_ghz }
+    }
+
+    /// The technology parameters in use.
+    pub fn params(&self) -> &TechParams {
+        &self.params
+    }
+
+    /// Dynamic energy of `reads` read and `writes` write accesses, nJ.
+    pub fn dynamic_nj(&self, reads: u64, writes: u64) -> f64 {
+        reads as f64 * self.params.read_energy_nj + writes as f64 * self.params.write_energy_nj
+    }
+
+    /// Leakage of all banks over `cycles` cycles, nJ.
+    pub fn leakage_nj(&self, cycles: u64) -> f64 {
+        self.params.leakage_nj(cycles, self.clock_ghz) * self.banks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stt_writes_cost_more_than_reads() {
+        let m = CacheEnergyModel::new(TechParams::stt_ram_4mb(), 64, 3.0);
+        assert!(m.dynamic_nj(0, 100) > 2.0 * m.dynamic_nj(100, 0));
+    }
+
+    #[test]
+    fn sram_leakage_dominates_stt_leakage() {
+        let sram = CacheEnergyModel::new(TechParams::sram_1mb(), 64, 3.0);
+        let stt = CacheEnergyModel::new(TechParams::stt_ram_4mb(), 64, 3.0);
+        let cycles = 100_000;
+        let ratio = stt.leakage_nj(cycles) / sram.leakage_nj(cycles);
+        // 190.5 / 444.6 = 0.43: the root of Figure 8's ~54% saving.
+        assert!((ratio - 190.5 / 444.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_dwarfs_dynamic_energy_at_realistic_rates() {
+        // 64 banks over 100k cycles at ~0.05 accesses/cycle/chip:
+        // leakage is the dominant term, as the paper's 54% result
+        // implies.
+        let m = CacheEnergyModel::new(TechParams::sram_1mb(), 64, 3.0);
+        let leak = m.leakage_nj(100_000);
+        let dynamic = m.dynamic_nj(2_500, 2_500);
+        assert!(leak > 100.0 * dynamic, "leak {leak} vs dyn {dynamic}");
+    }
+}

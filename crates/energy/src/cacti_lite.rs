@@ -1,0 +1,235 @@
+//! A small analytic CACTI-style area/latency/energy model.
+//!
+//! The paper derived Table 2 from CACTI 6.0 plus an STT-RAM macro
+//! model scaled from the 0.18 um prototype of Hosomi et al. This
+//! module regenerates the same numbers from a compact analytic form:
+//!
+//! * area = cells x cell-size (146 F^2 SRAM, 36 F^2 1T1J STT-RAM)
+//!   x a periphery factor;
+//! * access time = technology-dependent sense time + wire delay
+//!   growing with sqrt(area); the STT-RAM write adds the 10 ns MTJ
+//!   switching pulse (the paper confines the pulse to >= 10 ns because
+//!   shorter pulses need dramatically higher current);
+//! * access energy grows with sqrt(area); the STT-RAM write adds the
+//!   MTJ switching energy;
+//! * leakage = per-MB cell leakage (SRAM only — MTJs do not leak) +
+//!   per-mm^2 periphery leakage.
+//!
+//! Constants are calibrated so the paper's two design points (1 MB
+//! SRAM, 4 MB STT-RAM at 32 nm / 3 GHz / 80 C) reproduce Table 2.
+
+use snoc_common::config::MemTech;
+
+/// The bank to model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankSpec {
+    /// Cell technology.
+    pub tech: MemTech,
+    /// Capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Feature size in nanometres (32 in the paper).
+    pub feature_nm: f64,
+    /// Clock in GHz (3 in the paper).
+    pub clock_ghz: f64,
+}
+
+/// The model's output for one bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankModel {
+    /// Area in mm^2.
+    pub area_mm2: f64,
+    /// Read access time in ns.
+    pub read_ns: f64,
+    /// Write access time in ns.
+    pub write_ns: f64,
+    /// Read latency in cycles.
+    pub read_cycles: u64,
+    /// Write latency in cycles.
+    pub write_cycles: u64,
+    /// Read energy in nJ.
+    pub read_energy_nj: f64,
+    /// Write energy in nJ.
+    pub write_energy_nj: f64,
+    /// Leakage power at 80 C in mW.
+    pub leakage_mw: f64,
+}
+
+/// SRAM 6T cell size in F^2.
+const SRAM_CELL_F2: f64 = 146.0;
+/// STT-RAM 1T1J cell size in F^2.
+const STT_CELL_F2: f64 = 36.0;
+/// Array-to-bank periphery area factor (decoders, sense amps, H-tree).
+const SRAM_PERIPHERY: f64 = 2.417;
+const STT_PERIPHERY: f64 = 2.741;
+/// Sense/decode base delay in ns.
+const SRAM_SENSE_NS: f64 = 0.267;
+const STT_SENSE_NS: f64 = 0.420;
+/// Wire delay per sqrt(mm^2) in ns.
+const WIRE_NS_PER_SQRT_MM: f64 = 0.25;
+/// The minimum MTJ switching pulse (Section 4.1: shorter pulses need
+/// dramatically more current).
+const MTJ_PULSE_NS: f64 = 10.0;
+/// STT-RAM write-driver turnaround in ns.
+const STT_WRITE_DRIVER_NS: f64 = 0.21;
+/// Access energy per sqrt(mm^2) in nJ.
+const SRAM_ACCESS_NJ: f64 = 0.0966;
+const STT_READ_NJ: f64 = 0.1510;
+/// MTJ switching energy per write in nJ.
+const MTJ_WRITE_NJ: f64 = 0.487;
+/// SRAM cell leakage at 80 C in mW per MB.
+const SRAM_LEAK_MW_PER_MB: f64 = 274.3;
+/// Periphery leakage in mW per mm^2 (both technologies).
+const PERIPHERY_LEAK_MW_PER_MM2: f64 = 56.2;
+
+/// Evaluates the model.
+pub fn model(spec: &BankSpec) -> BankModel {
+    let bits = spec.capacity_bytes as f64 * 8.0;
+    let f_mm = spec.feature_nm * 1e-6; // nm -> mm
+    let (cell_f2, periphery) = match spec.tech {
+        MemTech::Sram => (SRAM_CELL_F2, SRAM_PERIPHERY),
+        MemTech::SttRam => (STT_CELL_F2, STT_PERIPHERY),
+    };
+    let area_mm2 = bits * cell_f2 * f_mm * f_mm * periphery;
+    let wire = WIRE_NS_PER_SQRT_MM * area_mm2.sqrt();
+    let (read_ns, write_ns) = match spec.tech {
+        MemTech::Sram => {
+            let t = SRAM_SENSE_NS + wire;
+            (t, t)
+        }
+        MemTech::SttRam => {
+            let r = STT_SENSE_NS + wire;
+            (r, MTJ_PULSE_NS + STT_WRITE_DRIVER_NS + wire)
+        }
+    };
+    let (read_energy_nj, write_energy_nj) = match spec.tech {
+        MemTech::Sram => {
+            let e = SRAM_ACCESS_NJ * area_mm2.sqrt();
+            (e, e)
+        }
+        MemTech::SttRam => {
+            let r = STT_READ_NJ * area_mm2.sqrt();
+            (r, r + MTJ_WRITE_NJ)
+        }
+    };
+    let cell_leak = match spec.tech {
+        MemTech::Sram => SRAM_LEAK_MW_PER_MB * spec.capacity_bytes as f64 / (1024.0 * 1024.0),
+        MemTech::SttRam => 0.0,
+    };
+    let leakage_mw = cell_leak + PERIPHERY_LEAK_MW_PER_MM2 * area_mm2;
+    BankModel {
+        area_mm2,
+        read_ns,
+        write_ns,
+        read_cycles: (read_ns * spec.clock_ghz).ceil() as u64,
+        write_cycles: (write_ns * spec.clock_ghz).ceil() as u64,
+        read_energy_nj,
+        write_energy_nj,
+        leakage_mw,
+    }
+}
+
+/// The paper's SRAM design point.
+pub fn table2_sram() -> BankModel {
+    model(&BankSpec {
+        tech: MemTech::Sram,
+        capacity_bytes: 1024 * 1024,
+        feature_nm: 32.0,
+        clock_ghz: 3.0,
+    })
+}
+
+/// The paper's STT-RAM design point.
+pub fn table2_stt() -> BankModel {
+    model(&BankSpec {
+        tech: MemTech::SttRam,
+        capacity_bytes: 4 * 1024 * 1024,
+        feature_nm: 32.0,
+        clock_ghz: 3.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() / b.abs() <= tol
+    }
+
+    #[test]
+    fn reproduces_table2_sram_row() {
+        let m = table2_sram();
+        assert!(close(m.area_mm2, 3.03, 0.05), "area {}", m.area_mm2);
+        assert!(close(m.read_ns, 0.702, 0.05), "read {}", m.read_ns);
+        assert!(close(m.read_energy_nj, 0.168, 0.05), "renergy {}", m.read_energy_nj);
+        assert!(close(m.leakage_mw, 444.6, 0.05), "leak {}", m.leakage_mw);
+        assert_eq!(m.read_cycles, 3);
+        assert_eq!(m.write_cycles, 3);
+    }
+
+    #[test]
+    fn reproduces_table2_stt_row() {
+        let m = table2_stt();
+        assert!(close(m.area_mm2, 3.39, 0.05), "area {}", m.area_mm2);
+        assert!(close(m.read_ns, 0.880, 0.05), "read {}", m.read_ns);
+        assert!(close(m.write_ns, 10.67, 0.05), "write {}", m.write_ns);
+        assert!(close(m.read_energy_nj, 0.278, 0.05), "renergy {}", m.read_energy_nj);
+        assert!(close(m.write_energy_nj, 0.765, 0.05), "wenergy {}", m.write_energy_nj);
+        assert!(close(m.leakage_mw, 190.5, 0.05), "leak {}", m.leakage_mw);
+        assert_eq!(m.read_cycles, 3);
+        assert_eq!(m.write_cycles, 33);
+    }
+
+    #[test]
+    fn stt_is_4x_denser_at_similar_area() {
+        let sram = table2_sram();
+        let stt = table2_stt();
+        assert!(close(stt.area_mm2, sram.area_mm2, 0.15), "4x capacity at ~equal area");
+    }
+
+    #[test]
+    fn area_scales_with_capacity_and_feature_size() {
+        let base = table2_sram();
+        let double = model(&BankSpec {
+            tech: MemTech::Sram,
+            capacity_bytes: 2 * 1024 * 1024,
+            feature_nm: 32.0,
+            clock_ghz: 3.0,
+        });
+        assert!(close(double.area_mm2, 2.0 * base.area_mm2, 1e-9));
+        let shrunk = model(&BankSpec {
+            tech: MemTech::Sram,
+            capacity_bytes: 1024 * 1024,
+            feature_nm: 22.0,
+            clock_ghz: 3.0,
+        });
+        assert!(shrunk.area_mm2 < 0.5 * base.area_mm2);
+    }
+
+    #[test]
+    fn bigger_banks_are_slower_and_hungrier() {
+        let small = table2_stt();
+        let big = model(&BankSpec {
+            tech: MemTech::SttRam,
+            capacity_bytes: 16 * 1024 * 1024,
+            feature_nm: 32.0,
+            clock_ghz: 3.0,
+        });
+        assert!(big.read_ns > small.read_ns);
+        assert!(big.read_energy_nj > small.read_energy_nj);
+        assert!(big.leakage_mw > small.leakage_mw);
+        // The write stays pulse-dominated.
+        assert!(big.write_ns - big.read_ns > 9.0);
+    }
+
+    #[test]
+    fn mtj_pulse_floors_the_write_latency() {
+        let tiny = model(&BankSpec {
+            tech: MemTech::SttRam,
+            capacity_bytes: 64 * 1024,
+            feature_nm: 32.0,
+            clock_ghz: 3.0,
+        });
+        assert!(tiny.write_ns >= 10.0);
+    }
+}

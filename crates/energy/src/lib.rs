@@ -1,0 +1,31 @@
+//! Energy and area models.
+//!
+//! Three pieces: per-event NoC energies in the style of Orion at 32 nm
+//! ([`noc_energy`]), SRAM/STT-RAM cache access + leakage energies from
+//! Table 2 ([`cache_energy`]), and a small analytic CACTI-style model
+//! that regenerates Table 2 from first principles ([`cacti_lite`]).
+//! [`accounting`] combines them into the uncore energy of Figure 8.
+//!
+//! # Example
+//!
+//! ```
+//! use snoc_energy::cacti_lite::{self, BankSpec};
+//! use snoc_common::config::MemTech;
+//!
+//! // Regenerate Table 2's STT-RAM row at 32 nm.
+//! let stt = cacti_lite::model(&BankSpec {
+//!     tech: MemTech::SttRam,
+//!     capacity_bytes: 4 * 1024 * 1024,
+//!     feature_nm: 32.0,
+//!     clock_ghz: 3.0,
+//! });
+//! assert_eq!(stt.write_cycles, 33);
+//! assert_eq!(stt.read_cycles, 3);
+//! ```
+
+pub mod accounting;
+pub mod cache_energy;
+pub mod cacti_lite;
+pub mod noc_energy;
+
+pub use accounting::{EnergyBreakdown, UncoreActivity};

@@ -1,0 +1,97 @@
+//! Per-event router and link energies, Orion-style, at 32 nm / 1 V.
+//!
+//! The paper synthesized its router in Verilog and took power numbers
+//! from Orion; absolute values are not critical for Figure 8 (uncore
+//! energy is leakage-dominated), but the orders of magnitude are kept
+//! realistic for a 128-bit flit at 32 nm.
+
+/// Per-event energies in nJ for one router/link of the mesh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocEnergyModel {
+    /// Writing one flit into an input buffer.
+    pub buffer_write_nj: f64,
+    /// Reading a flit out of the buffer plus crossing the crossbar.
+    pub switch_traversal_nj: f64,
+    /// Arbitration (VA+SA) per granted flit.
+    pub arbitration_nj: f64,
+    /// Driving one flit over a 1 mm 128-bit in-layer link.
+    pub lateral_link_nj: f64,
+    /// Driving one flit through a TSV bundle (much shorter wire).
+    pub vertical_link_nj: f64,
+    /// Router leakage per cycle (all buffers, crossbar, control), nJ.
+    pub router_leakage_nj_per_cycle: f64,
+}
+
+impl NocEnergyModel {
+    /// The 32 nm model used throughout the reproduction.
+    pub fn at_32nm() -> Self {
+        Self {
+            buffer_write_nj: 0.006,
+            switch_traversal_nj: 0.009,
+            arbitration_nj: 0.001,
+            lateral_link_nj: 0.004,
+            vertical_link_nj: 0.001,
+            router_leakage_nj_per_cycle: 0.0008,
+        }
+    }
+
+    /// Dynamic energy of the network given event counts.
+    pub fn dynamic_nj(
+        &self,
+        buffer_writes: u64,
+        switch_traversals: u64,
+        lateral_flits: u64,
+        vertical_flits: u64,
+    ) -> f64 {
+        buffer_writes as f64 * self.buffer_write_nj
+            + switch_traversals as f64 * (self.switch_traversal_nj + self.arbitration_nj)
+            + lateral_flits as f64 * self.lateral_link_nj
+            + vertical_flits as f64 * self.vertical_link_nj
+    }
+
+    /// Leakage of `routers` routers over `cycles` cycles.
+    pub fn leakage_nj(&self, routers: usize, cycles: u64) -> f64 {
+        routers as f64 * cycles as f64 * self.router_leakage_nj_per_cycle
+    }
+}
+
+impl Default for NocEnergyModel {
+    fn default() -> Self {
+        Self::at_32nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_hop_energy_is_sub_tenth_nanojoule() {
+        // A flit hop = buffer write + switch + arbitration + link:
+        // tens of pJ at 32 nm.
+        let m = NocEnergyModel::at_32nm();
+        let hop = m.buffer_write_nj + m.switch_traversal_nj + m.arbitration_nj + m.lateral_link_nj;
+        assert!(hop > 0.005 && hop < 0.1, "hop energy {hop} nJ");
+    }
+
+    #[test]
+    fn dynamic_energy_is_linear_in_events() {
+        let m = NocEnergyModel::at_32nm();
+        let one = m.dynamic_nj(1, 1, 1, 1);
+        let ten = m.dynamic_nj(10, 10, 10, 10);
+        assert!((ten - 10.0 * one).abs() < 1e-12);
+        assert_eq!(m.dynamic_nj(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn tsv_cheaper_than_lateral_link() {
+        let m = NocEnergyModel::at_32nm();
+        assert!(m.vertical_link_nj < m.lateral_link_nj);
+    }
+
+    #[test]
+    fn leakage_scales_with_routers_and_time() {
+        let m = NocEnergyModel::at_32nm();
+        assert_eq!(m.leakage_nj(128, 1000), 128.0 * 1000.0 * m.router_leakage_nj_per_cycle);
+    }
+}

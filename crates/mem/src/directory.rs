@@ -1,0 +1,158 @@
+//! Per-line directory state for the two-level MESI protocol.
+//!
+//! Each L2 line carries a directory entry tracking which L1s hold the
+//! block: either a set of sharers (read-only copies) or a single owner
+//! (an M/E copy). With 64 cores a sharer bitmask fits in a `u64`.
+
+use snoc_common::ids::CoreId;
+
+/// The directory's view of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirEntry {
+    /// Sharer bitmask (bit `i` = core `i` holds a read-only copy).
+    sharers: u64,
+    /// The owning core, holding the block in M or E.
+    owner: Option<CoreId>,
+    /// The home copy differs from memory (an L2 writeback to DRAM is
+    /// needed on eviction).
+    pub dirty: bool,
+}
+
+impl DirEntry {
+    /// A block cached by no L1.
+    pub fn uncached() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no L1 holds the block.
+    pub fn is_uncached(&self) -> bool {
+        self.sharers == 0 && self.owner.is_none()
+    }
+
+    /// The owning core, if the block is held exclusively.
+    pub fn owner(&self) -> Option<CoreId> {
+        self.owner
+    }
+
+    /// Number of sharers.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    /// `true` if `core` is recorded as a sharer.
+    pub fn has_sharer(&self, core: CoreId) -> bool {
+        self.sharers & (1 << core.index()) != 0
+    }
+
+    /// Iterates the sharer cores.
+    pub fn sharers(&self) -> impl Iterator<Item = CoreId> + '_ {
+        (0..64u16).filter(|&i| self.sharers & (1 << i) != 0).map(CoreId::new)
+    }
+
+    /// Records a read-only copy at `core`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the block currently has an owner — callers must
+    /// downgrade the owner first.
+    pub fn add_sharer(&mut self, core: CoreId) {
+        debug_assert!(self.owner.is_none(), "sharer added while owned");
+        self.sharers |= 1 << core.index();
+    }
+
+    /// Grants exclusive ownership to `core`, clearing all sharers.
+    pub fn set_owner(&mut self, core: CoreId) {
+        self.sharers = 0;
+        self.owner = Some(core);
+    }
+
+    /// The owner gives up its copy, leaving it (optionally) as a
+    /// sharer.
+    pub fn downgrade_owner(&mut self, keep_as_sharer: bool) {
+        if let Some(o) = self.owner.take() {
+            if keep_as_sharer {
+                self.sharers |= 1 << o.index();
+            }
+        }
+    }
+
+    /// Removes `core` from the sharers / ownership.
+    pub fn remove(&mut self, core: CoreId) {
+        self.sharers &= !(1 << core.index());
+        if self.owner == Some(core) {
+            self.owner = None;
+        }
+    }
+
+    /// Clears all cached copies (used when the home line is evicted).
+    pub fn clear(&mut self) {
+        self.sharers = 0;
+        self.owner = None;
+    }
+
+    /// Directory invariant: an owner excludes sharers.
+    pub fn invariant_holds(&self) -> bool {
+        self.owner.is_none() || self.sharers == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_uncached() {
+        let d = DirEntry::uncached();
+        assert!(d.is_uncached());
+        assert!(d.invariant_holds());
+        assert_eq!(d.sharer_count(), 0);
+        assert!(d.owner().is_none());
+    }
+
+    #[test]
+    fn sharers_accumulate() {
+        let mut d = DirEntry::uncached();
+        d.add_sharer(CoreId::new(3));
+        d.add_sharer(CoreId::new(63));
+        assert_eq!(d.sharer_count(), 2);
+        assert!(d.has_sharer(CoreId::new(3)));
+        assert!(!d.has_sharer(CoreId::new(4)));
+        let list: Vec<_> = d.sharers().collect();
+        assert_eq!(list, vec![CoreId::new(3), CoreId::new(63)]);
+        assert!(d.invariant_holds());
+    }
+
+    #[test]
+    fn ownership_clears_sharers() {
+        let mut d = DirEntry::uncached();
+        d.add_sharer(CoreId::new(1));
+        d.add_sharer(CoreId::new(2));
+        d.set_owner(CoreId::new(7));
+        assert_eq!(d.owner(), Some(CoreId::new(7)));
+        assert_eq!(d.sharer_count(), 0);
+        assert!(d.invariant_holds());
+    }
+
+    #[test]
+    fn downgrade_can_keep_owner_as_sharer() {
+        let mut d = DirEntry::uncached();
+        d.set_owner(CoreId::new(7));
+        d.downgrade_owner(true);
+        assert!(d.owner().is_none());
+        assert!(d.has_sharer(CoreId::new(7)));
+        d.set_owner(CoreId::new(8));
+        d.downgrade_owner(false);
+        assert!(d.is_uncached());
+    }
+
+    #[test]
+    fn remove_handles_both_roles() {
+        let mut d = DirEntry::uncached();
+        d.add_sharer(CoreId::new(5));
+        d.remove(CoreId::new(5));
+        assert!(d.is_uncached());
+        d.set_owner(CoreId::new(6));
+        d.remove(CoreId::new(6));
+        assert!(d.is_uncached());
+    }
+}

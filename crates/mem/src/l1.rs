@@ -1,0 +1,360 @@
+//! The private, write-back L1 data cache of each core (32 KB, 4-way,
+//! 128 B blocks, 2-cycle hits, 32 MSHRs) with MESI states.
+
+use crate::array::CacheArray;
+use crate::mshr::{Allocation, MissKind, MshrFile, Waiter};
+use crate::protocol::{L1In, L1Msg};
+use snoc_common::config::MemConfig;
+use snoc_common::ids::{BankId, CoreId};
+
+/// MESI state of a present L1 line (absence is I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MesiState {
+    /// Modified: exclusive and dirty.
+    M,
+    /// Exclusive: sole clean copy.
+    E,
+    /// Shared: read-only copy.
+    #[default]
+    S,
+}
+
+/// What happened to a core access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Completes after the L1 hit latency.
+    Hit,
+    /// A miss is outstanding; the token retires when data arrives.
+    Miss,
+    /// The MSHR file is full; retry next cycle.
+    Blocked,
+}
+
+/// L1 statistics.
+#[derive(Debug, Clone, Default)]
+pub struct L1Stats {
+    /// Load accesses.
+    pub loads: u64,
+    /// Store accesses.
+    pub stores: u64,
+    /// Load hits.
+    pub load_hits: u64,
+    /// Store hits.
+    pub store_hits: u64,
+    /// Primary misses sent to the L2 (GetS + GetM).
+    pub misses_issued: u64,
+    /// Dirty evictions (PutM writebacks to the home bank).
+    pub writebacks: u64,
+    /// Invalidations received.
+    pub invalidations: u64,
+    /// Forwards received.
+    pub forwards: u64,
+    /// Writes retired under a shared grant (merged-store timing
+    /// approximation; see `DESIGN.md`).
+    pub elided_upgrades: u64,
+}
+
+/// One private L1 cache.
+#[derive(Debug)]
+pub struct L1Cache {
+    core: CoreId,
+    array: CacheArray<MesiState>,
+    mshrs: MshrFile,
+    banks: usize,
+    block_bits: u32,
+    hit_latency: u64,
+    /// Statistics.
+    pub stats: L1Stats,
+}
+
+impl L1Cache {
+    /// Creates the L1 for `core` with the Table 1 geometry from `cfg`,
+    /// homed across `banks` L2 banks (block-interleaved).
+    pub fn new(core: CoreId, cfg: &MemConfig, banks: usize) -> Self {
+        Self {
+            core,
+            array: CacheArray::new(cfg.l1_bytes, cfg.l1_ways, cfg.block_bytes),
+            mshrs: MshrFile::new(cfg.l1_mshrs),
+            banks,
+            block_bits: cfg.block_bytes.trailing_zeros(),
+            hit_latency: cfg.l1_latency,
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// This cache's core.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The L1 hit latency in cycles.
+    pub fn hit_latency(&self) -> u64 {
+        self.hit_latency
+    }
+
+    /// Block-aligns an address.
+    pub fn block_of(&self, addr: u64) -> u64 {
+        addr >> self.block_bits << self.block_bits
+    }
+
+    /// The home bank of a block (static block interleaving across the
+    /// 64 banks).
+    pub fn home_of(&self, addr: u64) -> BankId {
+        BankId::new(((addr >> self.block_bits) % self.banks as u64) as u16)
+    }
+
+    /// Outstanding misses.
+    pub fn outstanding(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    /// Processes a core load/store. Returns the outcome plus protocol
+    /// messages to send (at most a GetS/GetM).
+    pub fn access(&mut self, addr: u64, is_write: bool, token: u64) -> (AccessOutcome, Vec<L1Msg>) {
+        let block = self.block_of(addr);
+        if is_write {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+
+        if let Some(state) = self.array.probe(block) {
+            match (*state, is_write) {
+                (_, false) => {
+                    self.stats.load_hits += 1;
+                    return (AccessOutcome::Hit, Vec::new());
+                }
+                (MesiState::M | MesiState::E, true) => {
+                    *state = MesiState::M;
+                    self.stats.store_hits += 1;
+                    return (AccessOutcome::Hit, Vec::new());
+                }
+                (MesiState::S, true) => {
+                    // Upgrade: GetM while keeping the S copy.
+                }
+            }
+        }
+
+        let kind = if is_write { MissKind::Write } else { MissKind::Read };
+        match self.mshrs.allocate(block, Waiter { token, kind }) {
+            Allocation::Primary => {
+                self.stats.misses_issued += 1;
+                let home = self.home_of(block);
+                let msg = if is_write {
+                    L1Msg::GetM { block, home }
+                } else {
+                    L1Msg::GetS { block, home }
+                };
+                (AccessOutcome::Miss, vec![msg])
+            }
+            Allocation::Secondary => (AccessOutcome::Miss, Vec::new()),
+            Allocation::Full => (AccessOutcome::Blocked, Vec::new()),
+        }
+    }
+
+    /// Handles a message from the home bank. Returns protocol replies
+    /// and the core tokens whose memory operations completed.
+    pub fn handle(&mut self, msg: L1In) -> (Vec<L1Msg>, Vec<u64>) {
+        let mut out = Vec::new();
+        let mut retired = Vec::new();
+        match msg {
+            L1In::Data { block, exclusive } => {
+                let Some((waiters, wants_write)) = self.mshrs.complete(block) else {
+                    return (out, retired); // spurious (e.g. raced with Inv)
+                };
+                let state = if wants_write && exclusive {
+                    MesiState::M
+                } else if wants_write {
+                    // A store merged into a shared grant: retire it
+                    // without a second upgrade round-trip (timing
+                    // approximation).
+                    self.stats.elided_upgrades += 1;
+                    MesiState::S
+                } else if exclusive {
+                    MesiState::E
+                } else {
+                    MesiState::S
+                };
+                if let Some(existing) = self.array.peek_mut(block) {
+                    // Upgrade completion: the S copy becomes M.
+                    if wants_write && exclusive {
+                        *existing = MesiState::M;
+                    }
+                } else if let Some(ev) = self.array.insert(block, state) {
+                    if ev.meta == MesiState::M {
+                        self.stats.writebacks += 1;
+                        out.push(L1Msg::PutM { block: ev.addr, home: self.home_of(ev.addr) });
+                    }
+                }
+                retired.extend(waiters.iter().map(|w| w.token));
+            }
+            L1In::Inv { block, home } => {
+                self.stats.invalidations += 1;
+                self.array.invalidate(block);
+                out.push(L1Msg::InvAck { block, home });
+            }
+            L1In::FwdGetS { block, home, txn } => {
+                self.stats.forwards += 1;
+                match self.array.peek_mut(block) {
+                    Some(state @ (MesiState::M | MesiState::E)) => {
+                        *state = MesiState::S;
+                        out.push(L1Msg::FwdData { block, home, txn });
+                    }
+                    _ => out.push(L1Msg::FwdMiss { block, home, txn }),
+                }
+            }
+            L1In::FwdGetM { block, home, txn } => {
+                self.stats.forwards += 1;
+                match self.array.invalidate(block) {
+                    Some(MesiState::M | MesiState::E) => {
+                        out.push(L1Msg::FwdData { block, home, txn })
+                    }
+                    _ => out.push(L1Msg::FwdMiss { block, home, txn }),
+                }
+            }
+        }
+        (out, retired)
+    }
+
+    /// The MESI state of a block, if present (tests/instrumentation).
+    pub fn state_of(&self, addr: u64) -> Option<MesiState> {
+        self.array.peek(self.block_of(addr)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> L1Cache {
+        L1Cache::new(CoreId::new(0), &MemConfig::default(), 64)
+    }
+
+    #[test]
+    fn cold_load_misses_then_hits() {
+        let mut c = l1();
+        let (o, msgs) = c.access(0x1000, false, 1);
+        assert_eq!(o, AccessOutcome::Miss);
+        assert!(matches!(msgs[0], L1Msg::GetS { block: 0x1000, .. }));
+        let (_, retired) = c.handle(L1In::Data { block: 0x1000, exclusive: false });
+        assert_eq!(retired, vec![1]);
+        assert_eq!(c.state_of(0x1000), Some(MesiState::S));
+        let (o, msgs) = c.access(0x1040, false, 2); // same block
+        assert_eq!(o, AccessOutcome::Hit);
+        assert!(msgs.is_empty());
+    }
+
+    #[test]
+    fn store_to_shared_issues_upgrade() {
+        let mut c = l1();
+        c.access(0x1000, false, 1);
+        c.handle(L1In::Data { block: 0x1000, exclusive: false });
+        let (o, msgs) = c.access(0x1000, true, 2);
+        assert_eq!(o, AccessOutcome::Miss);
+        assert!(matches!(msgs[0], L1Msg::GetM { block: 0x1000, .. }));
+        let (_, retired) = c.handle(L1In::Data { block: 0x1000, exclusive: true });
+        assert_eq!(retired, vec![2]);
+        assert_eq!(c.state_of(0x1000), Some(MesiState::M));
+    }
+
+    #[test]
+    fn exclusive_grant_installs_e_and_silently_upgrades() {
+        let mut c = l1();
+        c.access(0x2000, false, 1);
+        c.handle(L1In::Data { block: 0x2000, exclusive: true });
+        assert_eq!(c.state_of(0x2000), Some(MesiState::E));
+        let (o, msgs) = c.access(0x2000, true, 2);
+        assert_eq!(o, AccessOutcome::Hit, "E->M is silent");
+        assert!(msgs.is_empty());
+        assert_eq!(c.state_of(0x2000), Some(MesiState::M));
+    }
+
+    #[test]
+    fn dirty_eviction_emits_putm() {
+        let mut c = l1();
+        // Fill one set (64 sets: stride 64*128 = 8192) with M lines.
+        let stride = 64 * 128;
+        for i in 0..4u64 {
+            let addr = i * stride;
+            c.access(addr, true, i);
+            c.handle(L1In::Data { block: addr, exclusive: true });
+        }
+        c.access(4 * stride, true, 9);
+        let (msgs, _) = c.handle(L1In::Data { block: 4 * stride, exclusive: true });
+        assert_eq!(msgs.len(), 1, "LRU M line written back");
+        assert!(matches!(msgs[0], L1Msg::PutM { block: 0, .. }));
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn secondary_misses_merge() {
+        let mut c = l1();
+        let (_, m1) = c.access(0x3000, false, 1);
+        let (o2, m2) = c.access(0x3040, false, 2);
+        assert_eq!(m1.len(), 1);
+        assert_eq!(o2, AccessOutcome::Miss);
+        assert!(m2.is_empty(), "secondary miss issues nothing");
+        let (_, retired) = c.handle(L1In::Data { block: 0x3000, exclusive: false });
+        assert_eq!(retired, vec![1, 2]);
+        assert_eq!(c.stats.misses_issued, 1);
+    }
+
+    #[test]
+    fn mshr_full_blocks() {
+        let cfg = MemConfig { l1_mshrs: 1, ..MemConfig::default() };
+        let mut c = L1Cache::new(CoreId::new(0), &cfg, 64);
+        c.access(0x1000, false, 1);
+        let (o, _) = c.access(0x2000, false, 2);
+        assert_eq!(o, AccessOutcome::Blocked);
+    }
+
+    #[test]
+    fn invalidation_drops_line_and_acks() {
+        let mut c = l1();
+        c.access(0x1000, false, 1);
+        c.handle(L1In::Data { block: 0x1000, exclusive: false });
+        let (msgs, _) = c.handle(L1In::Inv { block: 0x1000, home: BankId::new(32) });
+        assert!(matches!(msgs[0], L1Msg::InvAck { block: 0x1000, .. }));
+        assert_eq!(c.state_of(0x1000), None);
+        assert_eq!(c.stats.invalidations, 1);
+    }
+
+    #[test]
+    fn fwd_gets_downgrades_and_supplies_data() {
+        let mut c = l1();
+        c.access(0x1000, true, 1);
+        c.handle(L1In::Data { block: 0x1000, exclusive: true });
+        let (msgs, _) =
+            c.handle(L1In::FwdGetS { block: 0x1000, home: BankId::new(32), txn: 7 });
+        assert!(matches!(msgs[0], L1Msg::FwdData { block: 0x1000, txn: 7, .. }));
+        assert_eq!(c.state_of(0x1000), Some(MesiState::S));
+    }
+
+    #[test]
+    fn fwd_getm_invalidates_owner() {
+        let mut c = l1();
+        c.access(0x1000, true, 1);
+        c.handle(L1In::Data { block: 0x1000, exclusive: true });
+        let (msgs, _) =
+            c.handle(L1In::FwdGetM { block: 0x1000, home: BankId::new(32), txn: 8 });
+        assert!(matches!(msgs[0], L1Msg::FwdData { block: 0x1000, txn: 8, .. }));
+        assert_eq!(c.state_of(0x1000), None);
+    }
+
+    #[test]
+    fn fwd_to_absent_line_reports_miss() {
+        let mut c = l1();
+        let (msgs, _) =
+            c.handle(L1In::FwdGetS { block: 0x9000, home: BankId::new(32), txn: 9 });
+        assert!(matches!(msgs[0], L1Msg::FwdMiss { block: 0x9000, txn: 9, .. }));
+    }
+
+    #[test]
+    fn home_mapping_interleaves_blocks() {
+        let c = l1();
+        assert_eq!(c.home_of(0), BankId::new(0));
+        assert_eq!(c.home_of(128), BankId::new(1));
+        assert_eq!(c.home_of(64 * 128), BankId::new(0));
+        assert_eq!(c.home_of(130), BankId::new(1), "offsets map with their block");
+    }
+}

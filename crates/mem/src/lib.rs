@@ -1,0 +1,41 @@
+//! Memory-hierarchy substrate for the STT-RAM NoC reproduction.
+//!
+//! Everything between the core and DRAM: set-associative tag arrays
+//! with LRU ([`array`]), MSHRs ([`mshr`]), the private MESI L1s
+//! ([`l1`]), shared L2 home banks with directory coherence
+//! ([`l2bank`]), the bank service-timing controller with the BUFF-20
+//! write buffer ([`bank_ctrl`], [`write_buffer`]), SRAM/STT-RAM
+//! technology parameters ([`tech`]) and the memory controllers
+//! ([`mem_ctrl`]).
+//!
+//! # Example
+//!
+//! ```
+//! use snoc_mem::bank_ctrl::{BankController, BankJob, BankOp};
+//!
+//! // An STT-RAM bank: 3-cycle reads, 33-cycle writes.
+//! let mut bank = BankController::new(3, 33, None);
+//! bank.enqueue(BankJob { op: BankOp::Write, token: 1, addr: 0, arrived: 0 }, 0);
+//! bank.enqueue(BankJob { op: BankOp::Read, token: 2, addr: 128, arrived: 1 }, 1);
+//! let (done, _) = bank.run_until_idle(0, 100);
+//! assert_eq!(done[0].finished, 3); // writer released at latch speed
+//! assert_eq!(done[1].started, 33); // the read queued behind the write
+//! ```
+
+pub mod array;
+pub mod bank_ctrl;
+pub mod directory;
+pub mod l1;
+pub mod l2bank;
+pub mod mem_ctrl;
+pub mod mshr;
+pub mod protocol;
+pub mod replacement;
+pub mod tech;
+pub mod write_buffer;
+
+pub use bank_ctrl::{BankController, BankJob, BankOp};
+pub use l1::L1Cache;
+pub use l2bank::{L2Bank, TagMode};
+pub use mem_ctrl::MemoryController;
+pub use tech::TechParams;

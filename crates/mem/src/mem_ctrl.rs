@@ -1,0 +1,199 @@
+//! On-chip memory controllers and the DRAM behind them.
+//!
+//! Table 1: four controllers, one per cache-layer corner; 320-cycle
+//! DRAM access; bounded outstanding requests. Writes (dirty L2
+//! evictions) consume bandwidth and a slot but produce no reply.
+
+use snoc_common::ids::{BankId, McId};
+use snoc_common::stats::Accumulator;
+use snoc_common::Cycle;
+use std::collections::VecDeque;
+
+/// A queued memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Request {
+    block: u64,
+    from: BankId,
+    is_write: bool,
+    arrived: Cycle,
+}
+
+/// A completed fetch to send back as a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fill {
+    /// Block-aligned address.
+    pub block: u64,
+    /// The bank that asked.
+    pub to: BankId,
+}
+
+/// Memory-controller statistics.
+#[derive(Debug, Clone, Default)]
+pub struct McStats {
+    /// Fetches serviced.
+    pub fetches: u64,
+    /// Writes absorbed.
+    pub writes: u64,
+    /// Queue wait before issue.
+    pub queue_wait: Accumulator,
+    /// Peak in-flight occupancy.
+    pub peak_inflight: usize,
+}
+
+/// One memory controller.
+#[derive(Debug)]
+pub struct MemoryController {
+    id: McId,
+    latency: Cycle,
+    max_outstanding: usize,
+    queue: VecDeque<Request>,
+    inflight: Vec<(Cycle, Request)>,
+    /// Statistics.
+    pub stats: McStats,
+}
+
+impl MemoryController {
+    /// Creates controller `id` with the given DRAM `latency` and
+    /// outstanding-request bound.
+    pub fn new(id: McId, latency: Cycle, max_outstanding: usize) -> Self {
+        Self {
+            id,
+            latency,
+            max_outstanding,
+            queue: VecDeque::new(),
+            inflight: Vec::new(),
+            stats: McStats::default(),
+        }
+    }
+
+    /// This controller's id.
+    pub fn id(&self) -> McId {
+        self.id
+    }
+
+    /// Clears the statistics (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = McStats::default();
+    }
+
+    /// Accepts a fetch (read) request from a bank.
+    pub fn fetch(&mut self, block: u64, from: BankId, now: Cycle) {
+        self.queue.push_back(Request { block, from, is_write: false, arrived: now });
+    }
+
+    /// Accepts a write (dirty eviction) from a bank.
+    pub fn write(&mut self, block: u64, from: BankId, now: Cycle) {
+        self.queue.push_back(Request { block, from, is_write: true, arrived: now });
+    }
+
+    /// Requests queued or in flight.
+    pub fn pending(&self) -> usize {
+        self.queue.len() + self.inflight.len()
+    }
+
+    /// Advances one cycle: issues at most one request and returns the
+    /// fills whose DRAM access completed.
+    pub fn tick(&mut self, now: Cycle) -> Vec<Fill> {
+        let mut fills = Vec::new();
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].0 <= now {
+                let (_, req) = self.inflight.swap_remove(i);
+                if !req.is_write {
+                    fills.push(Fill { block: req.block, to: req.from });
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if self.inflight.len() < self.max_outstanding {
+            if let Some(req) = self.queue.pop_front() {
+                self.stats.queue_wait.record(now.saturating_sub(req.arrived) as f64);
+                if req.is_write {
+                    self.stats.writes += 1;
+                } else {
+                    self.stats.fetches += 1;
+                }
+                self.inflight.push((now + self.latency, req));
+                self.stats.peak_inflight = self.stats.peak_inflight.max(self.inflight.len());
+            }
+        }
+        fills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> MemoryController {
+        MemoryController::new(McId::new(0), 320, 4)
+    }
+
+    #[test]
+    fn fetch_completes_after_dram_latency() {
+        let mut m = mc();
+        m.fetch(0x100, BankId::new(3), 0);
+        let mut fill_at = None;
+        for c in 0..400 {
+            let fills = m.tick(c);
+            if !fills.is_empty() {
+                assert_eq!(fills[0], Fill { block: 0x100, to: BankId::new(3) });
+                fill_at = Some(c);
+                break;
+            }
+        }
+        assert_eq!(fill_at, Some(320));
+        assert_eq!(m.stats.fetches, 1);
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn writes_complete_silently() {
+        let mut m = mc();
+        m.write(0x100, BankId::new(3), 0);
+        let mut fills = Vec::new();
+        for c in 0..400 {
+            fills.extend(m.tick(c));
+        }
+        assert!(fills.is_empty());
+        assert_eq!(m.stats.writes, 1);
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn outstanding_bound_throttles_issue() {
+        let mut m = mc();
+        for i in 0..8u64 {
+            m.fetch(i * 128, BankId::new(0), 0);
+        }
+        // Issue rate: 1/cycle until 4 in flight; the rest wait.
+        for c in 0..10 {
+            m.tick(c);
+        }
+        assert_eq!(m.pending(), 8);
+        assert_eq!(m.stats.peak_inflight, 4);
+        let mut fills = 0;
+        for c in 10..1000 {
+            fills += m.tick(c).len();
+        }
+        assert_eq!(fills, 8);
+        assert!(m.stats.queue_wait.max() >= 320.0, "later fetches waited for slots");
+    }
+
+    #[test]
+    fn issues_one_request_per_cycle() {
+        let mut m = mc();
+        m.fetch(0x100, BankId::new(0), 0);
+        m.fetch(0x200, BankId::new(0), 0);
+        m.tick(0);
+        m.tick(1);
+        let mut arrivals = Vec::new();
+        for c in 2..400 {
+            for f in m.tick(c) {
+                arrivals.push((c, f.block));
+            }
+        }
+        assert_eq!(arrivals, vec![(320, 0x100), (321, 0x200)]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Miss-status holding registers.
+//!
+//! Both cache levels use a 32-entry MSHR file (Table 1). An MSHR entry
+//! tracks one outstanding block fetch; secondary misses to the same
+//! block merge into the entry's waiter list instead of issuing new
+//! fetches.
+
+use std::collections::VecDeque;
+
+/// The cache operation a waiter asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissKind {
+    /// Read miss (GetS).
+    Read,
+    /// Write miss or upgrade (GetM).
+    Write,
+}
+
+/// A party waiting on an outstanding miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiter {
+    /// Caller-defined correlation token.
+    pub token: u64,
+    /// Operation kind.
+    pub kind: MissKind,
+}
+
+/// The result of [`MshrFile::allocate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allocation {
+    /// A new entry was created: the caller must issue the fetch.
+    Primary,
+    /// Merged into an existing entry: a fetch is already in flight.
+    Secondary,
+    /// The file is full: the request must be retried later.
+    Full,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    block: u64,
+    waiters: VecDeque<Waiter>,
+    /// Set when any waiter needs ownership (GetM).
+    wants_write: bool,
+}
+
+/// A small fully-associative MSHR file.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Entry>,
+    capacity: usize,
+    peak: usize,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        Self { entries: Vec::new(), capacity, peak: 0 }
+    }
+
+    /// Outstanding entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when no new primary miss can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Highest simultaneous occupancy seen.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// `true` if a fetch for `block` is outstanding.
+    pub fn contains(&self, block: u64) -> bool {
+        self.entries.iter().any(|e| e.block == block)
+    }
+
+    /// Records a miss on `block` for `waiter`.
+    pub fn allocate(&mut self, block: u64, waiter: Waiter) -> Allocation {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.block == block) {
+            e.waiters.push_back(waiter);
+            e.wants_write |= waiter.kind == MissKind::Write;
+            return Allocation::Secondary;
+        }
+        if self.is_full() {
+            return Allocation::Full;
+        }
+        let mut waiters = VecDeque::with_capacity(2);
+        let wants_write = waiter.kind == MissKind::Write;
+        waiters.push_back(waiter);
+        self.entries.push(Entry { block, waiters, wants_write });
+        self.peak = self.peak.max(self.entries.len());
+        Allocation::Primary
+    }
+
+    /// Completes the fetch for `block`, returning `(waiters,
+    /// wants_write)`; `None` if no entry exists.
+    pub fn complete(&mut self, block: u64) -> Option<(Vec<Waiter>, bool)> {
+        let idx = self.entries.iter().position(|e| e.block == block)?;
+        let e = self.entries.swap_remove(idx);
+        Some((e.waiters.into_iter().collect(), e.wants_write))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(token: u64, kind: MissKind) -> Waiter {
+        Waiter { token, kind }
+    }
+
+    #[test]
+    fn primary_then_secondary_merge() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.allocate(0x80, w(1, MissKind::Read)), Allocation::Primary);
+        assert_eq!(m.allocate(0x80, w(2, MissKind::Read)), Allocation::Secondary);
+        assert_eq!(m.len(), 1);
+        let (waiters, wants_write) = m.complete(0x80).unwrap();
+        assert_eq!(waiters.len(), 2);
+        assert!(!wants_write);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn write_waiter_upgrades_entry() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x80, w(1, MissKind::Read));
+        m.allocate(0x80, w(2, MissKind::Write));
+        let (_, wants_write) = m.complete(0x80).unwrap();
+        assert!(wants_write);
+    }
+
+    #[test]
+    fn full_file_rejects_new_blocks_but_merges_existing() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x100, w(1, MissKind::Read));
+        m.allocate(0x200, w(2, MissKind::Read));
+        assert!(m.is_full());
+        assert_eq!(m.allocate(0x300, w(3, MissKind::Read)), Allocation::Full);
+        assert_eq!(m.allocate(0x100, w(4, MissKind::Read)), Allocation::Secondary);
+        assert_eq!(m.peak(), 2);
+    }
+
+    #[test]
+    fn complete_unknown_block_is_none() {
+        let mut m = MshrFile::new(2);
+        assert!(m.complete(0xDEAD).is_none());
+    }
+
+    #[test]
+    fn waiters_preserve_fifo_order() {
+        let mut m = MshrFile::new(2);
+        for t in 0..5 {
+            m.allocate(0x80, w(t, MissKind::Read));
+        }
+        let (waiters, _) = m.complete(0x80).unwrap();
+        let tokens: Vec<u64> = waiters.iter().map(|x| x.token).collect();
+        assert_eq!(tokens, vec![0, 1, 2, 3, 4]);
+    }
+}

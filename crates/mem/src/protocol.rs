@@ -1,0 +1,248 @@
+//! The message vocabulary of the two-level directory MESI protocol.
+//!
+//! These are protocol-level messages; the full-system simulator maps
+//! them onto network packets (`snoc-noc`'s `PacketKind`) and back. The
+//! protocol is *home-centric*: an owner responding to a forward sends
+//! its dirty block back to the home bank, which then answers the
+//! requestor — every ownership change funnels through the (STT-RAM)
+//! home line, matching the paper's write-pressure model.
+
+use snoc_common::ids::{BankId, CoreId};
+
+/// Messages an L1 cache emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Msg {
+    /// Read miss: fetch a shared copy.
+    GetS {
+        /// Block-aligned address.
+        block: u64,
+        /// Home bank.
+        home: BankId,
+    },
+    /// Write miss or S->M upgrade: fetch/claim an exclusive copy.
+    GetM {
+        /// Block-aligned address.
+        block: u64,
+        /// Home bank.
+        home: BankId,
+    },
+    /// Voluntary dirty eviction carrying data (an STT-RAM write at the
+    /// home bank).
+    PutM {
+        /// Block-aligned address.
+        block: u64,
+        /// Home bank.
+        home: BankId,
+    },
+    /// Data written back in response to a forward (also an STT-RAM
+    /// write at the home bank); carries the home's transaction id.
+    FwdData {
+        /// Block-aligned address.
+        block: u64,
+        /// Home bank.
+        home: BankId,
+        /// Home transaction this answers.
+        txn: u64,
+    },
+    /// The owner no longer holds the block (silent E eviction raced
+    /// with the forward): the home should serve from its own array.
+    FwdMiss {
+        /// Block-aligned address.
+        block: u64,
+        /// Home bank.
+        home: BankId,
+        /// Home transaction this answers.
+        txn: u64,
+    },
+    /// Acknowledges an invalidation.
+    InvAck {
+        /// Block-aligned address.
+        block: u64,
+        /// Home bank.
+        home: BankId,
+    },
+}
+
+impl L1Msg {
+    /// The home bank this message is addressed to.
+    pub fn home(&self) -> BankId {
+        match *self {
+            L1Msg::GetS { home, .. }
+            | L1Msg::GetM { home, .. }
+            | L1Msg::PutM { home, .. }
+            | L1Msg::FwdData { home, .. }
+            | L1Msg::FwdMiss { home, .. }
+            | L1Msg::InvAck { home, .. } => home,
+        }
+    }
+
+    /// The block address.
+    pub fn block(&self) -> u64 {
+        match *self {
+            L1Msg::GetS { block, .. }
+            | L1Msg::GetM { block, .. }
+            | L1Msg::PutM { block, .. }
+            | L1Msg::FwdData { block, .. }
+            | L1Msg::FwdMiss { block, .. }
+            | L1Msg::InvAck { block, .. } => block,
+        }
+    }
+}
+
+/// Messages a home L2 bank emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankMsg {
+    /// Data reply to a requestor; `exclusive` grants E/M.
+    Data {
+        /// Block-aligned address.
+        block: u64,
+        /// Destination core.
+        to: CoreId,
+        /// Grants exclusivity (GetM reply, or GetS on an uncached
+        /// block).
+        exclusive: bool,
+    },
+    /// Invalidate a sharer's copy.
+    Inv {
+        /// Block-aligned address.
+        block: u64,
+        /// The sharer to invalidate.
+        to: CoreId,
+    },
+    /// Ask the owner for the block on behalf of a read.
+    FwdGetS {
+        /// Block-aligned address.
+        block: u64,
+        /// The current owner.
+        to: CoreId,
+        /// Transaction id echoed by the owner's response.
+        txn: u64,
+    },
+    /// Ask the owner to relinquish the block on behalf of a write.
+    FwdGetM {
+        /// Block-aligned address.
+        block: u64,
+        /// The current owner.
+        to: CoreId,
+        /// Transaction id echoed by the owner's response.
+        txn: u64,
+    },
+    /// Fetch the block from memory (L2 miss).
+    Fetch {
+        /// Block-aligned address.
+        block: u64,
+    },
+    /// Write a dirty evicted home line back to memory.
+    WriteMem {
+        /// Block-aligned address.
+        block: u64,
+    },
+}
+
+/// Messages delivered *to* an L1 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1In {
+    /// Fill data from the home bank.
+    Data {
+        /// Block-aligned address.
+        block: u64,
+        /// Install in E/M rather than S.
+        exclusive: bool,
+    },
+    /// Invalidation from the directory.
+    Inv {
+        /// Block-aligned address.
+        block: u64,
+        /// Home bank to acknowledge.
+        home: BankId,
+    },
+    /// Forward: supply the block for a reader.
+    FwdGetS {
+        /// Block-aligned address.
+        block: u64,
+        /// Home bank.
+        home: BankId,
+        /// Transaction to echo.
+        txn: u64,
+    },
+    /// Forward: relinquish the block for a writer.
+    FwdGetM {
+        /// Block-aligned address.
+        block: u64,
+        /// Home bank.
+        home: BankId,
+        /// Transaction to echo.
+        txn: u64,
+    },
+}
+
+/// Messages delivered *to* a home bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankIn {
+    /// Read request.
+    GetS {
+        /// Block-aligned address.
+        block: u64,
+        /// Requesting core.
+        from: CoreId,
+    },
+    /// Write/upgrade request.
+    GetM {
+        /// Block-aligned address.
+        block: u64,
+        /// Requesting core.
+        from: CoreId,
+    },
+    /// Voluntary dirty writeback.
+    PutM {
+        /// Block-aligned address.
+        block: u64,
+        /// Evicting core.
+        from: CoreId,
+    },
+    /// Owner's data in response to a forward.
+    FwdData {
+        /// Block-aligned address.
+        block: u64,
+        /// Responding core.
+        from: CoreId,
+        /// The transaction being answered.
+        txn: u64,
+    },
+    /// Owner lost the line; serve from the home array.
+    FwdMiss {
+        /// Block-aligned address.
+        block: u64,
+        /// Responding core.
+        from: CoreId,
+        /// The transaction being answered.
+        txn: u64,
+    },
+    /// A sharer acknowledged an invalidation.
+    InvAck {
+        /// Block-aligned address.
+        block: u64,
+        /// Acknowledging core.
+        from: CoreId,
+    },
+    /// The memory fill for an outstanding L2 miss arrived.
+    Fill {
+        /// Block-aligned address.
+        block: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1msg_accessors() {
+        let m = L1Msg::GetS { block: 0x1000, home: BankId::new(9) };
+        assert_eq!(m.home(), BankId::new(9));
+        assert_eq!(m.block(), 0x1000);
+        let m = L1Msg::FwdData { block: 0x2000, home: BankId::new(1), txn: 5 };
+        assert_eq!(m.home(), BankId::new(1));
+        assert_eq!(m.block(), 0x2000);
+    }
+}

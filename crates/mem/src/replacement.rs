@@ -1,0 +1,175 @@
+//! Replacement policies for the set-associative arrays.
+//!
+//! The paper's caches use LRU; the array supports true LRU (default),
+//! tree pseudo-LRU (what a 16-way L2 would realistically implement)
+//! and a seeded random policy for ablations.
+
+use snoc_common::rng::SimRng;
+
+/// Which replacement policy an array uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementKind {
+    /// True least-recently-used (per-line stamps).
+    Lru,
+    /// Tree pseudo-LRU (one bit per internal node).
+    TreePlru,
+    /// Uniform random victim (seeded, deterministic).
+    Random,
+}
+
+/// Per-set replacement state.
+#[derive(Debug, Clone)]
+pub enum SetState {
+    /// LRU needs no extra state (the array keeps stamps).
+    Lru,
+    /// PLRU tree bits; `ways - 1` internal nodes, heap order.
+    TreePlru {
+        /// Node bits: `false` points left, `true` points right.
+        bits: Vec<bool>,
+    },
+    /// Random needs no per-set state.
+    Random,
+}
+
+impl SetState {
+    /// Creates the state for one set of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is not a power of two for the PLRU tree.
+    pub fn new(kind: ReplacementKind, ways: usize) -> Self {
+        match kind {
+            ReplacementKind::Lru => SetState::Lru,
+            ReplacementKind::TreePlru => {
+                assert!(ways.is_power_of_two(), "PLRU needs power-of-two ways");
+                SetState::TreePlru { bits: vec![false; ways - 1] }
+            }
+            ReplacementKind::Random => SetState::Random,
+        }
+    }
+
+    /// Records a touch (hit or fill) of `way`.
+    pub fn touch(&mut self, way: usize, ways: usize) {
+        if let SetState::TreePlru { bits } = self {
+            // Walk from the root to `way`, pointing every node away
+            // from it.
+            let mut node = 0;
+            let mut lo = 0;
+            let mut hi = ways;
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                let right = way >= mid;
+                bits[node] = !right; // point away from the touched half
+                node = 2 * node + 1 + usize::from(right);
+                if right {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+    }
+
+    /// Picks the victim way using the policy state. `lru_stamps` are
+    /// the array's per-way recency stamps (used only by true LRU).
+    pub fn victim(&self, ways: usize, lru_stamps: &[u64], rng: Option<&mut SimRng>) -> usize {
+        match self {
+            SetState::Lru => {
+                let mut best = 0;
+                for w in 1..ways {
+                    if lru_stamps[w] < lru_stamps[best] {
+                        best = w;
+                    }
+                }
+                best
+            }
+            SetState::TreePlru { bits } => {
+                // Follow the pointers: they lead to the pseudo-LRU leaf.
+                let mut node = 0;
+                let mut lo = 0;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let right = bits[node];
+                    node = 2 * node + 1 + usize::from(right);
+                    if right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+            SetState::Random => {
+                rng.expect("random replacement needs an RNG").below(ways)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_victim_is_smallest_stamp() {
+        let s = SetState::new(ReplacementKind::Lru, 4);
+        assert_eq!(s.victim(4, &[5, 2, 9, 7], None), 1);
+    }
+
+    #[test]
+    fn plru_never_victimizes_the_most_recent_touch() {
+        let mut s = SetState::new(ReplacementKind::TreePlru, 8);
+        let mut rng = SimRng::for_stream(1, 1);
+        for _ in 0..1_000 {
+            let touched = rng.below(8);
+            s.touch(touched, 8);
+            let v = s.victim(8, &[], None);
+            assert_ne!(v, touched, "PLRU must not evict the line just touched");
+        }
+    }
+
+    #[test]
+    fn plru_approximates_lru_on_sequential_touches() {
+        let mut s = SetState::new(ReplacementKind::TreePlru, 4);
+        // Touch 0,1,2,3 in order: the victim should be 0 (oldest).
+        for w in 0..4 {
+            s.touch(w, 4);
+        }
+        assert_eq!(s.victim(4, &[], None), 0);
+        // Re-touch 0: victim moves to the other subtree.
+        s.touch(0, 4);
+        let v = s.victim(4, &[], None);
+        assert!(v == 2 || v == 3, "victim {v} must leave the touched half");
+    }
+
+    #[test]
+    fn plru_tree_covers_all_ways_eventually() {
+        let mut s = SetState::new(ReplacementKind::TreePlru, 8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            let v = s.victim(8, &[], None);
+            seen.insert(v);
+            s.touch(v, 8); // fill the victim, like a real miss
+            let _ = i;
+        }
+        assert_eq!(seen.len(), 8, "all ways get recycled: {seen:?}");
+    }
+
+    #[test]
+    fn random_uses_the_rng() {
+        let s = SetState::new(ReplacementKind::Random, 4);
+        let mut rng = SimRng::for_stream(7, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.victim(4, &[], Some(&mut rng)));
+        }
+        assert!(seen.len() > 2, "random spreads victims: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn plru_rejects_odd_ways() {
+        SetState::new(ReplacementKind::TreePlru, 6);
+    }
+}

@@ -1,0 +1,112 @@
+//! SRAM / STT-RAM technology parameters (Table 2 of the paper, 32 nm).
+
+use snoc_common::config::MemTech;
+
+/// Per-bank technology parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// Technology.
+    pub tech: MemTech,
+    /// Bank capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Bank area in mm^2.
+    pub area_mm2: f64,
+    /// Energy per read access in nJ.
+    pub read_energy_nj: f64,
+    /// Energy per write access in nJ.
+    pub write_energy_nj: f64,
+    /// Leakage power at 80C in mW.
+    pub leakage_mw: f64,
+    /// Read latency in ns.
+    pub read_ns: f64,
+    /// Write latency in ns.
+    pub write_ns: f64,
+    /// Read latency in cycles at 3 GHz.
+    pub read_cycles: u64,
+    /// Write latency in cycles at 3 GHz.
+    pub write_cycles: u64,
+}
+
+impl TechParams {
+    /// The paper's 1 MB SRAM bank (Table 2).
+    pub fn sram_1mb() -> Self {
+        Self {
+            tech: MemTech::Sram,
+            capacity_bytes: 1024 * 1024,
+            area_mm2: 3.03,
+            read_energy_nj: 0.168,
+            write_energy_nj: 0.168,
+            leakage_mw: 444.6,
+            read_ns: 0.702,
+            write_ns: 0.702,
+            read_cycles: 3,
+            write_cycles: 3,
+        }
+    }
+
+    /// The paper's 4 MB STT-RAM bank (Table 2).
+    pub fn stt_ram_4mb() -> Self {
+        Self {
+            tech: MemTech::SttRam,
+            capacity_bytes: 4 * 1024 * 1024,
+            area_mm2: 3.39,
+            read_energy_nj: 0.278,
+            write_energy_nj: 0.765,
+            leakage_mw: 190.5,
+            read_ns: 0.880,
+            write_ns: 10.67,
+            read_cycles: 3,
+            write_cycles: 33,
+        }
+    }
+
+    /// The parameters for a [`MemTech`].
+    pub fn of(tech: MemTech) -> Self {
+        match tech {
+            MemTech::Sram => Self::sram_1mb(),
+            MemTech::SttRam => Self::stt_ram_4mb(),
+        }
+    }
+
+    /// Leakage energy in nJ over `cycles` cycles at `clock_ghz`.
+    pub fn leakage_nj(&self, cycles: u64, clock_ghz: f64) -> f64 {
+        // mW * ns = pJ; convert to nJ.
+        let ns = cycles as f64 / clock_ghz;
+        self.leakage_mw * ns * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let sram = TechParams::sram_1mb();
+        let stt = TechParams::stt_ram_4mb();
+        assert_eq!(sram.read_cycles, 3);
+        assert_eq!(sram.write_cycles, 3);
+        assert_eq!(stt.read_cycles, 3);
+        assert_eq!(stt.write_cycles, 33);
+        assert_eq!(stt.capacity_bytes, 4 * sram.capacity_bytes);
+        assert!(stt.leakage_mw < sram.leakage_mw / 2.0);
+        assert!(stt.write_energy_nj > 4.0 * stt.read_energy_nj / 2.0);
+        // Near-equal area despite 4x capacity.
+        assert!((stt.area_mm2 - sram.area_mm2).abs() < 0.5);
+    }
+
+    #[test]
+    fn of_selects_by_tech() {
+        assert_eq!(TechParams::of(MemTech::Sram), TechParams::sram_1mb());
+        assert_eq!(TechParams::of(MemTech::SttRam), TechParams::stt_ram_4mb());
+    }
+
+    #[test]
+    fn leakage_energy_scales_with_time() {
+        let sram = TechParams::sram_1mb();
+        let one = sram.leakage_nj(3_000_000, 3.0); // 1 ms
+        // 444.6 mW for 1 ms = 444.6 uJ = 444_600 nJ.
+        assert!((one - 444_600.0).abs() / 444_600.0 < 1e-9);
+        assert_eq!(sram.leakage_nj(0, 3.0), 0.0);
+    }
+}

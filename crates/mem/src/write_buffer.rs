@@ -1,0 +1,142 @@
+//! The per-bank SRAM write buffer of Sun et al. (HPCA'09), the paper's
+//! Section 4.4 comparison point ("BUFF-20").
+//!
+//! Writes complete into a small SRAM buffer at SRAM speed; the buffer
+//! drains into the STT-RAM array when the bank is idle. Every access
+//! pays a detection cycle, reads search the buffer in parallel with the
+//! array, and an in-progress drain write may be preempted by a read.
+
+use std::collections::VecDeque;
+
+/// A pending buffered write (block address only; the simulator tracks
+/// timing, not data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferedWrite {
+    /// Block-aligned address.
+    pub addr: u64,
+}
+
+/// A bounded FIFO write buffer.
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    entries: VecDeque<BufferedWrite>,
+    capacity: usize,
+    /// Writes absorbed at SRAM speed.
+    pub absorbed: u64,
+    /// Writes that found the buffer full and went to the array.
+    pub overflows: u64,
+    /// Reads that hit a buffered write.
+    pub read_hits: u64,
+    /// Drain writes started.
+    pub drains: u64,
+    /// Drains aborted by a preempting read.
+    pub preemptions: u64,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer of `capacity` entries (20 in the paper).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "write buffer needs at least one entry");
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            absorbed: 0,
+            overflows: 0,
+            read_hits: 0,
+            drains: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Buffered entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when no more writes can be absorbed.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Absorbs a write; returns `false` (and counts an overflow) when
+    /// full — the caller must write the array directly.
+    pub fn absorb(&mut self, addr: u64) -> bool {
+        if self.is_full() {
+            self.overflows += 1;
+            return false;
+        }
+        self.entries.push_back(BufferedWrite { addr });
+        self.absorbed += 1;
+        true
+    }
+
+    /// Searches the buffer for a read (performed in parallel with the
+    /// array probe).
+    pub fn read_probe(&mut self, addr: u64) -> bool {
+        let hit = self.entries.iter().any(|e| e.addr == addr);
+        if hit {
+            self.read_hits += 1;
+        }
+        hit
+    }
+
+    /// Takes the oldest entry to start draining it into the array.
+    pub fn start_drain(&mut self) -> Option<BufferedWrite> {
+        let e = self.entries.pop_front();
+        if e.is_some() {
+            self.drains += 1;
+        }
+        e
+    }
+
+    /// Puts back a drain aborted by a preempting read.
+    pub fn abort_drain(&mut self, entry: BufferedWrite) {
+        self.preemptions += 1;
+        self.entries.push_front(entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbs_until_full() {
+        let mut b = WriteBuffer::new(2);
+        assert!(b.absorb(0x100));
+        assert!(b.absorb(0x200));
+        assert!(b.is_full());
+        assert!(!b.absorb(0x300));
+        assert_eq!(b.absorbed, 2);
+        assert_eq!(b.overflows, 1);
+    }
+
+    #[test]
+    fn reads_hit_buffered_writes() {
+        let mut b = WriteBuffer::new(4);
+        b.absorb(0x100);
+        assert!(b.read_probe(0x100));
+        assert!(!b.read_probe(0x200));
+        assert_eq!(b.read_hits, 1);
+    }
+
+    #[test]
+    fn drain_is_fifo_and_abortable() {
+        let mut b = WriteBuffer::new(4);
+        b.absorb(0x100);
+        b.absorb(0x200);
+        let d = b.start_drain().unwrap();
+        assert_eq!(d.addr, 0x100);
+        b.abort_drain(d);
+        assert_eq!(b.preemptions, 1);
+        // Aborted entry drains first again.
+        assert_eq!(b.start_drain().unwrap().addr, 0x100);
+        assert_eq!(b.start_drain().unwrap().addr, 0x200);
+        assert!(b.start_drain().is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! Round-robin arbitration helpers.
+//!
+//! Routers use rotating-priority (round-robin) arbiters for VC and
+//! switch allocation; the bank-aware policy layers a two-level priority
+//! on top (high-priority candidates always beat low-priority ones, with
+//! round-robin within each level).
+
+/// Picks the first index `i` in rotating order starting *after*
+/// `last` (wrapping over `n`) for which `eligible(i)` holds.
+pub fn rr_pick(last: usize, n: usize, mut eligible: impl FnMut(usize) -> bool) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    for off in 1..=n {
+        let i = (last + off) % n;
+        if eligible(i) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Two-level prioritized round robin: picks among high-priority
+/// candidates first, falling back to low-priority ones. `priority(i)`
+/// returns `None` when `i` is not a candidate at all.
+pub fn rr_pick_prioritized(
+    last: usize,
+    n: usize,
+    mut priority: impl FnMut(usize) -> Option<bool>,
+) -> Option<usize> {
+    let mut fallback = None;
+    if n == 0 {
+        return None;
+    }
+    for off in 1..=n {
+        let i = (last + off) % n;
+        match priority(i) {
+            Some(true) => return Some(i),
+            Some(false) => {
+                if fallback.is_none() {
+                    fallback = Some(i);
+                }
+            }
+            None => {}
+        }
+    }
+    fallback
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rr_rotates_fairly() {
+        // With everything eligible, successive picks cycle through all
+        // indices.
+        let mut last = 0;
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            last = rr_pick(last, 4, |_| true).unwrap();
+            seen.push(last);
+        }
+        assert_eq!(seen, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn rr_skips_ineligible() {
+        assert_eq!(rr_pick(0, 4, |i| i == 3), Some(3));
+        assert_eq!(rr_pick(3, 4, |i| i == 3), Some(3));
+        assert_eq!(rr_pick(0, 4, |_| false), None);
+        assert_eq!(rr_pick(0, 0, |_| true), None);
+    }
+
+    #[test]
+    fn prioritized_prefers_high() {
+        // Index 1 is low priority, index 3 high: 3 wins even though 1
+        // comes first in rotation order.
+        let pick = rr_pick_prioritized(0, 4, |i| match i {
+            1 => Some(false),
+            3 => Some(true),
+            _ => None,
+        });
+        assert_eq!(pick, Some(3));
+    }
+
+    #[test]
+    fn prioritized_falls_back_to_low() {
+        let pick = rr_pick_prioritized(0, 4, |i| (i == 2).then_some(false));
+        assert_eq!(pick, Some(2));
+        assert_eq!(rr_pick_prioritized(0, 4, |_| None), None);
+    }
+
+    #[test]
+    fn prioritized_is_round_robin_within_a_level() {
+        // All high priority: rotates like plain round robin.
+        let mut last = 2;
+        last = rr_pick_prioritized(last, 3, |_| Some(true)).unwrap();
+        assert_eq!(last, 0);
+        last = rr_pick_prioritized(last, 3, |_| Some(true)).unwrap();
+        assert_eq!(last, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Packet storage.
+//!
+//! Packets live in a slab while their flits are in flight; endpoints
+//! receive the [`snoc_common::ids::PacketId`] in each flit and the
+//! network hands the owned [`Packet`] back at delivery. Slots are
+//! recycled so long simulations run in bounded memory.
+
+use crate::packet::Packet;
+use snoc_common::ids::PacketId;
+
+/// A recycling slab of in-flight packets.
+#[derive(Debug, Default)]
+pub struct Arena {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u16>,
+    live: usize,
+}
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a packet, assigning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` packets are simultaneously in
+    /// flight (the id space of a flit's packet field).
+    pub fn insert(&mut self, mut packet: Packet) -> PacketId {
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                assert!(self.slots.len() < u16::MAX as usize, "too many packets in flight");
+                self.slots.push(None);
+                (self.slots.len() - 1) as u16
+            }
+        };
+        let id = PacketId::new(idx);
+        packet.id = id;
+        self.slots[idx as usize] = Some(packet);
+        self.live += 1;
+        id
+    }
+
+    /// Borrows a live packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet was already taken.
+    pub fn get(&self, id: PacketId) -> &Packet {
+        self.slots[id.index()].as_ref().expect("packet is live")
+    }
+
+    /// Mutably borrows a live packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet was already taken.
+    pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
+        self.slots[id.index()].as_mut().expect("packet is live")
+    }
+
+    /// Removes a packet, recycling its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet was already taken.
+    pub fn take(&mut self, id: PacketId) -> Packet {
+        let p = self.slots[id.index()].take().expect("packet is live");
+        self.free.push(id.raw());
+        self.live -= 1;
+        p
+    }
+
+    /// Number of live packets.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use snoc_common::geom::{Coord, Layer};
+
+    fn pkt() -> Packet {
+        let c = Coord::new(0, 0, Layer::Core);
+        Packet::new(PacketKind::BankRead, c, c, 0, 0)
+    }
+
+    #[test]
+    fn insert_get_take_round_trip() {
+        let mut a = Arena::new();
+        let id = a.insert(pkt());
+        assert_eq!(a.get(id).id, id);
+        assert_eq!(a.live(), 1);
+        let p = a.take(id);
+        assert_eq!(p.id, id);
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut a = Arena::new();
+        let id1 = a.insert(pkt());
+        a.take(id1);
+        let id2 = a.insert(pkt());
+        assert_eq!(id1, id2, "slot reused");
+        assert_eq!(a.live(), 1);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut a = Arena::new();
+        let id = a.insert(pkt());
+        a.get_mut(id).addr = 42;
+        assert_eq!(a.get(id).addr, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "live")]
+    fn double_take_panics() {
+        let mut a = Arena::new();
+        let id = a.insert(pkt());
+        a.take(id);
+        a.take(id);
+    }
+}

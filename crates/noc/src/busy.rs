@@ -1,0 +1,159 @@
+//! Per-parent busy-time bookkeeping for child banks (Section 3.5).
+//!
+//! Each parent router keeps, for every child bank, the predicted cycle
+//! at which the bank finishes all work the parent has forwarded to it.
+//! Because all requests to a child pass through its parent, this
+//! prediction is exact up to network congestion — which the configured
+//! estimator supplies.
+
+use snoc_common::ids::BankId;
+use snoc_common::Cycle;
+
+/// Predicted busy horizon of the child banks managed by one parent.
+#[derive(Debug, Clone, Default)]
+pub struct BusyTable {
+    entries: Vec<(BankId, Cycle)>,
+}
+
+impl BusyTable {
+    /// Creates a table for the given children.
+    pub fn new(children: impl IntoIterator<Item = BankId>) -> Self {
+        Self { entries: children.into_iter().map(|b| (b, 0)).collect() }
+    }
+
+    /// `true` if `bank` is managed by this table.
+    pub fn manages(&self, bank: BankId) -> bool {
+        self.entries.iter().any(|&(b, _)| b == bank)
+    }
+
+    /// The predicted cycle at which `bank` becomes idle (0 if unknown
+    /// or not managed).
+    pub fn busy_until(&self, bank: BankId) -> Cycle {
+        self.entries
+            .iter()
+            .find(|&&(b, _)| b == bank)
+            .map(|&(_, until)| until)
+            .unwrap_or(0)
+    }
+
+    /// Records that a request was forwarded towards `bank` at `now`,
+    /// expected to arrive after `arrival_latency` cycles (base latency
+    /// plus congestion estimate) and to occupy the bank for
+    /// `service` cycles. Returns the new busy horizon.
+    ///
+    /// Back-to-back requests queue behind each other at the bank, so
+    /// service begins at the later of the predicted arrival and the
+    /// current horizon.
+    pub fn on_forward(
+        &mut self,
+        bank: BankId,
+        now: Cycle,
+        arrival_latency: Cycle,
+        service: Cycle,
+    ) -> Cycle {
+        let Some(entry) = self.entries.iter_mut().find(|(b, _)| *b == bank) else {
+            return 0;
+        };
+        let start = entry.1.max(now + arrival_latency);
+        entry.1 = start + service;
+        entry.1
+    }
+
+    /// `true` if a request dispatched at `now` with the given expected
+    /// network latency would arrive while the bank is still busy —
+    /// i.e. the request should be delayed (Section 3.5: delay such
+    /// that the packet "arrives at the busy bank immediately after the
+    /// previous write request has been serviced").
+    pub fn would_queue(&self, bank: BankId, now: Cycle, arrival_latency: Cycle) -> bool {
+        self.would_queue_with_slack(bank, now, arrival_latency, 0)
+    }
+
+    /// [`BusyTable::would_queue`] with a release slack: the packet is
+    /// let go `slack` cycles early so that allocation and switch
+    /// contention on the way do not leave the bank idle (holding must
+    /// stay work-conserving).
+    pub fn would_queue_with_slack(
+        &self,
+        bank: BankId,
+        now: Cycle,
+        arrival_latency: Cycle,
+        slack: Cycle,
+    ) -> bool {
+        now + arrival_latency + slack < self.busy_until(bank)
+    }
+
+    /// The cycle at which a held request should be released so that
+    /// its arrival coincides with the bank becoming idle.
+    pub fn release_at(&self, bank: BankId, arrival_latency: Cycle) -> Cycle {
+        self.busy_until(bank).saturating_sub(arrival_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(i: u16) -> BankId {
+        BankId::new(i)
+    }
+
+    #[test]
+    fn idle_bank_is_never_delayed() {
+        let t = BusyTable::new([bank(1), bank(2)]);
+        assert!(!t.would_queue(bank(1), 100, 4));
+        assert_eq!(t.busy_until(bank(1)), 0);
+    }
+
+    #[test]
+    fn forwarded_write_marks_bank_busy_for_its_service_time() {
+        let mut t = BusyTable::new([bank(1)]);
+        // Section 3.5: delay = 4 cycles + congestion + 33-cycle write.
+        let until = t.on_forward(bank(1), 100, 4, 33);
+        assert_eq!(until, 100 + 4 + 33);
+        assert!(t.would_queue(bank(1), 101, 4));
+        // A request dispatched so it arrives exactly at completion is
+        // not delayed.
+        assert!(!t.would_queue(bank(1), 133, 4));
+        assert_eq!(t.release_at(bank(1), 4), 133);
+    }
+
+    #[test]
+    fn queued_requests_extend_the_horizon() {
+        let mut t = BusyTable::new([bank(1)]);
+        t.on_forward(bank(1), 100, 4, 33); // until 137
+        let until = t.on_forward(bank(1), 102, 4, 33); // queues behind
+        assert_eq!(until, 137 + 33);
+    }
+
+    #[test]
+    fn idle_gap_resets_the_start_time() {
+        let mut t = BusyTable::new([bank(1)]);
+        t.on_forward(bank(1), 100, 4, 3); // until 107
+        let until = t.on_forward(bank(1), 200, 4, 33);
+        assert_eq!(until, 200 + 4 + 33);
+    }
+
+    #[test]
+    fn reads_occupy_briefly() {
+        let mut t = BusyTable::new([bank(1)]);
+        t.on_forward(bank(1), 100, 4, 3);
+        assert!(t.would_queue(bank(1), 100, 4));
+        assert!(!t.would_queue(bank(1), 103, 4));
+    }
+
+    #[test]
+    fn slack_releases_early() {
+        let mut t = BusyTable::new([bank(1)]);
+        t.on_forward(bank(1), 100, 4, 33); // busy until 137
+        assert!(t.would_queue(bank(1), 128, 4));
+        assert!(!t.would_queue_with_slack(bank(1), 128, 4, 8));
+    }
+
+    #[test]
+    fn unmanaged_banks_are_ignored() {
+        let mut t = BusyTable::new([bank(1)]);
+        assert!(!t.manages(bank(9)));
+        assert_eq!(t.on_forward(bank(9), 100, 4, 33), 0);
+        assert!(!t.would_queue(bank(9), 100, 4));
+    }
+}

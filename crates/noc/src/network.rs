@@ -1,0 +1,830 @@
+//! The assembled 3D network: 128 routers in two stacked 8x8 meshes,
+//! their network interfaces, the routing/region/parent machinery and
+//! the congestion estimators, advanced cycle by cycle.
+
+use crate::arena::Arena;
+use crate::estimator::{EstimatorState, RcaState, WbEstimator};
+use crate::nic::{DeliveryEvent, Nic};
+use crate::packet::{Flit, Packet, TrafficClass, WbTag};
+use crate::parent::ParentMap;
+use crate::regions::RegionMap;
+use crate::router::{NetView, Router, StepParams, SwitchMove};
+use crate::routing::RoutingTable;
+use snoc_common::config::{
+    ArbitrationPolicy, Estimator, NocConfig, RequestPathMode, SystemConfig, TsbPlacement,
+};
+use snoc_common::geom::{Coord, Direction, Layer, Mesh};
+use snoc_common::ids::{BankId, PacketId};
+use snoc_common::stats::Accumulator;
+use snoc_common::Cycle;
+
+/// Construction parameters for a [`Network`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkParams {
+    /// Router/topology parameters.
+    pub noc: NocConfig,
+    /// How core->cache requests cross between dies.
+    pub path_mode: RequestPathMode,
+    /// Number of logical cache-layer regions.
+    pub regions: usize,
+    /// TSB placement rule.
+    pub placement: TsbPlacement,
+    /// Parent-child re-ordering distance (hops).
+    pub parent_hops: u32,
+    /// Arbitration policy.
+    pub arbitration: ArbitrationPolicy,
+    /// WB estimator sampling window.
+    pub wb_window: u32,
+    /// Bank read service latency (for busy prediction).
+    pub bank_read_latency: u64,
+    /// Bank write service latency (for busy prediction).
+    pub bank_write_latency: u64,
+    /// NI outbox capacity at cache-layer nodes (bounded: busy banks
+    /// push back into the network).
+    pub cache_outbox_cap: usize,
+    /// NI outbox capacity at core-layer nodes.
+    pub core_outbox_cap: usize,
+    /// Livelock guard: maximum hold duration at a parent.
+    pub max_hold: Cycle,
+    /// Release slack for held packets (cycles).
+    pub hold_slack: Cycle,
+}
+
+impl NetworkParams {
+    /// Derives the network parameters from a full system
+    /// configuration.
+    pub fn from_config(cfg: &SystemConfig) -> Self {
+        Self {
+            noc: cfg.noc,
+            path_mode: cfg.path_mode,
+            regions: cfg.regions,
+            placement: cfg.tsb_placement,
+            parent_hops: cfg.parent_hops,
+            arbitration: cfg.arbitration,
+            wb_window: cfg.wb_window,
+            bank_read_latency: cfg.mem.l2_read_latency,
+            bank_write_latency: cfg.l2_write_latency(),
+            cache_outbox_cap: 4,
+            core_outbox_cap: 64,
+            max_hold: 3 * cfg.mem.stt_write_latency,
+            hold_slack: cfg.noc.hold_slack,
+        }
+    }
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Packets handed to `inject`.
+    pub offered: u64,
+    /// Packets delivered to endpoint outboxes.
+    pub delivered: u64,
+    /// End-to-end latency of delivered packets.
+    pub latency: Accumulator,
+    /// Latency of request-class packets.
+    pub request_latency: Accumulator,
+    /// Latency of response-class packets.
+    pub response_latency: Accumulator,
+    /// Latency of coherence-class packets.
+    pub coherence_latency: Accumulator,
+    /// Flits over horizontal (in-layer) links.
+    pub lateral_flits: u64,
+    /// Flits over vertical TSV/TSB links.
+    pub vertical_flits: u64,
+    /// Vertical flits that rode the second lane of a wide TSB.
+    pub wide_tsb_flits: u64,
+    /// Window-based estimator acks processed.
+    pub tag_acks: u64,
+}
+
+/// The network view handed to routers.
+struct View<'a> {
+    arena: &'a Arena,
+    routing: &'a RoutingTable,
+    mesh: Mesh,
+}
+
+impl NetView for View<'_> {
+    fn packet(&self, id: PacketId) -> &Packet {
+        self.arena.get(id)
+    }
+    fn route(&self, at: Coord, packet: &Packet) -> Direction {
+        self.routing.next_hop(at, packet)
+    }
+    fn dest_bank(&self, packet: &Packet) -> Option<BankId> {
+        packet.dest_bank(self.mesh)
+    }
+}
+
+/// The cycle-level 3D NoC simulator.
+#[derive(Debug)]
+pub struct Network {
+    params: NetworkParams,
+    mesh: Mesh,
+    routing: RoutingTable,
+    parents: ParentMap,
+    routers: Vec<Router>,
+    nics: Vec<Nic>,
+    arena: Arena,
+    estimator: EstimatorState,
+    wide_down: Vec<bool>,
+    now: Cycle,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region count cannot tile the mesh.
+    pub fn new(params: NetworkParams) -> Self {
+        let mesh = Mesh::new(params.noc.width, params.noc.height);
+        let regions = RegionMap::new(mesh, params.regions, params.placement);
+        let parents = ParentMap::new(
+            mesh,
+            &regions,
+            params.parent_hops,
+            params.noc.router_stages,
+            params.noc.link_latency,
+        );
+        let n = mesh.nodes_per_layer();
+
+        let mut routers = Vec::with_capacity(2 * n);
+        let mut nics = Vec::with_capacity(2 * n);
+        let mut wide_down = vec![false; 2 * n];
+        for layer in [Layer::Core, Layer::Cache] {
+            for node in mesh.nodes() {
+                let coord = mesh.coord(node, layer);
+                let children = parents.children_of(coord).map(<[_]>::to_vec).unwrap_or_default();
+                routers.push(Router::new(coord, params.noc.vcs_per_port, params.noc.vc_depth, children));
+                let cap = match layer {
+                    Layer::Core => params.core_outbox_cap,
+                    Layer::Cache => params.cache_outbox_cap,
+                };
+                nics.push(Nic::new(
+                    coord,
+                    params.noc.vcs_per_port,
+                    params.noc.vc_depth,
+                    params.noc.data_flits,
+                    cap,
+                ));
+            }
+        }
+
+        if params.path_mode == RequestPathMode::RegionTsbs {
+            for r in 0..regions.regions() {
+                let t = regions.tsb_node(snoc_common::ids::RegionId::new(r as u16));
+                wide_down[t.index()] = true; // core-layer router above the TSB
+            }
+        }
+
+        let estimator = match params.arbitration {
+            ArbitrationPolicy::BankAware { estimator: Estimator::Rca } => {
+                EstimatorState::Rca(RcaState::new(2 * n))
+            }
+            ArbitrationPolicy::BankAware { estimator: Estimator::WindowBased } => {
+                let map = parents
+                    .parents()
+                    .map(|p| {
+                        let kids = parents.children_of(p).unwrap().iter().map(|c| c.bank);
+                        (p, WbEstimator::new(kids))
+                    })
+                    .collect();
+                EstimatorState::WindowBased(map)
+            }
+            _ => EstimatorState::Simple,
+        };
+
+        let routing = RoutingTable::new(mesh, params.path_mode, regions);
+        Self {
+            params,
+            mesh,
+            routing,
+            parents,
+            routers,
+            nics,
+            arena: Arena::new(),
+            estimator,
+            wide_down,
+            now: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The mesh geometry.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The region map in force.
+    pub fn regions(&self) -> &RegionMap {
+        self.routing.regions()
+    }
+
+    /// The parent/child mapping in force.
+    pub fn parents(&self) -> &ParentMap {
+        &self.parents
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Packets currently in flight (injected or queued, not yet
+    /// consumed by an endpoint).
+    pub fn in_flight(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Router index for a coordinate.
+    fn ridx(&self, c: Coord) -> usize {
+        let n = self.mesh.nodes_per_layer();
+        let base = if c.layer == Layer::Cache { n } else { 0 };
+        base + self.mesh.node(c).index()
+    }
+
+    /// Read access to the router at a coordinate.
+    pub fn router(&self, c: Coord) -> &Router {
+        &self.routers[self.ridx(c)]
+    }
+
+    /// Iterates all routers.
+    pub fn routers(&self) -> impl Iterator<Item = &Router> {
+        self.routers.iter()
+    }
+
+    /// Packets waiting in the injection queues of the NI at `at`
+    /// (endpoint back-pressure probe).
+    pub fn inject_backlog(&self, at: Coord) -> usize {
+        self.nics[self.ridx(at)].inject_backlog()
+    }
+
+    /// Queues a packet for injection at its source NI; returns its id.
+    pub fn inject(&mut self, packet: Packet) -> PacketId {
+        let src = packet.src;
+        let class = packet.kind.class();
+        let id = self.arena.insert(packet);
+        let idx = self.ridx(src);
+        self.nics[idx].enqueue(id, class);
+        self.stats.offered += 1;
+        id
+    }
+
+    /// Takes the packets delivered at a node since the last drain.
+    pub fn drain_delivered(&mut self, at: Coord) -> Vec<Packet> {
+        self.drain_delivered_up_to(at, usize::MAX)
+    }
+
+    /// Takes at most `max` delivered packets at a node; the remainder
+    /// stays in the NI outbox and back-pressures the network (the
+    /// paper's "queued at the network interface").
+    pub fn drain_delivered_up_to(&mut self, at: Coord, max: usize) -> Vec<Packet> {
+        let idx = self.ridx(at);
+        let delivered = self.nics[idx].pop_delivered_up_to(&mut self.arena, max);
+        for p in &delivered {
+            let lat = p.net_latency() as f64;
+            self.stats.delivered += 1;
+            self.stats.latency.record(lat);
+            match p.kind.class() {
+                TrafficClass::Request => self.stats.request_latency.record(lat),
+                TrafficClass::Response => self.stats.response_latency.record(lat),
+                TrafficClass::Coherence => self.stats.coherence_latency.record(lat),
+            }
+        }
+        delivered
+    }
+
+    /// Advances the network by one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.refresh_child_cong();
+
+        // Injection: one flit per NI per cycle.
+        for i in 0..self.nics.len() {
+            if self.nics[i].inject_backlog() > 0 {
+                self.nics[i].inject_step(
+                    &mut self.routers[i],
+                    &mut self.arena,
+                    now,
+                    self.params.noc.router_stages,
+                );
+            }
+        }
+
+        // VC allocation and switch allocation at every active router.
+        let mut moves: Vec<(usize, SwitchMove)> = Vec::new();
+        {
+            let view = View { arena: &self.arena, routing: &self.routing, mesh: self.mesh };
+            let tsb_extra = self.params.noc.tsb_width_factor.saturating_sub(1);
+            for idx in 0..self.routers.len() {
+                if self.routers[idx].buffered_flits() == 0 {
+                    continue;
+                }
+                let p = StepParams {
+                    now,
+                    policy: self.params.arbitration,
+                    max_hold: self.params.max_hold,
+                    hold_slack: self.params.hold_slack,
+                    wide_down: self.wide_down[idx],
+                    tsb_extra,
+                };
+                self.routers[idx].step_va(&view, p);
+                for m in self.routers[idx].step_sa(&view, p) {
+                    moves.push((idx, m));
+                }
+            }
+        }
+        for (idx, m) in moves {
+            self.apply_move(idx, m, now);
+        }
+
+        // Ejection, assembly, estimator events.
+        for i in 0..self.nics.len() {
+            let (credits, events) = self.nics[i].drain_eject(&mut self.arena, now);
+            for (vc, k) in credits {
+                self.routers[i].return_credit(Direction::Local, vc, k);
+            }
+            for e in events {
+                self.handle_event(e);
+            }
+        }
+
+        // Estimator upkeep.
+        if let EstimatorState::Rca(rca) = &mut self.estimator {
+            let routers = &self.routers;
+            let mesh = self.mesh;
+            let n = mesh.nodes_per_layer();
+            rca.propagate(
+                |i| routers[i].occupancy_byte(),
+                |i, dir| {
+                    let coord = routers[i].coord();
+                    mesh.neighbour(coord, dir).map(|c| {
+                        let base = if c.layer == Layer::Cache { n } else { 0 };
+                        base + mesh.node(c).index()
+                    })
+                },
+            );
+        }
+        if now % 1024 == 0 {
+            if let EstimatorState::WindowBased(map) = &mut self.estimator {
+                for wb in map.values_mut() {
+                    wb.expire_stale(now, 4096);
+                }
+            }
+        }
+
+        self.now += 1;
+    }
+
+    /// Runs `cycles` network cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    fn refresh_child_cong(&mut self) {
+        if !self.params.arbitration.is_bank_aware() {
+            return;
+        }
+        match &self.estimator {
+            EstimatorState::Simple => {}
+            EstimatorState::Rca(rca) => {
+                let per_hop = self.params.noc.vc_depth * self.params.noc.vcs_per_port;
+                for idx in 0..self.routers.len() {
+                    if self.routers[idx].children().is_empty() {
+                        continue;
+                    }
+                    let ests: Vec<Cycle> = self.routers[idx]
+                        .children()
+                        .iter()
+                        .map(|c| {
+                            rca.estimate_cycles(idx, c.first_hop, per_hop, c.hops)
+                                .min(3 * c.base_latency)
+                        })
+                        .collect();
+                    self.routers[idx].child_cong = ests;
+                }
+            }
+            EstimatorState::WindowBased(map) => {
+                for idx in 0..self.routers.len() {
+                    if self.routers[idx].children().is_empty() {
+                        continue;
+                    }
+                    let coord = self.routers[idx].coord();
+                    let Some(wb) = map.get(&coord) else { continue };
+                    let ests: Vec<Cycle> = self.routers[idx]
+                        .children()
+                        .iter()
+                        .map(|c| wb.estimate(c.bank).min(3 * c.base_latency))
+                        .collect();
+                    self.routers[idx].child_cong = ests;
+                }
+            }
+        }
+    }
+
+    fn apply_move(&mut self, idx: usize, m: SwitchMove, now: Cycle) {
+        let coord = self.routers[idx].coord();
+        let nflits = m.flits.len() as u8;
+
+        // Parent bookkeeping: busy-table update and WB tagging happen
+        // when the head flit of a bank request is forwarded by the
+        // destination bank's parent.
+        if m.flits[0].head {
+            let pid = m.flits[0].packet;
+            let (kind, bank) = {
+                let p = self.arena.get(pid);
+                (p.kind, p.dest_bank(self.mesh))
+            };
+            if let Some(bank) = bank {
+                if self.routers[idx].manages(bank) {
+                    if let EstimatorState::WindowBased(map) = &mut self.estimator {
+                        if let Some(wb) = map.get_mut(&coord) {
+                            if let Some(stamp) = wb.on_forward(bank, now, self.params.wb_window) {
+                                self.arena.get_mut(pid).wb_tag =
+                                    Some(WbTag { stamp, parent: coord, child: bank });
+                            }
+                        }
+                    }
+                    let service = if kind.is_bank_write() {
+                        self.params.bank_write_latency
+                    } else {
+                        self.params.bank_read_latency
+                    };
+                    let extra = (kind.flits(self.params.noc.data_flits) - 1) as u64;
+                    let view =
+                        View { arena: &self.arena, routing: &self.routing, mesh: self.mesh };
+                    self.routers[idx].note_forward(
+                        bank,
+                        kind.is_bank_write(),
+                        service,
+                        extra,
+                        now,
+                        &view,
+                    );
+                }
+            }
+        }
+
+        // Return credits upstream for the freed buffer slots.
+        let in_dir = Direction::ALL[m.in_port];
+        if in_dir == Direction::Local {
+            self.nics[idx].return_credit(m.in_vc, nflits);
+        } else {
+            let up = self.mesh.neighbour(coord, in_dir).expect("input port has an upstream");
+            let uidx = self.ridx(up);
+            self.routers[uidx].return_credit(in_dir.arrival_port(), m.in_vc, nflits);
+        }
+
+        // Deliver the flits.
+        match m.out_dir {
+            Direction::Local => {
+                for f in &m.flits {
+                    self.nics[idx].accept_eject(m.out_vc, *f);
+                }
+            }
+            dir => {
+                let to = self.mesh.neighbour(coord, dir).expect("route stays on chip");
+                let tidx = self.ridx(to);
+                let in_port = dir.arrival_port().port();
+                let ready =
+                    now + self.params.noc.link_latency + self.params.noc.router_stages;
+                for f in &m.flits {
+                    self.routers[tidx].accept(in_port, m.out_vc, Flit { ready_at: ready, ..*f });
+                }
+                if matches!(dir, Direction::Up | Direction::Down) {
+                    self.stats.vertical_flits += nflits as u64;
+                    if nflits > 1 {
+                        self.stats.wide_tsb_flits += (nflits - 1) as u64;
+                    }
+                } else {
+                    self.stats.lateral_flits += nflits as u64;
+                }
+            }
+        }
+    }
+
+    fn handle_event(&mut self, event: DeliveryEvent) {
+        match event {
+            DeliveryEvent::TagAck(tag, when) => {
+                self.stats.tag_acks += 1;
+                let base = self
+                    .parents
+                    .child_info(tag.parent, tag.child)
+                    .map(|c| c.base_latency)
+                    .unwrap_or(0);
+                if let EstimatorState::WindowBased(map) = &mut self.estimator {
+                    if let Some(wb) = map.get_mut(&tag.parent) {
+                        wb.on_ack(tag.child, tag.stamp, when, base);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clears all statistics (end of warm-up); in-flight traffic is
+    /// unaffected.
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
+        for r in &mut self.routers {
+            r.reset_stats();
+        }
+    }
+
+    /// Total packets held at parent routers so far.
+    pub fn held_packets(&self) -> u64 {
+        self.routers.iter().map(|r| r.stats.held_packets).sum()
+    }
+
+    /// Total hold cycles accumulated at parent routers.
+    pub fn held_cycles(&self) -> u64 {
+        self.routers.iter().map(|r| r.stats.held_cycles).sum()
+    }
+
+    /// Bank requests forwarded by parent routers.
+    pub fn forwarded_requests(&self) -> u64 {
+        self.routers.iter().map(|r| r.stats.forwarded_to_children).sum()
+    }
+
+    /// Mean number of request packets buffered in a sampled router
+    /// whose destination is exactly `hops` (1..=3) away, sampled at
+    /// write forwards (Figure 3 inset / Figure 13a).
+    pub fn queue_mean_at_hops(&self, hops: u32) -> f64 {
+        assert!((1..=3).contains(&hops));
+        let sum: u64 =
+            self.routers.iter().map(|r| r.stats.queue_by_hops[(hops - 1) as usize]).sum();
+        let n: u64 = self.routers.iter().map(|r| r.stats.child_queue_samples).sum();
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// [`Network::queue_mean_at_hops`] at the paper's default H = 2.
+    pub fn child_queue_mean(&self) -> f64 {
+        self.queue_mean_at_hops(2)
+    }
+
+    /// Total flits written into router buffers (energy accounting).
+    pub fn buffer_writes(&self) -> u64 {
+        self.routers.iter().map(|r| r.stats.buffer_writes).sum()
+    }
+
+    /// Total crossbar traversals (energy accounting).
+    pub fn switch_traversals(&self) -> u64 {
+        self.routers.iter().map(|r| r.stats.switch_traversals).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+
+    fn params(
+        mode: RequestPathMode,
+        arbitration: ArbitrationPolicy,
+    ) -> NetworkParams {
+        NetworkParams {
+            noc: NocConfig::default(),
+            path_mode: mode,
+            regions: 4,
+            placement: TsbPlacement::Corner,
+            parent_hops: 2,
+            arbitration,
+            wb_window: 100,
+            bank_read_latency: 3,
+            bank_write_latency: 33,
+            cache_outbox_cap: 4,
+            core_outbox_cap: 64,
+            max_hold: 99,
+            hold_slack: 0,
+        }
+    }
+
+    fn core(net: &Network, node: u16) -> Coord {
+        net.mesh().coord(snoc_common::ids::NodeId::new(node), Layer::Core)
+    }
+
+    fn cache(net: &Network, node: u16) -> Coord {
+        net.mesh().coord(snoc_common::ids::NodeId::new(node), Layer::Cache)
+    }
+
+    fn deliver(net: &mut Network, at: Coord, max_cycles: u64) -> Vec<Packet> {
+        for _ in 0..max_cycles {
+            net.step();
+            let got = net.drain_delivered(at);
+            if !got.is_empty() {
+                return got;
+            }
+        }
+        panic!("nothing delivered at {at} within {max_cycles} cycles");
+    }
+
+    #[test]
+    fn read_request_crosses_the_chip() {
+        let mut net = Network::new(params(RequestPathMode::AllTsvs, ArbitrationPolicy::RoundRobin));
+        let src = core(&net, 0);
+        let dst = cache(&net, 63);
+        net.inject(Packet::new(PacketKind::BankRead, src, dst, 0x1000, 5));
+        let got = deliver(&mut net, dst, 200);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].token, 5);
+        assert_eq!(got[0].addr, 0x1000);
+        // 15 hops * 3 cycles + endpoint overheads: sane bounds.
+        let lat = got[0].net_latency();
+        assert!((45..90).contains(&lat), "latency {lat}");
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn data_packet_arrives_intact() {
+        let mut net = Network::new(params(RequestPathMode::AllTsvs, ArbitrationPolicy::RoundRobin));
+        let src = cache(&net, 9);
+        let dst = core(&net, 54);
+        net.inject(Packet::new(PacketKind::DataReply, src, dst, 0xBEEF, 9));
+        let got = deliver(&mut net, dst, 300);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].addr, 0xBEEF);
+    }
+
+    #[test]
+    fn region_tsb_requests_ride_the_wide_tsb() {
+        // Flit combining needs back-to-back flits buffered at the TSB
+        // router, which only happens under contention: converge
+        // several writebacks from different cores on one region.
+        let mut net =
+            Network::new(params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin));
+        let banks = [25u16, 18, 11, 24, 17, 10, 9, 16];
+        for (i, &b) in banks.iter().enumerate() {
+            let src = core(&net, (i * 9) as u16);
+            let dst = cache(&net, b); // all in region 0
+            net.inject(Packet::new(PacketKind::Writeback, src, dst, i as u64, i as u64));
+        }
+        net.run(1500);
+        let delivered: usize =
+            banks.iter().map(|&b| net.drain_delivered(cache(&net, b)).len()).sum();
+        assert_eq!(delivered, banks.len());
+        assert!(net.stats().wide_tsb_flits > 0, "contended TSB should combine flits");
+    }
+
+    #[test]
+    fn many_packets_all_arrive_exactly_once() {
+        let mut net = Network::new(params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin));
+        let n = 200;
+        for i in 0..n {
+            let src = core(&net, (i * 7) % 64);
+            let dst = cache(&net, (i * 13) % 64);
+            net.inject(Packet::new(PacketKind::BankRead, src, dst, i as u64, i as u64));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3000 {
+            net.step();
+            for node in 0..64u16 {
+                let at = cache(&net, node);
+                for p in net.drain_delivered(at) {
+                    assert!(seen.insert(p.token), "duplicate delivery of {}", p.token);
+                }
+            }
+            if seen.len() == n as usize {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), n as usize, "all packets delivered");
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn bank_aware_holds_back_to_back_writes() {
+        let aware = ArbitrationPolicy::BankAware { estimator: Estimator::Simple };
+        let mut net = Network::new(params(RequestPathMode::RegionTsbs, aware));
+        let src = core(&net, 7);
+        let dst = cache(&net, 25); // managed by parent chip node 91
+        for i in 0..4 {
+            net.inject(Packet::new(PacketKind::Writeback, src, dst, i, i));
+        }
+        let mut delivered = 0;
+        for _ in 0..2000 {
+            net.step();
+            delivered += net.drain_delivered(dst).len();
+            if delivered == 4 {
+                break;
+            }
+        }
+        assert_eq!(delivered, 4);
+        assert!(net.held_packets() >= 1, "later writes must be held at the parent");
+        assert!(net.held_cycles() > 0);
+    }
+
+    #[test]
+    fn round_robin_never_holds() {
+        let mut net =
+            Network::new(params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin));
+        let src = core(&net, 7);
+        let dst = cache(&net, 25);
+        for i in 0..4 {
+            net.inject(Packet::new(PacketKind::Writeback, src, dst, i, i));
+        }
+        net.run(1500);
+        assert_eq!(net.held_packets(), 0);
+    }
+
+    #[test]
+    fn wb_estimator_closes_the_tag_loop() {
+        let aware = ArbitrationPolicy::BankAware { estimator: Estimator::WindowBased };
+        let mut p = params(RequestPathMode::RegionTsbs, aware);
+        p.wb_window = 2; // tag frequently so the test is quick
+        let mut net = Network::new(p);
+        let src = core(&net, 7);
+        let dst = cache(&net, 25);
+        let mut injected = 0u64;
+        let mut drained = 0;
+        for cycle in 0..3000 {
+            if cycle % 20 == 0 && injected < 30 {
+                net.inject(Packet::new(PacketKind::BankRead, src, dst, injected, injected));
+                injected += 1;
+            }
+            net.step();
+            drained += net.drain_delivered(dst).len();
+        }
+        assert_eq!(drained, 30);
+        assert!(net.stats().tag_acks > 0, "acks must flow back to the parent");
+        assert_eq!(net.in_flight(), 0, "tag acks are consumed internally");
+    }
+
+    #[test]
+    fn outbox_backpressure_throttles_delivery() {
+        // Never drain the destination: deliveries stop at the outbox
+        // cap while the network holds the rest without losing packets.
+        let mut net =
+            Network::new(params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin));
+        let dst = cache(&net, 25);
+        for i in 0..40 {
+            let src = core(&net, (i % 64) as u16);
+            net.inject(Packet::new(PacketKind::BankRead, src, dst, i as u64, i as u64));
+        }
+        net.run(2000);
+        assert_eq!(net.stats().delivered, 0, "nothing drained yet");
+        let got = net.drain_delivered(dst);
+        assert_eq!(got.len(), 4, "outbox cap bounds undrained deliveries");
+        net.run(500);
+        let got2 = net.drain_delivered_up_to(dst, 2);
+        assert_eq!(got2.len(), 2, "partial drain respects the bound");
+        net.run(500);
+        let got3 = net.drain_delivered(dst);
+        assert!(!got3.is_empty(), "backpressured packets flow after draining");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let aware = ArbitrationPolicy::BankAware { estimator: Estimator::WindowBased };
+            let mut net = Network::new(params(RequestPathMode::RegionTsbs, aware));
+            for i in 0..100u64 {
+                let src = core(&net, ((i * 11) % 64) as u16);
+                let dst = cache(&net, ((i * 29) % 64) as u16);
+                let kind = if i % 3 == 0 { PacketKind::Writeback } else { PacketKind::BankRead };
+                net.inject(Packet::new(kind, src, dst, i, i));
+            }
+            net.run(2500);
+            for node in 0..64u16 {
+                let at = cache(&net, node);
+                net.drain_delivered(at);
+            }
+            (
+                net.stats().delivered,
+                net.stats().latency.mean(),
+                net.held_packets(),
+                net.stats().vertical_flits,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn coherence_traffic_reaches_cores() {
+        let mut net =
+            Network::new(params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin));
+        let src = cache(&net, 12);
+        let dst = core(&net, 51);
+        net.inject(Packet::new(PacketKind::Inv, src, dst, 0xA, 1));
+        let got = deliver(&mut net, dst, 200);
+        assert_eq!(got[0].kind, PacketKind::Inv);
+        assert!(net.stats().coherence_latency.count() == 1);
+    }
+}

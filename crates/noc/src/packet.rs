@@ -1,0 +1,328 @@
+//! Packets, flits and traffic classes.
+//!
+//! A message is a [`Packet`]: one header flit plus, for data-bearing
+//! messages, eight 128-bit payload flits (Table 1). Packets belong to a
+//! [`TrafficClass`] that selects the virtual-channel partition they may
+//! use; the three classes (requests, coherence, responses) form an
+//! acyclic dependency chain, which together with X-Y routing keeps the
+//! network protocol-deadlock-free.
+
+use snoc_common::geom::Coord;
+use snoc_common::ids::{BankId, PacketId};
+use snoc_common::Cycle;
+use std::ops::Range;
+
+/// The protocol class of a packet, used for virtual-channel
+/// partitioning and for the bank-aware prioritization rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Cache requests: reads, write-misses, writebacks and bank-to-
+    /// memory-controller fetches.
+    Request,
+    /// Directory-initiated coherence traffic: invalidations and owner
+    /// forwards.
+    Coherence,
+    /// Replies: data, acknowledgements, memory fills and the WB
+    /// estimator's timestamp acks.
+    Response,
+}
+
+impl TrafficClass {
+    /// The virtual channels this class may use out of `vcs` channels
+    /// per port.
+    ///
+    /// Requests get the lion's share (they are the class the bank-aware
+    /// policy re-orders, so head-of-line pressure matters most there),
+    /// coherence gets one channel, responses the rest. With Table 1's
+    /// 6 VCs: 3 request, 1 coherence, 2 response. The paper's "+1 VC"
+    /// experiment grows the request partition to 4.
+    pub fn vc_range(self, vcs: usize) -> Range<usize> {
+        assert!(vcs >= 3, "need at least one VC per class");
+        let coh = (vcs / 6).max(1);
+        let resp = (vcs / 3).max(1);
+        let req = vcs - coh - resp;
+        match self {
+            TrafficClass::Request => 0..req,
+            TrafficClass::Coherence => req..req + coh,
+            TrafficClass::Response => req + coh..vcs,
+        }
+    }
+}
+
+/// The message vocabulary of the two-level MESI protocol plus the
+/// memory and estimator traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// L1 read miss (GetS): core -> home L2 bank, 1 flit.
+    BankRead,
+    /// L1 write miss or upgrade (GetM): core -> home L2 bank, 1 flit.
+    BankWrite,
+    /// Dirty L1 eviction (PutM) carrying data: core -> home L2 bank,
+    /// 9 flits. This is the long-latency STT-RAM *write* access.
+    Writeback,
+    /// Data reply: L2 bank -> core, or owner L1 -> requesting L1,
+    /// 9 flits.
+    DataReply,
+    /// Short acknowledgement (write ack, invalidation ack, PutM ack),
+    /// 1 flit.
+    Ack,
+    /// Directory invalidation: home bank -> sharer L1, 1 flit.
+    Inv,
+    /// Directory forward: home bank -> owner L1, 1 flit.
+    Fwd,
+    /// L2 miss fetch: bank -> memory controller, 1 flit.
+    MemFetch,
+    /// Memory fill: memory controller -> bank, 9 flits. Filling the
+    /// bank is also an STT-RAM *write* access.
+    MemFill,
+    /// Dirty L2 victim written back to memory: bank -> memory
+    /// controller, 9 flits.
+    MemWriteback,
+    /// Window-based estimator acknowledgement carrying a timestamp:
+    /// child bank NI -> parent router NI, 1 flit. Generated and
+    /// consumed inside the network.
+    TagAck,
+}
+
+impl PacketKind {
+    /// The traffic class of this message kind.
+    pub fn class(self) -> TrafficClass {
+        match self {
+            PacketKind::BankRead
+            | PacketKind::BankWrite
+            | PacketKind::Writeback
+            | PacketKind::MemFetch
+            | PacketKind::MemWriteback => TrafficClass::Request,
+            PacketKind::Inv | PacketKind::Fwd => TrafficClass::Coherence,
+            PacketKind::DataReply
+            | PacketKind::Ack
+            | PacketKind::MemFill
+            | PacketKind::TagAck => TrafficClass::Response,
+        }
+    }
+
+    /// Total flits on the wire: 1 header plus `data_flits` for
+    /// data-bearing messages.
+    pub fn flits(self, data_flits: usize) -> usize {
+        if self.carries_data() {
+            1 + data_flits
+        } else {
+            1
+        }
+    }
+
+    /// `true` for messages carrying a full cache block.
+    pub fn carries_data(self) -> bool {
+        matches!(
+            self,
+            PacketKind::Writeback
+                | PacketKind::DataReply
+                | PacketKind::MemFill
+                | PacketKind::MemWriteback
+        )
+    }
+
+    /// `true` for core-side requests destined to an L2 bank — the
+    /// packets subject to region-TSB path restriction and parent-router
+    /// re-ordering.
+    pub fn is_bank_request(self) -> bool {
+        matches!(self, PacketKind::BankRead | PacketKind::BankWrite | PacketKind::Writeback)
+    }
+
+    /// `true` for the requests that occupy an STT-RAM bank for the long
+    /// write service time (the parent's busy-table uses this): write
+    /// requests and data writebacks.
+    pub fn is_bank_write(self) -> bool {
+        matches!(self, PacketKind::BankWrite | PacketKind::Writeback)
+    }
+
+    /// `true` for memory-controller traffic, which bank-aware routers
+    /// prioritize alongside coherence traffic.
+    pub fn is_mc_traffic(self) -> bool {
+        matches!(
+            self,
+            PacketKind::MemFetch | PacketKind::MemFill | PacketKind::MemWriteback
+        )
+    }
+}
+
+/// One message in flight through the network.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Arena identifier, unique within a run.
+    pub id: PacketId,
+    /// Message kind.
+    pub kind: PacketKind,
+    /// Injection position.
+    pub src: Coord,
+    /// Delivery position.
+    pub dst: Coord,
+    /// The cache-block address this message concerns.
+    pub addr: u64,
+    /// Opaque endpoint correlation token (e.g. MSHR index).
+    pub token: u64,
+    /// Cycle the header flit entered the source NI.
+    pub injected_at: Cycle,
+    /// Cycle the tail flit was delivered at the destination NI.
+    pub ejected_at: Cycle,
+    /// Window-based estimator timestamp: set by the tagging parent
+    /// router; echoed back in the resulting [`PacketKind::TagAck`].
+    pub wb_tag: Option<WbTag>,
+    /// Cycles this packet spent held at a parent router (statistics).
+    pub held_cycles: Cycle,
+}
+
+/// The timestamp a parent router attaches to every `wb_window`-th
+/// request (Section 3.5, window-based scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WbTag {
+    /// 8-bit wrapped timestamp, as carried in the header flit.
+    pub stamp: u8,
+    /// The parent router to acknowledge.
+    pub parent: Coord,
+    /// The child bank the tagged request targeted.
+    pub child: BankId,
+}
+
+impl Packet {
+    /// Creates a packet; `injected_at`/`ejected_at` are filled in by the
+    /// network.
+    pub fn new(kind: PacketKind, src: Coord, dst: Coord, addr: u64, token: u64) -> Self {
+        Self {
+            id: PacketId::new(0),
+            kind,
+            src,
+            dst,
+            addr,
+            token,
+            injected_at: 0,
+            ejected_at: 0,
+            wb_tag: None,
+            held_cycles: 0,
+        }
+    }
+
+    /// End-to-end network latency (inject to eject), valid after
+    /// delivery.
+    pub fn net_latency(&self) -> Cycle {
+        self.ejected_at.saturating_sub(self.injected_at)
+    }
+
+    /// The destination bank, if this is a bank request into the cache
+    /// layer.
+    pub fn dest_bank(&self, mesh: snoc_common::geom::Mesh) -> Option<BankId> {
+        if self.kind.is_bank_request() && self.dst.layer.is_cache() {
+            Some(BankId::new(mesh.node(self.dst).raw()))
+        } else {
+            None
+        }
+    }
+}
+
+/// One flit of a packet as it sits in a virtual-channel buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Position within the packet (0 = header).
+    pub seq: u16,
+    /// `true` for the header flit.
+    pub head: bool,
+    /// `true` for the final flit.
+    pub tail: bool,
+    /// Cycle at which this flit has cleared the router pipeline and may
+    /// compete in switch allocation.
+    pub ready_at: Cycle,
+}
+
+impl Flit {
+    /// Builds the flit sequence for a packet of `n` flits.
+    pub fn sequence(packet: PacketId, n: usize) -> impl Iterator<Item = Flit> {
+        assert!(n >= 1, "a packet has at least a header flit");
+        (0..n).map(move |i| Flit {
+            packet,
+            seq: i as u16,
+            head: i == 0,
+            tail: i == n - 1,
+            ready_at: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoc_common::geom::{Layer, Mesh};
+
+    #[test]
+    fn vc_partition_covers_all_channels_without_overlap() {
+        for vcs in 3..=9 {
+            let r = TrafficClass::Request.vc_range(vcs);
+            let c = TrafficClass::Coherence.vc_range(vcs);
+            let p = TrafficClass::Response.vc_range(vcs);
+            assert_eq!(r.start, 0);
+            assert_eq!(r.end, c.start);
+            assert_eq!(c.end, p.start);
+            assert_eq!(p.end, vcs);
+            assert!(!r.is_empty() && !c.is_empty() && !p.is_empty());
+        }
+    }
+
+    #[test]
+    fn plus_one_vc_grows_request_partition() {
+        let six = TrafficClass::Request.vc_range(6);
+        let seven = TrafficClass::Request.vc_range(7);
+        assert_eq!(six.len(), 3);
+        assert_eq!(seven.len(), 4);
+        assert_eq!(TrafficClass::Coherence.vc_range(6).len(), 1);
+        assert_eq!(TrafficClass::Response.vc_range(6).len(), 2);
+        assert_eq!(TrafficClass::Response.vc_range(7).len(), 2);
+    }
+
+    #[test]
+    fn flit_counts_match_table1() {
+        assert_eq!(PacketKind::BankRead.flits(8), 1);
+        assert_eq!(PacketKind::Writeback.flits(8), 9);
+        assert_eq!(PacketKind::DataReply.flits(8), 9);
+        assert_eq!(PacketKind::MemFill.flits(8), 9);
+        assert_eq!(PacketKind::Inv.flits(8), 1);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(PacketKind::Writeback.is_bank_request());
+        assert!(PacketKind::Writeback.is_bank_write());
+        assert!(PacketKind::BankRead.is_bank_request());
+        assert!(!PacketKind::BankRead.is_bank_write());
+        assert!(PacketKind::BankWrite.is_bank_write());
+        assert!(!PacketKind::DataReply.is_bank_request());
+        assert!(PacketKind::MemFetch.is_mc_traffic());
+        assert!(PacketKind::MemWriteback.is_mc_traffic());
+        assert!(!PacketKind::MemWriteback.is_bank_request());
+        assert_eq!(PacketKind::MemWriteback.flits(8), 9);
+        assert_eq!(PacketKind::Inv.class(), TrafficClass::Coherence);
+        assert_eq!(PacketKind::TagAck.class(), TrafficClass::Response);
+    }
+
+    #[test]
+    fn flit_sequence_is_well_formed() {
+        let flits: Vec<_> = Flit::sequence(PacketId::new(3), 9).collect();
+        assert_eq!(flits.len(), 9);
+        assert!(flits[0].head && !flits[0].tail);
+        assert!(flits[8].tail && !flits[8].head);
+        assert!(flits[1..8].iter().all(|f| !f.head && !f.tail));
+        let single: Vec<_> = Flit::sequence(PacketId::new(4), 1).collect();
+        assert!(single[0].head && single[0].tail);
+    }
+
+    #[test]
+    fn dest_bank_only_for_cache_layer_requests() {
+        let mesh = Mesh::new(8, 8);
+        let core = Coord::new(1, 1, Layer::Core);
+        let cache = Coord::new(3, 3, Layer::Cache);
+        let p = Packet::new(PacketKind::BankRead, core, cache, 0, 0);
+        assert_eq!(p.dest_bank(mesh), Some(BankId::new(27)));
+        let r = Packet::new(PacketKind::DataReply, cache, core, 0, 0);
+        assert_eq!(r.dest_bank(mesh), None);
+    }
+}

@@ -1,0 +1,233 @@
+//! Parent/child mapping between routers and the banks they manage
+//! (Section 3.4: "each router manages traffic for all two-hops-away
+//! routers in the region").
+//!
+//! Because every request to bank `D` enters `D`'s region at the single
+//! TSB node and then follows X-Y routing, the route to `D` is unique.
+//! `D`'s *parent* is the router `H` hops before `D` on that route
+//! (`H = 2` in the paper). Banks closer than `H` hops to the TSB are
+//! managed by the core-layer router directly above the TSB, which sees
+//! their requests before they descend.
+
+use crate::regions::RegionMap;
+use snoc_common::geom::{Coord, Direction, Layer, Mesh};
+use snoc_common::ids::BankId;
+use std::collections::HashMap;
+
+/// A bank managed by some parent router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildInfo {
+    /// The managed bank.
+    pub bank: BankId,
+    /// Uncontended parent-to-bank delivery latency in cycles, used both
+    /// to time releases of held packets and as the baseline subtracted
+    /// from WB round-trip samples.
+    pub base_latency: u64,
+    /// First hop direction from the parent towards the bank (the port
+    /// whose RCA estimate applies).
+    pub first_hop: Direction,
+    /// Number of network hops from parent to bank.
+    pub hops: u32,
+}
+
+/// The complete parent/child mapping for one configuration.
+#[derive(Debug, Clone)]
+pub struct ParentMap {
+    parent_of: Vec<Coord>,
+    children_of: HashMap<Coord, Vec<ChildInfo>>,
+}
+
+impl ParentMap {
+    /// Builds the mapping for re-ordering distance `hops` (the paper's
+    /// `H`, default 2) given the region tiling.
+    ///
+    /// `router_stages` and `link_latency` parameterize the uncontended
+    /// latency estimate: each hop costs `router_stages + link_latency`
+    /// and delivery at the destination costs `router_stages + 1`
+    /// (ejection).
+    pub fn new(
+        mesh: Mesh,
+        regions: &RegionMap,
+        hops: u32,
+        router_stages: u64,
+        link_latency: u64,
+    ) -> Self {
+        assert!(hops >= 1, "parent distance must be at least one hop");
+        let per_hop = router_stages + link_latency;
+        let delivery = router_stages + 1;
+        let mut parent_of = Vec::with_capacity(mesh.nodes_per_layer());
+        let mut children_of: HashMap<Coord, Vec<ChildInfo>> = HashMap::new();
+
+        for node in mesh.nodes() {
+            let bank = BankId::new(node.raw());
+            let dest = mesh.coord(node, Layer::Cache);
+            let tsb = mesh.coord(regions.tsb_for(node), Layer::Cache);
+            let path = mesh.xy_path(tsb, dest); // excludes tsb, includes dest
+            let dist = path.len() as u32;
+
+            let (parent, child_hops) = if dist >= hops {
+                // The node `hops` before the destination along the
+                // unique TSB->dest X-Y route (the TSB node itself when
+                // dist == hops).
+                let idx = dist - hops; // index into [tsb, path...]
+                let parent = if idx == 0 { tsb } else { path[idx as usize - 1] };
+                (parent, hops)
+            } else {
+                // Too close to the TSB: managed from the core layer
+                // router above the TSB (one vertical hop + the X-Y
+                // remainder).
+                (Coord { layer: Layer::Core, ..tsb }, dist + 1)
+            };
+
+            let first_hop = if parent.layer == Layer::Core {
+                Direction::Down
+            } else {
+                mesh.xy_step(parent, dest).expect("parent differs from child")
+            };
+
+            let info = ChildInfo {
+                bank,
+                base_latency: child_hops as u64 * per_hop + delivery,
+                first_hop,
+                hops: child_hops,
+            };
+            parent_of.push(parent);
+            children_of.entry(parent).or_default().push(info);
+        }
+
+        Self { parent_of, children_of }
+    }
+
+    /// The parent router coordinate for a bank.
+    pub fn parent_of(&self, bank: BankId) -> Coord {
+        self.parent_of[bank.index()]
+    }
+
+    /// The banks managed by a router, if it is a parent.
+    pub fn children_of(&self, router: Coord) -> Option<&[ChildInfo]> {
+        self.children_of.get(&router).map(Vec::as_slice)
+    }
+
+    /// The [`ChildInfo`] for `bank` if `router` is its parent.
+    pub fn child_info(&self, router: Coord, bank: BankId) -> Option<&ChildInfo> {
+        if self.parent_of(bank) != router {
+            return None;
+        }
+        self.children_of
+            .get(&router)
+            .and_then(|cs| cs.iter().find(|c| c.bank == bank))
+    }
+
+    /// All parent routers.
+    pub fn parents(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.children_of.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoc_common::config::TsbPlacement;
+    use snoc_common::ids::NodeId;
+
+    fn setup(hops: u32) -> (Mesh, ParentMap) {
+        let mesh = Mesh::new(8, 8);
+        let regions = RegionMap::new(mesh, 4, TsbPlacement::Corner);
+        let map = ParentMap::new(mesh, &regions, hops, 2, 1);
+        (mesh, map)
+    }
+
+    fn cache(mesh: Mesh, node: u16) -> Coord {
+        mesh.coord(NodeId::new(node), Layer::Cache)
+    }
+
+    #[test]
+    fn paper_example_node_91_manages_75_82_89() {
+        // Paper chip nodes 91/75/82/89 = cache nodes 27/11/18/25.
+        let (mesh, map) = setup(2);
+        let parent = cache(mesh, 27);
+        for chip in [75u16, 82, 89] {
+            let bank = BankId::new(chip - 64);
+            assert_eq!(map.parent_of(bank), parent, "chip node {chip}");
+        }
+        let kids = map.children_of(parent).unwrap();
+        let mut ids: Vec<_> = kids.iter().map(|c| c.bank.index() + 64).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![75, 82, 89]);
+    }
+
+    #[test]
+    fn paper_example_node_90_manages_74_81_88() {
+        let (mesh, map) = setup(2);
+        let parent = cache(mesh, 26); // chip node 90
+        for chip in [74u16, 81, 88] {
+            assert_eq!(map.parent_of(BankId::new(chip - 64)), parent, "chip node {chip}");
+        }
+    }
+
+    #[test]
+    fn innermost_banks_are_managed_from_core_layer() {
+        // Paper: chip nodes 83, 90, 91 (cache 19, 26, 27) are managed by
+        // core-layer node 27 above the TSB.
+        let (mesh, map) = setup(2);
+        let core_parent = mesh.coord(NodeId::new(27), Layer::Core);
+        for cache_node in [19u16, 26, 27] {
+            assert_eq!(map.parent_of(BankId::new(cache_node)), core_parent, "cache {cache_node}");
+        }
+        let kids = map.children_of(core_parent).unwrap();
+        assert_eq!(kids.len(), 3);
+    }
+
+    #[test]
+    fn every_bank_has_exactly_one_parent() {
+        let (mesh, map) = setup(2);
+        let total: usize = map.parents().map(|p| map.children_of(p).unwrap().len()).sum();
+        assert_eq!(total, mesh.nodes_per_layer());
+    }
+
+    #[test]
+    fn base_latency_for_two_hops_matches_section_3_5() {
+        // 2 hops * (2-stage router + 1-cycle link) + delivery (2 + 1).
+        let (mesh, map) = setup(2);
+        let parent = cache(mesh, 27);
+        let info = map.child_info(parent, BankId::new(11)).unwrap();
+        assert_eq!(info.hops, 2);
+        assert_eq!(info.base_latency, 2 * 3 + 3);
+    }
+
+    #[test]
+    fn first_hop_directions_follow_xy() {
+        let (mesh, map) = setup(2);
+        let parent = cache(mesh, 27); // (3,3)
+        // chip 89 = cache 25 = (1,3): pure -x => West.
+        assert_eq!(map.child_info(parent, BankId::new(25)).unwrap().first_hop, Direction::West);
+        // chip 75 = cache 11 = (3,1): pure -y => South.
+        assert_eq!(map.child_info(parent, BankId::new(11)).unwrap().first_hop, Direction::South);
+        // chip 82 = cache 18 = (2,2): X first => West.
+        assert_eq!(map.child_info(parent, BankId::new(18)).unwrap().first_hop, Direction::West);
+        // Core-layer parents descend first.
+        let core_parent = mesh.coord(NodeId::new(27), Layer::Core);
+        assert_eq!(
+            map.child_info(core_parent, BankId::new(27)).unwrap().first_hop,
+            Direction::Down
+        );
+    }
+
+    #[test]
+    fn h3_parents_have_more_children_than_h1() {
+        // Figure 13: larger H means each parent sees more banks.
+        let (_, map1) = setup(1);
+        let (_, map3) = setup(3);
+        let max1 = map1.parents().map(|p| map1.children_of(p).unwrap().len()).max().unwrap();
+        let max3 = map3.parents().map(|p| map3.children_of(p).unwrap().len()).max().unwrap();
+        assert!(max3 > max1, "H=3 max children {max3} should exceed H=1 {max1}");
+    }
+
+    #[test]
+    fn h1_parent_is_last_hop_router() {
+        let (mesh, map) = setup(1);
+        // chip 75 = cache 11 = (3,1); path from TSB (3,3): 91->83->75.
+        // One hop before 75 is 83 = cache 19.
+        assert_eq!(map.parent_of(BankId::new(11)), cache(mesh, 19));
+    }
+}

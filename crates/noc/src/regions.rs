@@ -1,0 +1,271 @@
+//! Logical partitioning of the cache layer into regions, each served by
+//! one wide through-silicon bus (Section 3.4, Figures 4, 5 and 11).
+//!
+//! The cache layer is tiled into `R` equal rectangles. Every core->cache
+//! *request* must descend through the region's single TSB, which —
+//! combined with X-Y routing inside the cache layer — makes the route to
+//! every bank unique and creates the serialization points the busy-time
+//! prediction relies on.
+
+use snoc_common::config::TsbPlacement;
+use snoc_common::geom::{Coord, Layer, Mesh};
+use snoc_common::ids::{BankId, NodeId, RegionId};
+
+/// The region tiling and TSB positions for one configuration.
+#[derive(Debug, Clone)]
+pub struct RegionMap {
+    mesh: Mesh,
+    regions: usize,
+    placement: TsbPlacement,
+    region_of: Vec<RegionId>,
+    tsb_of: Vec<NodeId>,
+    tile_w: u8,
+    tile_h: u8,
+}
+
+impl RegionMap {
+    /// Builds the tiling for `regions` regions with the given TSB
+    /// placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh cannot be tiled into `regions` equal
+    /// rectangles with the builtin tiling rule (powers of two up to
+    /// one region per 2x2 tile on an 8x8 mesh).
+    pub fn new(mesh: Mesh, regions: usize, placement: TsbPlacement) -> Self {
+        assert!(regions >= 1, "need at least one region");
+        let (tiles_x, tiles_y) = Self::tile_grid(regions);
+        let w = mesh.width() as usize;
+        let h = mesh.height() as usize;
+        assert!(
+            w % tiles_x == 0 && h % tiles_y == 0,
+            "mesh {w}x{h} cannot be tiled into {tiles_x}x{tiles_y} regions"
+        );
+        let tile_w = (w / tiles_x) as u8;
+        let tile_h = (h / tiles_y) as u8;
+
+        let mut region_of = vec![RegionId::new(0); mesh.nodes_per_layer()];
+        for node in mesh.nodes() {
+            let c = mesh.coord(node, Layer::Cache);
+            let tx = (c.x / tile_w) as usize;
+            let ty = (c.y / tile_h) as usize;
+            region_of[node.index()] = RegionId::new((ty * tiles_x + tx) as u16);
+        }
+
+        let mut tsb_of = Vec::with_capacity(regions);
+        for r in 0..regions {
+            let tx = (r % tiles_x) as u8;
+            let ty = (r / tiles_x) as u8;
+            tsb_of.push(Self::tsb_position(mesh, tile_w, tile_h, tx, ty, placement));
+        }
+
+        Self { mesh, regions, placement, region_of, tsb_of, tile_w, tile_h }
+    }
+
+    /// The `(columns, rows)` arrangement of tiles for a region count.
+    fn tile_grid(regions: usize) -> (usize, usize) {
+        match regions {
+            1 => (1, 1),
+            2 => (2, 1),
+            4 => (2, 2),
+            8 => (2, 4),
+            16 => (4, 4),
+            _ => panic!("unsupported region count {regions}"),
+        }
+    }
+
+    fn tsb_position(
+        mesh: Mesh,
+        tile_w: u8,
+        tile_h: u8,
+        tx: u8,
+        ty: u8,
+        placement: TsbPlacement,
+    ) -> NodeId {
+        let x0 = tx * tile_w;
+        let y0 = ty * tile_h;
+        let x1 = x0 + tile_w - 1;
+        let y1 = y0 + tile_h - 1;
+        // The "innermost" corner: the tile corner nearest the mesh
+        // centre (between columns w/2-1 and w/2).
+        let cx2 = mesh.width() as i32 - 1; // 2*centre_x
+        let cy2 = mesh.height() as i32 - 1;
+        let inner_x = if (2 * x0 as i32 - cx2).abs() <= (2 * x1 as i32 - cx2).abs() { x0 } else { x1 };
+        let inner_y = if (2 * y0 as i32 - cy2).abs() <= (2 * y1 as i32 - cy2).abs() { y0 } else { y1 };
+        let (x, y) = match placement {
+            TsbPlacement::Corner => (inner_x, inner_y),
+            TsbPlacement::Staggered => {
+                // Spread TSBs across distinct columns so Y-direction
+                // flows towards different TSBs do not collide in the
+                // core layer (Figure 11 (b)/(c)).
+                let x = x0 + (ty % tile_w.max(1));
+                (x, inner_y)
+            }
+        };
+        mesh.node(Coord::new(x, y, Layer::Cache))
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// The placement rule in use.
+    pub fn placement(&self) -> TsbPlacement {
+        self.placement
+    }
+
+    /// Tile width in nodes.
+    pub fn tile_width(&self) -> u8 {
+        self.tile_w
+    }
+
+    /// Tile height in nodes.
+    pub fn tile_height(&self) -> u8 {
+        self.tile_h
+    }
+
+    /// The region containing a cache-layer node.
+    pub fn region_of(&self, node: NodeId) -> RegionId {
+        self.region_of[node.index()]
+    }
+
+    /// The region containing a bank.
+    pub fn region_of_bank(&self, bank: BankId) -> RegionId {
+        self.region_of(bank.node())
+    }
+
+    /// The cache-layer node holding a region's TSB.
+    pub fn tsb_node(&self, region: RegionId) -> NodeId {
+        self.tsb_of[region.index()]
+    }
+
+    /// The TSB node (cache layer) serving a destination bank node.
+    pub fn tsb_for(&self, dest: NodeId) -> NodeId {
+        self.tsb_node(self.region_of(dest))
+    }
+
+    /// `true` if `node` hosts a region TSB.
+    pub fn is_tsb_node(&self, node: NodeId) -> bool {
+        self.tsb_of.contains(&node)
+    }
+
+    /// All banks in a region.
+    pub fn banks_in(&self, region: RegionId) -> impl Iterator<Item = BankId> + '_ {
+        self.mesh
+            .nodes()
+            .filter(move |n| self.region_of[n.index()] == region)
+            .map(|n| BankId::new(n.raw()))
+    }
+
+    /// Renders the cache layer as ASCII art, marking TSB nodes with `#`
+    /// and labelling every node with its region (Figure 11 rendering).
+    pub fn ascii_art(&self) -> String {
+        let mut out = String::new();
+        for y in (0..self.mesh.height()).rev() {
+            for x in 0..self.mesh.width() {
+                let node = self.mesh.node(Coord::new(x, y, Layer::Cache));
+                let r = self.region_of(node).index();
+                if self.is_tsb_node(node) {
+                    out.push('#');
+                } else {
+                    out.push(char::from_digit((r % 16) as u32, 16).unwrap());
+                }
+                out.push(' ');
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(8, 8)
+    }
+
+    #[test]
+    fn four_regions_are_quadrants() {
+        let m = RegionMap::new(mesh(), 4, TsbPlacement::Corner);
+        // Paper numbering: chip node 64+i = cache node i.
+        // Bank 0 (chip 64) is in the SW quadrant, bank 63 (chip 127) NE.
+        assert_eq!(m.region_of(NodeId::new(0)), m.region_of(NodeId::new(27)));
+        assert_ne!(m.region_of(NodeId::new(0)), m.region_of(NodeId::new(63)));
+        for r in 0..4 {
+            assert_eq!(m.banks_in(RegionId::new(r)).count(), 16);
+        }
+    }
+
+    #[test]
+    fn paper_region0_tsb_is_node_27() {
+        // Figure 4/5: the SW region's TSB connects core-layer node 27
+        // to cache-layer node 91 (= cache node 27).
+        let m = RegionMap::new(mesh(), 4, TsbPlacement::Corner);
+        let r0 = m.region_of(NodeId::new(0));
+        assert_eq!(m.tsb_node(r0), NodeId::new(27));
+    }
+
+    #[test]
+    fn corner_tsbs_are_innermost() {
+        let m = RegionMap::new(mesh(), 4, TsbPlacement::Corner);
+        let expected = [27, 28, 35, 36]; // (3,3), (4,3), (3,4), (4,4)
+        let mut got: Vec<_> = (0..4).map(|r| m.tsb_node(RegionId::new(r)).index()).collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn staggered_tsbs_use_distinct_columns_for_4_and_8_regions() {
+        for regions in [4usize, 8] {
+            let m = RegionMap::new(mesh(), regions, TsbPlacement::Staggered);
+            let mut cols: Vec<_> = (0..regions)
+                .map(|r| {
+                    let n = m.tsb_node(RegionId::new(r as u16));
+                    mesh().coord(n, Layer::Cache).x
+                })
+                .collect();
+            cols.sort_unstable();
+            cols.dedup();
+            assert_eq!(cols.len(), regions, "{regions} regions share TSB columns: {cols:?}");
+        }
+    }
+
+    #[test]
+    fn tsb_lies_inside_its_region() {
+        for regions in [4usize, 8, 16] {
+            for placement in [TsbPlacement::Corner, TsbPlacement::Staggered] {
+                let m = RegionMap::new(mesh(), regions, placement);
+                for r in 0..regions {
+                    let rid = RegionId::new(r as u16);
+                    let t = m.tsb_node(rid);
+                    assert_eq!(m.region_of(t), rid, "{regions} regions, {placement:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_regions_have_four_banks_each() {
+        let m = RegionMap::new(mesh(), 16, TsbPlacement::Corner);
+        for r in 0..16 {
+            assert_eq!(m.banks_in(RegionId::new(r)).count(), 4);
+        }
+    }
+
+    #[test]
+    fn region_count_must_tile_mesh() {
+        let result = std::panic::catch_unwind(|| RegionMap::new(mesh(), 3, TsbPlacement::Corner));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn ascii_art_has_one_tsb_mark_per_region() {
+        let m = RegionMap::new(mesh(), 8, TsbPlacement::Staggered);
+        let art = m.ascii_art();
+        assert_eq!(art.matches('#').count(), 8);
+        assert_eq!(art.lines().count(), 8);
+    }
+}

@@ -1,0 +1,956 @@
+//! The two-stage wormhole router (Table 1: 2-stage pipeline, 6 VCs per
+//! port, 5-flit buffers, credit-based virtual-channel flow control).
+//!
+//! Each router has seven ports (four cardinal, up, down, local). A flit
+//! arriving on an input VC becomes eligible for allocation
+//! `router_stages` cycles later, modelling the pipeline. The head flit
+//! performs route computation and VC allocation (VA); every flit then
+//! competes in switch allocation (SA) — one grant per output port and
+//! per input port each cycle — and departs over the link.
+//!
+//! Parent routers additionally implement the paper's STT-RAM-aware
+//! arbitration: a head flit whose destination bank is predicted busy is
+//! *held* in its VC (VA is withheld) until its release time, and
+//! requests to predicted-busy banks lose SA arbitration to coherence,
+//! memory-controller and idle-bank traffic.
+
+use crate::arbiter::rr_pick;
+use crate::busy::BusyTable;
+use crate::packet::{Flit, Packet};
+use crate::parent::ChildInfo;
+use snoc_common::config::ArbitrationPolicy;
+use snoc_common::geom::{Coord, Direction};
+use snoc_common::ids::{BankId, PacketId};
+use snoc_common::Cycle;
+use std::collections::VecDeque;
+
+/// Number of router ports.
+pub const PORTS: usize = 7;
+
+/// What a router can see of the rest of the network: packet contents,
+/// the routing function and the request/bank classification.
+pub trait NetView {
+    /// The packet with the given id.
+    fn packet(&self, id: PacketId) -> &Packet;
+    /// The output direction for `packet` at router position `at`.
+    fn route(&self, at: Coord, packet: &Packet) -> Direction;
+    /// The destination bank, if `packet` is a core-side bank request.
+    fn dest_bank(&self, packet: &Packet) -> Option<BankId>;
+}
+
+/// An allocated output for the packet occupying an input VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutRoute {
+    /// Output port direction.
+    pub dir: Direction,
+    /// Output virtual channel.
+    pub vc: usize,
+}
+
+/// One input virtual channel.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualChannel {
+    flits: VecDeque<Flit>,
+    route: Option<OutRoute>,
+    /// Cycle at which the current head packet was first held by the
+    /// bank-aware policy; cleared at allocation. The hold condition is
+    /// re-evaluated every cycle against the live busy table, so a
+    /// parent naturally serializes several held requests to one bank.
+    held_since: Option<Cycle>,
+}
+
+impl VirtualChannel {
+    /// The flit at the head of the buffer.
+    pub fn front(&self) -> Option<&Flit> {
+        self.flits.front()
+    }
+
+    /// Buffered flit count.
+    pub fn len(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// `true` when no flits are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty()
+    }
+
+    /// The allocated output, if any.
+    pub fn route(&self) -> Option<OutRoute> {
+        self.route
+    }
+
+    /// `true` while the head packet is being held by bank-aware
+    /// arbitration.
+    pub fn is_held(&self, _now: Cycle) -> bool {
+        self.held_since.is_some() && self.route.is_none()
+    }
+}
+
+/// Per-output-port downstream state: credits and VC ownership.
+#[derive(Debug, Clone)]
+struct OutputPort {
+    credits: Vec<u8>,
+    /// The (input port, input VC) currently bound to each output VC;
+    /// bound from head-flit VA until the tail flit departs.
+    owner: Vec<Option<(u8, u8)>>,
+}
+
+impl OutputPort {
+    fn new(vcs: usize, depth: usize) -> Self {
+        Self { credits: vec![depth as u8; vcs], owner: vec![None; vcs] }
+    }
+}
+
+/// A granted switch traversal: flits leaving through an output port.
+#[derive(Debug, Clone)]
+pub struct SwitchMove {
+    /// Source input port.
+    pub in_port: usize,
+    /// Source input VC.
+    pub in_vc: usize,
+    /// Output direction.
+    pub out_dir: Direction,
+    /// Output VC (= downstream input VC).
+    pub out_vc: usize,
+    /// The departing flits (more than one only over a wide TSB).
+    pub flits: Vec<Flit>,
+}
+
+/// Per-cycle scalar parameters for a router step.
+#[derive(Debug, Clone, Copy)]
+pub struct StepParams {
+    /// Current cycle.
+    pub now: Cycle,
+    /// Arbitration policy in force.
+    pub policy: ArbitrationPolicy,
+    /// Upper bound on how long a packet may be held (livelock guard).
+    pub max_hold: Cycle,
+    /// Release slack: let a held packet go this many cycles before the
+    /// predicted idle time to cover allocation/switch contention.
+    pub hold_slack: Cycle,
+    /// `true` when this router's Down port is a wide region TSB.
+    pub wide_down: bool,
+    /// Extra flits a wide TSB may send per grant (width factor - 1).
+    pub tsb_extra: usize,
+}
+
+/// Counters a router keeps for the evaluation figures.
+#[derive(Debug, Clone, Default)]
+pub struct RouterStats {
+    /// Bank requests forwarded towards child banks.
+    pub forwarded_to_children: u64,
+    /// Of those, writes.
+    pub writes_to_children: u64,
+    /// Packets that were held at least one cycle.
+    pub held_packets: u64,
+    /// Total cycles packets spent held.
+    pub held_cycles: u64,
+    /// Sum over write-forward events of the number of buffered
+    /// request packets whose destination is exactly H hops away from
+    /// this router, for H = 1, 2, 3 (Figure 3 inset / Figure 13a).
+    pub queue_by_hops: [u64; 3],
+    /// Number of write-forward sampling events.
+    pub child_queue_samples: u64,
+    /// Flits that traversed the crossbar here.
+    pub switch_traversals: u64,
+    /// Flits written into input buffers here.
+    pub buffer_writes: u64,
+}
+
+/// One router of the 3D mesh.
+#[derive(Debug)]
+pub struct Router {
+    coord: Coord,
+    vcs: usize,
+    depth: u8,
+    inputs: Vec<Vec<VirtualChannel>>,
+    outputs: Vec<OutputPort>,
+    va_rr: Vec<usize>,
+    sa_rr: Vec<usize>,
+    buffered: usize,
+    capacity: usize,
+    /// Flat (port*vcs+vc) bitmask of VCs whose front flit is a header
+    /// awaiting VC allocation.
+    va_mask: u64,
+    /// Per output port: flat bitmask of input VCs routed to it.
+    sa_mask: [u64; PORTS],
+    /// Child banks managed by this router (empty if not a parent).
+    children: Vec<ChildInfo>,
+    /// Predicted busy horizons for the children.
+    pub busy: BusyTable,
+    /// Per-child congestion estimates, refreshed each cycle by the
+    /// network (parallel to `children`).
+    pub child_cong: Vec<Cycle>,
+    /// Statistics.
+    pub stats: RouterStats,
+}
+
+impl Router {
+    /// Creates a router with `vcs` VCs of `depth` flits on each port.
+    pub fn new(coord: Coord, vcs: usize, depth: usize, children: Vec<ChildInfo>) -> Self {
+        let busy = BusyTable::new(children.iter().map(|c| c.bank));
+        let child_cong = vec![0; children.len()];
+        Self {
+            coord,
+            vcs,
+            depth: depth as u8,
+            inputs: (0..PORTS)
+                .map(|_| (0..vcs).map(|_| VirtualChannel::default()).collect())
+                .collect(),
+            outputs: (0..PORTS).map(|_| OutputPort::new(vcs, depth)).collect(),
+            va_rr: vec![0; PORTS],
+            sa_rr: vec![0; PORTS],
+            buffered: 0,
+            capacity: PORTS * vcs * depth,
+            va_mask: 0,
+            sa_mask: [0; PORTS],
+            children,
+            busy,
+            child_cong,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// This router's position.
+    pub fn coord(&self) -> Coord {
+        self.coord
+    }
+
+    /// The banks this router manages as a parent.
+    pub fn children(&self) -> &[ChildInfo] {
+        &self.children
+    }
+
+    /// `true` if this router is the parent of `bank`.
+    pub fn manages(&self, bank: BankId) -> bool {
+        self.children.iter().any(|c| c.bank == bank)
+    }
+
+    /// Total buffered flits (for RCA occupancy and fast idle skip).
+    pub fn buffered_flits(&self) -> usize {
+        self.buffered
+    }
+
+    /// Buffer occupancy as a 0..=255 fraction of capacity.
+    pub fn occupancy_byte(&self) -> u8 {
+        (self.buffered * 255 / self.capacity) as u8
+    }
+
+    /// Read access to an input VC (tests and instrumentation).
+    pub fn input_vc(&self, port: usize, vc: usize) -> &VirtualChannel {
+        &self.inputs[port][vc]
+    }
+
+    /// Remaining credits for an output VC.
+    pub fn credits(&self, dir: Direction, vc: usize) -> u8 {
+        self.outputs[dir.port()].credits[vc]
+    }
+
+    /// Accepts a flit into an input VC (link arrival or NI injection).
+    pub fn accept(&mut self, port: usize, vc: usize, flit: Flit) {
+        let q = &mut self.inputs[port][vc];
+        let was_empty = q.flits.is_empty();
+        q.flits.push_back(flit);
+        if was_empty && flit.head {
+            self.va_mask |= 1 << (port * self.vcs + vc);
+        }
+        self.buffered += 1;
+        self.stats.buffer_writes += 1;
+    }
+
+    /// Clears the statistics (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = RouterStats::default();
+    }
+
+    /// Returns `credits` slots to an output VC.
+    pub fn return_credit(&mut self, dir: Direction, vc: usize, credits: u8) {
+        self.outputs[dir.port()].credits[vc] += credits;
+    }
+
+    #[cfg(test)]
+    fn drain_credits(&mut self, dir: Direction, vc: usize) -> u8 {
+        std::mem::take(&mut self.outputs[dir.port()].credits[vc])
+    }
+
+    /// The congestion-adjusted arrival estimate for a request sent now
+    /// towards child `bank`, or `None` if this router does not manage
+    /// `bank`.
+    fn arrival_estimate(&self, bank: BankId) -> Option<Cycle> {
+        let idx = self.children.iter().position(|c| c.bank == bank)?;
+        Some(self.children[idx].base_latency + self.child_cong[idx])
+    }
+
+    /// Virtual-channel allocation: for every input VC whose head flit
+    /// is ready and has no output yet, compute the route and try to
+    /// claim a free output VC in the packet's class partition.
+    ///
+    /// Bank-aware policy: if this router is the destination bank's
+    /// parent and the bank is predicted busy at the packet's estimated
+    /// arrival, VA is withheld until the computed release cycle — the
+    /// packet waits in its (already buffered) VC.
+    pub fn step_va(&mut self, view: &dyn NetView, p: StepParams) {
+        let mut mask = self.va_mask;
+        while mask != 0 {
+            let flat = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            {
+                let (port, vc) = (flat / self.vcs, flat % self.vcs);
+                let q = &self.inputs[port][vc];
+                let Some(front) = q.flits.front() else {
+                    self.va_mask &= !(1 << flat);
+                    continue;
+                };
+                debug_assert!(front.head && q.route.is_none());
+                if front.ready_at > p.now {
+                    continue;
+                }
+                let pid = front.packet;
+                let packet = view.packet(pid);
+
+                // Bank-aware hold decision, re-evaluated every cycle
+                // against the live busy horizon: once an earlier
+                // request is forwarded and extends the horizon, the
+                // next held packet keeps waiting, so a parent spaces
+                // back-to-back requests by the bank service time.
+                if p.policy.is_bank_aware() {
+                    if let Some(bank) = view.dest_bank(packet) {
+                        if let Some(arrival) = self.arrival_estimate(bank) {
+                            let q = &self.inputs[port][vc];
+                            let held_since = q.held_since;
+                            let over_limit = held_since
+                                .map(|s| p.now.saturating_sub(s) >= p.max_hold)
+                                .unwrap_or(false);
+                            // A held head must not block bystanders —
+                            // but packets behind it headed to the SAME
+                            // busy bank are not bystanders (they would
+                            // only queue at the bank). Release when a
+                            // foreign-destination packet is stuck
+                            // behind, or when this input port has no
+                            // spare request VC left (a blockade would
+                            // stall the whole port).
+                            let blocking = q.flits.iter().any(|f| {
+                                f.head
+                                    && f.packet != pid
+                                    && view.dest_bank(view.packet(f.packet)) != Some(bank)
+                            });
+                            if !over_limit
+                                && !blocking
+                                && self.busy.would_queue_with_slack(
+                                    bank,
+                                    p.now,
+                                    arrival,
+                                    p.hold_slack,
+                                )
+                            {
+                                if held_since.is_none() {
+                                    self.inputs[port][vc].held_since = Some(p.now);
+                                    self.stats.held_packets += 1;
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                }
+
+                let dir = view.route(self.coord, packet);
+                let class = packet.kind.class();
+                let range = class.vc_range(self.vcs);
+                let out = &self.outputs[dir.port()];
+                let rr = self.va_rr[dir.port()];
+                let depth = self.depth;
+                // Prefer an output VC whose downstream buffer is empty
+                // (full credits): packets then spread across VCs
+                // instead of stacking behind a possibly-held head.
+                let pick = rr_pick(rr, self.vcs, |v| {
+                    range.contains(&v) && out.owner[v].is_none() && out.credits[v] == depth
+                })
+                .or_else(|| {
+                    rr_pick(rr, self.vcs, |v| {
+                        range.contains(&v) && out.owner[v].is_none() && out.credits[v] > 0
+                    })
+                });
+                if let Some(out_vc) = pick {
+                    self.va_rr[dir.port()] = out_vc;
+                    self.outputs[dir.port()].owner[out_vc] = Some((port as u8, vc as u8));
+                    let held = self.inputs[port][vc].held_since.take();
+                    if let Some(since) = held {
+                        self.stats.held_cycles += p.now - since;
+                    }
+                    self.inputs[port][vc].route = Some(OutRoute { dir, vc: out_vc });
+                    self.va_mask &= !(1 << flat);
+                    self.sa_mask[dir.port()] |= 1 << flat;
+                }
+            }
+        }
+    }
+
+    /// `true` when `(port, vc)` may compete for output `out_dir` this
+    /// cycle.
+    fn sa_candidate(&self, port: usize, vc: usize, out_dir: Direction, now: Cycle) -> bool {
+        let q = &self.inputs[port][vc];
+        let Some(route) = q.route else { return false };
+        if route.dir != out_dir {
+            return false;
+        }
+        let Some(front) = q.flits.front() else { return false };
+        front.ready_at <= now && self.outputs[out_dir.port()].credits[route.vc] > 0
+    }
+
+    /// Switch allocation: one grant per output port, at most one grant
+    /// per input port, prioritized when the bank-aware policy is on.
+    ///
+    /// Returns the granted moves; flits are already popped and credits
+    /// decremented.
+    pub fn step_sa(&mut self, view: &dyn NetView, p: StepParams) -> Vec<SwitchMove> {
+        let mut moves = Vec::new();
+        let mut input_port_used = [false; PORTS];
+
+        for out_dir in Direction::ALL {
+            let op = out_dir.port();
+            let candidates = self.sa_mask[op];
+            if candidates == 0 {
+                continue;
+            }
+            let rr = self.sa_rr[op];
+            // Rotating priority over the candidate bits: bits above the
+            // last winner first, then the wrap-around.
+            let above = candidates & (u64::MAX << 1).wrapping_shl(rr as u32);
+            let below = candidates & !above;
+            let mut winner = None;
+            let mut best_rank = 0u8;
+            let mut fallback = None;
+            'outer: for group in [above, below] {
+                let mut bits = group;
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let (port, vc) = (i / self.vcs, i % self.vcs);
+                    if input_port_used[port] || !self.sa_candidate(port, vc, out_dir, p.now) {
+                        continue;
+                    }
+                    if !p.policy.is_bank_aware() {
+                        winner = Some(i);
+                        break 'outer;
+                    }
+                    let rank = self.sa_priority(port, vc, view, p.now);
+                    if rank == 2 {
+                        winner = Some(i);
+                        break 'outer;
+                    }
+                    if fallback.is_none() || rank > best_rank {
+                        fallback = Some(i);
+                        best_rank = rank;
+                    }
+                }
+            }
+            let Some(winner) = winner.or(fallback) else { continue };
+            self.sa_rr[op] = winner;
+            let (port, vc) = (winner / self.vcs, winner % self.vcs);
+            input_port_used[port] = true;
+            moves.push(self.grant(port, vc, p));
+        }
+        moves
+    }
+
+    /// Three-level SA priority (the re-ordering of Figure 2(c)):
+    /// 2 — idle-bank requests, coherence, memory-controller traffic
+    /// and responses; 1 — reads to predicted-busy banks (Section 4.2:
+    /// "read packets ... are prioritized over write packets" when the
+    /// destination bank is busy); 0 — writes to predicted-busy banks.
+    fn sa_priority(&self, port: usize, vc: usize, view: &dyn NetView, now: Cycle) -> u8 {
+        let q = &self.inputs[port][vc];
+        let Some(front) = q.flits.front() else { return 2 };
+        let packet = view.packet(front.packet);
+        if let Some(bank) = view.dest_bank(packet) {
+            if let Some(arrival) = self.arrival_estimate(bank) {
+                if self.busy.would_queue(bank, now, arrival) {
+                    return if packet.kind.is_bank_write() { 0 } else { 1 };
+                }
+            }
+        }
+        2
+    }
+
+    /// Pops the granted flit(s), consuming credits and releasing the
+    /// output VC on the tail flit.
+    fn grant(&mut self, port: usize, vc: usize, p: StepParams) -> SwitchMove {
+        let route = self.inputs[port][vc].route.expect("granted VC has a route");
+        // A wide (256b) region TSB carries up to `1 + tsb_extra` flits
+        // of the same packet per cycle (XShare-style combining).
+        let burst = if route.dir == Direction::Down && p.wide_down { 1 + p.tsb_extra } else { 1 };
+        let mut flits = Vec::with_capacity(burst);
+        let mut tail_sent = false;
+        for _ in 0..burst {
+            if tail_sent || self.outputs[route.dir.port()].credits[route.vc] == 0 {
+                break;
+            }
+            let Some(front) = self.inputs[port][vc].flits.front() else { break };
+            if front.ready_at > p.now {
+                break;
+            }
+            let flit = self.inputs[port][vc].flits.pop_front().expect("front checked");
+            self.buffered -= 1;
+            self.outputs[route.dir.port()].credits[route.vc] -= 1;
+            self.stats.switch_traversals += 1;
+            tail_sent = flit.tail;
+            flits.push(flit);
+        }
+        debug_assert!(!flits.is_empty());
+        if tail_sent {
+            self.outputs[route.dir.port()].owner[route.vc] = None;
+            let flat = port * self.vcs + vc;
+            self.sa_mask[route.dir.port()] &= !(1 << flat);
+            let q = &mut self.inputs[port][vc];
+            q.route = None;
+            q.held_since = None;
+            if q.flits.front().map(|f| f.head).unwrap_or(false) {
+                self.va_mask |= 1 << flat;
+            }
+        }
+        SwitchMove { in_port: port, in_vc: vc, out_dir: route.dir, out_vc: route.vc, flits }
+    }
+
+    /// Called by the network when this (parent) router forwards the
+    /// head flit of a bank request towards child `bank`: updates the
+    /// busy table and samples the child-bound queue depth on writes.
+    ///
+    /// `extra_serialization` accounts for the remaining flits of a
+    /// multi-flit packet (the bank starts service on the tail flit).
+    pub fn note_forward(
+        &mut self,
+        bank: BankId,
+        is_write: bool,
+        service: Cycle,
+        extra_serialization: Cycle,
+        now: Cycle,
+        view: &dyn NetView,
+    ) {
+        // The busy horizon uses the uncontended arrival: congestion
+        // estimates time the *release* of held packets but should not
+        // inflate the bank's predicted service chain.
+        let Some(idx) = self.children.iter().position(|c| c.bank == bank) else { return };
+        let base = self.children[idx].base_latency;
+        self.busy.on_forward(bank, now, base + extra_serialization, service);
+        self.stats.forwarded_to_children += 1;
+        if is_write {
+            self.stats.writes_to_children += 1;
+            // Figure 3 inset / Figure 13a: buffered request packets in
+            // this router whose destination lies exactly H hops away,
+            // sampled when a write is forwarded.
+            let mut queued = [0u64; 3];
+            for port in &self.inputs {
+                for q in port {
+                    if let Some(front) = q.flits.front() {
+                        if front.head {
+                            let pkt = view.packet(front.packet);
+                            if pkt.kind.is_bank_request() {
+                                let d = self.coord.manhattan(pkt.dst)
+                                    + u32::from(self.coord.layer != pkt.dst.layer);
+                                if (1..=3).contains(&d) {
+                                    queued[(d - 1) as usize] += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for (s, q) in self.stats.queue_by_hops.iter_mut().zip(queued) {
+                *s += q;
+            }
+            self.stats.child_queue_samples += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use snoc_common::config::Estimator;
+    use snoc_common::geom::Layer;
+
+    /// A test network view with a fixed per-packet route table.
+    struct TestView {
+        packets: Vec<Packet>,
+        routes: Vec<Direction>,
+        banks: Vec<Option<BankId>>,
+    }
+
+    impl TestView {
+        fn new(specs: Vec<(PacketKind, Direction, Option<BankId>)>) -> Self {
+            let src = Coord::new(0, 0, Layer::Core);
+            let dst = Coord::new(3, 1, Layer::Cache);
+            let mut packets = Vec::new();
+            let mut routes = Vec::new();
+            let mut banks = Vec::new();
+            for (i, (kind, dir, bank)) in specs.into_iter().enumerate() {
+                let mut p = Packet::new(kind, src, dst, 0, 0);
+                p.id = PacketId::new(i as u16);
+                packets.push(p);
+                routes.push(dir);
+                banks.push(bank);
+            }
+            Self { packets, routes, banks }
+        }
+    }
+
+    impl NetView for TestView {
+        fn packet(&self, id: PacketId) -> &Packet {
+            &self.packets[id.index()]
+        }
+        fn route(&self, _at: Coord, packet: &Packet) -> Direction {
+            self.routes[packet.id.index()]
+        }
+        fn dest_bank(&self, packet: &Packet) -> Option<BankId> {
+            self.banks[packet.id.index()]
+        }
+    }
+
+    fn params(now: Cycle, policy: ArbitrationPolicy) -> StepParams {
+        StepParams { now, policy, max_hold: 100, hold_slack: 0, wide_down: false, tsb_extra: 0 }
+    }
+
+    const AWARE: ArbitrationPolicy = ArbitrationPolicy::BankAware { estimator: Estimator::Simple };
+
+    fn mk_router(children: Vec<ChildInfo>) -> Router {
+        Router::new(Coord::new(3, 3, Layer::Cache), 6, 5, children)
+    }
+
+    fn parent_children() -> Vec<ChildInfo> {
+        vec![ChildInfo {
+            bank: BankId::new(11),
+            base_latency: 9,
+            first_hop: Direction::South,
+            hops: 2,
+        }]
+    }
+
+    fn put_single(r: &mut Router, port: usize, vc: usize, pid: usize) {
+        r.accept(
+            port,
+            vc,
+            Flit { packet: PacketId::new(pid as u16), seq: 0, head: true, tail: true, ready_at: 0 },
+        );
+    }
+
+    #[test]
+    fn va_then_sa_moves_a_flit() {
+        let view = TestView::new(vec![(PacketKind::BankRead, Direction::South, None)]);
+        let mut r = mk_router(vec![]);
+        put_single(&mut r, 0, 0, 0);
+        let p = params(10, ArbitrationPolicy::RoundRobin);
+        r.step_va(&view, p);
+        assert!(r.input_vc(0, 0).route().is_some());
+        let moves = r.step_sa(&view, p);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].out_dir, Direction::South);
+        assert_eq!(r.buffered_flits(), 0);
+        assert_eq!(r.credits(Direction::South, moves[0].out_vc), 4);
+        assert_eq!(r.stats.switch_traversals, 1);
+        assert_eq!(r.stats.buffer_writes, 1);
+    }
+
+    #[test]
+    fn pipeline_delay_gates_allocation() {
+        let view = TestView::new(vec![(PacketKind::BankRead, Direction::South, None)]);
+        let mut r = mk_router(vec![]);
+        r.accept(
+            0,
+            0,
+            Flit { packet: PacketId::new(0), seq: 0, head: true, tail: true, ready_at: 12 },
+        );
+        r.step_va(&view, params(10, ArbitrationPolicy::RoundRobin));
+        assert!(r.input_vc(0, 0).route().is_none(), "not ready until cycle 12");
+        r.step_va(&view, params(12, ArbitrationPolicy::RoundRobin));
+        assert!(r.input_vc(0, 0).route().is_some());
+    }
+
+    #[test]
+    fn requests_and_responses_use_disjoint_vcs() {
+        use crate::packet::TrafficClass;
+        let view = TestView::new(vec![
+            (PacketKind::BankRead, Direction::South, None),
+            (PacketKind::DataReply, Direction::South, None),
+        ]);
+        let mut r = mk_router(vec![]);
+        put_single(&mut r, 0, 0, 0);
+        put_single(&mut r, 1, 4, 1);
+        r.step_va(&view, params(10, ArbitrationPolicy::RoundRobin));
+        let req_vc = r.input_vc(0, 0).route().unwrap().vc;
+        let rsp_vc = r.input_vc(1, 4).route().unwrap().vc;
+        assert!(TrafficClass::Request.vc_range(6).contains(&req_vc));
+        assert!(TrafficClass::Response.vc_range(6).contains(&rsp_vc));
+    }
+
+    #[test]
+    fn no_grant_without_credits() {
+        let view = TestView::new(vec![(PacketKind::BankRead, Direction::South, None)]);
+        let mut r = mk_router(vec![]);
+        put_single(&mut r, 0, 0, 0);
+        let p = params(10, ArbitrationPolicy::RoundRobin);
+        r.step_va(&view, p);
+        let vc = r.input_vc(0, 0).route().unwrap().vc;
+        let had = r.drain_credits(Direction::South, vc);
+        assert!(r.step_sa(&view, p).is_empty());
+        r.return_credit(Direction::South, vc, had);
+        assert_eq!(r.step_sa(&view, p).len(), 1);
+    }
+
+    #[test]
+    fn bank_aware_holds_request_to_busy_child() {
+        let view = TestView::new(vec![(
+            PacketKind::BankRead,
+            Direction::South,
+            Some(BankId::new(11)),
+        )]);
+        let mut r = mk_router(parent_children());
+        r.busy.on_forward(BankId::new(11), 0, 9, 33); // busy until 42
+        put_single(&mut r, 0, 0, 0);
+        r.step_va(&view, params(5, AWARE));
+        assert!(r.input_vc(0, 0).route().is_none(), "held packet gets no VC");
+        assert!(r.input_vc(0, 0).is_held(5));
+        assert_eq!(r.stats.held_packets, 1);
+        // Release at busy_until - arrival = 42 - 9 = 33.
+        r.step_va(&view, params(33, AWARE));
+        assert!(r.input_vc(0, 0).route().is_some());
+        assert_eq!(r.stats.held_cycles, 33 - 5);
+    }
+
+    #[test]
+    fn round_robin_does_not_hold() {
+        let view = TestView::new(vec![(
+            PacketKind::BankRead,
+            Direction::South,
+            Some(BankId::new(11)),
+        )]);
+        let mut r = mk_router(parent_children());
+        r.busy.on_forward(BankId::new(11), 0, 9, 33);
+        put_single(&mut r, 0, 0, 0);
+        r.step_va(&view, params(5, ArbitrationPolicy::RoundRobin));
+        assert!(r.input_vc(0, 0).route().is_some(), "RR is STT-RAM oblivious");
+        assert_eq!(r.stats.held_packets, 0);
+    }
+
+    #[test]
+    fn congestion_estimate_extends_the_hold_decision() {
+        let view = TestView::new(vec![(
+            PacketKind::BankRead,
+            Direction::South,
+            Some(BankId::new(11)),
+        )]);
+        let mut r = mk_router(parent_children());
+        r.busy.on_forward(BankId::new(11), 0, 9, 33); // busy until 42
+        r.child_cong[0] = 20; // heavy congestion: arrival estimate 29
+        put_single(&mut r, 0, 0, 0);
+        // At cycle 20 an uncongested request (arrival 9) would still
+        // queue (20+9 < 42), but with congestion 20 it would not
+        // (20+29 >= 42): no hold.
+        r.step_va(&view, params(20, AWARE));
+        assert!(r.input_vc(0, 0).route().is_some());
+        assert_eq!(r.stats.held_packets, 0);
+    }
+
+    #[test]
+    fn sa_prefers_idle_traffic_over_busy_bank_requests() {
+        // A request to a busy child (port 0) and a response (port 1)
+        // contest the same output: the response must win under
+        // bank-aware arbitration even though port 0 is first in RR
+        // order.
+        let view = TestView::new(vec![
+            (PacketKind::BankRead, Direction::South, Some(BankId::new(11))),
+            (PacketKind::DataReply, Direction::South, None),
+        ]);
+        let mut r = mk_router(parent_children());
+        put_single(&mut r, 0, 0, 0);
+        put_single(&mut r, 1, 4, 1);
+        r.step_va(&view, params(5, AWARE));
+        // The child becomes busy after VA (prediction arrived late).
+        r.busy.on_forward(BankId::new(11), 5, 9, 33);
+        let moves = r.step_sa(&view, params(6, AWARE));
+        assert_eq!(moves.len(), 1, "one output port contested");
+        assert_eq!(moves[0].flits[0].packet, PacketId::new(1), "response wins");
+    }
+
+    #[test]
+    fn max_hold_caps_the_delay() {
+        let view = TestView::new(vec![(
+            PacketKind::BankRead,
+            Direction::South,
+            Some(BankId::new(11)),
+        )]);
+        let mut r = mk_router(parent_children());
+        r.busy.on_forward(BankId::new(11), 0, 9, 1000);
+        put_single(&mut r, 0, 0, 0);
+        r.step_va(&view, params(5, AWARE));
+        assert!(r.input_vc(0, 0).route().is_none());
+        r.step_va(&view, params(106, AWARE));
+        assert!(r.input_vc(0, 0).route().is_some(), "hold is capped at max_hold");
+    }
+
+    #[test]
+    fn note_forward_updates_busy_and_samples_queue() {
+        let view = TestView::new(vec![(
+            PacketKind::BankRead,
+            Direction::South,
+            Some(BankId::new(11)),
+        )]);
+        let mut r = mk_router(parent_children());
+        put_single(&mut r, 0, 0, 0); // a queued request to the child
+        r.note_forward(BankId::new(11), true, 33, 8, 100, &view);
+        assert_eq!(r.busy.busy_until(BankId::new(11)), 100 + 9 + 8 + 33);
+        assert_eq!(r.stats.child_queue_samples, 1);
+        // The queued request's destination (3,1) is 2 hops from this
+        // router at (3,3).
+        assert_eq!(r.stats.queue_by_hops, [0, 1, 0]);
+        assert_eq!(r.stats.writes_to_children, 1);
+        assert_eq!(r.stats.forwarded_to_children, 1);
+    }
+
+    #[test]
+    fn wide_tsb_moves_two_flits_per_grant() {
+        let view = TestView::new(vec![(PacketKind::Writeback, Direction::Down, None)]);
+        let mut r = mk_router(vec![]);
+        for flit in Flit::sequence(PacketId::new(0), 3) {
+            r.accept(Direction::Local.port(), 0, flit);
+        }
+        let mut p = params(10, ArbitrationPolicy::RoundRobin);
+        p.wide_down = true;
+        p.tsb_extra = 1;
+        r.step_va(&view, p);
+        let moves = r.step_sa(&view, p);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].flits.len(), 2, "256b TSB carries two 128b flits");
+        let moves = r.step_sa(&view, p);
+        assert_eq!(moves[0].flits.len(), 1, "tail flit alone");
+        assert!(moves[0].flits[0].tail);
+    }
+
+    #[test]
+    fn narrow_ports_move_one_flit_even_with_tsb_extra() {
+        let view = TestView::new(vec![(PacketKind::Writeback, Direction::South, None)]);
+        let mut r = mk_router(vec![]);
+        for flit in Flit::sequence(PacketId::new(0), 3) {
+            r.accept(0, 0, flit);
+        }
+        let mut p = params(10, ArbitrationPolicy::RoundRobin);
+        p.wide_down = true; // wide TSB applies to Down only
+        p.tsb_extra = 1;
+        r.step_va(&view, p);
+        let moves = r.step_sa(&view, p);
+        assert_eq!(moves[0].flits.len(), 1);
+    }
+
+    #[test]
+    fn one_grant_per_input_port_per_cycle() {
+        let view = TestView::new(vec![
+            (PacketKind::BankRead, Direction::South, None),
+            (PacketKind::BankRead, Direction::North, None),
+        ]);
+        let mut r = mk_router(vec![]);
+        put_single(&mut r, 0, 0, 0);
+        put_single(&mut r, 0, 1, 1);
+        let p = params(10, ArbitrationPolicy::RoundRobin);
+        r.step_va(&view, p);
+        let moves = r.step_sa(&view, p);
+        assert_eq!(moves.len(), 1, "crossbar admits one flit per input port");
+        let moves = r.step_sa(&view, p);
+        assert_eq!(moves.len(), 1, "the other VC wins next cycle");
+    }
+
+    #[test]
+    fn tail_flit_releases_the_output_vc() {
+        let view = TestView::new(vec![
+            (PacketKind::BankRead, Direction::South, None),
+            (PacketKind::BankRead, Direction::South, None),
+        ]);
+        let mut r = mk_router(vec![]);
+        put_single(&mut r, 0, 0, 0);
+        let p = params(10, ArbitrationPolicy::RoundRobin);
+        r.step_va(&view, p);
+        let out_vc = r.input_vc(0, 0).route().unwrap().vc;
+        assert!(r.outputs[Direction::South.port()].owner[out_vc].is_some());
+        r.step_sa(&view, p);
+        assert!(r.outputs[Direction::South.port()].owner[out_vc].is_none());
+        assert!(r.input_vc(0, 0).route().is_none());
+    }
+
+    #[test]
+    fn reads_beat_writes_to_the_same_busy_bank() {
+        // Three-level SA priority: among requests to a busy child, a
+        // read (rank 1) wins over a write (rank 0).
+        let view = TestView::new(vec![
+            (PacketKind::Writeback, Direction::South, Some(BankId::new(11))),
+            (PacketKind::BankRead, Direction::South, Some(BankId::new(11))),
+        ]);
+        let mut r = mk_router(parent_children());
+        put_single(&mut r, 0, 0, 0); // write, first in RR order
+        put_single(&mut r, 1, 1, 1); // read
+        r.step_va(&view, params(5, AWARE));
+        r.busy.on_forward(BankId::new(11), 5, 9, 33);
+        let moves = r.step_sa(&view, params(6, AWARE));
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].flits[0].packet, PacketId::new(1), "read wins");
+    }
+
+    #[test]
+    fn va_spreads_packets_across_empty_vcs() {
+        // Two request packets on different input ports must claim
+        // different output VCs (prefer-empty rule), not stack into one.
+        let view = TestView::new(vec![
+            (PacketKind::BankRead, Direction::South, None),
+            (PacketKind::BankRead, Direction::South, None),
+        ]);
+        let mut r = mk_router(vec![]);
+        put_single(&mut r, 0, 0, 0);
+        put_single(&mut r, 1, 0, 1);
+        r.step_va(&view, params(10, ArbitrationPolicy::RoundRobin));
+        let a = r.input_vc(0, 0).route().unwrap().vc;
+        let b = r.input_vc(1, 0).route().unwrap().vc;
+        assert_ne!(a, b, "both got fresh downstream VCs");
+    }
+
+    #[test]
+    fn hold_releases_when_a_foreign_packet_stacks_behind() {
+        let view = TestView::new(vec![
+            (PacketKind::BankRead, Direction::South, Some(BankId::new(11))),
+            (PacketKind::BankRead, Direction::North, None), // foreign
+        ]);
+        let mut r = mk_router(parent_children());
+        r.busy.on_forward(BankId::new(11), 0, 9, 1000);
+        put_single(&mut r, 0, 0, 0);
+        r.step_va(&view, params(5, AWARE));
+        assert!(r.input_vc(0, 0).route().is_none(), "held");
+        // A foreign-destination packet lands behind it in the same VC.
+        put_single(&mut r, 0, 0, 1);
+        r.step_va(&view, params(6, AWARE));
+        assert!(r.input_vc(0, 0).route().is_some(), "hold released for the bystander");
+    }
+
+    #[test]
+    fn hold_persists_when_a_same_bank_packet_stacks_behind() {
+        let view = TestView::new(vec![
+            (PacketKind::BankRead, Direction::South, Some(BankId::new(11))),
+            (PacketKind::BankRead, Direction::South, Some(BankId::new(11))),
+        ]);
+        let mut r = mk_router(parent_children());
+        r.busy.on_forward(BankId::new(11), 0, 9, 1000);
+        put_single(&mut r, 0, 0, 0);
+        put_single(&mut r, 0, 0, 1); // same busy bank: not a bystander
+        r.step_va(&view, params(5, AWARE));
+        assert!(r.input_vc(0, 0).route().is_none(), "hold persists");
+        assert!(r.input_vc(0, 0).is_held(5));
+    }
+
+    #[test]
+    fn occupancy_byte_scales() {
+        let mut r = mk_router(vec![]);
+        assert_eq!(r.occupancy_byte(), 0);
+        for flit in Flit::sequence(PacketId::new(0), 5) {
+            r.accept(0, 0, flit);
+        }
+        // 5 of 7*6*5 = 210 slots.
+        assert_eq!(r.occupancy_byte() as usize, 5 * 255 / 210);
+    }
+}

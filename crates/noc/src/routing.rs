@@ -1,0 +1,253 @@
+//! Deterministic routing for the two-layer 3D mesh.
+//!
+//! Two routing modes exist (Section 3.4):
+//!
+//! * **Z-X-Y** (the `*-64TSB` baselines, and all non-request traffic in
+//!   every mode): change layer at the source column, then X-Y route in
+//!   the destination layer.
+//! * **Region-TSB** (the `*-4TSB` schemes, bank requests only): X-Y
+//!   route in the core layer to the destination region's TSB column,
+//!   descend there, then X-Y route in the cache layer. Responses and
+//!   coherence packets still use all 64 TSVs (Z-X-Y).
+//!
+//! Both modes are deadlock-free: X-Y routing is acyclic within each
+//! layer, a packet changes layer at most once, and the three traffic
+//! classes use disjoint virtual channels with an acyclic protocol
+//! dependency (Request -> Coherence -> Response).
+
+use crate::packet::Packet;
+use crate::regions::RegionMap;
+use snoc_common::config::RequestPathMode;
+use snoc_common::geom::{Coord, Direction, Layer, Mesh};
+
+/// The routing function for one configuration.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    mesh: Mesh,
+    mode: RequestPathMode,
+    regions: RegionMap,
+}
+
+impl RoutingTable {
+    /// Creates the routing function.
+    pub fn new(mesh: Mesh, mode: RequestPathMode, regions: RegionMap) -> Self {
+        Self { mesh, mode, regions }
+    }
+
+    /// The region map this table routes over.
+    pub fn regions(&self) -> &RegionMap {
+        &self.regions
+    }
+
+    /// The configured request path mode.
+    pub fn mode(&self) -> RequestPathMode {
+        self.mode
+    }
+
+    /// The output direction for `packet` at router `at`.
+    ///
+    /// Returns [`Direction::Local`] at the destination.
+    pub fn next_hop(&self, at: Coord, packet: &Packet) -> Direction {
+        let dst = packet.dst;
+        if at == dst {
+            return Direction::Local;
+        }
+
+        let restricted = self.mode == RequestPathMode::RegionTsbs
+            && packet.kind.is_bank_request()
+            && dst.layer == Layer::Cache;
+
+        if restricted && at.layer == Layer::Core {
+            // X-Y towards the region TSB in the core layer, then down.
+            let tsb = self.mesh.coord(self.regions.tsb_for(self.mesh.node(dst)), Layer::Core);
+            return match self.mesh.xy_step(at, tsb) {
+                Some(dir) => dir,
+                None => Direction::Down,
+            };
+        }
+
+        if at.layer != dst.layer {
+            // Z first (the packet is at its source column, or at the
+            // TSB column for restricted requests).
+            return if at.layer == Layer::Core { Direction::Down } else { Direction::Up };
+        }
+
+        self.mesh.xy_step(at, dst).unwrap_or(Direction::Local)
+    }
+
+    /// The full route from `src` to the destination, as the sequence of
+    /// coordinates visited after `src`. Useful for tests and analysis;
+    /// the simulator routes hop by hop.
+    pub fn trace(&self, packet: &Packet) -> Vec<Coord> {
+        let mut route = Vec::new();
+        let mut at = packet.src;
+        let limit = 4 * (self.mesh.width() as usize + self.mesh.height() as usize);
+        while at != packet.dst {
+            let dir = self.next_hop(at, packet);
+            assert_ne!(dir, Direction::Local, "stuck at {at} routing to {}", packet.dst);
+            at = self.mesh.neighbour(at, dir).expect("route stays on chip");
+            route.push(at);
+            assert!(route.len() <= limit, "route too long: {route:?}");
+        }
+        route
+    }
+
+    /// `true` if this packet, travelling from `at`, will cross to the
+    /// cache layer through a region TSB (used to grant the wide-TSB
+    /// bandwidth bonus).
+    pub fn uses_region_tsb(&self, packet: &Packet) -> bool {
+        self.mode == RequestPathMode::RegionTsbs
+            && packet.kind.is_bank_request()
+            && packet.dst.layer == Layer::Cache
+            && packet.src.layer == Layer::Core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use snoc_common::config::TsbPlacement;
+    use snoc_common::ids::NodeId;
+
+    fn table(mode: RequestPathMode) -> RoutingTable {
+        let mesh = Mesh::new(8, 8);
+        let regions = RegionMap::new(mesh, 4, TsbPlacement::Corner);
+        RoutingTable::new(mesh, mode, regions)
+    }
+
+    fn mesh() -> Mesh {
+        Mesh::new(8, 8)
+    }
+
+    fn pkt(kind: PacketKind, src: Coord, dst: Coord) -> Packet {
+        Packet::new(kind, src, dst, 0, 0)
+    }
+
+    #[test]
+    fn zxy_descends_at_source() {
+        // Paper example: core 63 -> cache bank 0 descends to chip node
+        // 127 first, then X, then Y.
+        let t = table(RequestPathMode::AllTsvs);
+        let src = mesh().coord(NodeId::new(63), Layer::Core);
+        let dst = mesh().coord(NodeId::new(0), Layer::Cache);
+        let p = pkt(PacketKind::BankRead, src, dst);
+        let route = t.trace(&p);
+        assert_eq!(route[0], mesh().coord(NodeId::new(63), Layer::Cache));
+        assert!(route.iter().skip(1).all(|c| c.layer == Layer::Cache));
+        // X-first: the second hop moves west.
+        assert_eq!(route[1].y, 7);
+        assert_eq!(route[1].x, 6);
+        assert_eq!(*route.last().unwrap(), dst);
+    }
+
+    #[test]
+    fn region_tsb_requests_enter_through_the_region_tsb() {
+        // Paper Figure 5: requests from cores 7, 46 and 48 to banks in
+        // region 0 all pass through core node 27, descend to chip 91,
+        // and are X-Y routed in the cache layer.
+        let t = table(RequestPathMode::RegionTsbs);
+        let tsb_core = mesh().coord(NodeId::new(27), Layer::Core);
+        let tsb_cache = mesh().coord(NodeId::new(27), Layer::Cache);
+        for (core, bank_chip) in [(7u16, 89u16), (46, 82), (48, 75)] {
+            let src = mesh().coord(NodeId::new(core), Layer::Core);
+            let dst = mesh().coord(NodeId::new(bank_chip - 64), Layer::Cache);
+            let p = pkt(PacketKind::Writeback, src, dst);
+            let route = t.trace(&p);
+            assert!(route.contains(&tsb_core), "core {core} misses TSB core node");
+            assert!(route.contains(&tsb_cache), "core {core} misses TSB cache node");
+            let down_idx = route.iter().position(|&c| c == tsb_cache).unwrap();
+            assert!(route[..down_idx].iter().all(|c| c.layer == Layer::Core || *c == tsb_cache));
+            assert_eq!(*route.last().unwrap(), dst);
+        }
+    }
+
+    #[test]
+    fn responses_ignore_the_tsb_restriction() {
+        // Cache -> core replies ascend at the bank's own column.
+        let t = table(RequestPathMode::RegionTsbs);
+        let src = mesh().coord(NodeId::new(11), Layer::Cache);
+        let dst = mesh().coord(NodeId::new(7), Layer::Core);
+        let p = pkt(PacketKind::DataReply, src, dst);
+        let route = t.trace(&p);
+        assert_eq!(route[0], mesh().coord(NodeId::new(11), Layer::Core));
+        assert!(route.iter().all(|c| c.layer == Layer::Core));
+    }
+
+    #[test]
+    fn coherence_ignores_the_tsb_restriction() {
+        let t = table(RequestPathMode::RegionTsbs);
+        let src = mesh().coord(NodeId::new(11), Layer::Cache);
+        let dst = mesh().coord(NodeId::new(60), Layer::Core);
+        let p = pkt(PacketKind::Inv, src, dst);
+        let route = t.trace(&p);
+        assert_eq!(route[0].layer, Layer::Core, "coherence ascends immediately");
+    }
+
+    #[test]
+    fn mem_traffic_stays_in_the_cache_layer() {
+        let t = table(RequestPathMode::RegionTsbs);
+        let src = mesh().coord(NodeId::new(27), Layer::Cache);
+        let dst = mesh().coord(NodeId::new(0), Layer::Cache); // corner MC
+        let p = pkt(PacketKind::MemFetch, src, dst);
+        let route = t.trace(&p);
+        assert!(route.iter().all(|c| c.layer == Layer::Cache));
+    }
+
+    #[test]
+    fn all_request_routes_to_a_bank_share_the_parent_suffix() {
+        // The serialization property: with region TSBs, every request
+        // route to bank D ends with the same `parent -> ... -> D`
+        // suffix regardless of source core.
+        let t = table(RequestPathMode::RegionTsbs);
+        let dst = mesh().coord(NodeId::new(11), Layer::Cache); // chip 75
+        let mut suffixes = std::collections::HashSet::new();
+        for core in 0..64u16 {
+            let src = mesh().coord(NodeId::new(core), Layer::Core);
+            let p = pkt(PacketKind::BankRead, src, dst);
+            let route = t.trace(&p);
+            let n = route.len();
+            suffixes.insert(route[n.saturating_sub(3)..].to_vec());
+        }
+        assert_eq!(suffixes.len(), 1, "suffix must be unique: {suffixes:?}");
+    }
+
+    #[test]
+    fn without_region_tsbs_routes_to_a_bank_diverge() {
+        // The motivating problem: with Z-X-Y and 64 TSVs there is no
+        // serialization point.
+        let t = table(RequestPathMode::AllTsvs);
+        let dst = mesh().coord(NodeId::new(11), Layer::Cache);
+        let mut penultimate = std::collections::HashSet::new();
+        for core in 0..64u16 {
+            let src = mesh().coord(NodeId::new(core), Layer::Core);
+            let p = pkt(PacketKind::BankRead, src, dst);
+            let route = t.trace(&p);
+            if route.len() >= 2 {
+                penultimate.insert(route[route.len() - 2]);
+            }
+        }
+        assert!(penultimate.len() > 1, "Z-X-Y should have path diversity");
+    }
+
+    #[test]
+    fn local_at_destination() {
+        let t = table(RequestPathMode::AllTsvs);
+        let dst = mesh().coord(NodeId::new(5), Layer::Cache);
+        let p = pkt(PacketKind::BankRead, dst, dst);
+        assert_eq!(t.next_hop(dst, &p), Direction::Local);
+    }
+
+    #[test]
+    fn routes_are_minimal_under_zxy() {
+        let t = table(RequestPathMode::AllTsvs);
+        let m = mesh();
+        for (s, d) in [(0u16, 63u16), (7, 56), (31, 32), (12, 12)] {
+            let src = m.coord(NodeId::new(s), Layer::Core);
+            let dst = m.coord(NodeId::new(d), Layer::Cache);
+            let p = pkt(PacketKind::BankRead, src, dst);
+            let route = t.trace(&p);
+            assert_eq!(route.len() as u32, src.manhattan(dst) + 1, "{s}->{d}");
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Instruction-stream generators.
+//!
+//! [`ProfileStream`] drives the profile-driven mode: every L2 event is
+//! drawn at the Table 3 rate and its classification (L2 vs L1 hit,
+//! hit vs miss, destination bank) is encoded into the address bits so
+//! the system's memory port can act on it without tag state.
+//! [`FullStackStream`] emits real addresses over hot/warm/cold/shared
+//! working sets to drive the full L1/L2/MESI hierarchy.
+
+use crate::burst::BurstModulator;
+use crate::profile::{BenchmarkProfile, MEM_FRACTION};
+use snoc_common::ids::CoreId;
+use snoc_common::rng::SimRng;
+use snoc_cpu::{Instr, InstructionStream};
+
+/// A stable per-application tag (shared bank-popularity seed).
+fn app_tag(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+const MARKER_BIT: u64 = 1 << 63;
+const L2_BIT: u64 = 1 << 62;
+const MISS_BIT: u64 = 1 << 61;
+const BANK_SHIFT: u32 = 52;
+const BANK_MASK: u64 = 0xFF;
+const BLOCK_SHIFT: u32 = 7; // 128-byte blocks
+
+/// The decoded classification of a profile-mode address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileAccess {
+    /// `true` if the access reaches the L2 (an L1 miss); `false` for
+    /// an L1 hit.
+    pub l2: bool,
+    /// For L2 accesses: misses in the L2 (goes to memory).
+    pub miss: bool,
+    /// Destination bank.
+    pub bank: u16,
+}
+
+/// Encodes a profile-mode address.
+pub fn encode(access: ProfileAccess, seq: u64) -> u64 {
+    let mut a = MARKER_BIT | (seq << BLOCK_SHIFT) & ((1 << BANK_SHIFT) - 1);
+    if access.l2 {
+        a |= L2_BIT;
+    }
+    if access.miss {
+        a |= MISS_BIT;
+    }
+    a |= ((access.bank as u64) & BANK_MASK) << BANK_SHIFT;
+    a
+}
+
+/// Decodes a profile-mode address; `None` for ordinary addresses.
+pub fn decode(addr: u64) -> Option<ProfileAccess> {
+    if addr & MARKER_BIT == 0 {
+        return None;
+    }
+    Some(ProfileAccess {
+        l2: addr & L2_BIT != 0,
+        miss: addr & MISS_BIT != 0,
+        bank: ((addr >> BANK_SHIFT) & BANK_MASK) as u16,
+    })
+}
+
+/// A profile-driven instruction stream: the L2 side sees exactly the
+/// Table 3 characterization.
+#[derive(Debug)]
+pub struct ProfileStream {
+    profile: BenchmarkProfile,
+    rng: SimRng,
+    burst: BurstModulator,
+    p_miss: f64,
+    seq: u64,
+}
+
+impl ProfileStream {
+    /// Creates the stream for one core. `capacity_factor` is the L2
+    /// capacity multiple relative to the SRAM baseline (4 for
+    /// STT-RAM), which scales the miss rate by the profile's capacity
+    /// sensitivity.
+    pub fn new(
+        profile: &BenchmarkProfile,
+        core: CoreId,
+        banks: usize,
+        capacity_factor: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SimRng::for_stream(seed, 0x1000 + core.index() as u64);
+        let shared = if profile.is_multithreaded() { 0.25 } else { 0.12 };
+        let burst =
+            BurstModulator::new(profile.bursty, banks, &mut rng, app_tag(profile.name), shared);
+        Self {
+            profile: *profile,
+            rng,
+            burst,
+            p_miss: profile.p_l2_miss(capacity_factor),
+            // The low six bits carry the core id so encoded addresses
+            // are globally unique (reply correlation is keyed on the
+            // address).
+            seq: core.index() as u64,
+        }
+    }
+
+    /// The profile driving this stream.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+}
+
+impl InstructionStream for ProfileStream {
+    fn next_instr(&mut self) -> Instr {
+        let mult = self.burst.tick(&mut self.rng);
+        let p_read = (self.profile.p_l2_read() * mult).min(MEM_FRACTION);
+        let p_write = (self.profile.p_l2_write() * mult).min(MEM_FRACTION - p_read);
+        let p_l1_hit = (MEM_FRACTION - p_read - p_write).max(0.0);
+        let u = self.rng.unit();
+        self.seq = self.seq.wrapping_add(64);
+        if u < p_read {
+            let access = ProfileAccess {
+                l2: true,
+                miss: self.rng.chance(self.p_miss),
+                bank: self.burst.pick_bank(&mut self.rng),
+            };
+            Instr::Load { addr: encode(access, self.seq) }
+        } else if u < p_read + p_write {
+            let access = ProfileAccess {
+                l2: true,
+                miss: self.rng.chance(self.p_miss),
+                bank: self.burst.pick_bank(&mut self.rng),
+            };
+            Instr::Store { addr: encode(access, self.seq) }
+        } else if u < p_read + p_write + p_l1_hit {
+            let access = ProfileAccess { l2: false, miss: false, bank: 0 };
+            Instr::Load { addr: encode(access, self.seq) }
+        } else {
+            Instr::NonMem
+        }
+    }
+}
+
+/// A full-stack address stream over hot/warm/cold/shared working sets.
+///
+/// * **hot** — a small per-core set that fits in the L1 (re-use hits).
+/// * **warm** — a per-core set sized between the SRAM and STT-RAM L2
+///   shares (L1 misses; the capacity effect emerges in real tags).
+/// * **cold** — an advancing stream (compulsory L2 misses).
+/// * **shared** — a global set touched by all cores of a
+///   multi-threaded workload (coherence traffic).
+#[derive(Debug)]
+pub struct FullStackStream {
+    rng: SimRng,
+    burst: BurstModulator,
+    core: CoreId,
+    p_hot: f64,
+    p_warm: f64,
+    p_cold: f64,
+    p_shared: f64,
+    p_store: f64,
+    hot_blocks: u64,
+    warm_blocks: u64,
+    shared_blocks: u64,
+    cold_next: u64,
+}
+
+impl FullStackStream {
+    /// Creates the stream for one core.
+    pub fn new(profile: &BenchmarkProfile, core: CoreId, banks: usize, seed: u64) -> Self {
+        let mut rng = SimRng::for_stream(seed, 0x2000 + core.index() as u64);
+        let shared = if profile.is_multithreaded() { 0.25 } else { 0.12 };
+        let burst =
+            BurstModulator::new(profile.bursty, banks, &mut rng, app_tag(profile.name), shared);
+        // Calibration heuristics (see DESIGN.md): the probability an
+        // access leaves the L1 tracks l1mpki; among those, the cold
+        // share tracks the L2 miss ratio.
+        let p_l1_miss = (profile.l1_mpki / 1000.0 / MEM_FRACTION).min(0.9);
+        let p_shared = if profile.is_multithreaded() { 0.10 * p_l1_miss } else { 0.0 };
+        let p_cold = profile.l2_miss_ratio() * (p_l1_miss - p_shared);
+        let p_warm = (p_l1_miss - p_shared - p_cold).max(0.0);
+        let p_hot = (1.0 - p_l1_miss).max(0.0);
+        let p_store = 1.0 - profile.read_share();
+        Self {
+            rng,
+            burst,
+            core,
+            p_hot,
+            p_warm,
+            p_cold,
+            p_shared,
+            p_store,
+            hot_blocks: 64,      // 8 KB: fits the 32 KB L1
+            warm_blocks: 12_288, // 1.5 MB/core: misses 1 MB SRAM share,
+            // fits the 4 MB STT-RAM share
+            shared_blocks: 4_096,
+            cold_next: 0,
+        }
+    }
+
+    fn private_base(&self) -> u64 {
+        (self.core.index() as u64 + 1) << 40
+    }
+
+    fn pick_addr(&mut self) -> u64 {
+        let u = self.rng.unit() * MEM_FRACTION.max(1e-9);
+        // Normalized categories within the memory fraction.
+        let total = self.p_hot + self.p_warm + self.p_cold + self.p_shared;
+        let u = u / MEM_FRACTION * total;
+        if u < self.p_hot {
+            self.private_base() | (1 << 32) | ((self.rng.below(self.hot_blocks as usize) as u64) << 7)
+        } else if u < self.p_hot + self.p_warm {
+            self.private_base()
+                | (2 << 32)
+                | ((self.rng.below(self.warm_blocks as usize) as u64) << 7)
+        } else if u < self.p_hot + self.p_warm + self.p_cold {
+            self.cold_next += 1;
+            self.private_base() | (3 << 32) | (self.cold_next << 7)
+        } else {
+            (1 << 55) | ((self.rng.below(self.shared_blocks as usize) as u64) << 7)
+        }
+    }
+}
+
+impl InstructionStream for FullStackStream {
+    fn next_instr(&mut self) -> Instr {
+        let mult = self.burst.tick(&mut self.rng);
+        let p_mem = (MEM_FRACTION * mult).min(0.95);
+        if !self.rng.chance(p_mem) {
+            return Instr::NonMem;
+        }
+        let addr = self.pick_addr();
+        if self.rng.chance(self.p_store) {
+            Instr::Store { addr }
+        } else {
+            Instr::Load { addr }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table3;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for access in [
+            ProfileAccess { l2: true, miss: false, bank: 63 },
+            ProfileAccess { l2: true, miss: true, bank: 0 },
+            ProfileAccess { l2: false, miss: false, bank: 0 },
+        ] {
+            let addr = encode(access, 12345);
+            assert_eq!(decode(addr), Some(access));
+        }
+        assert_eq!(decode(0x1000), None, "ordinary addresses are not profile-coded");
+    }
+
+    #[test]
+    fn streams_of_different_cores_never_collide() {
+        use snoc_common::ids::CoreId;
+        let p = crate::table3::by_name("tpcc").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for core in 0..8u16 {
+            let mut s = ProfileStream::new(p, CoreId::new(core), 64, 1, 9);
+            for _ in 0..2_000 {
+                if let Instr::Load { addr } | Instr::Store { addr } = s.next_instr() {
+                    if decode(addr).unwrap().l2 {
+                        assert!(seen.insert(addr), "collision on {addr:#x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_sequence_varies_block_bits() {
+        let a = encode(ProfileAccess { l2: true, miss: false, bank: 1 }, 1);
+        let b = encode(ProfileAccess { l2: true, miss: false, bank: 1 }, 2);
+        assert_ne!(a, b);
+        assert_eq!(decode(a), decode(b));
+    }
+
+    #[test]
+    fn profile_stream_matches_table3_rates() {
+        let p = table3::by_name("tpcc").unwrap();
+        let mut s = ProfileStream::new(p, CoreId::new(0), 64, 1, 42);
+        let n = 400_000;
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for _ in 0..n {
+            match s.next_instr() {
+                Instr::Load { addr } => {
+                    if decode(addr).unwrap().l2 {
+                        reads += 1;
+                    }
+                }
+                Instr::Store { addr } => {
+                    if decode(addr).unwrap().l2 {
+                        writes += 1;
+                    }
+                }
+                Instr::NonMem => {}
+            }
+        }
+        let rpki = reads as f64 * 1000.0 / n as f64;
+        let wpki = writes as f64 * 1000.0 / n as f64;
+        assert!((rpki - p.l2_rpki).abs() / p.l2_rpki < 0.15, "rpki {rpki} vs {}", p.l2_rpki);
+        assert!((wpki - p.l2_wpki).abs() / p.l2_wpki < 0.15, "wpki {wpki} vs {}", p.l2_wpki);
+    }
+
+    #[test]
+    fn capacity_factor_reduces_misses_for_reusable_apps() {
+        let p = table3::by_name("hmmer").unwrap();
+        let count_misses = |factor: usize| {
+            let mut s = ProfileStream::new(p, CoreId::new(0), 64, factor, 42);
+            let mut misses = 0u64;
+            for _ in 0..200_000 {
+                if let Instr::Load { addr } | Instr::Store { addr } = s.next_instr() {
+                    let a = decode(addr).unwrap();
+                    if a.l2 && a.miss {
+                        misses += 1;
+                    }
+                }
+            }
+            misses
+        };
+        let at1 = count_misses(1);
+        let at4 = count_misses(4);
+        assert!(
+            (at4 as f64) < 0.7 * at1 as f64,
+            "4x capacity should cut misses: {at1} -> {at4}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_core() {
+        let p = table3::by_name("lbm").unwrap();
+        let mut a = ProfileStream::new(p, CoreId::new(5), 64, 4, 7);
+        let mut b = ProfileStream::new(p, CoreId::new(5), 64, 4, 7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+        let mut c = ProfileStream::new(p, CoreId::new(6), 64, 4, 7);
+        let same = (0..1000).filter(|_| a.next_instr() == c.next_instr()).count();
+        assert!(same < 1000, "different cores get different streams");
+    }
+
+    #[test]
+    fn full_stack_stream_respects_sharing_flag() {
+        let shared_frac = |name: &str| {
+            let p = table3::by_name(name).unwrap();
+            let mut s = FullStackStream::new(p, CoreId::new(0), 64, 3);
+            let mut shared = 0u64;
+            let mut mem = 0u64;
+            for _ in 0..100_000 {
+                if let Instr::Load { addr } | Instr::Store { addr } = s.next_instr() {
+                    mem += 1;
+                    if addr & (1 << 55) != 0 {
+                        shared += 1;
+                    }
+                }
+            }
+            shared as f64 / mem as f64
+        };
+        assert!(shared_frac("tpcc") > 0.001, "server apps share data");
+        assert_eq!(shared_frac("mcf"), 0.0, "SPEC copies are private");
+    }
+
+    #[test]
+    fn full_stack_write_share_tracks_profile() {
+        let write_frac = |name: &str| {
+            let p = table3::by_name(name).unwrap();
+            let mut s = FullStackStream::new(p, CoreId::new(0), 64, 3);
+            let (mut st, mut mem) = (0u64, 0u64);
+            for _ in 0..100_000 {
+                match s.next_instr() {
+                    Instr::Store { .. } => {
+                        st += 1;
+                        mem += 1;
+                    }
+                    Instr::Load { .. } => mem += 1,
+                    Instr::NonMem => {}
+                }
+            }
+            st as f64 / mem as f64
+        };
+        assert!(write_frac("tpcc") > write_frac("libqntm") + 0.3);
+    }
+
+    #[test]
+    fn full_stack_cold_stream_advances() {
+        let p = table3::by_name("milc").unwrap(); // streaming profile
+        let mut s = FullStackStream::new(p, CoreId::new(0), 64, 3);
+        let mut cold_addrs = std::collections::HashSet::new();
+        for _ in 0..50_000 {
+            if let Instr::Load { addr } | Instr::Store { addr } = s.next_instr() {
+                if addr & (3 << 32) == (3 << 32) {
+                    cold_addrs.insert(addr);
+                }
+            }
+        }
+        assert!(cold_addrs.len() > 500, "cold region must stream: {}", cold_addrs.len());
+    }
+}

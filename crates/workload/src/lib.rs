@@ -1,0 +1,38 @@
+//! Synthetic workload substrate calibrated to the paper's Table 3.
+//!
+//! The paper drives its simulator with traces of 42 applications
+//! (4 commercial server workloads, 13 PARSEC benchmarks, 25 SPEC 2006
+//! benchmarks). Those traces are proprietary, so this crate generates
+//! synthetic instruction streams whose *characterization* matches
+//! Table 3: L1 misses per kilo-instruction, L2 read/write intensity,
+//! and the burstiness class — the properties the paper's network-level
+//! mechanism actually responds to.
+//!
+//! Two stream families exist:
+//!
+//! * [`generator::ProfileStream`] — profile-driven: L2 events are drawn
+//!   directly at the Table 3 rates (with a two-state burst modulator),
+//!   encoded into addresses the system's memory port decodes. Matches
+//!   the characterization by construction.
+//! * [`generator::FullStackStream`] — address streams over hot/warm/
+//!   cold/shared working sets that drive the real L1/L2/MESI stack,
+//!   approximating the characterization organically.
+//!
+//! # Example
+//!
+//! ```
+//! use snoc_workload::table3;
+//!
+//! let tpcc = table3::by_name("tpcc").unwrap();
+//! assert_eq!(tpcc.l2_wpki, 40.9); // the most write-intensive app
+//! assert_eq!(table3::all().len(), 42);
+//! ```
+
+pub mod burst;
+pub mod generator;
+pub mod mixes;
+pub mod profile;
+pub mod table3;
+
+pub use generator::{FullStackStream, ProfileAccess, ProfileStream};
+pub use profile::{BenchmarkProfile, Burstiness, Suite};

@@ -1,0 +1,180 @@
+//! Multiprogrammed workload compositions (Section 4.2's case studies).
+
+use crate::profile::{BenchmarkProfile, Suite};
+use crate::table3;
+use snoc_common::rng::SimRng;
+
+/// An assignment of one benchmark per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Display name.
+    pub name: String,
+    /// Per-core profiles, in core order.
+    pub apps: Vec<&'static BenchmarkProfile>,
+}
+
+impl Workload {
+    /// All 64 cores run the same application (the paper's standard
+    /// SPEC methodology and the "alone" baseline of the weighted
+    /// speedup metric).
+    pub fn homogeneous(name: &str, cores: usize) -> Option<Workload> {
+        let p = table3::by_name(name)?;
+        Some(Workload { name: name.to_string(), apps: vec![p; cores] })
+    }
+
+    /// One copy of `name` on core 0 with every other core idle — the
+    /// "alone" baseline of the weighted-speedup and slowdown metrics.
+    pub fn solo(name: &str, cores: usize) -> Option<Workload> {
+        let p = table3::by_name(name)?;
+        let mut apps: Vec<&'static BenchmarkProfile> = vec![&crate::profile::IDLE; cores];
+        apps[0] = p;
+        Some(Workload { name: format!("{name}-solo"), apps })
+    }
+
+    /// Interleaves `names` across `cores` cores: core `i` runs
+    /// `names[i % names.len()]` — `cores/len` copies of each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is unknown.
+    pub fn mix(label: &str, names: &[&str], cores: usize) -> Workload {
+        assert!(!names.is_empty());
+        let profiles: Vec<_> = names
+            .iter()
+            .map(|n| table3::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+            .collect();
+        Workload {
+            name: label.to_string(),
+            apps: (0..cores).map(|i| profiles[i % profiles.len()]).collect(),
+        }
+    }
+
+    /// The distinct applications in this workload, in first-appearance
+    /// order.
+    pub fn distinct(&self) -> Vec<&'static BenchmarkProfile> {
+        let mut seen = Vec::new();
+        for &p in &self.apps {
+            if !seen.iter().any(|&q: &&BenchmarkProfile| std::ptr::eq(q, p)) {
+                seen.push(p);
+            }
+        }
+        seen
+    }
+
+    /// Core indices running `name`.
+    pub fn cores_running(&self, name: &str) -> Vec<usize> {
+        self.apps
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Case-1: 16 copies each of four write-intensive applications — the
+/// worst case for a plain SRAM->STT-RAM swap.
+pub fn case1(cores: usize) -> Workload {
+    Workload::mix("case1", &["soplex", "cactus", "lbm", "hmmer"], cores)
+}
+
+/// Case-2: two bursty write-intensive apps mixed with two
+/// read-intensive ones (the fairness study of Figure 10).
+pub fn case2(cores: usize) -> Workload {
+    Workload::mix("case2", &["lbm", "hmmer", "bzip2", "libqntm"], cores)
+}
+
+/// Case-3: 32 mixes of 8 applications each (8 copies per app):
+/// 8 read-intensive mixes, 8 write-intensive mixes, 16 mixed ones,
+/// drawn deterministically from `seed`.
+pub fn case3(cores: usize, seed: u64) -> Vec<Workload> {
+    let mut rng = SimRng::for_stream(seed, 0xCA5E3);
+    let spec: Vec<&BenchmarkProfile> = table3::suite(Suite::Spec).collect();
+    let read_heavy: Vec<_> = spec.iter().filter(|p| !p.is_write_intensive()).copied().collect();
+    let write_heavy: Vec<_> = spec.iter().filter(|p| p.is_write_intensive()).copied().collect();
+
+    let pick = |pool: &[&'static BenchmarkProfile], n: usize, rng: &mut SimRng| {
+        (0..n).map(|_| pool[rng.below(pool.len())]).collect::<Vec<_>>()
+    };
+
+    let mut out = Vec::with_capacity(32);
+    for i in 0..32 {
+        let chosen: Vec<&'static BenchmarkProfile> = if i < 8 {
+            pick(&read_heavy, 8, &mut rng)
+        } else if i < 16 {
+            pick(&write_heavy, 8, &mut rng)
+        } else {
+            let mut v = pick(&read_heavy, 3, &mut rng);
+            v.extend(pick(&write_heavy, 3, &mut rng));
+            v.extend(pick(&spec, 2, &mut rng));
+            v
+        };
+        out.push(Workload {
+            name: format!("mix{i:02}"),
+            apps: (0..cores).map(|c| chosen[c % chosen.len()]).collect(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case1_is_16_copies_of_each() {
+        let w = case1(64);
+        assert_eq!(w.apps.len(), 64);
+        for name in ["soplex", "cactus", "lbm", "hmmer"] {
+            assert_eq!(w.cores_running(name).len(), 16, "{name}");
+        }
+    }
+
+    #[test]
+    fn case2_composition() {
+        let w = case2(64);
+        assert_eq!(w.distinct().len(), 4);
+        assert_eq!(w.cores_running("libqntm").len(), 16);
+    }
+
+    #[test]
+    fn case3_has_32_mixes_of_8_apps() {
+        let mixes = case3(64, 99);
+        assert_eq!(mixes.len(), 32);
+        for m in &mixes {
+            assert_eq!(m.apps.len(), 64);
+            assert!(m.distinct().len() <= 8);
+        }
+        // Read-intensive mixes contain no write-intensive app.
+        for m in &mixes[..8] {
+            assert!(m.distinct().iter().all(|p| !p.is_write_intensive()), "{}", m.name);
+        }
+        for m in &mixes[8..16] {
+            assert!(m.distinct().iter().all(|p| p.is_write_intensive()), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn case3_is_deterministic() {
+        let a = case3(64, 7);
+        let b = case3(64, 7);
+        assert_eq!(a, b);
+        let c = case3(64, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn solo_puts_the_app_on_core_zero() {
+        let w = Workload::solo("lbm", 64).unwrap();
+        assert_eq!(w.apps[0].name, "lbm");
+        assert!(w.apps[1..].iter().all(|p| p.name == "idle"));
+        assert!(Workload::solo("nope", 64).is_none());
+    }
+
+    #[test]
+    fn homogeneous_lookup() {
+        let w = Workload::homogeneous("lbm", 64).unwrap();
+        assert_eq!(w.distinct().len(), 1);
+        assert!(Workload::homogeneous("nope", 64).is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! Benchmark profiles: the Table 3 characterization plus derived
+//! generator parameters.
+
+/// Which suite a benchmark belongs to (Figure 6 groups results by
+/// suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Commercial server workloads (tpcc, sjas, sap, sjbb) —
+    /// multi-threaded.
+    Server,
+    /// PARSEC — multi-threaded.
+    Parsec,
+    /// SPEC 2006 — multi-programmed (64 copies).
+    Spec,
+}
+
+/// The paper's burstiness classification ("High/Low based on latency
+/// between 2 consecutive requests to a L2 bank").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Burstiness {
+    /// Requests cluster tightly after writes.
+    High,
+    /// Requests are spread out.
+    Low,
+}
+
+/// One row of Table 3 plus derived model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// L1 misses per 1000 instructions.
+    pub l1_mpki: f64,
+    /// L2 misses per 1000 instructions.
+    pub l2_mpki: f64,
+    /// L2 writes per 1000 instructions.
+    pub l2_wpki: f64,
+    /// L2 reads per 1000 instructions.
+    pub l2_rpki: f64,
+    /// Burstiness class.
+    pub bursty: Burstiness,
+}
+
+/// Fraction of dynamic instructions that are memory operations (the
+/// generator's fixed load/store density; Table 1 allows one memory
+/// operation per cycle out of a 2-wide pipeline).
+pub const MEM_FRACTION: f64 = 0.30;
+
+/// A no-traffic filler profile: cores running it execute compute and
+/// L1 hits only. Used for the "alone" runs of the weighted-speedup
+/// metric (one application on an otherwise idle machine).
+pub const IDLE: BenchmarkProfile = BenchmarkProfile {
+    name: "idle",
+    suite: Suite::Spec,
+    l1_mpki: 0.0,
+    l2_mpki: 0.0,
+    l2_wpki: 0.0,
+    l2_rpki: 0.0,
+    bursty: Burstiness::Low,
+};
+
+impl BenchmarkProfile {
+    /// `true` for suites whose threads share data (coherence traffic).
+    pub fn is_multithreaded(&self) -> bool {
+        matches!(self.suite, Suite::Server | Suite::Parsec)
+    }
+
+    /// L2 accesses (reads + writes) per instruction.
+    pub fn l2_apki(&self) -> f64 {
+        self.l2_rpki + self.l2_wpki
+    }
+
+    /// Fraction of L2 accesses that are reads.
+    pub fn read_share(&self) -> f64 {
+        if self.l2_apki() == 0.0 {
+            return 0.0;
+        }
+        self.l2_rpki / self.l2_apki()
+    }
+
+    /// L2 miss ratio (misses per L2 access), clamped to `[0, 1]`.
+    pub fn l2_miss_ratio(&self) -> f64 {
+        if self.l2_apki() == 0.0 {
+            return 0.0;
+        }
+        (self.l2_mpki / self.l2_apki()).clamp(0.0, 1.0)
+    }
+
+    /// Capacity sensitivity `alpha` in `[0, 0.9]`: how much a larger L2
+    /// shrinks the miss rate. Streaming applications (miss ratio near
+    /// 1) gain nothing from capacity; read-intensive applications with
+    /// reusable working sets gain the most. This is the derived knob
+    /// behind the paper's observation that read-heavy benchmarks
+    /// benefit from the 4x STT-RAM capacity.
+    pub fn capacity_sensitivity(&self) -> f64 {
+        0.9 * self.read_share() * (1.0 - self.l2_miss_ratio())
+    }
+
+    /// The effective L2 miss rate scale at `capacity_factor` times the
+    /// baseline capacity: `factor^(-alpha)`.
+    pub fn miss_scale(&self, capacity_factor: usize) -> f64 {
+        (capacity_factor as f64).powf(-self.capacity_sensitivity())
+    }
+
+    /// Probability that an instruction issues an L2 read.
+    pub fn p_l2_read(&self) -> f64 {
+        self.l2_rpki / 1000.0
+    }
+
+    /// Probability that an instruction produces an L2 write
+    /// (writeback).
+    pub fn p_l2_write(&self) -> f64 {
+        self.l2_wpki / 1000.0
+    }
+
+    /// Probability that an L2 access misses, at the given capacity
+    /// factor.
+    pub fn p_l2_miss(&self, capacity_factor: usize) -> f64 {
+        (self.l2_miss_ratio() * self.miss_scale(capacity_factor)).clamp(0.0, 1.0)
+    }
+
+    /// `true` if replacing SRAM with STT-RAM is expected to hurt this
+    /// application (write-intensive: Section 4.2's losers).
+    pub fn is_write_intensive(&self) -> bool {
+        self.l2_wpki > self.l2_rpki
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tpcc() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "tpcc",
+            suite: Suite::Server,
+            l1_mpki: 51.47,
+            l2_mpki: 6.06,
+            l2_wpki: 40.9,
+            l2_rpki: 10.57,
+            bursty: Burstiness::High,
+        }
+    }
+
+    fn libquantum() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "libquantum",
+            suite: Suite::Spec,
+            l1_mpki: 12.5,
+            l2_mpki: 12.5,
+            l2_wpki: 0.0,
+            l2_rpki: 12.5,
+            bursty: Burstiness::Low,
+        }
+    }
+
+    #[test]
+    fn l2_accesses_equal_l1_misses_in_table3() {
+        let p = tpcc();
+        assert!((p.l2_apki() - p.l1_mpki).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_intensity_classification() {
+        assert!(tpcc().is_write_intensive());
+        assert!(!libquantum().is_write_intensive());
+        assert!(tpcc().read_share() < 0.25);
+        assert_eq!(libquantum().read_share(), 1.0);
+    }
+
+    #[test]
+    fn streaming_apps_have_no_capacity_sensitivity() {
+        // libquantum misses on every L2 access: a bigger cache cannot
+        // help, so alpha ~ 0 and the miss scale stays ~1.
+        let p = libquantum();
+        assert!(p.capacity_sensitivity() < 1e-9);
+        assert!((p.miss_scale(4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reusable_read_heavy_apps_benefit_from_capacity() {
+        // hmmer: low miss ratio, read-leaning.
+        let hmmer = BenchmarkProfile {
+            name: "hmmer",
+            suite: Suite::Spec,
+            l1_mpki: 34.36,
+            l2_mpki: 3.31,
+            l2_wpki: 12.5,
+            l2_rpki: 21.86,
+            bursty: Burstiness::High,
+        };
+        assert!(hmmer.capacity_sensitivity() > 0.4);
+        assert!(hmmer.miss_scale(4) < 0.6);
+        assert!(hmmer.p_l2_miss(4) < hmmer.p_l2_miss(1));
+    }
+
+    #[test]
+    fn probabilities_are_sane() {
+        for p in [tpcc(), libquantum()] {
+            assert!(p.p_l2_read() + p.p_l2_write() < MEM_FRACTION);
+            assert!((0.0..=1.0).contains(&p.p_l2_miss(1)));
+            assert!((0.0..=1.0).contains(&p.p_l2_miss(4)));
+        }
+    }
+
+    #[test]
+    fn multithreaded_flag_follows_suite() {
+        assert!(tpcc().is_multithreaded());
+        assert!(!libquantum().is_multithreaded());
+    }
+}

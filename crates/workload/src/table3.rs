@@ -1,0 +1,180 @@
+//! The 42-application characterization of Table 3.
+
+use crate::profile::{BenchmarkProfile, Burstiness, Suite};
+
+use Burstiness::{High, Low};
+use Suite::{Parsec, Server, Spec};
+
+macro_rules! profiles {
+    ($(($name:literal, $suite:expr, $l1:expr, $l2:expr, $w:expr, $r:expr, $b:expr)),+ $(,)?) => {
+        &[$(BenchmarkProfile {
+            name: $name,
+            suite: $suite,
+            l1_mpki: $l1,
+            l2_mpki: $l2,
+            l2_wpki: $w,
+            l2_rpki: $r,
+            bursty: $b,
+        }),+]
+    };
+}
+
+/// All 42 rows of Table 3, in the paper's order.
+pub const TABLE3: &[BenchmarkProfile] = profiles![
+    ("tpcc", Server, 51.47, 6.06, 40.9, 10.57, High),
+    ("sjas", Server, 41.54, 4.48, 35.06, 6.48, High),
+    ("sap", Server, 29.91, 3.84, 23.57, 6.15, High),
+    ("sjbb", Server, 25.52, 7.01, 19.42, 6.09, High),
+    ("sclust", Parsec, 29.28, 8.34, 15.23, 14.05, High),
+    ("vips", Parsec, 13.51, 8.07, 6.61, 6.89, High),
+    ("canneal", Parsec, 12.8, 5.47, 6.52, 6.27, Low),
+    ("dedup", Parsec, 12.8, 4.59, 7.42, 5.36, High),
+    ("ferret", Parsec, 11.62, 9.16, 6.39, 5.22, Low),
+    ("facesim", Parsec, 10.62, 6.82, 6.15, 4.46, Low),
+    ("swptns", Parsec, 5.47, 6.35, 2.46, 3.00, Low),
+    ("bscls", Parsec, 5.29, 3.73, 2.80, 2.48, Low),
+    ("bdtrk", Parsec, 5.62, 5.71, 2.81, 2.81, Low),
+    ("rtrce", Parsec, 5.65, 4.98, 3.62, 2.03, Low),
+    ("x264", Parsec, 4.17, 4.62, 1.87, 2.29, Low),
+    ("fldnmt", Parsec, 4.89, 4.41, 2.68, 2.2, Low),
+    ("frqmn", Parsec, 2.29, 3.96, 1.31, 0.98, Low),
+    ("gems", Spec, 104.04, 94.62, 0.8, 103.23, Low),
+    ("mcf", Spec, 99.81, 64.47, 5.45, 94.37, Low),
+    ("soplex", Spec, 48.54, 16.88, 19.59, 28.95, Low),
+    ("cactus", Spec, 43.81, 15.64, 18.65, 25.16, Low),
+    ("lbm", Spec, 36.49, 18.88, 30.76, 5.73, High),
+    ("hmmer", Spec, 34.36, 3.31, 12.5, 21.86, High),
+    ("xalan", Spec, 29.7, 21.07, 3.02, 26.68, Low),
+    ("leslie", Spec, 26.09, 18.06, 7.65, 18.45, Low),
+    ("sphinx3", Spec, 25.55, 10.91, 0.97, 24.58, High),
+    ("gobmk", Spec, 22.81, 8.68, 8.02, 14.79, High),
+    ("astar", Spec, 20.03, 4.21, 6.11, 13.92, Low),
+    ("bzip2", Spec, 19.29, 10.02, 2.66, 16.63, High),
+    ("milc", Spec, 19.12, 18.67, 0.05, 19.06, Low),
+    ("libqntm", Spec, 12.5, 12.5, 0.0, 12.5, Low),
+    ("omnet", Spec, 10.92, 10.15, 0.25, 10.67, Low),
+    ("povray", Spec, 9.63, 7.86, 0.88, 8.75, High),
+    ("gcc", Spec, 9.39, 8.51, 0.06, 9.34, High),
+    ("namd", Spec, 8.85, 5.11, 0.65, 8.19, High),
+    ("gromacs", Spec, 5.36, 3.18, 0.32, 5.05, High),
+    ("tonto", Spec, 5.26, 0.55, 3.52, 1.74, High),
+    ("h264", Spec, 4.81, 2.74, 2.03, 2.78, High),
+    ("dealII", Spec, 4.41, 2.36, 0.35, 4.06, High),
+    ("sjeng", Spec, 3.93, 2.0, 0.92, 3.01, Low),
+    ("wrf", Spec, 1.8, 0.75, 0.88, 0.92, Low),
+    ("calculix", Spec, 0.33, 0.23, 0.03, 0.29, Low),
+];
+
+/// All profiles.
+pub fn all() -> &'static [BenchmarkProfile] {
+    TABLE3
+}
+
+/// Looks a profile up by its Table 3 name.
+pub fn by_name(name: &str) -> Option<&'static BenchmarkProfile> {
+    TABLE3.iter().find(|p| p.name == name)
+}
+
+/// The profiles of one suite.
+pub fn suite(s: Suite) -> impl Iterator<Item = &'static BenchmarkProfile> {
+    TABLE3.iter().filter(move |p| p.suite == s)
+}
+
+/// The application subsets shown in the paper's figures.
+pub mod figures {
+    /// Server apps of Figure 6 (top panel).
+    pub const FIG6_SERVER: &[&str] = &["sap", "sjbb", "tpcc", "sjas"];
+    /// PARSEC apps of Figure 6 (middle panel).
+    pub const FIG6_PARSEC: &[&str] = &[
+        "ferret", "facesim", "vips", "canneal", "dedup", "sclust", "bscls", "bdtrk", "fldnmt",
+        "frqmn", "rtrce", "swptns", "x264",
+    ];
+    /// SPEC apps of Figure 6 (bottom panel).
+    pub const FIG6_SPEC: &[&str] = &[
+        "soplex", "cactus", "lbm", "hmmer", "gobmk", "milc", "libqntm", "gems", "mcf", "xalan",
+        "leslie", "omnet", "povray",
+    ];
+    /// Apps of the Figure 3 histograms.
+    pub const FIG3: &[&str] = &[
+        "ferret", "facesim", "sclust", "x264", "libqntm", "lbm", "sphinx3", "hmmer", "sap",
+        "sjas", "tpcc", "sjbb",
+    ];
+    /// Apps of the Figure 7 latency breakdown.
+    pub const FIG7: &[&str] = &["sap", "sjbb", "sclust", "lbm", "hmmer"];
+    /// Apps of the Figure 14 write-buffer comparison.
+    pub const FIG14: &[&str] = &["tpcc", "sjas", "sclust", "lbm"];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_42_applications() {
+        assert_eq!(TABLE3.len(), 42);
+        assert_eq!(suite(Server).count(), 4);
+        assert_eq!(suite(Parsec).count(), 13);
+        assert_eq!(suite(Spec).count(), 25);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = TABLE3.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 42);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("lbm").unwrap().l2_wpki, 30.76);
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn l2_accesses_equal_l1_misses_for_every_row() {
+        // Table 3's internal consistency: every L1 miss becomes an L2
+        // read or an L2 write.
+        for p in TABLE3 {
+            let sum = p.l2_rpki + p.l2_wpki;
+            // Within 5%: the paper's own rounding leaves e.g.
+            // calculix at 0.32 vs 0.33.
+            assert!(
+                (sum - p.l1_mpki).abs() / p.l1_mpki < 0.05,
+                "{}: rpki+wpki = {} vs l1mpki = {}",
+                p.name,
+                sum,
+                p.l1_mpki
+            );
+        }
+    }
+
+    #[test]
+    fn figure_subsets_resolve() {
+        for name in figures::FIG3
+            .iter()
+            .chain(figures::FIG6_SERVER)
+            .chain(figures::FIG6_PARSEC)
+            .chain(figures::FIG6_SPEC)
+            .chain(figures::FIG7)
+            .chain(figures::FIG14)
+        {
+            assert!(by_name(name).is_some(), "unknown figure app {name}");
+        }
+    }
+
+    #[test]
+    fn server_apps_are_write_intensive() {
+        for p in suite(Server) {
+            assert!(p.is_write_intensive(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn miss_ratios_are_valid() {
+        for p in TABLE3 {
+            let r = p.l2_miss_ratio();
+            assert!((0.0..=1.0).contains(&r), "{}: {r}", p.name);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Multiprogrammed fairness: the paper's Case-2 study.
+//!
+//! Two bursty, write-intensive applications (lbm, hmmer) run alongside
+//! two read-intensive ones (bzip2, libquantum), 16 copies each. With a
+//! plain STT-RAM swap the bursty writers hog the network and banks;
+//! the WB scheme prioritizes reads to idle banks and restores
+//! fairness (Figures 9 and 10).
+//!
+//! ```sh
+//! cargo run --release --example multiprogrammed_mix
+//! ```
+
+use sttram_noc_repro::sim::metrics::{max_slowdown, weighted_speedup};
+use sttram_noc_repro::sim::scenario::Scenario;
+use sttram_noc_repro::sim::system::{DriveMode, System};
+use sttram_noc_repro::workload::mixes;
+
+fn main() {
+    let mix = mixes::case2(64);
+    let apps: Vec<&str> = mix.distinct().iter().map(|p| p.name).collect();
+    println!("Case-2 mix: {} (16 copies each)\n", apps.join(", "));
+
+    for scenario in [Scenario::Sram64Tsb, Scenario::SttRam64Tsb, Scenario::SttRam4TsbWb] {
+        let mut cfg = scenario.config();
+        cfg.warmup_cycles = 2_000;
+        cfg.measure_cycles = 10_000;
+
+        // "Alone" runs for the weighted-speedup metric: one copy of
+        // each app on an otherwise idle machine (Eq. 2's IPC_alone).
+        let mut alone = Vec::new();
+        for name in &apps {
+            let solo = mixes::Workload::solo(name, cfg.cores()).unwrap();
+            let m = System::new(cfg, &solo, DriveMode::Profile).run();
+            alone.push(m.ipc(0));
+        }
+
+        let m = System::new(cfg, &mix, DriveMode::Profile).run();
+        let shared: Vec<f64> =
+            apps.iter().map(|n| m.ipc_of_cores(&mix.cores_running(n))).collect();
+
+        println!("{}:", scenario.name());
+        for ((name, s), a) in apps.iter().zip(&shared).zip(&alone) {
+            println!(
+                "  {:8} shared IPC {:.3}  alone IPC {:.3}  slowdown {:.2}x",
+                name,
+                s,
+                a,
+                a / s.max(1e-9)
+            );
+        }
+        println!(
+            "  weighted speedup {:.2}   max slowdown {:.2}   instruction throughput {:.2}\n",
+            weighted_speedup(&shared, &alone),
+            max_slowdown(&shared, &alone),
+            m.instruction_throughput()
+        );
+    }
+}

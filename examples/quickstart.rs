@@ -1,0 +1,39 @@
+//! Quickstart: simulate one server workload on the paper's recommended
+//! design (STT-RAM banks + 4 region TSBs + window-based bank-aware
+//! arbitration) and print the headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sttram_noc_repro::sim::scenario::Scenario;
+use sttram_noc_repro::sim::system::System;
+use sttram_noc_repro::workload::table3;
+
+fn main() {
+    // Pick a workload from the paper's Table 3 characterization.
+    let profile = table3::by_name("tpcc").expect("tpcc is in Table 3");
+    println!(
+        "workload: {} (l2 reads/ki {:.2}, l2 writes/ki {:.2}, bursty {:?})",
+        profile.name, profile.l2_rpki, profile.l2_wpki, profile.bursty
+    );
+
+    // Compare the SRAM baseline against the proposed WB design.
+    for scenario in [Scenario::Sram64Tsb, Scenario::SttRam64Tsb, Scenario::SttRam4TsbWb] {
+        let mut cfg = scenario.config();
+        cfg.warmup_cycles = 2_000;
+        cfg.measure_cycles = 10_000;
+        let mut system = System::homogeneous(cfg, profile);
+        let m = system.run();
+        println!(
+            "{:14}: instruction throughput {:6.2}  uncore RTT {:6.1} cy  \
+             bank queue {:5.1} cy  held packets {:5}  uncore energy {:.2} uJ",
+            scenario.name(),
+            m.instruction_throughput(),
+            m.uncore_rtt,
+            m.bank_queue_wait,
+            m.held_packets,
+            m.uncore_energy_nj() / 1000.0
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Server consolidation: the workload class that motivates the paper.
+//!
+//! The four commercial workloads (tpcc, sjas, sap, sjbb) are write-
+//! intensive and bursty — the worst case for a naive SRAM -> STT-RAM
+//! swap. This example sweeps all six design scenarios over the server
+//! suite, prints the Figure 3-style post-write gap distribution for
+//! each application, and reports where the network-level schemes
+//! recover the write-latency loss.
+//!
+//! ```sh
+//! cargo run --release --example server_consolidation
+//! ```
+
+use sttram_noc_repro::sim::scenario::Scenario;
+use sttram_noc_repro::sim::system::System;
+use sttram_noc_repro::workload::table3;
+use sttram_noc_repro::workload::Suite;
+
+fn main() {
+    let servers: Vec<_> = table3::suite(Suite::Server).collect();
+    println!("== Figure 3 view: how bursty is each server workload? ==");
+    for p in &servers {
+        let mut cfg = Scenario::SttRam4Tsb.config();
+        cfg.warmup_cycles = 1_000;
+        cfg.measure_cycles = 8_000;
+        let m = System::homogeneous(cfg, p).run();
+        let fr = m.post_write_gaps.fractions();
+        println!(
+            "{:6}: <16cy {:4.1}%  <33cy {:4.1}%  delayable {:4.1}%  (write window = 33 cy)",
+            p.name,
+            fr[0] * 100.0,
+            (fr[0] + fr[1]) * 100.0,
+            m.delayable_fraction * 100.0
+        );
+    }
+
+    println!("\n== Throughput under the six design scenarios (normalized to SRAM) ==");
+    print!("{:6}", "");
+    for sc in Scenario::ALL {
+        print!(" {:>14}", sc.name());
+    }
+    println!();
+    for p in &servers {
+        let mut row = Vec::new();
+        for sc in Scenario::ALL {
+            let mut cfg = sc.config();
+            cfg.warmup_cycles = 1_000;
+            cfg.measure_cycles = 8_000;
+            let m = System::homogeneous(cfg, p).run();
+            row.push(m.instruction_throughput());
+        }
+        print!("{:6}", p.name);
+        for v in &row {
+            print!(" {:>14.3}", v / row[0]);
+        }
+        println!();
+    }
+    println!("\nSTT-RAM stresses the banks with 33-cycle writes; the bank-aware schemes");
+    println!("delay requests to busy banks at parent routers and prioritize idle-bank,");
+    println!("coherence and memory traffic, clawing back most of the loss.");
+}

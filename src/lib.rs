@@ -1,0 +1,40 @@
+//! Reproduction of *Architecting On-Chip Interconnects for Stacked 3D
+//! STT-RAM Caches in CMPs* (Mishra et al., ISCA 2011).
+//!
+//! This facade crate re-exports the workspace crates so the examples
+//! and integration tests can use one import root:
+//!
+//! * [`common`] — identifiers, geometry, configuration, statistics.
+//! * [`noc`] — the cycle-level 3D wormhole NoC with STT-RAM-aware
+//!   arbitration (regions, TSBs, parent routers, SS/RCA/WB).
+//! * [`mem`] — L1/L2 caches, MESI directory, bank timing, BUFF-20
+//!   write buffer, memory controllers.
+//! * [`cpu`] — the out-of-order core model.
+//! * [`workload`] — the 42-application synthetic workload suite.
+//! * [`energy`] — NoC and cache energy models, mini-CACTI.
+//! * [`sim`] — the assembled 3D CMP system, the six design scenarios,
+//!   metrics and every experiment of the evaluation section.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sttram_noc_repro::sim::scenario::Scenario;
+//! use sttram_noc_repro::sim::system::System;
+//! use sttram_noc_repro::workload::table3;
+//!
+//! let profile = table3::by_name("tpcc").expect("tpcc is in Table 3");
+//! let mut cfg = Scenario::SttRam4TsbWb.config();
+//! cfg.warmup_cycles = 200;
+//! cfg.measure_cycles = 2_000;
+//! let mut system = System::homogeneous(cfg, profile);
+//! let metrics = system.run();
+//! assert!(metrics.instruction_throughput() > 0.0);
+//! ```
+
+pub use snoc_common as common;
+pub use snoc_core as sim;
+pub use snoc_cpu as cpu;
+pub use snoc_energy as energy;
+pub use snoc_mem as mem;
+pub use snoc_noc as noc;
+pub use snoc_workload as workload;

@@ -1,0 +1,206 @@
+//! Full-stack MESI coherence integration: real L1/L2 tags, directory
+//! forwards/invalidations and home-routed writebacks — at the message
+//! level (L1 + home bank pumped directly) and through the complete 3D
+//! system.
+
+use sttram_noc_repro::common::config::{MemConfig, MemTech};
+use sttram_noc_repro::common::ids::{BankId, CoreId};
+use sttram_noc_repro::mem::l1::{AccessOutcome, L1Cache, MesiState};
+use sttram_noc_repro::mem::l2bank::{L2Bank, TagMode};
+use sttram_noc_repro::mem::protocol::{BankIn, BankMsg, L1In, L1Msg};
+use sttram_noc_repro::sim::scenario::Scenario;
+use sttram_noc_repro::sim::system::{DriveMode, System};
+use sttram_noc_repro::workload::mixes::Workload;
+use sttram_noc_repro::workload::table3;
+
+/// A two-core, one-bank message-level testbench (no network): L1
+/// outputs feed the home bank, bank outputs feed the L1s, memory
+/// fetches fill instantly.
+struct Bench {
+    l1s: Vec<L1Cache>,
+    bank: L2Bank,
+    to_bank: Vec<(CoreId, L1Msg)>,
+    now: u64,
+}
+
+impl Bench {
+    fn new() -> Self {
+        let cfg = MemConfig::default();
+        Bench {
+            l1s: (0..2).map(|i| L1Cache::new(CoreId::new(i), &cfg, 1)).collect(),
+            bank: L2Bank::new(BankId::new(0), &cfg, MemTech::SttRam, None, TagMode::Real),
+            to_bank: Vec::new(),
+            now: 0,
+        }
+    }
+
+    fn access(&mut self, core: usize, addr: u64, write: bool, token: u64) -> AccessOutcome {
+        let (outcome, msgs) = self.l1s[core].access(addr, write, token);
+        self.to_bank.extend(msgs.into_iter().map(|m| (CoreId::new(core as u16), m)));
+        outcome
+    }
+
+    /// Pumps messages until quiescent; returns retired tokens per core.
+    fn settle(&mut self) -> Vec<Vec<u64>> {
+        let mut retired = vec![Vec::new(); self.l1s.len()];
+        for _ in 0..5_000 {
+            self.now += 1;
+            let mut bank_out = self.bank.tick(self.now);
+            for (core, msg) in std::mem::take(&mut self.to_bank) {
+                let m = match msg {
+                    L1Msg::GetS { block, .. } => BankIn::GetS { block, from: core },
+                    L1Msg::GetM { block, .. } => BankIn::GetM { block, from: core },
+                    L1Msg::PutM { block, .. } => BankIn::PutM { block, from: core },
+                    L1Msg::FwdData { block, txn, .. } => {
+                        BankIn::FwdData { block, from: core, txn }
+                    }
+                    L1Msg::FwdMiss { block, txn, .. } => {
+                        BankIn::FwdMiss { block, from: core, txn }
+                    }
+                    L1Msg::InvAck { block, .. } => BankIn::InvAck { block, from: core },
+                };
+                bank_out.extend(self.bank.handle(m, false, self.now));
+            }
+            for out in bank_out {
+                match out {
+                    BankMsg::Data { block, to, exclusive } => {
+                        let (msgs, done) =
+                            self.l1s[to.index()].handle(L1In::Data { block, exclusive });
+                        retired[to.index()].extend(done);
+                        self.to_bank.extend(msgs.into_iter().map(|m| (to, m)));
+                    }
+                    BankMsg::Inv { block, to } => {
+                        let (msgs, _) = self.l1s[to.index()]
+                            .handle(L1In::Inv { block, home: BankId::new(0) });
+                        self.to_bank.extend(msgs.into_iter().map(|m| (to, m)));
+                    }
+                    BankMsg::FwdGetS { block, to, txn } => {
+                        let (msgs, _) = self.l1s[to.index()]
+                            .handle(L1In::FwdGetS { block, home: BankId::new(0), txn });
+                        self.to_bank.extend(msgs.into_iter().map(|m| (to, m)));
+                    }
+                    BankMsg::FwdGetM { block, to, txn } => {
+                        let (msgs, _) = self.l1s[to.index()]
+                            .handle(L1In::FwdGetM { block, home: BankId::new(0), txn });
+                        self.to_bank.extend(msgs.into_iter().map(|m| (to, m)));
+                    }
+                    BankMsg::Fetch { block } => {
+                        // Instant memory for the testbench.
+                        self.bank.handle(BankIn::Fill { block }, false, self.now);
+                    }
+                    BankMsg::WriteMem { .. } => {}
+                }
+            }
+            if self.to_bank.is_empty() && self.bank.is_quiescent() {
+                break;
+            }
+        }
+        retired
+    }
+}
+
+#[test]
+fn producer_consumer_sharing_through_the_home_bank() {
+    let mut b = Bench::new();
+    const BLOCK: u64 = 0x4000;
+
+    // Core 0 writes the block (cold GetM -> fetch -> M).
+    assert_eq!(b.access(0, BLOCK, true, 1), AccessOutcome::Miss);
+    let retired = b.settle();
+    assert_eq!(retired[0], vec![1]);
+    assert_eq!(b.l1s[0].state_of(BLOCK), Some(MesiState::M));
+
+    // Core 1 reads it: the home forwards to core 0, which supplies
+    // its dirty data back through the home (an STT-RAM write) and
+    // downgrades to S.
+    assert_eq!(b.access(1, BLOCK, false, 2), AccessOutcome::Miss);
+    let retired = b.settle();
+    assert_eq!(retired[1], vec![2]);
+    assert_eq!(b.l1s[0].state_of(BLOCK), Some(MesiState::S));
+    assert_eq!(b.l1s[1].state_of(BLOCK), Some(MesiState::S));
+    assert_eq!(b.bank.stats.forwards_sent, 1);
+
+    // Core 1 now writes: core 0's S copy must be invalidated.
+    assert_eq!(b.access(1, BLOCK, true, 3), AccessOutcome::Miss);
+    let retired = b.settle();
+    assert_eq!(retired[1], vec![3]);
+    assert_eq!(b.l1s[0].state_of(BLOCK), None, "sharer invalidated");
+    assert_eq!(b.l1s[1].state_of(BLOCK), Some(MesiState::M));
+    assert!(b.bank.stats.invalidations_sent >= 1);
+}
+
+#[test]
+fn ping_pong_ownership_generates_home_writebacks() {
+    let mut b = Bench::new();
+    const BLOCK: u64 = 0x8000;
+    let mut token = 0;
+    for round in 0..6 {
+        let writer = round % 2;
+        token += 1;
+        b.access(writer, BLOCK, true, token);
+        let retired = b.settle();
+        assert!(
+            retired[writer].contains(&token),
+            "round {round}: writer {writer} must retire"
+        );
+        assert_eq!(b.l1s[writer].state_of(BLOCK), Some(MesiState::M));
+        assert_eq!(b.l1s[1 - writer].state_of(BLOCK), None);
+    }
+    // Each ownership handoff funnels the dirty block through the home:
+    // five handoffs -> five FwdGetM + five data writebacks.
+    assert_eq!(b.bank.stats.forwards_sent, 5);
+    assert!(b.bank.timing().writes >= 5, "owner data is written into the STT array");
+}
+
+#[test]
+fn full_stack_multithreaded_produces_all_coherence_event_types() {
+    let p = table3::by_name("sclust").unwrap();
+    let mut cfg = Scenario::SttRam64Tsb.config();
+    cfg.warmup_cycles = 0;
+    cfg.measure_cycles = 10_000;
+    let cores = cfg.cores();
+    let w = Workload { name: "sclust".into(), apps: vec![p; cores] };
+    let mut sys = System::new(cfg, &w, DriveMode::FullStack);
+    let m = sys.run();
+    assert!(m.instruction_throughput() > 0.5);
+
+    let inv: u64 = sys.banks().iter().map(|b| b.stats.invalidations_sent).sum();
+    let fwd: u64 = sys.banks().iter().map(|b| b.stats.forwards_sent).sum();
+    let fetches: u64 = sys.banks().iter().map(|b| b.stats.fetches).sum();
+    assert!(fetches > 0, "cold misses fetch from memory");
+    assert!(m.bank_writes > 0, "memory fills are STT-RAM array writes");
+    // A cold-start window is DRAM-bound, so dirty L1 evictions (PutM)
+    // barely appear yet; ownership handoffs and home writebacks are
+    // asserted precisely by the message-level bench tests above. Here
+    // we check that cross-core interaction exists at all.
+    assert!(inv + fwd > 0, "shared data produces invalidations or forwards");
+}
+
+#[test]
+fn multiprogrammed_full_stack_has_no_cross_core_coherence() {
+    // SPEC copies use private address spaces: no sharing, hence no
+    // owner forwards.
+    let p = table3::by_name("sjeng").unwrap();
+    let mut cfg = Scenario::SttRam64Tsb.config();
+    cfg.warmup_cycles = 0;
+    cfg.measure_cycles = 6_000;
+    let cores = cfg.cores();
+    let w = Workload { name: "sjeng".into(), apps: vec![p; cores] };
+    let mut sys = System::new(cfg, &w, DriveMode::FullStack);
+    sys.run();
+    let fwd: u64 = sys.banks().iter().map(|b| b.stats.forwards_sent).sum();
+    assert_eq!(fwd, 0, "private working sets never forward");
+}
+
+#[test]
+fn l1_states_follow_mesi() {
+    let cfg = MemConfig::default();
+    let mut l1 = L1Cache::new(CoreId::new(0), &cfg, 64);
+    l1.access(0x5000, false, 1);
+    l1.handle(L1In::Data { block: 0x5000, exclusive: true });
+    assert_eq!(l1.state_of(0x5000), Some(MesiState::E));
+    let (o, msgs) = l1.access(0x5000, true, 2);
+    assert_eq!(o, AccessOutcome::Hit);
+    assert!(msgs.is_empty());
+    assert_eq!(l1.state_of(0x5000), Some(MesiState::M));
+}
