@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build+test, formatting, and a sweep determinism
+# smoke test (SNOC_THREADS must not change a repro binary's stdout).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier 1: release build =="
+cargo build --release
+
+echo "== tier 1: tests =="
+cargo test -q
+
+echo "== formatting =="
+cargo fmt --all -- --check
+
+echo "== sweep smoke: SNOC_THREADS=1 vs 4 stdout must be identical =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+export SNOC_PROGRESS=0 SNOC_RESULTS_DIR="$tmp/results"
+SNOC_THREADS=1 cargo run --release -q -p snoc-bench --bin repro-fig3 -- --quick \
+    >"$tmp/t1.out" 2>/dev/null
+SNOC_THREADS=4 cargo run --release -q -p snoc-bench --bin repro-fig3 -- --quick \
+    >"$tmp/t4.out" 2>/dev/null
+diff -u "$tmp/t1.out" "$tmp/t4.out"
+test -s "$tmp/t1.out"
+echo "ok: identical across thread counts"
+
+echo "== ci passed =="

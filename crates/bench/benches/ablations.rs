@@ -1,23 +1,17 @@
-//! Criterion bench for the design-choice ablations: prints the
-//! quick-scale sweep once, then times one +1VC run.
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Bench for the paper's ablations: prints the quick-scale reproduction
+//! once, then times one representative simulation run on the
+//! dependency-free harness.
+use snoc_bench::harness;
 use snoc_core::experiments::{ablations, Scale};
 use snoc_core::scenario::plus_one_vc_config;
 use snoc_core::system::System;
 use snoc_workload::table3 as t3;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    // Print the reproduced figure/table (quick scale) once.
     println!("{}", ablations::run(Scale::Quick));
     let app = t3::by_name("lbm").unwrap();
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(3));
-    g.bench_function("run/lbm/plus_one_vc", |b| {
-        b.iter(|| System::homogeneous(Scale::Quick.apply(plus_one_vc_config()), app).run())
+    harness::bench("ablations/run/lbm/plus_one_vc", || {
+        System::homogeneous(Scale::Quick.apply(plus_one_vc_config()), app).run()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

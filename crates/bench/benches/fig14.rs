@@ -1,23 +1,17 @@
-//! Criterion bench for the paper's Figure 14: prints the quick-scale
-//! write-buffer comparison once, then times one BUFF-20 run.
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Bench for the paper's fig14: prints the quick-scale reproduction
+//! once, then times one representative simulation run on the
+//! dependency-free harness.
+use snoc_bench::harness;
 use snoc_core::experiments::{fig14, Scale};
 use snoc_core::scenario::buff20_config;
 use snoc_core::system::System;
 use snoc_workload::table3 as t3;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    // Print the reproduced figure/table (quick scale) once.
     println!("{}", fig14::run(Scale::Quick));
     let app = t3::by_name("sclust").unwrap();
-    let mut g = c.benchmark_group("fig14");
-    g.sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(3));
-    g.bench_function("run/sclust/buff20", |b| {
-        b.iter(|| System::homogeneous(Scale::Quick.apply(buff20_config()), app).run())
+    harness::bench("fig14/run/sclust/buff20", || {
+        System::homogeneous(Scale::Quick.apply(buff20_config()), app).run()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

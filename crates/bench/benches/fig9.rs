@@ -1,26 +1,21 @@
-//! Criterion bench for the paper's Figure 9: prints the quick-scale
-//! case studies once, then times one Case-2 mix run.
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Bench for the paper's Figure 9: prints the quick-scale case
+//! studies once, then times one Case-2 mix run on the dependency-free
+//! harness.
+use snoc_bench::harness;
 use snoc_core::experiments::{fig9, Scale};
 use snoc_core::scenario::Scenario;
 use snoc_core::system::{DriveMode, System};
 use snoc_workload::mixes;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", fig9::run(Scale::Quick));
     let w = mixes::case2(64);
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(3));
-    g.bench_function("run/case2/SttRam4TsbWb", |b| {
-        b.iter(|| {
-            System::new(Scale::Quick.apply(Scenario::SttRam4TsbWb.config()), &w, DriveMode::Profile)
-                .run()
-        })
+    harness::bench("fig9/run/case2/SttRam4TsbWb", || {
+        System::new(
+            Scale::Quick.apply(Scenario::SttRam4TsbWb.config()),
+            &w,
+            DriveMode::Profile,
+        )
+        .run()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

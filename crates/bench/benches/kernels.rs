@@ -1,7 +1,7 @@
 //! Microbenchmarks of the substrate kernels: router allocation, cache
 //! array probes, bank service, stream generation and a bare network
-//! step.
-use criterion::{criterion_group, criterion_main, Criterion};
+//! step, on the dependency-free harness.
+use snoc_bench::harness;
 use snoc_common::config::SystemConfig;
 use snoc_common::geom::{Coord, Layer};
 use snoc_common::ids::CoreId;
@@ -11,49 +11,50 @@ use snoc_mem::bank_ctrl::{BankController, BankJob, BankOp};
 use snoc_noc::{Network, NetworkParams, Packet, PacketKind};
 use snoc_workload::{table3, ProfileStream};
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("kernels/cache_array_probe", |b| {
+fn main() {
+    harness::bench("kernels/cache_array_probe", {
         let mut a = CacheArray::<u8>::new(1024 * 1024, 16, 128);
         for i in 0..4096u64 {
             a.insert(i * 128, 0);
         }
         let mut i = 0u64;
-        b.iter(|| {
+        move || {
             i = i.wrapping_add(12345);
             a.probe((i % 8192) * 128).is_some()
-        })
+        }
     });
 
-    c.bench_function("kernels/bank_write_service", |b| {
-        b.iter(|| {
-            let mut bank = BankController::new(3, 33, None);
-            for t in 0..8 {
-                bank.enqueue(BankJob { op: BankOp::Write, token: t, addr: t * 128, arrived: 0 }, 0);
-            }
-            bank.run_until_idle(0, 1000)
-        })
+    harness::bench("kernels/bank_write_service", || {
+        let mut bank = BankController::new(3, 33, None);
+        for t in 0..8 {
+            bank.enqueue(
+                BankJob {
+                    op: BankOp::Write,
+                    token: t,
+                    addr: t * 128,
+                    arrived: 0,
+                },
+                0,
+            );
+        }
+        bank.run_until_idle(0, 1000)
     });
 
-    c.bench_function("kernels/profile_stream", |b| {
+    harness::bench("kernels/profile_stream", {
         let p = table3::by_name("tpcc").unwrap();
         let mut s = ProfileStream::new(p, CoreId::new(0), 64, 4, 1);
-        b.iter(|| s.next_instr())
+        move || s.next_instr()
     });
 
-    c.bench_function("kernels/network_1k_cycles_loaded", |b| {
-        b.iter(|| {
-            let cfg = SystemConfig::default();
-            let mut net = Network::new(NetworkParams::from_config(&cfg));
-            for i in 0..64u64 {
-                let src = Coord::new((i % 8) as u8, ((i / 8) % 8) as u8, Layer::Core);
-                let dst = Coord::new(((i * 5) % 8) as u8, ((i * 11) % 8) as u8, Layer::Cache);
-                net.inject(Packet::new(PacketKind::BankRead, src, dst, i, i));
-            }
-            net.run(1_000);
-            net.stats().delivered
-        })
+    harness::bench("kernels/network_1k_cycles_loaded", || {
+        let cfg = SystemConfig::default();
+        let mut net = Network::new(NetworkParams::from_config(&cfg));
+        for i in 0..64u64 {
+            let src = Coord::new((i % 8) as u8, ((i / 8) % 8) as u8, Layer::Core);
+            let dst = Coord::new(((i * 5) % 8) as u8, ((i * 11) % 8) as u8, Layer::Cache);
+            net.inject(Packet::new(PacketKind::BankRead, src, dst, i, i));
+        }
+        net.run(1_000);
+        net.stats().delivered
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

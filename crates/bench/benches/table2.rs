@@ -1,12 +1,9 @@
-//! Criterion bench for Table 2: prints the regenerated table and
-//! times the analytic model.
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Bench for Table 2: prints the regenerated table and times the
+//! analytic model on the dependency-free harness.
+use snoc_bench::harness;
 use snoc_core::experiments::table2;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("{}", table2::run());
-    c.bench_function("table2/cacti_lite", |b| b.iter(table2::run));
+    harness::bench("table2/cacti_lite", table2::run);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,17 @@
-//! Criterion bench for the paper's table3: prints the quick-scale
-//! reproduction once, then times one representative simulation run.
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Bench for the paper's table3: prints the quick-scale reproduction
+//! once, then times one representative simulation run on the
+//! dependency-free harness.
+use snoc_bench::harness;
 use snoc_core::experiments::{table3, Scale};
 use snoc_core::scenario::Scenario;
 use snoc_core::system::System;
 use snoc_workload::table3 as t3;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     // Print the reproduced figure/table (quick scale) once.
     println!("{}", table3::run(Scale::Quick));
     let app = t3::by_name("tpcc").unwrap();
-    let mut g = c.benchmark_group("table3");
-    g.sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(3));
-    g.bench_function("run/tpcc/SttRam64Tsb", |b| {
-        b.iter(|| System::homogeneous(Scale::Quick.apply(Scenario::SttRam64Tsb.config()), app).run())
+    harness::bench("table3/run/tpcc/SttRam64Tsb", || {
+        System::homogeneous(Scale::Quick.apply(Scenario::SttRam64Tsb.config()), app).run()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

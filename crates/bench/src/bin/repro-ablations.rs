@@ -2,5 +2,5 @@
 //! bank intake depth).
 fn main() {
     let scale = snoc_bench::scale_from_args();
-    println!("{}", snoc_core::experiments::ablations::run(scale));
+    snoc_bench::emit("ablations", &snoc_core::experiments::ablations::run(scale));
 }

@@ -1,5 +1,5 @@
 //! Regenerates the paper's Figure 10 (fairness in Case-2).
 fn main() {
     let scale = snoc_bench::scale_from_args();
-    println!("{}", snoc_core::experiments::fig10::run(scale));
+    snoc_bench::emit("fig10", &snoc_core::experiments::fig10::run(scale));
 }

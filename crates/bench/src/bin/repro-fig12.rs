@@ -1,5 +1,5 @@
 //! Regenerates the paper's Figures 11 and 12 (region/TSB sensitivity).
 fn main() {
     let scale = snoc_bench::scale_from_args();
-    println!("{}", snoc_core::experiments::fig12::run(scale));
+    snoc_bench::emit("fig12", &snoc_core::experiments::fig12::run(scale));
 }

@@ -1,5 +1,5 @@
 //! Regenerates the paper's Figure 13 (parent-child distance sensitivity).
 fn main() {
     let scale = snoc_bench::scale_from_args();
-    println!("{}", snoc_core::experiments::fig13::run(scale));
+    snoc_bench::emit("fig13", &snoc_core::experiments::fig13::run(scale));
 }

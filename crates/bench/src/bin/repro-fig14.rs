@@ -1,5 +1,5 @@
 //! Regenerates the paper's Figure 14 (write-buffer comparison).
 fn main() {
     let scale = snoc_bench::scale_from_args();
-    println!("{}", snoc_core::experiments::fig14::run(scale));
+    snoc_bench::emit("fig14", &snoc_core::experiments::fig14::run(scale));
 }

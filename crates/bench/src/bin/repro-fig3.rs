@@ -1,5 +1,5 @@
 //! Regenerates the paper's Figure 3 (post-write gap distributions).
 fn main() {
     let scale = snoc_bench::scale_from_args();
-    println!("{}", snoc_core::experiments::fig3::run(scale));
+    snoc_bench::emit("fig3", &snoc_core::experiments::fig3::run(scale));
 }

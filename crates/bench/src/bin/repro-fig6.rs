@@ -1,5 +1,5 @@
 //! Regenerates the paper's Figure 6 (throughput across the six design points).
 fn main() {
     let scale = snoc_bench::scale_from_args();
-    println!("{}", snoc_core::experiments::fig6::run(scale));
+    snoc_bench::emit("fig6", &snoc_core::experiments::fig6::run(scale));
 }

@@ -1,5 +1,5 @@
 //! Regenerates the paper's Figure 7 (latency breakdown).
 fn main() {
     let scale = snoc_bench::scale_from_args();
-    println!("{}", snoc_core::experiments::fig7::run(scale));
+    snoc_bench::emit("fig7", &snoc_core::experiments::fig7::run(scale));
 }

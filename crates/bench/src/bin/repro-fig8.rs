@@ -1,5 +1,5 @@
 //! Regenerates the paper's Figure 8 (uncore energy).
 fn main() {
     let scale = snoc_bench::scale_from_args();
-    println!("{}", snoc_core::experiments::fig8::run(scale));
+    snoc_bench::emit("fig8", &snoc_core::experiments::fig8::run(scale));
 }

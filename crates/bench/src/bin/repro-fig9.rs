@@ -1,5 +1,5 @@
 //! Regenerates the paper's Figure 9 (multiprogrammed case studies).
 fn main() {
     let scale = snoc_bench::scale_from_args();
-    println!("{}", snoc_core::experiments::fig9::run(scale));
+    snoc_bench::emit("fig9", &snoc_core::experiments::fig9::run(scale));
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's Table 2 (SRAM vs STT-RAM at 32 nm).
 fn main() {
-    println!("{}", snoc_core::experiments::table2::run());
+    snoc_bench::emit("table2", &snoc_core::experiments::table2::run());
 }

@@ -1,5 +1,5 @@
 //! Regenerates the paper's Table 3 (benchmark characterization).
 fn main() {
     let scale = snoc_bench::scale_from_args();
-    println!("{}", snoc_core::experiments::table3::run(scale));
+    snoc_bench::emit("table3", &snoc_core::experiments::table3::run(scale));
 }

@@ -1,0 +1,110 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The registry is unreachable in the offline build environments this
+//! repository targets, so the `benches/` binaries time themselves with
+//! this Criterion-lite shim instead of pulling `criterion`: warm up,
+//! run timed batches until a time budget is spent, report mean /
+//! best / worst per iteration.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Iterations measured.
+    pub iters: u64,
+    /// Mean wall-clock per iteration.
+    pub mean: Duration,
+    /// Fastest single iteration.
+    pub best: Duration,
+    /// Slowest single iteration.
+    pub worst: Duration,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times `f` under the default budget (300 ms warm-up, 3 s measure)
+/// and prints a `name  mean ... (best ... worst ..., N iters)` line.
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> Timing {
+    bench_with(name, Duration::from_millis(300), Duration::from_secs(3), f)
+}
+
+/// [`bench`] with explicit warm-up and measurement budgets.
+pub fn bench_with<R>(
+    name: &str,
+    warmup: Duration,
+    measure: Duration,
+    mut f: impl FnMut() -> R,
+) -> Timing {
+    let start = Instant::now();
+    while start.elapsed() < warmup {
+        std::hint::black_box(f());
+    }
+    let mut iters = 0u64;
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let mut worst = Duration::ZERO;
+    while total < measure {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let dt = t0.elapsed();
+        iters += 1;
+        total += dt;
+        best = best.min(dt);
+        worst = worst.max(dt);
+    }
+    let timing = Timing {
+        iters,
+        mean: total / iters.max(1) as u32,
+        best,
+        worst,
+    };
+    println!(
+        "{name:48} {:>10}/iter  (best {:>10}, worst {:>10}, {} iters)",
+        fmt_duration(timing.mean),
+        fmt_duration(timing.best),
+        fmt_duration(timing.worst),
+        timing.iters
+    );
+    timing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive_and_ordered() {
+        let mut x = 0u64;
+        let t = bench_with(
+            "harness/self-test",
+            Duration::from_millis(1),
+            Duration::from_millis(20),
+            || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            },
+        );
+        assert!(t.iters > 0);
+        assert!(t.best <= t.mean && t.mean <= t.worst);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

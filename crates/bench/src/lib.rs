@@ -2,10 +2,14 @@
 //!
 //! One `repro-*` binary per table/figure regenerates the paper's
 //! rows/series at full scale (pass `--quick` for a fast pass), and one
-//! Criterion bench per table/figure prints the quick-scale result and
-//! times a representative kernel.
+//! bench per table/figure prints the quick-scale result and times a
+//! representative kernel on the dependency-free [`harness`].
+
+pub mod harness;
 
 use snoc_core::experiments::Scale;
+use snoc_core::report::{self, Rows};
+use std::fmt::Display;
 
 /// Parses the experiment scale from the command line (`--quick` for
 /// the reduced configuration; full scale otherwise).
@@ -14,5 +18,18 @@ pub fn scale_from_args() -> Scale {
         Scale::Quick
     } else {
         Scale::Full
+    }
+}
+
+/// Prints an experiment result to stdout and dumps its text/CSV
+/// renderings into the results directory (`SNOC_RESULTS_DIR`, default
+/// `results/`). Diagnostics go to stderr so stdout stays a clean,
+/// reproducible report.
+pub fn emit<R: Rows + Display>(name: &str, result: &R) {
+    println!("{result}");
+    let dir = std::env::var("SNOC_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    match report::save(&dir, name, result) {
+        Ok((txt, csv)) => eprintln!("wrote {} and {}", txt.display(), csv.display()),
+        Err(e) => eprintln!("could not write results under {dir}: {e}"),
     }
 }

@@ -7,10 +7,8 @@
 //! scenarios of Section 4.1 are built on top of this type by the
 //! `snoc-core` crate.
 
-use serde::{Deserialize, Serialize};
-
 /// The memory technology of the L2 banks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemTech {
     /// 1 MB SRAM banks: 3-cycle reads and writes.
     Sram,
@@ -29,7 +27,7 @@ impl MemTech {
 }
 
 /// How core->cache request traffic crosses between the dies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestPathMode {
     /// Requests descend at the source node through any of the 64 TSVs
     /// (Z-X-Y routing). Used by the `*-64TSB` scenarios.
@@ -41,7 +39,7 @@ pub enum RequestPathMode {
 }
 
 /// Where each region's TSB is placed (Figure 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TsbPlacement {
     /// At the innermost corner of each region (towards the mesh centre).
     Corner,
@@ -52,7 +50,7 @@ pub enum TsbPlacement {
 
 /// The congestion-estimation scheme used by bank-aware arbitration
 /// (Section 3.5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Estimator {
     /// Simplistic Scheme: congestion assumed zero.
     Simple,
@@ -66,7 +64,7 @@ pub enum Estimator {
 }
 
 /// The router arbitration policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArbitrationPolicy {
     /// Plain round-robin (the paper's baseline routers).
     RoundRobin,
@@ -88,7 +86,7 @@ impl ArbitrationPolicy {
 
 /// Optional per-bank SRAM write buffer (the BUFF-20 comparison point of
 /// Section 4.4, after Sun et al. HPCA'09).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WriteBufferConfig {
     /// Number of buffered writes per bank (20 in the paper).
     pub entries: usize,
@@ -101,12 +99,16 @@ pub struct WriteBufferConfig {
 
 impl Default for WriteBufferConfig {
     fn default() -> Self {
-        Self { entries: 20, detect_cycles: 1, read_preemption: true }
+        Self {
+            entries: 20,
+            detect_cycles: 1,
+            read_preemption: true,
+        }
     }
 }
 
 /// NoC parameters (Table 1, "Network Router" and "Network Topology").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NocConfig {
     /// Mesh width of each layer (8).
     pub width: u8,
@@ -149,7 +151,7 @@ impl Default for NocConfig {
 }
 
 /// Memory-hierarchy parameters (Table 1, caches and main memory).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemConfig {
     /// L1 size in bytes (32 KB).
     pub l1_bytes: usize,
@@ -208,7 +210,7 @@ impl Default for MemConfig {
 }
 
 /// Core-model parameters (Table 1, "Processor Pipeline").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CoreConfig {
     /// Instruction window entries (128).
     pub window_entries: usize,
@@ -220,12 +222,16 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        Self { window_entries: 128, width: 2, mem_ops_per_cycle: 1 }
+        Self {
+            window_entries: 128,
+            width: 2,
+            mem_ops_per_cycle: 1,
+        }
     }
 }
 
 /// The complete configuration of one simulated system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// NoC parameters.
     pub noc: NocConfig,
@@ -281,7 +287,157 @@ impl Default for SystemConfig {
     }
 }
 
+/// A chainable constructor for [`SystemConfig`].
+///
+/// The builder is the preferred way to express configuration deltas —
+/// scenario definitions, experiment overrides and scale selection all
+/// read as one chain instead of ad-hoc field pokes:
+///
+/// ```
+/// use snoc_common::config::{MemTech, RequestPathMode, SystemConfig};
+///
+/// let cfg = SystemConfig::builder()
+///     .tech(MemTech::SttRam)
+///     .path_mode(RequestPathMode::RegionTsbs)
+///     .cycles(500, 3_000)
+///     .build();
+/// assert_eq!(cfg.l2_write_latency(), 33);
+/// ```
+///
+/// The plain struct fields stay public, so direct mutation keeps
+/// working for existing callers.
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// The L2 bank technology.
+    pub fn tech(mut self, tech: MemTech) -> Self {
+        self.cfg.tech = tech;
+        self
+    }
+
+    /// How requests cross between dies.
+    pub fn path_mode(mut self, mode: RequestPathMode) -> Self {
+        self.cfg.path_mode = mode;
+        self
+    }
+
+    /// The router arbitration policy.
+    pub fn arbitration(mut self, policy: ArbitrationPolicy) -> Self {
+        self.cfg.arbitration = policy;
+        self
+    }
+
+    /// Number of logical cache-layer regions.
+    pub fn regions(mut self, regions: usize) -> Self {
+        self.cfg.regions = regions;
+        self
+    }
+
+    /// TSB placement within each region.
+    pub fn tsb_placement(mut self, placement: TsbPlacement) -> Self {
+        self.cfg.tsb_placement = placement;
+        self
+    }
+
+    /// Parent-child re-ordering distance in hops.
+    pub fn parent_hops(mut self, hops: u32) -> Self {
+        self.cfg.parent_hops = hops;
+        self
+    }
+
+    /// WB-scheme sampling window.
+    pub fn wb_window(mut self, window: u32) -> Self {
+        self.cfg.wb_window = window;
+        self
+    }
+
+    /// Optional per-bank write buffer.
+    pub fn write_buffer(mut self, wb: Option<WriteBufferConfig>) -> Self {
+        self.cfg.write_buffer = wb;
+        self
+    }
+
+    /// Warm-up and measured cycle counts.
+    pub fn cycles(mut self, warmup: u64, measure: u64) -> Self {
+        self.cfg.warmup_cycles = warmup;
+        self.cfg.measure_cycles = measure;
+        self
+    }
+
+    /// The master RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Replaces the NoC parameter block.
+    pub fn noc(mut self, noc: NocConfig) -> Self {
+        self.cfg.noc = noc;
+        self
+    }
+
+    /// Replaces the memory-hierarchy parameter block.
+    pub fn mem(mut self, mem: MemConfig) -> Self {
+        self.cfg.mem = mem;
+        self
+    }
+
+    /// Replaces the core parameter block.
+    pub fn core(mut self, core: CoreConfig) -> Self {
+        self.cfg.core = core;
+        self
+    }
+
+    /// Escape hatch for knobs without a dedicated method: mutate the
+    /// partially-built configuration in place.
+    pub fn tune(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SystemConfig::validate`] message if the parameter
+    /// combination is unusable.
+    pub fn try_build(self) -> Result<SystemConfig, String> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter combination fails
+    /// [`SystemConfig::validate`]; use [`SystemConfigBuilder::try_build`]
+    /// to handle that case.
+    pub fn build(self) -> SystemConfig {
+        match self.try_build() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("invalid configuration: {e}"),
+        }
+    }
+}
+
 impl SystemConfig {
+    /// A builder seeded with the Table 1 defaults.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: SystemConfig::default(),
+        }
+    }
+
+    /// A builder seeded with an existing configuration (for overrides
+    /// on top of a scenario or a previous build).
+    pub fn rebuild(self) -> SystemConfigBuilder {
+        SystemConfigBuilder { cfg: self }
+    }
+
     /// Number of cores (= nodes per layer).
     pub fn cores(&self) -> usize {
         self.noc.width as usize * self.noc.height as usize
@@ -397,9 +553,58 @@ mod tests {
     }
 
     #[test]
+    fn builder_matches_field_pokes() {
+        let built = SystemConfig::builder()
+            .tech(MemTech::SttRam)
+            .path_mode(RequestPathMode::RegionTsbs)
+            .arbitration(ArbitrationPolicy::BankAware {
+                estimator: Estimator::WindowBased,
+            })
+            .regions(8)
+            .tsb_placement(TsbPlacement::Staggered)
+            .parent_hops(3)
+            .wb_window(50)
+            .cycles(100, 900)
+            .seed(7)
+            .build();
+        let mut poked = SystemConfig::default();
+        poked.tech = MemTech::SttRam;
+        poked.path_mode = RequestPathMode::RegionTsbs;
+        poked.arbitration = ArbitrationPolicy::BankAware {
+            estimator: Estimator::WindowBased,
+        };
+        poked.regions = 8;
+        poked.tsb_placement = TsbPlacement::Staggered;
+        poked.parent_hops = 3;
+        poked.wb_window = 50;
+        poked.warmup_cycles = 100;
+        poked.measure_cycles = 900;
+        poked.seed = 7;
+        assert_eq!(built, poked);
+    }
+
+    #[test]
+    fn builder_validates_on_build() {
+        assert!(SystemConfig::builder().regions(3).try_build().is_err());
+        let rebuilt = SystemConfig::default()
+            .rebuild()
+            .tune(|c| c.noc.vcs_per_port = 9)
+            .build();
+        assert_eq!(rebuilt.noc.vcs_per_port, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid configuration")]
+    fn builder_build_panics_on_invalid() {
+        SystemConfig::builder().regions(0).build();
+    }
+
+    #[test]
     fn bank_aware_flag() {
         assert!(!ArbitrationPolicy::RoundRobin.is_bank_aware());
-        assert!(ArbitrationPolicy::BankAware { estimator: Estimator::WindowBased }
-            .is_bank_aware());
+        assert!(ArbitrationPolicy::BankAware {
+            estimator: Estimator::WindowBased
+        }
+        .is_bank_aware());
     }
 }

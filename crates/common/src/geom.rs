@@ -8,11 +8,10 @@
 //! numbering with node 0 at the south-west corner.
 
 use crate::ids::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which die a coordinate refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Layer {
     /// The top die: 64 cores with their private L1 caches.
     Core,
@@ -45,7 +44,7 @@ impl fmt::Display for Layer {
 }
 
 /// A position on the chip: mesh coordinates plus the layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
     /// Column (paper's X direction).
     pub x: u8,
@@ -63,7 +62,10 @@ impl Coord {
 
     /// The same (x, y) position on the other die.
     pub fn through_via(self) -> Coord {
-        Coord { layer: self.layer.opposite(), ..self }
+        Coord {
+            layer: self.layer.opposite(),
+            ..self
+        }
     }
 
     /// Manhattan distance within a layer, ignoring the Z dimension.
@@ -79,7 +81,7 @@ impl fmt::Display for Coord {
 }
 
 /// One hop direction in the 3D mesh, also used to index router ports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Direction {
     /// +x within a layer.
     East,
@@ -153,7 +155,7 @@ impl fmt::Display for Direction {
 }
 
 /// The dimensions of one mesh layer and the id<->coordinate mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mesh {
     width: u8,
     height: u8,
@@ -211,7 +213,10 @@ impl Mesh {
     ///
     /// Panics if the coordinate lies outside the mesh.
     pub fn node(self, coord: Coord) -> NodeId {
-        assert!(coord.x < self.width && coord.y < self.height, "coord out of range");
+        assert!(
+            coord.x < self.width && coord.y < self.height,
+            "coord out of range"
+        );
         NodeId::new(coord.y as u16 * self.width as u16 + coord.x as u16)
     }
 
@@ -219,14 +224,22 @@ impl Mesh {
     /// mesh / layer boundary. [`Direction::Local`] has no neighbour.
     pub fn neighbour(self, coord: Coord, dir: Direction) -> Option<Coord> {
         match dir {
-            Direction::East if coord.x + 1 < self.width => {
-                Some(Coord { x: coord.x + 1, ..coord })
-            }
-            Direction::West if coord.x > 0 => Some(Coord { x: coord.x - 1, ..coord }),
-            Direction::North if coord.y + 1 < self.height => {
-                Some(Coord { y: coord.y + 1, ..coord })
-            }
-            Direction::South if coord.y > 0 => Some(Coord { y: coord.y - 1, ..coord }),
+            Direction::East if coord.x + 1 < self.width => Some(Coord {
+                x: coord.x + 1,
+                ..coord
+            }),
+            Direction::West if coord.x > 0 => Some(Coord {
+                x: coord.x - 1,
+                ..coord
+            }),
+            Direction::North if coord.y + 1 < self.height => Some(Coord {
+                y: coord.y + 1,
+                ..coord
+            }),
+            Direction::South if coord.y > 0 => Some(Coord {
+                y: coord.y - 1,
+                ..coord
+            }),
             Direction::Down if coord.layer == Layer::Core => Some(coord.through_via()),
             Direction::Up if coord.layer == Layer::Cache => Some(coord.through_via()),
             _ => None,
@@ -301,7 +314,11 @@ mod tests {
         let sw = Coord::new(0, 0, Layer::Core);
         assert_eq!(m.neighbour(sw, Direction::West), None);
         assert_eq!(m.neighbour(sw, Direction::South), None);
-        assert_eq!(m.neighbour(sw, Direction::Up), None, "core layer is the top die");
+        assert_eq!(
+            m.neighbour(sw, Direction::Up),
+            None,
+            "core layer is the top die"
+        );
         assert_eq!(
             m.neighbour(sw, Direction::Down),
             Some(Coord::new(0, 0, Layer::Cache))
@@ -310,7 +327,10 @@ mod tests {
         assert_eq!(m.neighbour(ne, Direction::East), None);
         assert_eq!(m.neighbour(ne, Direction::North), None);
         assert_eq!(m.neighbour(ne, Direction::Down), None);
-        assert_eq!(m.neighbour(ne, Direction::Up), Some(Coord::new(7, 7, Layer::Core)));
+        assert_eq!(
+            m.neighbour(ne, Direction::Up),
+            Some(Coord::new(7, 7, Layer::Core))
+        );
     }
 
     #[test]
@@ -321,7 +341,10 @@ mod tests {
         let from = m.coord(NodeId::new(27), Layer::Cache);
         let to = m.coord(NodeId::new(10), Layer::Cache);
         let path: Vec<_> = m.xy_path(from, to).iter().map(|&c| m.node(c)).collect();
-        assert_eq!(path, vec![NodeId::new(26), NodeId::new(18), NodeId::new(10)]);
+        assert_eq!(
+            path,
+            vec![NodeId::new(26), NodeId::new(18), NodeId::new(10)]
+        );
     }
 
     #[test]

@@ -13,7 +13,6 @@ macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $short:expr) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-        #[derive(serde::Serialize, serde::Deserialize)]
         pub struct $name(u16);
 
         impl $name {

@@ -4,17 +4,23 @@
 //! [`SimRng`] derived from the master seed and a *stream label*, so
 //! adding components never perturbs the random streams of existing ones
 //! and identical `(config, seed)` pairs replay bit-for-bit.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (the same algorithm
+//! `rand`'s `SmallRng` uses on 64-bit targets) so the workspace builds
+//! with no external dependencies.
 
 /// The simulator's random-number generator.
 ///
-/// A thin wrapper over a seeded [`SmallRng`] with the handful of draws
-/// the workload generator needs.
+/// A seeded xoshiro256++ with the handful of draws the workload
+/// generator needs.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+#[inline]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
 }
 
 impl SimRng {
@@ -22,7 +28,8 @@ impl SimRng {
     ///
     /// The same `(seed, stream)` pair always yields the same sequence.
     pub fn for_stream(seed: u64, stream: u64) -> Self {
-        // SplitMix64 over (seed, stream) decorrelates the streams.
+        // SplitMix64 over (seed, stream) decorrelates the streams and
+        // expands the pair into the 256-bit xoshiro state.
         let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut next = || {
             z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -31,16 +38,31 @@ impl SimRng {
             x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             x ^ (x >> 31)
         };
-        let mut bytes = [0u8; 32];
-        for chunk in bytes.chunks_exact_mut(8) {
-            chunk.copy_from_slice(&next().to_le_bytes());
+        let mut s = [next(), next(), next(), next()];
+        if s == [0; 4] {
+            // xoshiro must not start from the all-zero state.
+            s[0] = 0x9E37_79B9_7F4A_7C15;
         }
-        Self { inner: SmallRng::from_seed(bytes) }
+        Self { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let out = rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = rotl(self.s[3], 45);
+        out
     }
 
     /// A uniform draw in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high bits -> the standard dyadic-rational conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -50,7 +72,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.random::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -61,7 +83,9 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "bound must be positive");
-        self.inner.random_range(0..bound)
+        // Lemire's multiply-shift; the bias is < 2^-40 for any bound
+        // the simulator uses, far below simulation noise.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
     }
 
     /// A geometric draw: number of failures before the first success
@@ -77,7 +101,7 @@ impl SimRng {
 
     /// A raw 64-bit draw.
     pub fn bits(&mut self) -> u64 {
-        self.inner.random()
+        self.next_u64()
     }
 }
 
@@ -120,12 +144,29 @@ mod tests {
     }
 
     #[test]
+    fn below_covers_all_values() {
+        let mut r = SimRng::for_stream(11, 4);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.below(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
     fn unit_is_in_range() {
         let mut r = SimRng::for_stream(5, 5);
         for _ in 0..1000 {
             let u = r.unit();
             assert!((0.0..1.0).contains(&u));
         }
+    }
+
+    #[test]
+    fn unit_mean_is_near_half() {
+        let mut r = SimRng::for_stream(6, 6);
+        let mean = (0..4096).map(|_| r.unit()).sum::<f64>() / 4096.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Lightweight statistics containers used throughout the simulator.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A running mean/min/max accumulator.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Accumulator {
     count: u64,
     sum: f64,
@@ -103,7 +102,7 @@ impl fmt::Display for Accumulator {
 /// `-inf` lower edge for bin 0); samples at or above the last edge fall
 /// into the overflow bin. This matches the paper's Figure 3 binning:
 /// edges `[16, 33, 66, 99, 132, 165]` with a `165+` overflow bin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     edges: Vec<u64>,
     counts: Vec<u64>,
@@ -122,7 +121,10 @@ impl Histogram {
             edges.windows(2).all(|w| w[0] < w[1]),
             "edges must be strictly increasing"
         );
-        Self { edges: edges.to_vec(), counts: vec![0; edges.len() + 1] }
+        Self {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+        }
     }
 
     /// The Figure 3 binning: 16, 33, 66, 99, 132, 165+.
@@ -157,7 +159,10 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 
     /// Fraction of samples strictly below `threshold` (which must be
@@ -198,7 +203,7 @@ impl Histogram {
 /// Keeps a uniform random sample of up to `capacity` observations
 /// (Vitter's Algorithm R with a deterministic LCG) and computes exact
 /// quantiles of the sample on demand.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Reservoir {
     samples: Vec<f64>,
     capacity: usize,
@@ -214,7 +219,12 @@ impl Reservoir {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "reservoir needs capacity");
-        Self { samples: Vec::with_capacity(capacity), capacity, seen: 0, state: 0x9E3779B97F4A7C15 }
+        Self {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+            state: 0x9E3779B97F4A7C15,
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -268,7 +278,7 @@ impl Reservoir {
 }
 
 /// A simple event counter keyed by a caller-chosen enum-like index.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CounterSet {
     counts: Vec<u64>,
 }

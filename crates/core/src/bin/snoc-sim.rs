@@ -144,8 +144,15 @@ fn main() {
     );
     let mut system = System::new(cfg, &workload, mode);
     let m = system.run();
-    println!("instruction throughput : {:8.2}", m.instruction_throughput());
-    println!("avg / slowest core IPC : {:8.3} / {:.3}", m.avg_ipc(), m.slowest_ipc());
+    println!(
+        "instruction throughput : {:8.2}",
+        m.instruction_throughput()
+    );
+    println!(
+        "avg / slowest core IPC : {:8.3} / {:.3}",
+        m.avg_ipc(),
+        m.slowest_ipc()
+    );
     println!(
         "uncore round trip      : {:8.1} cycles (p95 {:.0})",
         m.uncore_rtt, m.uncore_rtt_p95
@@ -158,12 +165,21 @@ fn main() {
         "bank queue / service   : {:8.1} / {:.1} cycles",
         m.bank_queue_wait, m.bank_service
     );
-    println!("bank reads / writes    : {:8} / {}", m.bank_reads, m.bank_writes);
+    println!(
+        "bank reads / writes    : {:8} / {}",
+        m.bank_reads, m.bank_writes
+    );
     println!("memory fetches         : {:8}", m.mem_fetches);
     println!(
         "held at parents        : {:8} packets / {} cycles",
         m.held_packets, m.held_cycles
     );
-    println!("delayable fraction     : {:8.1}%", m.delayable_fraction * 100.0);
-    println!("uncore energy          : {:8.2} uJ", m.uncore_energy_nj() / 1000.0);
+    println!(
+        "delayable fraction     : {:8.1}%",
+        m.delayable_fraction * 100.0
+    );
+    println!(
+        "uncore energy          : {:8.2} uJ",
+        m.uncore_energy_nj() / 1000.0
+    );
 }

@@ -5,8 +5,10 @@
 //! the paper's configuration.
 
 use crate::experiments::Scale;
+use crate::report::Rows;
 use crate::scenario::Scenario;
-use crate::system::System;
+use crate::sweep::{CellResult, Experiment, RunSpec, SweepRunner};
+use snoc_common::config::SystemConfig;
 use snoc_workload::table3;
 use std::fmt;
 
@@ -34,77 +36,78 @@ pub struct AblationResult {
     pub sweeps: Vec<Sweep>,
 }
 
-/// Runs the ablations on `lbm` (bursty, write-intensive).
-pub fn run(scale: Scale) -> AblationResult {
-    let p = table3::by_name("lbm").expect("lbm is in Table 3");
+/// The flattened knob grid: `(knob, printed value, config)` per cell,
+/// knob by knob.
+fn knob_points(scale: Scale) -> Vec<(&'static str, String, SystemConfig)> {
     let base = || scale.apply(Scenario::SttRam4TsbWb.config());
-    let mut sweeps = Vec::new();
+    let mut points = Vec::new();
+    for v in [0u64, 4, 8, 16] {
+        let cfg = base().rebuild().tune(|c| c.noc.hold_slack = v).build();
+        points.push(("hold release slack (cycles)", v.to_string(), cfg));
+    }
+    for v in [25u32, 100, 400] {
+        let cfg = base().rebuild().wb_window(v).build();
+        points.push(("WB sampling window (requests)", v.to_string(), cfg));
+    }
+    for v in [4usize, 5, 6, 7, 8] {
+        let cfg = base().rebuild().tune(|c| c.noc.vcs_per_port = v).build();
+        points.push(("virtual channels per port", v.to_string(), cfg));
+    }
+    for v in [1usize, 4, 16] {
+        let cfg = base().rebuild().tune(|c| c.mem.bank_queue = v).build();
+        points.push(("bank intake queue depth", v.to_string(), cfg));
+    }
+    points
+}
 
-    let mut measure = |cfgs: Vec<(String, snoc_common::config::SystemConfig)>,
-                       knob: &'static str| {
-        let mut s = Sweep {
-            knob,
-            values: Vec::new(),
-            throughput: Vec::new(),
-            uncore_rtt: Vec::new(),
-            held: Vec::new(),
-        };
-        for (label, cfg) in cfgs {
-            let m = System::homogeneous(cfg, p).run();
-            s.values.push(label);
+/// The ablation sweeps on `lbm` (bursty, write-intensive).
+pub struct Ablations;
+
+impl Experiment for Ablations {
+    type Output = AblationResult;
+
+    fn name(&self) -> &str {
+        "ablations"
+    }
+
+    fn grid(&self, scale: Scale) -> Vec<RunSpec> {
+        let p = table3::by_name("lbm").expect("lbm is in Table 3");
+        knob_points(scale)
+            .into_iter()
+            .map(|(knob, value, cfg)| RunSpec::homogeneous(format!("{knob}={value}"), cfg, p))
+            .collect()
+    }
+
+    fn assemble(&self, scale: Scale, cells: Vec<CellResult>) -> AblationResult {
+        let p = table3::by_name("lbm").expect("lbm is in Table 3");
+        let mut sweeps: Vec<Sweep> = Vec::new();
+        for ((knob, value, _), cell) in knob_points(scale).into_iter().zip(&cells) {
+            if sweeps.last().map(|s| s.knob) != Some(knob) {
+                sweeps.push(Sweep {
+                    knob,
+                    values: Vec::new(),
+                    throughput: Vec::new(),
+                    uncore_rtt: Vec::new(),
+                    held: Vec::new(),
+                });
+            }
+            let s = sweeps.last_mut().unwrap();
+            let m = cell.metrics();
+            s.values.push(value);
             s.throughput.push(m.instruction_throughput());
             s.uncore_rtt.push(m.uncore_rtt);
             s.held.push(m.held_packets);
         }
-        sweeps.push(s);
-    };
+        AblationResult {
+            app: p.name,
+            sweeps,
+        }
+    }
+}
 
-    measure(
-        [0u64, 4, 8, 16]
-            .into_iter()
-            .map(|v| {
-                let mut c = base();
-                c.noc.hold_slack = v;
-                (v.to_string(), c)
-            })
-            .collect(),
-        "hold release slack (cycles)",
-    );
-    measure(
-        [25u32, 100, 400]
-            .into_iter()
-            .map(|v| {
-                let mut c = base();
-                c.wb_window = v;
-                (v.to_string(), c)
-            })
-            .collect(),
-        "WB sampling window (requests)",
-    );
-    measure(
-        [4usize, 5, 6, 7, 8]
-            .into_iter()
-            .map(|v| {
-                let mut c = base();
-                c.noc.vcs_per_port = v;
-                (v.to_string(), c)
-            })
-            .collect(),
-        "virtual channels per port",
-    );
-    measure(
-        [1usize, 4, 16]
-            .into_iter()
-            .map(|v| {
-                let mut c = base();
-                c.mem.bank_queue = v;
-                (v.to_string(), c)
-            })
-            .collect(),
-        "bank intake queue depth",
-    );
-
-    AblationResult { app: p.name, sweeps }
+/// Runs the ablations through the [`SweepRunner`].
+pub fn run(scale: Scale) -> AblationResult {
+    SweepRunner::from_env().run(&Ablations, scale)
 }
 
 impl fmt::Display for AblationResult {
@@ -112,7 +115,11 @@ impl fmt::Display for AblationResult {
         writeln!(f, "Design-choice ablations on {} (MRAM-4TSB-WB)", self.app)?;
         for s in &self.sweeps {
             writeln!(f, "--- {} ---", s.knob)?;
-            writeln!(f, "{:>10} {:>12} {:>12} {:>10}", "value", "IT", "uncore RTT", "held")?;
+            writeln!(
+                f,
+                "{:>10} {:>12} {:>12} {:>10}",
+                "value", "IT", "uncore RTT", "held"
+            )?;
             for i in 0..s.values.len() {
                 writeln!(
                     f,
@@ -122,6 +129,25 @@ impl fmt::Display for AblationResult {
             }
         }
         Ok(())
+    }
+}
+
+impl Rows for AblationResult {
+    fn header(&self) -> Vec<String> {
+        vec!["IT".into(), "uncore RTT".into(), "held".into()]
+    }
+
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        let mut out = Vec::new();
+        for s in &self.sweeps {
+            for i in 0..s.values.len() {
+                out.push((
+                    format!("{}={}", s.knob, s.values[i]),
+                    vec![s.throughput[i], s.uncore_rtt[i], s.held[i] as f64],
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -141,6 +167,10 @@ mod tests {
         let vcs = &r.sweeps[2];
         let min = vcs.throughput.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = vcs.throughput.iter().cloned().fold(0.0, f64::max);
-        assert!(max / min < 2.0, "VC sweep should be smooth: {:?}", vcs.throughput);
+        assert!(
+            max / min < 2.0,
+            "VC sweep should be smooth: {:?}",
+            vcs.throughput
+        );
     }
 }

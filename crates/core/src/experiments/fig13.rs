@@ -4,8 +4,9 @@
 //! STT-RAM-4TSB baseline at each H.
 
 use crate::experiments::{norm, Scale};
+use crate::report::Rows;
 use crate::scenario::Scenario;
-use crate::system::System;
+use crate::sweep::{CellResult, Experiment, RunSpec, SweepRunner};
 use snoc_workload::table3::{self, figures};
 use std::fmt;
 
@@ -22,53 +23,104 @@ pub struct Fig13Result {
     pub ipc_improvement_pct: [f64; 3],
 }
 
-/// Runs both panels.
-pub fn run(scale: Scale) -> Fig13Result {
-    let apps: Vec<&'static str> = scale
+fn apps(scale: Scale) -> Vec<&'static str> {
+    scale
         .take_apps(figures::FIG3)
         .iter()
         .map(|n| table3::by_name(n).expect("known app").name)
-        .collect();
+        .collect()
+}
 
-    // Panel (a): queue depth by hop distance, from the 4-TSB baseline.
-    let mut requests = Vec::new();
-    for name in &apps {
-        let p = table3::by_name(name).unwrap();
-        let cfg = scale.apply(Scenario::SttRam4Tsb.config());
-        let mut sys = System::homogeneous(cfg, p);
-        sys.run();
-        let net = sys.network();
-        requests.push([
-            net.queue_mean_at_hops(1),
-            net.queue_mean_at_hops(2),
-            net.queue_mean_at_hops(3),
-        ]);
+/// Both panels as one grid: the panel-(a) characterization cells
+/// (which carry the queue depths for all three hop distances in their
+/// metrics), then panel (b)'s baseline/WB pair per hop distance per
+/// app.
+pub struct Fig13;
+
+impl Experiment for Fig13 {
+    type Output = Fig13Result;
+
+    fn name(&self) -> &str {
+        "fig13"
     }
 
-    // Panel (b): WB vs baseline at each re-ordering distance.
-    let mut improvement = [0.0; 3];
-    for (hi, h) in (1..=3u32).enumerate() {
-        let mut sum = 0.0;
+    fn grid(&self, scale: Scale) -> Vec<RunSpec> {
+        let apps = apps(scale);
+        let mut grid = Vec::new();
+        // Panel (a): queue depth by hop distance, from the 4-TSB
+        // baseline.
         for name in &apps {
             let p = table3::by_name(name).unwrap();
-            let mut base_cfg = scale.apply(Scenario::SttRam4Tsb.config());
-            base_cfg.parent_hops = h;
-            let base = System::homogeneous(base_cfg, p).run().instruction_throughput();
-            let mut wb_cfg = scale.apply(Scenario::SttRam4TsbWb.config());
-            wb_cfg.parent_hops = h;
-            let wb = System::homogeneous(wb_cfg, p).run().instruction_throughput();
-            sum += (norm(wb, base) - 1.0) * 100.0;
+            grid.push(RunSpec::homogeneous(
+                format!("fig13a/{name}"),
+                scale.apply(Scenario::SttRam4Tsb.config()),
+                p,
+            ));
         }
-        improvement[hi] = sum / apps.len() as f64;
+        // Panel (b): WB vs baseline at each re-ordering distance.
+        for h in 1..=3u32 {
+            for name in &apps {
+                let p = table3::by_name(name).unwrap();
+                for (tag, sc) in [
+                    ("base", Scenario::SttRam4Tsb),
+                    ("wb", Scenario::SttRam4TsbWb),
+                ] {
+                    let cfg = scale.apply(sc.config()).rebuild().parent_hops(h).build();
+                    grid.push(RunSpec::homogeneous(
+                        format!("fig13b/H{h}/{tag}/{name}"),
+                        cfg,
+                        p,
+                    ));
+                }
+            }
+        }
+        grid
     }
 
-    Fig13Result { apps, requests, ipc_improvement_pct: improvement }
+    fn assemble(&self, scale: Scale, cells: Vec<CellResult>) -> Fig13Result {
+        let apps = apps(scale);
+        let requests: Vec<[f64; 3]> = cells[..apps.len()]
+            .iter()
+            .map(|c| c.metrics().queue_mean_by_hops)
+            .collect();
+
+        let mut improvement = [0.0; 3];
+        let mut cursor = apps.len();
+        for slot in &mut improvement {
+            let mut sum = 0.0;
+            for _ in &apps {
+                let base = cells[cursor].metrics().instruction_throughput();
+                let wb = cells[cursor + 1].metrics().instruction_throughput();
+                cursor += 2;
+                sum += (norm(wb, base) - 1.0) * 100.0;
+            }
+            *slot = sum / apps.len() as f64;
+        }
+
+        Fig13Result {
+            apps,
+            requests,
+            ipc_improvement_pct: improvement,
+        }
+    }
+}
+
+/// Runs both panels through the [`SweepRunner`].
+pub fn run(scale: Scale) -> Fig13Result {
+    SweepRunner::from_env().run(&Fig13, scale)
 }
 
 impl fmt::Display for Fig13Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 13a: requests in a router destined H hops away (at write forwards)")?;
-        writeln!(f, "{:10} {:>7} {:>7} {:>7}", "app", "1 hop", "2 hop", "3 hop")?;
+        writeln!(
+            f,
+            "Figure 13a: requests in a router destined H hops away (at write forwards)"
+        )?;
+        writeln!(
+            f,
+            "{:10} {:>7} {:>7} {:>7}",
+            "app", "1 hop", "2 hop", "3 hop"
+        )?;
         for (name, r) in self.apps.iter().zip(&self.requests) {
             writeln!(f, "{:10} {:>7.2} {:>7.2} {:>7.2}", name, r[0], r[1], r[2])?;
         }
@@ -76,12 +128,39 @@ impl fmt::Display for Fig13Result {
         let avg: Vec<f64> = (0..3)
             .map(|h| self.requests.iter().map(|r| r[h]).sum::<f64>() / n)
             .collect();
-        writeln!(f, "{:10} {:>7.2} {:>7.2} {:>7.2}", "Avg.", avg[0], avg[1], avg[2])?;
-        writeln!(f, "Figure 13b: avg IPC improvement of WB over 4TSB-RR per hop distance")?;
+        writeln!(
+            f,
+            "{:10} {:>7.2} {:>7.2} {:>7.2}",
+            "Avg.", avg[0], avg[1], avg[2]
+        )?;
+        writeln!(
+            f,
+            "Figure 13b: avg IPC improvement of WB over 4TSB-RR per hop distance"
+        )?;
         for (h, v) in self.ipc_improvement_pct.iter().enumerate() {
             writeln!(f, "H = {}: {:+.1}%", h + 1, v)?;
         }
         Ok(())
+    }
+}
+
+impl Rows for Fig13Result {
+    fn header(&self) -> Vec<String> {
+        vec!["H=1".into(), "H=2".into(), "H=3".into()]
+    }
+
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        let mut out: Vec<(String, Vec<f64>)> = self
+            .apps
+            .iter()
+            .zip(&self.requests)
+            .map(|(name, r)| (format!("requests/{name}"), r.to_vec()))
+            .collect();
+        out.push((
+            "IPC improvement (%)".into(),
+            self.ipc_improvement_pct.to_vec(),
+        ));
+        out
     }
 }
 
@@ -93,8 +172,9 @@ mod tests {
     fn farther_parents_see_more_requests() {
         let r = run(Scale::Quick);
         let n = r.apps.len() as f64;
-        let avg: Vec<f64> =
-            (0..3).map(|h| r.requests.iter().map(|q| q[h]).sum::<f64>() / n).collect();
+        let avg: Vec<f64> = (0..3)
+            .map(|h| r.requests.iter().map(|q| q[h]).sum::<f64>() / n)
+            .collect();
         // More routers lie 2-3 hops from a destination than 1 hop, so
         // the sampled counts grow with H.
         assert!(
@@ -103,5 +183,6 @@ mod tests {
             avg[2],
             avg[0]
         );
+        assert_eq!(r.rows().last().unwrap().1.len(), 3);
     }
 }

@@ -3,8 +3,9 @@
 //! normalized to plain STT-RAM without buffering.
 
 use crate::experiments::{norm, Scale};
+use crate::report::Rows;
 use crate::scenario::{buff20_config, plus_one_vc_config, Scenario};
-use crate::system::System;
+use crate::sweep::{CellResult, Experiment, RunSpec, SweepRunner};
 use snoc_common::config::SystemConfig;
 use snoc_workload::table3::{self, figures};
 use std::fmt;
@@ -38,12 +39,12 @@ pub struct Fig14Result {
     pub rows: Vec<Fig14Row>,
 }
 
-/// Runs the comparison. At full scale the average row covers the
-/// Figure 6 application set; quick runs use the named apps only.
-pub fn run(scale: Scale) -> Fig14Result {
-    let named = scale.take_apps(figures::FIG14);
+/// The applications measured, in grid order: the averaging set
+/// followed by any named app not already in it.
+fn all_apps(scale: Scale) -> (Vec<&'static str>, Vec<&'static str>) {
+    let named = scale.take_apps(figures::FIG14).to_vec();
     let avg_apps: Vec<&str> = match scale {
-        Scale::Quick => named.to_vec(),
+        Scale::Quick => named.clone(),
         Scale::Full => {
             let mut v: Vec<&str> = Vec::new();
             v.extend(figures::FIG6_SERVER);
@@ -52,53 +53,95 @@ pub fn run(scale: Scale) -> Fig14Result {
             v
         }
     };
+    (named, avg_apps)
+}
 
-    let measure = |name: &str| -> Vec<f64> {
-        let p = table3::by_name(name).expect("known app");
-        (0..DESIGNS.len())
-            .map(|i| {
-                let cfg = scale.apply(design_config(i));
-                System::homogeneous(cfg, p).run().uncore_latency()
+/// The write-buffer comparison: each measured app × the four designs.
+pub struct Fig14;
+
+impl Experiment for Fig14 {
+    type Output = Fig14Result;
+
+    fn name(&self) -> &str {
+        "fig14"
+    }
+
+    fn grid(&self, scale: Scale) -> Vec<RunSpec> {
+        let (named, avg_apps) = all_apps(scale);
+        let extras = named.iter().filter(|n| !avg_apps.contains(n));
+        avg_apps
+            .iter()
+            .chain(extras)
+            .flat_map(|name| {
+                let p = table3::by_name(name).expect("known app");
+                (0..DESIGNS.len()).map(move |i| {
+                    RunSpec::homogeneous(
+                        format!("{}/{name}", DESIGNS[i]),
+                        scale.apply(design_config(i)),
+                        p,
+                    )
+                })
             })
             .collect()
-    };
+    }
 
-    let mut rows = Vec::new();
-    let mut avg = vec![0.0; DESIGNS.len()];
-    let mut named_rows = Vec::new();
-    for name in &avg_apps {
-        let lat = measure(name);
-        for (i, v) in lat.iter().enumerate() {
-            avg[i] += norm(*v, lat[0]);
+    fn assemble(&self, scale: Scale, cells: Vec<CellResult>) -> Fig14Result {
+        let (named, avg_apps) = all_apps(scale);
+        let n = DESIGNS.len();
+        let latency_row = |a: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| cells[a * n + i].metrics().uncore_latency())
+                .collect()
+        };
+
+        let mut rows = Vec::new();
+        let mut avg = vec![0.0; n];
+        let mut named_rows = Vec::new();
+        for (a, name) in avg_apps.iter().enumerate() {
+            let lat = latency_row(a);
+            for (i, v) in lat.iter().enumerate() {
+                avg[i] += norm(*v, lat[0]);
+            }
+            if named.contains(name) {
+                named_rows.push(Fig14Row {
+                    app: name.to_string(),
+                    normalized: lat.iter().map(|v| norm(*v, lat[0])).collect(),
+                });
+            }
         }
-        if named.contains(name) {
+        for v in &mut avg {
+            *v /= avg_apps.len() as f64;
+        }
+        rows.push(Fig14Row {
+            app: format!("AVG-{}", avg_apps.len()),
+            normalized: avg,
+        });
+        // Named apps not in the average set follow it in the grid.
+        for (e, name) in named.iter().filter(|n| !avg_apps.contains(n)).enumerate() {
+            let lat = latency_row(avg_apps.len() + e);
             named_rows.push(Fig14Row {
                 app: name.to_string(),
                 normalized: lat.iter().map(|v| norm(*v, lat[0])).collect(),
             });
         }
+        rows.extend(named_rows);
+        Fig14Result { rows }
     }
-    for v in &mut avg {
-        *v /= avg_apps.len() as f64;
-    }
-    rows.push(Fig14Row { app: format!("AVG-{}", avg_apps.len()), normalized: avg });
-    // Named apps not in the average set (quick mode covers them above).
-    for name in named {
-        if !avg_apps.contains(name) {
-            let lat = measure(name);
-            named_rows.push(Fig14Row {
-                app: name.to_string(),
-                normalized: lat.iter().map(|v| norm(*v, lat[0])).collect(),
-            });
-        }
-    }
-    rows.extend(named_rows);
-    Fig14Result { rows }
+}
+
+/// Runs the comparison through the [`SweepRunner`]. At full scale the
+/// average row covers the Figure 6 application set; quick runs use the
+/// named apps only.
+pub fn run(scale: Scale) -> Fig14Result {
+    SweepRunner::from_env().run(&Fig14, scale)
 }
 
 impl fmt::Display for Fig14Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 14: uncore latency normalized to STT-RAM without buffering")?;
+        writeln!(
+            f,
+            "Figure 14: uncore latency normalized to STT-RAM without buffering"
+        )?;
         write!(f, "{:10}", "app")?;
         for d in DESIGNS {
             write!(f, " {:>10}", d)?;
@@ -115,6 +158,19 @@ impl fmt::Display for Fig14Result {
     }
 }
 
+impl Rows for Fig14Result {
+    fn header(&self) -> Vec<String> {
+        DESIGNS.iter().map(|d| d.to_string()).collect()
+    }
+
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        self.rows
+            .iter()
+            .map(|r| (r.app.clone(), r.normalized.clone()))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,7 +182,10 @@ mod tests {
         for row in &r.rows {
             assert_eq!(row.normalized.len(), 4);
             assert!((row.normalized[0] - 1.0).abs() < 1e-9 || row.app.starts_with("AVG"));
-            assert!(row.normalized.iter().all(|&v| v > 0.2 && v < 3.0), "{row:?}");
+            assert!(
+                row.normalized.iter().all(|&v| v > 0.2 && v < 3.0),
+                "{row:?}"
+            );
         }
     }
 

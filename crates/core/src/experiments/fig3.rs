@@ -3,8 +3,9 @@
 //! request packets two hops from their destination bank.
 
 use crate::experiments::Scale;
+use crate::report::Rows;
 use crate::scenario::Scenario;
-use crate::system::System;
+use crate::sweep::{CellResult, Experiment, RunSpec, SweepRunner};
 use snoc_common::stats::Histogram;
 use snoc_workload::table3::{self, figures};
 use snoc_workload::Suite;
@@ -33,56 +34,92 @@ pub struct Fig3Result {
     pub suite_averages: Vec<Fig3Panel>,
 }
 
-/// Runs the characterization on the 4-region STT-RAM platform.
-pub fn run(scale: Scale) -> Fig3Result {
-    let apps = scale.take_apps(figures::FIG3);
-    let mut panels = Vec::new();
-    for name in apps {
-        let p = table3::by_name(name).expect("known app");
-        // The region platform gives every request a two-hops-away
-        // parent, matching the paper's measurement point.
-        let cfg = scale.apply(Scenario::SttRam4Tsb.config());
-        let mut sys = System::homogeneous(cfg, p);
-        let m = sys.run();
-        panels.push(Fig3Panel {
-            name: name.to_string(),
-            gaps: m.post_write_gaps.clone(),
-            delayable: m.delayable_fraction,
-            two_hop_requests: m.child_queue_mean,
-        });
+/// The characterization as a declarative sweep: one cell per Figure 3
+/// application on the 4-region STT-RAM platform.
+pub struct Fig3;
+
+impl Experiment for Fig3 {
+    type Output = Fig3Result;
+
+    fn name(&self) -> &str {
+        "fig3"
     }
-    let mut suite_averages = Vec::new();
-    for suite in [Suite::Parsec, Suite::Spec, Suite::Server] {
-        let members: Vec<&Fig3Panel> = panels
+
+    fn grid(&self, scale: Scale) -> Vec<RunSpec> {
+        scale
+            .take_apps(figures::FIG3)
             .iter()
-            .filter(|p| {
-                table3::by_name(&p.name).map(|b| b.suite == suite).unwrap_or(false)
+            .map(|name| {
+                let p = table3::by_name(name).expect("known app");
+                // The region platform gives every request a
+                // two-hops-away parent, matching the paper's
+                // measurement point.
+                let cfg = scale.apply(Scenario::SttRam4Tsb.config());
+                RunSpec::homogeneous(format!("fig3/{name}"), cfg, p)
+            })
+            .collect()
+    }
+
+    fn assemble(&self, scale: Scale, cells: Vec<CellResult>) -> Fig3Result {
+        let apps = scale.take_apps(figures::FIG3);
+        let panels: Vec<Fig3Panel> = apps
+            .iter()
+            .zip(&cells)
+            .map(|(name, cell)| {
+                let m = cell.metrics();
+                Fig3Panel {
+                    name: name.to_string(),
+                    gaps: m.post_write_gaps.clone(),
+                    delayable: m.delayable_fraction,
+                    two_hop_requests: m.child_queue_mean,
+                }
             })
             .collect();
-        if members.is_empty() {
-            continue;
+        let mut suite_averages = Vec::new();
+        for suite in [Suite::Parsec, Suite::Spec, Suite::Server] {
+            let members: Vec<&Fig3Panel> = panels
+                .iter()
+                .filter(|p| {
+                    table3::by_name(&p.name)
+                        .map(|b| b.suite == suite)
+                        .unwrap_or(false)
+                })
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut gaps = Histogram::fig3();
+            for m in &members {
+                gaps.merge(&m.gaps);
+            }
+            let delayable = members.iter().map(|m| m.delayable).sum::<f64>() / members.len() as f64;
+            let two_hop =
+                members.iter().map(|m| m.two_hop_requests).sum::<f64>() / members.len() as f64;
+            suite_averages.push(Fig3Panel {
+                name: format!("{suite:?}"),
+                gaps,
+                delayable,
+                two_hop_requests: two_hop,
+            });
         }
-        let mut gaps = Histogram::fig3();
-        for m in &members {
-            gaps.merge(&m.gaps);
+        Fig3Result {
+            panels,
+            suite_averages,
         }
-        let delayable = members.iter().map(|m| m.delayable).sum::<f64>() / members.len() as f64;
-        let two_hop =
-            members.iter().map(|m| m.two_hop_requests).sum::<f64>() / members.len() as f64;
-        suite_averages.push(Fig3Panel {
-            name: format!("{suite:?}"),
-            gaps,
-            delayable,
-            two_hop_requests: two_hop,
-        });
     }
-    Fig3Result { panels, suite_averages }
+}
+
+/// Runs the characterization through the [`SweepRunner`].
+pub fn run(scale: Scale) -> Fig3Result {
+    SweepRunner::from_env().run(&Fig3, scale)
 }
 
 fn write_panel(f: &mut fmt::Formatter<'_>, p: &Fig3Panel) -> fmt::Result {
     let fr = p.gaps.fractions();
     write!(f, "{:10} #Req:{:5.2} |", p.name, p.two_hop_requests)?;
-    let labels = ["<16", "16-33", "33-66", "66-99", "99-132", "132-165", "165+"];
+    let labels = [
+        "<16", "16-33", "33-66", "66-99", "99-132", "132-165", "165+",
+    ];
     for (i, l) in labels.iter().enumerate() {
         write!(f, " {l}:{:4.1}%", fr[i] * 100.0)?;
     }
@@ -91,7 +128,10 @@ fn write_panel(f: &mut fmt::Formatter<'_>, p: &Fig3Panel) -> fmt::Result {
 
 impl fmt::Display for Fig3Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 3: post-write access gap distribution per application")?;
+        writeln!(
+            f,
+            "Figure 3: post-write access gap distribution per application"
+        )?;
         for p in &self.panels {
             write_panel(f, p)?;
         }
@@ -100,6 +140,33 @@ impl fmt::Display for Fig3Result {
             write_panel(f, p)?;
         }
         Ok(())
+    }
+}
+
+impl Rows for Fig3Result {
+    fn header(&self) -> Vec<String> {
+        let mut h: Vec<String> = [
+            "<16", "16-33", "33-66", "66-99", "99-132", "132-165", "165+",
+        ]
+        .iter()
+        .map(|b| format!("gap {b} (%)"))
+        .collect();
+        h.push("delayable (%)".into());
+        h.push("two-hop requests".into());
+        h
+    }
+
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        self.panels
+            .iter()
+            .chain(&self.suite_averages)
+            .map(|p| {
+                let mut v: Vec<f64> = p.gaps.fractions().iter().map(|f| f * 100.0).collect();
+                v.push(p.delayable * 100.0);
+                v.push(p.two_hop_requests);
+                (p.name.clone(), v)
+            })
+            .collect()
     }
 }
 
@@ -117,5 +184,7 @@ mod tests {
         }
         let s = r.to_string();
         assert!(s.contains("delayable"));
+        let rows = r.rows();
+        assert_eq!(rows[0].1.len(), r.header().len());
     }
 }

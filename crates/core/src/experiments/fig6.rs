@@ -4,8 +4,9 @@
 //! instruction throughput for the multi-programmed SPEC suite.
 
 use crate::experiments::{norm, Scale};
+use crate::report::Rows;
 use crate::scenario::Scenario;
-use crate::system::System;
+use crate::sweep::{CellResult, Experiment, RunSpec, SweepRunner};
 use snoc_workload::table3::{self, figures};
 use snoc_workload::Suite;
 use std::fmt;
@@ -40,33 +41,54 @@ impl SweepRow {
     }
 }
 
-/// Runs every scenario for each named application.
+/// The app × [`Scenario::ALL`] grid shared by Figures 6 and 8: row
+/// major (all six scenarios of the first app, then the next app).
+pub(crate) fn scenario_grid(scale: Scale, apps: &[&str]) -> Vec<RunSpec> {
+    apps.iter()
+        .flat_map(|name| {
+            let p = table3::by_name(name).expect("known app");
+            Scenario::ALL.iter().map(move |sc| {
+                RunSpec::homogeneous(format!("{}/{name}", sc.name()), scale.apply(sc.config()), p)
+            })
+        })
+        .collect()
+}
+
+/// Folds a [`scenario_grid`] result set (grid order) back into
+/// per-application rows.
+pub(crate) fn rows_from_cells(apps: &[&str], cells: &[CellResult]) -> Vec<SweepRow> {
+    let n = Scenario::ALL.len();
+    assert_eq!(cells.len(), apps.len() * n, "one cell per app x scenario");
+    apps.iter()
+        .enumerate()
+        .map(|(a, name)| {
+            let p = table3::by_name(name).expect("known app");
+            let ms: Vec<_> = (0..n).map(|s| cells[a * n + s].metrics()).collect();
+            SweepRow {
+                app: p.name,
+                suite: p.suite,
+                throughput: ms.iter().map(|m| m.instruction_throughput()).collect(),
+                slowest_ipc: ms.iter().map(|m| m.slowest_ipc()).collect(),
+                energy_nj: ms.iter().map(|m| m.uncore_energy_nj()).collect(),
+                uncore_latency: ms.iter().map(|m| m.uncore_latency()).collect(),
+            }
+        })
+        .collect()
+}
+
+/// The Figure 6 application list at this scale.
+pub(crate) fn fig6_apps(scale: Scale) -> Vec<&'static str> {
+    let mut apps: Vec<&str> = Vec::new();
+    apps.extend(scale.take_apps(figures::FIG6_SERVER));
+    apps.extend(scale.take_apps(figures::FIG6_PARSEC));
+    apps.extend(scale.take_apps(figures::FIG6_SPEC));
+    apps
+}
+
+/// Runs every scenario for each named application (one sweep).
 pub fn sweep(scale: Scale, apps: &[&str]) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
-    for name in apps {
-        let p = table3::by_name(name).expect("known app");
-        let mut throughput = Vec::new();
-        let mut slowest = Vec::new();
-        let mut energy = Vec::new();
-        let mut latency = Vec::new();
-        for sc in Scenario::ALL {
-            let cfg = scale.apply(sc.config());
-            let m = System::homogeneous(cfg, p).run();
-            throughput.push(m.instruction_throughput());
-            slowest.push(m.slowest_ipc());
-            energy.push(m.uncore_energy_nj());
-            latency.push(m.uncore_latency());
-        }
-        rows.push(SweepRow {
-            app: p.name,
-            suite: p.suite,
-            throughput,
-            slowest_ipc: slowest,
-            energy_nj: energy,
-            uncore_latency: latency,
-        });
-    }
-    rows
+    let cells = SweepRunner::from_env().run_grid("fig6/sweep", scenario_grid(scale, apps));
+    rows_from_cells(apps, &cells)
 }
 
 /// The figure: three suite panels.
@@ -99,14 +121,31 @@ impl Fig6Result {
     }
 }
 
-/// Runs the Figure 6 panels (server + PARSEC + SPEC subsets shown in
-/// the paper's plot; at full scale the averages cover them all).
+/// The Figure 6 panels (server + PARSEC + SPEC subsets shown in the
+/// paper's plot; at full scale the averages cover them all).
+pub struct Fig6;
+
+impl Experiment for Fig6 {
+    type Output = Fig6Result;
+
+    fn name(&self) -> &str {
+        "fig6"
+    }
+
+    fn grid(&self, scale: Scale) -> Vec<RunSpec> {
+        scenario_grid(scale, &fig6_apps(scale))
+    }
+
+    fn assemble(&self, scale: Scale, cells: Vec<CellResult>) -> Fig6Result {
+        Fig6Result {
+            rows: rows_from_cells(&fig6_apps(scale), &cells),
+        }
+    }
+}
+
+/// Runs the figure through the [`SweepRunner`].
 pub fn run(scale: Scale) -> Fig6Result {
-    let mut apps: Vec<&str> = Vec::new();
-    apps.extend(scale.take_apps(figures::FIG6_SERVER));
-    apps.extend(scale.take_apps(figures::FIG6_PARSEC));
-    apps.extend(scale.take_apps(figures::FIG6_SPEC));
-    Fig6Result { rows: sweep(scale, &apps) }
+    SweepRunner::from_env().run(&Fig6, scale)
 }
 
 impl fmt::Display for Fig6Result {
@@ -140,6 +179,31 @@ impl fmt::Display for Fig6Result {
     }
 }
 
+impl Rows for Fig6Result {
+    fn header(&self) -> Vec<String> {
+        Scenario::ALL.iter().map(|s| s.name().to_string()).collect()
+    }
+
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        let mut out = Vec::new();
+        for suite in [Suite::Server, Suite::Parsec, Suite::Spec] {
+            let mut any = false;
+            for r in self.suite(suite) {
+                any = true;
+                let m = r.fig6_metric();
+                out.push((
+                    r.app.to_string(),
+                    m.iter().map(|v| norm(*v, m[0])).collect(),
+                ));
+            }
+            if any {
+                out.push((format!("Avg. {suite:?}"), self.suite_average(suite)));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +218,6 @@ mod tests {
         }
         let s = r.to_string();
         assert!(s.contains("SRAM-64TSB"));
+        assert_eq!(r.rows().first().unwrap().1.len(), 6);
     }
 }

@@ -1,10 +1,11 @@
 //! Figure 7: packet latency broken into network latency and queuing
 //! latency at the memory banks, per scheme, normalized to SRAM-64TSB.
 
-use crate::experiments::{norm, Scale};
+use crate::experiments::{fig6, norm, Scale};
+use crate::report::Rows;
 use crate::scenario::Scenario;
-use crate::system::System;
-use snoc_workload::table3::{self, figures};
+use crate::sweep::{CellResult, Experiment, RunSpec, SweepRunner};
+use snoc_workload::table3::figures;
 use std::fmt;
 
 /// One app's breakdown across the six scenarios.
@@ -39,22 +40,48 @@ pub struct Fig7Result {
     pub rows: Vec<Fig7Row>,
 }
 
-/// Runs the latency-breakdown measurement.
-pub fn run(scale: Scale) -> Fig7Result {
-    let mut rows = Vec::new();
-    for name in scale.take_apps(figures::FIG7) {
-        let p = table3::by_name(name).expect("known app");
-        let mut net = Vec::new();
-        let mut queue = Vec::new();
-        for sc in Scenario::ALL {
-            let cfg = scale.apply(sc.config());
-            let m = System::homogeneous(cfg, p).run();
-            net.push(m.net_request_latency + m.net_response_latency);
-            queue.push(m.bank_queue_wait + m.bank_service);
-        }
-        rows.push(Fig7Row { app: p.name, net_latency: net, queue_latency: queue });
+/// The latency-breakdown sweep: Figure 7's apps × the six scenarios.
+pub struct Fig7;
+
+impl Experiment for Fig7 {
+    type Output = Fig7Result;
+
+    fn name(&self) -> &str {
+        "fig7"
     }
-    Fig7Result { rows }
+
+    fn grid(&self, scale: Scale) -> Vec<RunSpec> {
+        fig6::scenario_grid(scale, scale.take_apps(figures::FIG7))
+    }
+
+    fn assemble(&self, scale: Scale, cells: Vec<CellResult>) -> Fig7Result {
+        let apps = scale.take_apps(figures::FIG7);
+        let n = Scenario::ALL.len();
+        let rows = fig6::rows_from_cells(apps, &cells)
+            .into_iter()
+            .enumerate()
+            .map(|(a, row)| {
+                let ms: Vec<_> = (0..n).map(|s| cells[a * n + s].metrics()).collect();
+                Fig7Row {
+                    app: row.app,
+                    net_latency: ms
+                        .iter()
+                        .map(|m| m.net_request_latency + m.net_response_latency)
+                        .collect(),
+                    queue_latency: ms
+                        .iter()
+                        .map(|m| m.bank_queue_wait + m.bank_service)
+                        .collect(),
+                }
+            })
+            .collect();
+        Fig7Result { rows }
+    }
+}
+
+/// Runs the latency-breakdown measurement through the [`SweepRunner`].
+pub fn run(scale: Scale) -> Fig7Result {
+    SweepRunner::from_env().run(&Fig7, scale)
 }
 
 impl fmt::Display for Fig7Result {
@@ -85,6 +112,25 @@ impl fmt::Display for Fig7Result {
     }
 }
 
+impl Rows for Fig7Result {
+    fn header(&self) -> Vec<String> {
+        Scenario::ALL
+            .iter()
+            .map(|s| format!("{} (%)", s.name()))
+            .collect()
+    }
+
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        let mut out = Vec::new();
+        for r in &self.rows {
+            let n = r.normalized();
+            out.push((format!("{}/net", r.app), n.iter().map(|p| p.0).collect()));
+            out.push((format!("{}/queue", r.app), n.iter().map(|p| p.1).collect()));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +146,7 @@ mod tests {
             let (net0, que0) = n[0];
             assert!((net0 + que0 - 100.0).abs() < 1e-6, "SRAM row sums to 100%");
         }
+        assert_eq!(r.rows().len(), 2 * r.rows.len());
     }
 
     #[test]

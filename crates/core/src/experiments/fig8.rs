@@ -3,8 +3,9 @@
 //! three proposed schemes.
 
 use crate::experiments::{fig6, norm, Scale};
+use crate::report::Rows;
 use crate::scenario::Scenario;
-use snoc_workload::table3::figures;
+use crate::sweep::{CellResult, Experiment, RunSpec, SweepRunner};
 use snoc_workload::Suite;
 use std::fmt;
 
@@ -45,27 +46,44 @@ impl Fig8Result {
     }
 }
 
-/// Runs the energy comparison over the Figure 6 application set.
+/// The energy comparison over the Figure 6 application set (same grid
+/// as [`fig6::Fig6`]; the energy series of each run feeds this
+/// figure).
+pub struct Fig8;
+
+impl Experiment for Fig8 {
+    type Output = Fig8Result;
+
+    fn name(&self) -> &str {
+        "fig8"
+    }
+
+    fn grid(&self, scale: Scale) -> Vec<RunSpec> {
+        fig6::scenario_grid(scale, &fig6::fig6_apps(scale))
+    }
+
+    fn assemble(&self, scale: Scale, cells: Vec<CellResult>) -> Fig8Result {
+        let rows = fig6::rows_from_cells(&fig6::fig6_apps(scale), &cells)
+            .into_iter()
+            .map(|r| {
+                let base = r.energy_nj[0];
+                Fig8Row {
+                    app: r.app,
+                    suite: r.suite,
+                    normalized: FIG8_SCENARIOS
+                        .iter()
+                        .map(|&i| norm(r.energy_nj[i], base))
+                        .collect(),
+                }
+            })
+            .collect();
+        Fig8Result { rows }
+    }
+}
+
+/// Runs the energy comparison through the [`SweepRunner`].
 pub fn run(scale: Scale) -> Fig8Result {
-    let mut apps: Vec<&str> = Vec::new();
-    apps.extend(scale.take_apps(figures::FIG6_SERVER));
-    apps.extend(scale.take_apps(figures::FIG6_PARSEC));
-    apps.extend(scale.take_apps(figures::FIG6_SPEC));
-    let rows = fig6::sweep(scale, &apps)
-        .into_iter()
-        .map(|r| {
-            let base = r.energy_nj[0];
-            Fig8Row {
-                app: r.app,
-                suite: r.suite,
-                normalized: FIG8_SCENARIOS
-                    .iter()
-                    .map(|&i| norm(r.energy_nj[i], base))
-                    .collect(),
-            }
-        })
-        .collect();
-    Fig8Result { rows }
+    SweepRunner::from_env().run(&Fig8, scale)
 }
 
 impl fmt::Display for Fig8Result {
@@ -97,6 +115,25 @@ impl fmt::Display for Fig8Result {
     }
 }
 
+impl Rows for Fig8Result {
+    fn header(&self) -> Vec<String> {
+        FIG8_SCENARIOS
+            .iter()
+            .map(|&i| Scenario::ALL[i].name().to_string())
+            .collect()
+    }
+
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        let mut out: Vec<(String, Vec<f64>)> = self
+            .rows
+            .iter()
+            .map(|r| (r.app.to_string(), r.normalized.clone()))
+            .collect();
+        out.push(("Avg.".into(), self.average()));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +147,6 @@ mod tests {
         for v in &avg[1..] {
             assert!((0.35..0.70).contains(v), "normalized energy {v}");
         }
+        assert_eq!(r.rows().last().unwrap().0, "Avg.");
     }
 }

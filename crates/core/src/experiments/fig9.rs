@@ -4,7 +4,9 @@
 
 use crate::experiments::{norm, Scale};
 use crate::metrics::weighted_speedup;
+use crate::report::Rows;
 use crate::scenario::Scenario;
+use crate::sweep::{CellResult, Experiment, RunSpec, SweepRunner};
 use crate::system::{DriveMode, System};
 use snoc_workload::mixes::{self, Workload};
 use std::collections::HashMap;
@@ -27,8 +29,131 @@ pub struct Fig9Result {
     pub cases: Vec<CaseResult>,
 }
 
-/// Caches each application's "alone" IPC per scenario (its standard
-/// 64-copy solo run under the same configuration).
+/// The case panels at this scale: `(label, workloads)` in presentation
+/// order. Deterministic, so grid and assemble agree.
+fn cases(scale: Scale) -> Vec<(&'static str, Vec<Workload>)> {
+    let cores = 64;
+    let all3 = mixes::case3(cores, 0xC0FFEE);
+    let subset: Vec<Workload> = match scale {
+        Scale::Quick => all3.into_iter().step_by(8).collect(), // 4 mixes
+        Scale::Full => all3,
+    };
+    vec![
+        ("Case-1", vec![mixes::case1(cores)]),
+        ("Case-2", vec![mixes::case2(cores)]),
+        ("Case-3 (aggregate)", subset),
+    ]
+}
+
+/// The deduplicated "alone" cells: each distinct `(app, scenario)`
+/// pair across all case workloads, in first-appearance order. Eq. 2's
+/// `IPC_alone` comes from one copy of the app on an otherwise idle
+/// machine.
+fn alone_keys(scale: Scale) -> Vec<(&'static str, usize)> {
+    let mut keys = Vec::new();
+    for (_, workloads) in cases(scale) {
+        for w in &workloads {
+            for sc_idx in 0..Scenario::ALL.len() {
+                for p in w.distinct() {
+                    if !keys.contains(&(p.name, sc_idx)) {
+                        keys.push((p.name, sc_idx));
+                    }
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// The case studies as one grid: every shared mix × scenario run,
+/// followed by the deduplicated alone runs that anchor Eq. 2/3.
+pub struct Fig9;
+
+impl Experiment for Fig9 {
+    type Output = Fig9Result;
+
+    fn name(&self) -> &str {
+        "fig9"
+    }
+
+    fn grid(&self, scale: Scale) -> Vec<RunSpec> {
+        let mut grid = Vec::new();
+        for (label, workloads) in cases(scale) {
+            for (wi, w) in workloads.iter().enumerate() {
+                for (sc_idx, sc) in Scenario::ALL.iter().enumerate() {
+                    grid.push(RunSpec::mixed(
+                        format!("{label}[{wi}]/{}", sc.name()),
+                        scale.apply(Scenario::ALL[sc_idx].config()),
+                        w.clone(),
+                        DriveMode::Profile,
+                    ));
+                }
+            }
+        }
+        for (app, sc_idx) in alone_keys(scale) {
+            grid.push(RunSpec::mixed(
+                format!("alone/{app}/{}", Scenario::ALL[sc_idx].name()),
+                scale.apply(Scenario::ALL[sc_idx].config()),
+                Workload::solo(app, 64).expect("known app"),
+                DriveMode::Profile,
+            ));
+        }
+        grid
+    }
+
+    fn assemble(&self, scale: Scale, cells: Vec<CellResult>) -> Fig9Result {
+        let cases = cases(scale);
+        let shared_cells: usize = cases
+            .iter()
+            .map(|(_, ws)| ws.len() * Scenario::ALL.len())
+            .sum();
+        let alone: HashMap<(&'static str, usize), f64> = alone_keys(scale)
+            .into_iter()
+            .zip(&cells[shared_cells..])
+            .map(|(key, cell)| (key, cell.metrics().ipc(0)))
+            .collect();
+
+        let mut out = Vec::new();
+        let mut cursor = 0;
+        for (label, workloads) in cases {
+            let mut raw = vec![(0.0, 0.0); Scenario::ALL.len()];
+            for w in &workloads {
+                for (sc_idx, acc) in raw.iter_mut().enumerate() {
+                    let m = cells[cursor].metrics();
+                    debug_assert_eq!(cells[cursor].index, cursor);
+                    cursor += 1;
+                    let apps = w.distinct();
+                    let shared: Vec<f64> = apps
+                        .iter()
+                        .map(|p| m.ipc_of_cores(&w.cores_running(p.name)))
+                        .collect();
+                    let alone_ipcs: Vec<f64> =
+                        apps.iter().map(|p| alone[&(p.name, sc_idx)]).collect();
+                    acc.0 += weighted_speedup(&shared, &alone_ipcs);
+                    acc.1 += m.instruction_throughput();
+                }
+            }
+            let base = raw[0];
+            out.push(CaseResult {
+                name: label.to_string(),
+                normalized: raw
+                    .iter()
+                    .map(|&(ws, it)| (norm(ws, base.0), norm(it, base.1)))
+                    .collect(),
+            });
+        }
+        Fig9Result { cases: out }
+    }
+}
+
+/// Runs the three case studies through the [`SweepRunner`].
+pub fn run(scale: Scale) -> Fig9Result {
+    SweepRunner::from_env().run(&Fig9, scale)
+}
+
+/// Caches each application's "alone" IPC per scenario (its solo run
+/// under the same configuration). Retained for direct measurements
+/// outside the sweep (Figure 10's tests and ad-hoc probes).
 pub struct AloneCache {
     scale: Scale,
     cache: HashMap<(&'static str, usize), f64>,
@@ -37,7 +162,10 @@ pub struct AloneCache {
 impl AloneCache {
     /// Creates an empty cache.
     pub fn new(scale: Scale) -> Self {
-        Self { scale, cache: HashMap::new() }
+        Self {
+            scale,
+            cache: HashMap::new(),
+        }
     }
 
     /// The IPC of one copy of `app` on an otherwise idle machine under
@@ -55,56 +183,24 @@ impl AloneCache {
     }
 }
 
-/// Raw (WS, IT) for one workload under one scenario.
-pub fn measure(
-    w: &Workload,
-    sc_idx: usize,
-    scale: Scale,
-    alone: &mut AloneCache,
-) -> (f64, f64) {
+/// Raw (WS, IT) for one workload under one scenario (direct, not
+/// through the sweep).
+pub fn measure(w: &Workload, sc_idx: usize, scale: Scale, alone: &mut AloneCache) -> (f64, f64) {
     let cfg = scale.apply(Scenario::ALL[sc_idx].config());
     let m = System::new(cfg, w, DriveMode::Profile).run();
     let apps = w.distinct();
-    let shared: Vec<f64> =
-        apps.iter().map(|p| m.ipc_of_cores(&w.cores_running(p.name))).collect();
-    let alone_ipcs: Vec<f64> = apps.iter().map(|p| alone.alone_ipc(p.name, sc_idx)).collect();
-    (weighted_speedup(&shared, &alone_ipcs), m.instruction_throughput())
-}
-
-fn case_result(
-    name: &str,
-    workloads: &[Workload],
-    scale: Scale,
-    alone: &mut AloneCache,
-) -> CaseResult {
-    let mut raw = vec![(0.0, 0.0); Scenario::ALL.len()];
-    for w in workloads {
-        for i in 0..Scenario::ALL.len() {
-            let (ws, it) = measure(w, i, scale, alone);
-            raw[i].0 += ws;
-            raw[i].1 += it;
-        }
-    }
-    let base = raw[0];
-    let normalized =
-        raw.iter().map(|&(ws, it)| (norm(ws, base.0), norm(it, base.1))).collect();
-    CaseResult { name: name.to_string(), normalized }
-}
-
-/// Runs the three case studies.
-pub fn run(scale: Scale) -> Fig9Result {
-    let cores = 64;
-    let mut alone = AloneCache::new(scale);
-    let mut cases = Vec::new();
-    cases.push(case_result("Case-1", &[mixes::case1(cores)], scale, &mut alone));
-    cases.push(case_result("Case-2", &[mixes::case2(cores)], scale, &mut alone));
-    let all3 = mixes::case3(cores, 0xC0FFEE);
-    let subset: Vec<Workload> = match scale {
-        Scale::Quick => all3.into_iter().step_by(8).collect(), // 4 mixes
-        Scale::Full => all3,
-    };
-    cases.push(case_result("Case-3 (aggregate)", &subset, scale, &mut alone));
-    Fig9Result { cases }
+    let shared: Vec<f64> = apps
+        .iter()
+        .map(|p| m.ipc_of_cores(&w.cores_running(p.name)))
+        .collect();
+    let alone_ipcs: Vec<f64> = apps
+        .iter()
+        .map(|p| alone.alone_ipc(p.name, sc_idx))
+        .collect();
+    (
+        weighted_speedup(&shared, &alone_ipcs),
+        m.instruction_throughput(),
+    )
 }
 
 impl fmt::Display for Fig9Result {
@@ -135,6 +231,27 @@ impl fmt::Display for Fig9Result {
     }
 }
 
+impl Rows for Fig9Result {
+    fn header(&self) -> Vec<String> {
+        Scenario::ALL.iter().map(|s| s.name().to_string()).collect()
+    }
+
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        let mut out = Vec::new();
+        for c in &self.cases {
+            out.push((
+                format!("{}/WS", c.name),
+                c.normalized.iter().map(|p| p.0).collect(),
+            ));
+            out.push((
+                format!("{}/IT", c.name),
+                c.normalized.iter().map(|p| p.1).collect(),
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +273,18 @@ mod tests {
         let b = alone.alone_ipc("lbm", 0);
         assert_eq!(a, b);
         assert_eq!(alone.cache.len(), 1);
+    }
+
+    #[test]
+    fn grid_covers_shared_then_alone_cells() {
+        let grid = Fig9.grid(Scale::Quick);
+        let shared = 6 * Scenario::ALL.len(); // case1 + case2 + 4 mixes
+        assert!(grid.len() > shared, "alone cells follow the shared runs");
+        assert!(grid[0].label.starts_with("Case-1"));
+        assert!(grid[shared].label.starts_with("alone/"));
+        // Alone keys are deduplicated.
+        let keys = alone_keys(Scale::Quick);
+        let set: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
     }
 }

@@ -1,11 +1,36 @@
-//! Experiment runners regenerating every table and figure of the
+//! Experiment definitions regenerating every table and figure of the
 //! paper's evaluation section (see `DESIGN.md` for the index).
 //!
-//! Each module exposes `run(scale) -> <FigureResult>`; results
-//! implement [`std::fmt::Display`] to print the same rows/series the
-//! paper reports. [`Scale`] trades cycles for fidelity so the same
-//! experiments serve both the Criterion benches (quick) and the
-//! `repro-*` binaries (full).
+//! Each module defines one [`Experiment`](crate::sweep::Experiment) —
+//! a declarative grid of simulation cells plus an `assemble` step that
+//! folds the per-cell [`RunMetrics`](crate::metrics::RunMetrics) into
+//! the figure's result type — and keeps a `run(scale)` free function
+//! that executes it through a [`SweepRunner`](crate::sweep::SweepRunner)
+//! configured from the environment (`SNOC_THREADS` workers,
+//! `SNOC_PROGRESS=0` to silence progress lines).
+//!
+//! ```no_run
+//! use snoc_core::experiments::{fig7, Scale};
+//! use snoc_core::observer::ProgressObserver;
+//! use snoc_core::sweep::SweepRunner;
+//!
+//! // The one-liner:
+//! let quick = fig7::run(Scale::Quick);
+//! // The same sweep with explicit control:
+//! let full = SweepRunner::new()
+//!     .threads(8)
+//!     .observer(ProgressObserver::new())
+//!     .run(&fig7::Fig7, Scale::Full);
+//! assert_eq!(quick.rows[0].app, full.rows[0].app);
+//! ```
+//!
+//! Result types implement [`std::fmt::Display`] (the paper's
+//! rows/series as text) and [`Rows`](crate::report::Rows) (the same
+//! numbers as labelled series for CSV dumps). [`Scale`] trades cycles
+//! for fidelity so one experiment serves both the quick smoke/bench
+//! paths and the full `repro-*` reproductions. Results are identical
+//! for any worker count: cells are deterministic functions of their
+//! spec and come back in grid order.
 
 pub mod ablations;
 pub mod fig10;
@@ -25,7 +50,7 @@ use snoc_common::config::SystemConfig;
 /// How long each simulation runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
-    /// A few thousand cycles per run: for smoke tests and Criterion.
+    /// A few thousand cycles per run: for smoke tests and benches.
     Quick,
     /// The full evaluation lengths used by the `repro-*` binaries.
     Full,
@@ -41,11 +66,9 @@ impl Scale {
     }
 
     /// Applies the scale to a configuration.
-    pub fn apply(self, mut cfg: SystemConfig) -> SystemConfig {
+    pub fn apply(self, cfg: SystemConfig) -> SystemConfig {
         let (warmup, measure) = self.cycles();
-        cfg.warmup_cycles = warmup;
-        cfg.measure_cycles = measure;
-        cfg
+        cfg.rebuild().cycles(warmup, measure).build()
     }
 
     /// Caps an application list for quick runs.

@@ -4,9 +4,10 @@
 //! by construction).
 
 use crate::experiments::Scale;
+use crate::report::Rows;
 use crate::scenario::Scenario;
-use crate::system::System;
-use snoc_workload::{table3, Burstiness};
+use crate::sweep::{CellResult, Experiment, RunSpec, SweepRunner};
+use snoc_workload::{table3, BenchmarkProfile, Burstiness};
 use std::fmt;
 
 /// One characterized application.
@@ -36,37 +37,75 @@ pub struct Table3Result {
     pub rows: Vec<Table3Row>,
 }
 
-/// Characterizes `limit.min(42)` applications (all 42 at full scale).
-pub fn run(scale: Scale) -> Table3Result {
-    let apps = table3::all();
-    let apps: Vec<_> = match scale {
-        Scale::Quick => apps.iter().take(6).collect(),
-        Scale::Full => apps.iter().collect(),
-    };
-    let mut rows = Vec::new();
-    for p in apps {
-        let cfg = scale.apply(Scenario::SttRam64Tsb.config());
-        let m = System::homogeneous(cfg, p).run();
-        let kilo_instr = m.per_core_committed.iter().sum::<u64>() as f64 / 1000.0;
-        rows.push(Table3Row {
-            name: p.name,
-            target_rpki: p.l2_rpki,
-            target_wpki: p.l2_wpki,
-            measured_rpki: m.bank_reads as f64 / kilo_instr.max(1e-9),
-            // Bank write jobs include memory fills; Table 3 counts
-            // demand writes only.
-            measured_wpki: m.bank_writes.saturating_sub(m.mem_fetches) as f64
-                / kilo_instr.max(1e-9),
-            delayable: m.delayable_fraction,
-            bursty: p.bursty,
-        });
+fn apps(scale: Scale) -> Vec<&'static BenchmarkProfile> {
+    let all = table3::all();
+    match scale {
+        Scale::Quick => all.iter().take(6).collect(),
+        Scale::Full => all.iter().collect(),
     }
-    Table3Result { rows }
+}
+
+/// The characterization sweep: every selected app alone on the STT-RAM
+/// baseline.
+pub struct Table3;
+
+impl Experiment for Table3 {
+    type Output = Table3Result;
+
+    fn name(&self) -> &str {
+        "table3"
+    }
+
+    fn grid(&self, scale: Scale) -> Vec<RunSpec> {
+        apps(scale)
+            .into_iter()
+            .map(|p| {
+                RunSpec::homogeneous(
+                    format!("table3/{}", p.name),
+                    scale.apply(Scenario::SttRam64Tsb.config()),
+                    p,
+                )
+            })
+            .collect()
+    }
+
+    fn assemble(&self, scale: Scale, cells: Vec<CellResult>) -> Table3Result {
+        let rows = apps(scale)
+            .into_iter()
+            .zip(&cells)
+            .map(|(p, cell)| {
+                let m = cell.metrics();
+                let kilo_instr = m.per_core_committed.iter().sum::<u64>() as f64 / 1000.0;
+                Table3Row {
+                    name: p.name,
+                    target_rpki: p.l2_rpki,
+                    target_wpki: p.l2_wpki,
+                    measured_rpki: m.bank_reads as f64 / kilo_instr.max(1e-9),
+                    // Bank write jobs include memory fills; Table 3
+                    // counts demand writes only.
+                    measured_wpki: m.bank_writes.saturating_sub(m.mem_fetches) as f64
+                        / kilo_instr.max(1e-9),
+                    delayable: m.delayable_fraction,
+                    bursty: p.bursty,
+                }
+            })
+            .collect();
+        Table3Result { rows }
+    }
+}
+
+/// Characterizes the applications through the [`SweepRunner`] (6 at
+/// quick scale, all 42 at full scale).
+pub fn run(scale: Scale) -> Table3Result {
+    SweepRunner::from_env().run(&Table3, scale)
 }
 
 impl fmt::Display for Table3Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 3: measured vs target characterization (STT-RAM baseline)")?;
+        writeln!(
+            f,
+            "Table 3: measured vs target characterization (STT-RAM baseline)"
+        )?;
         writeln!(
             f,
             "{:12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}",
@@ -100,6 +139,44 @@ impl fmt::Display for Table3Result {
     }
 }
 
+impl Rows for Table3Result {
+    fn header(&self) -> Vec<String> {
+        [
+            "rpki target",
+            "rpki measured",
+            "wpki target",
+            "wpki measured",
+            "delayable (%)",
+            "bursty",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        self.rows
+            .iter()
+            .map(|r| {
+                (
+                    r.name.to_string(),
+                    vec![
+                        r.target_rpki,
+                        r.measured_rpki,
+                        r.target_wpki,
+                        r.measured_wpki,
+                        r.delayable * 100.0,
+                        match r.bursty {
+                            Burstiness::High => 1.0,
+                            Burstiness::Low => 0.0,
+                        },
+                    ],
+                )
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,7 +188,13 @@ mod tests {
         for r in &t.rows {
             // Within 35% at quick scale (short runs are noisy).
             let rel = (r.measured_rpki - r.target_rpki).abs() / r.target_rpki.max(0.1);
-            assert!(rel < 0.35, "{}: rpki {} vs {}", r.name, r.measured_rpki, r.target_rpki);
+            assert!(
+                rel < 0.35,
+                "{}: rpki {} vs {}",
+                r.name,
+                r.measured_rpki,
+                r.target_rpki
+            );
         }
         // Bursty apps cluster more than non-bursty ones on average.
         let hi: Vec<f64> = t

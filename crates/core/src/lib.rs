@@ -24,9 +24,15 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod observer;
+pub mod report;
 pub mod scenario;
+pub mod sweep;
 pub mod system;
 
 pub use metrics::RunMetrics;
+pub use observer::{MachineObserver, NullObserver, ProgressObserver, RunObserver};
+pub use report::Rows;
 pub use scenario::Scenario;
+pub use sweep::{CellResult, Experiment, RunSpec, SweepRunner};
 pub use system::{DriveMode, System};

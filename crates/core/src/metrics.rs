@@ -38,6 +38,9 @@ pub struct RunMetrics {
     /// Mean child-bound request packets buffered at a parent when a
     /// write is forwarded (Figure 3 inset / Figure 13a).
     pub child_queue_mean: f64,
+    /// [`child_queue_mean`](Self::child_queue_mean) resolved at parent
+    /// distances H = 1, 2, 3 (Figure 13's sensitivity axis).
+    pub queue_mean_by_hops: [f64; 3],
     /// Packets held at parent routers.
     pub held_packets: u64,
     /// Total hold cycles.
@@ -82,7 +85,9 @@ impl RunMetrics {
     /// Figures 7 and 14: request network latency + bank queue + bank
     /// service + response network latency.
     pub fn uncore_latency(&self) -> f64 {
-        self.net_request_latency + self.bank_queue_wait + self.bank_service
+        self.net_request_latency
+            + self.bank_queue_wait
+            + self.bank_service
             + self.net_response_latency
     }
 
@@ -134,6 +139,7 @@ mod tests {
             post_write_gaps: Histogram::fig3(),
             delayable_fraction: 0.17,
             child_queue_mean: 3.0,
+            queue_mean_by_hops: [1.0, 3.0, 5.0],
             held_packets: 5,
             held_cycles: 50,
             energy: EnergyBreakdown::default(),

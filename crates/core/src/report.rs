@@ -1,0 +1,109 @@
+//! Uniform tabular access to experiment results.
+//!
+//! Every figure/table result type implements [`Rows`] alongside its
+//! pretty [`std::fmt::Display`]: `rows()` yields the same numbers the
+//! figure plots as labelled series, and `csv()` renders them in one
+//! consistent machine-readable shape. [`save`] dumps both renderings
+//! (`<name>.txt` from `Display`, `<name>.csv` from [`Rows::csv`]) into
+//! a results directory — the `repro-*` binaries use it for their
+//! `results/` output.
+
+use std::fmt::Display;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Tabular view of an experiment result: labelled numeric rows under a
+/// shared header.
+///
+/// Rows are in presentation order and each carries exactly one value
+/// per header column, so `rows()` round-trips through CSV without any
+/// per-figure knowledge.
+pub trait Rows {
+    /// Column labels (one per value in every row).
+    fn header(&self) -> Vec<String>;
+
+    /// The labelled rows, in the figure's presentation order.
+    fn rows(&self) -> Vec<(String, Vec<f64>)>;
+
+    /// CSV rendering: a header line, then `label,v1,v2,...` per row.
+    fn csv(&self) -> String {
+        let mut out = String::from("label");
+        for h in self.header() {
+            out.push(',');
+            // Keep the CSV single-token per cell.
+            out.push_str(&h.replace(',', ";"));
+        }
+        out.push('\n');
+        for (label, values) in self.rows() {
+            out.push_str(&label.replace(',', ";"));
+            for v in values {
+                out.push(',');
+                out.push_str(&format!("{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes `<dir>/<name>.txt` (the `Display` rendering) and
+/// `<dir>/<name>.csv` (the [`Rows::csv`] rendering), creating `dir` if
+/// needed. Returns the two paths.
+pub fn save<R: Rows + Display>(
+    dir: impl AsRef<Path>,
+    name: &str,
+    result: &R,
+) -> io::Result<(PathBuf, PathBuf)> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let txt = dir.join(format!("{name}.txt"));
+    let csv = dir.join(format!("{name}.csv"));
+    std::fs::write(&txt, format!("{result}"))?;
+    std::fs::write(&csv, result.csv())?;
+    Ok((txt, csv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt;
+
+    struct Dummy;
+
+    impl Rows for Dummy {
+        fn header(&self) -> Vec<String> {
+            vec!["a".into(), "b,b".into()]
+        }
+        fn rows(&self) -> Vec<(String, Vec<f64>)> {
+            vec![
+                ("x".into(), vec![1.0, 2.5]),
+                ("y,z".into(), vec![0.0, -1.0]),
+            ]
+        }
+    }
+
+    impl fmt::Display for Dummy {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "dummy")
+        }
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_keeps_shape() {
+        let csv = Dummy.csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("label,a,b;b"));
+        assert_eq!(lines.next(), Some("x,1.000000,2.500000"));
+        assert_eq!(lines.next(), Some("y;z,0.000000,-1.000000"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn save_writes_both_files() {
+        let dir = std::env::temp_dir().join("snoc-report-test");
+        let (txt, csv) = save(&dir, "dummy", &Dummy).unwrap();
+        assert_eq!(std::fs::read_to_string(&txt).unwrap(), "dummy");
+        assert!(std::fs::read_to_string(&csv).unwrap().starts_with("label,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

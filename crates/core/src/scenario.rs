@@ -52,38 +52,33 @@ impl Scenario {
 
     /// The system configuration for this scenario (Table 1 defaults).
     pub fn config(self) -> SystemConfig {
-        let mut cfg = SystemConfig::default();
+        let b = SystemConfig::builder();
         match self {
-            Scenario::Sram64Tsb => {
-                cfg.tech = MemTech::Sram;
-                cfg.path_mode = RequestPathMode::AllTsvs;
-            }
-            Scenario::SttRam64Tsb => {
-                cfg.tech = MemTech::SttRam;
-                cfg.path_mode = RequestPathMode::AllTsvs;
-            }
-            Scenario::SttRam4Tsb => {
-                cfg.tech = MemTech::SttRam;
-                cfg.path_mode = RequestPathMode::RegionTsbs;
-            }
-            Scenario::SttRam4TsbSs => {
-                cfg.tech = MemTech::SttRam;
-                cfg.path_mode = RequestPathMode::RegionTsbs;
-                cfg.arbitration = ArbitrationPolicy::BankAware { estimator: Estimator::Simple };
-            }
-            Scenario::SttRam4TsbRca => {
-                cfg.tech = MemTech::SttRam;
-                cfg.path_mode = RequestPathMode::RegionTsbs;
-                cfg.arbitration = ArbitrationPolicy::BankAware { estimator: Estimator::Rca };
-            }
-            Scenario::SttRam4TsbWb => {
-                cfg.tech = MemTech::SttRam;
-                cfg.path_mode = RequestPathMode::RegionTsbs;
-                cfg.arbitration =
-                    ArbitrationPolicy::BankAware { estimator: Estimator::WindowBased };
-            }
+            Scenario::Sram64Tsb => b.tech(MemTech::Sram).path_mode(RequestPathMode::AllTsvs),
+            Scenario::SttRam64Tsb => b.tech(MemTech::SttRam).path_mode(RequestPathMode::AllTsvs),
+            Scenario::SttRam4Tsb => b
+                .tech(MemTech::SttRam)
+                .path_mode(RequestPathMode::RegionTsbs),
+            Scenario::SttRam4TsbSs => b
+                .tech(MemTech::SttRam)
+                .path_mode(RequestPathMode::RegionTsbs)
+                .arbitration(ArbitrationPolicy::BankAware {
+                    estimator: Estimator::Simple,
+                }),
+            Scenario::SttRam4TsbRca => b
+                .tech(MemTech::SttRam)
+                .path_mode(RequestPathMode::RegionTsbs)
+                .arbitration(ArbitrationPolicy::BankAware {
+                    estimator: Estimator::Rca,
+                }),
+            Scenario::SttRam4TsbWb => b
+                .tech(MemTech::SttRam)
+                .path_mode(RequestPathMode::RegionTsbs)
+                .arbitration(ArbitrationPolicy::BankAware {
+                    estimator: Estimator::WindowBased,
+                }),
         }
-        cfg
+        .build()
     }
 
     /// `true` for the bank-aware (prioritizing) schemes.
@@ -98,17 +93,21 @@ impl Scenario {
 /// Section 4.4's BUFF-20 comparison point: STT-RAM banks with a
 /// 20-entry read-preemptive write buffer on the unrestricted network.
 pub fn buff20_config() -> SystemConfig {
-    let mut cfg = Scenario::SttRam64Tsb.config();
-    cfg.write_buffer = Some(WriteBufferConfig::default());
-    cfg
+    Scenario::SttRam64Tsb
+        .config()
+        .rebuild()
+        .write_buffer(Some(WriteBufferConfig::default()))
+        .build()
 }
 
 /// Section 4.4's "+1 VC" variant: the WB scheme with one extra virtual
 /// channel per port instead of per-bank write buffers.
 pub fn plus_one_vc_config() -> SystemConfig {
-    let mut cfg = Scenario::SttRam4TsbWb.config();
-    cfg.noc.vcs_per_port += 1;
-    cfg
+    Scenario::SttRam4TsbWb
+        .config()
+        .rebuild()
+        .tune(|c| c.noc.vcs_per_port += 1)
+        .build()
 }
 
 #[cfg(test)]
@@ -117,8 +116,7 @@ mod tests {
 
     #[test]
     fn six_scenarios_with_unique_names() {
-        let names: std::collections::HashSet<_> =
-            Scenario::ALL.iter().map(|s| s.name()).collect();
+        let names: std::collections::HashSet<_> = Scenario::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), 6);
     }
 
@@ -148,7 +146,9 @@ mod tests {
         assert_eq!(cfg.parent_hops, 2);
         assert!(matches!(
             cfg.arbitration,
-            ArbitrationPolicy::BankAware { estimator: Estimator::WindowBased }
+            ArbitrationPolicy::BankAware {
+                estimator: Estimator::WindowBased
+            }
         ));
     }
 

@@ -1,0 +1,404 @@
+//! The sweep engine: declarative simulation grids executed on a
+//! worker pool.
+//!
+//! Every figure and table of the evaluation reduces to the same shape
+//! of work — *run a grid of independent simulations, then fold the
+//! per-cell metrics into the figure's rows*. This module factors that
+//! shape out:
+//!
+//! * [`RunSpec`] — one cell: a labelled `(workload, drive mode,
+//!   configuration)` triple.
+//! * [`Experiment`] — a figure/table: `grid(scale)` enumerates its
+//!   cells deterministically and `assemble(scale, cells)` folds the
+//!   results (delivered back **in grid order**) into the figure's
+//!   output type.
+//! * [`SweepRunner`] — executes a grid on `1..=N` `std::thread`
+//!   workers. Cells are claimed from a shared atomic cursor, so the
+//!   schedule is dynamic, but results land in indexed slots: the
+//!   output order — and, because every simulation is a deterministic
+//!   function of its spec, the output *values* — are identical for any
+//!   thread count.
+//!
+//! A cell that panics (a config assertion, an internal invariant) is
+//! caught on its worker and reported as [`CellError`] in that cell's
+//! slot; the rest of the grid still runs.
+//!
+//! # Example
+//!
+//! ```
+//! use snoc_core::experiments::{fig7, Scale};
+//! use snoc_core::sweep::SweepRunner;
+//!
+//! let result = SweepRunner::new().threads(2).run(&fig7::Fig7, Scale::Quick);
+//! assert!(!result.rows.is_empty());
+//! ```
+
+use crate::experiments::Scale;
+use crate::metrics::RunMetrics;
+use crate::observer::{NullObserver, RunObserver, SweepSummary};
+use crate::system::{DriveMode, System};
+use snoc_common::config::SystemConfig;
+use snoc_workload::mixes::Workload;
+use snoc_workload::BenchmarkProfile;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One grid cell: everything needed to build and run a [`System`].
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Cell label shown by observers (e.g. `"MRAM-4TSB-WB/lbm"`).
+    pub label: String,
+    /// The per-core application assignment.
+    pub workload: Workload,
+    /// Profile-driven or full-stack simulation.
+    pub mode: DriveMode,
+    /// The system configuration (scale already applied).
+    pub cfg: SystemConfig,
+}
+
+impl RunSpec {
+    /// A profile-driven cell running `profile` on all cores — the
+    /// shape used by almost every figure.
+    pub fn homogeneous(
+        label: impl Into<String>,
+        cfg: SystemConfig,
+        profile: &'static BenchmarkProfile,
+    ) -> Self {
+        let cores = cfg.cores();
+        Self {
+            label: label.into(),
+            workload: Workload {
+                name: profile.name.to_string(),
+                apps: vec![profile; cores],
+            },
+            mode: DriveMode::Profile,
+            cfg,
+        }
+    }
+
+    /// A cell with an explicit workload and drive mode (mixes, full
+    /// stack).
+    pub fn mixed(
+        label: impl Into<String>,
+        cfg: SystemConfig,
+        workload: Workload,
+        mode: DriveMode,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            workload,
+            mode,
+            cfg,
+        }
+    }
+}
+
+/// Why a cell produced no metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellError {
+    /// The simulation (or its construction) panicked on the worker.
+    Panicked(String),
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Panicked(msg) => write!(f, "cell panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// The outcome of one grid cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Position in the grid (results are returned sorted by this).
+    pub index: usize,
+    /// The spec's label.
+    pub label: String,
+    /// Wall-clock spent simulating this cell.
+    pub wall: Duration,
+    /// Simulated cycles (warm-up + measurement; 0 on failure).
+    pub sim_cycles: u64,
+    /// The metrics, or the reason there are none.
+    pub outcome: Result<RunMetrics, CellError>,
+}
+
+impl CellResult {
+    /// The cell's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a failed cell's error, labelled. Experiments that can
+    /// degrade gracefully should match on [`CellResult::outcome`]
+    /// instead.
+    pub fn metrics(&self) -> &RunMetrics {
+        match &self.outcome {
+            Ok(m) => m,
+            Err(e) => panic!("cell '{}': {e}", self.label),
+        }
+    }
+}
+
+/// A figure or table expressed as a declarative sweep.
+///
+/// `grid(scale)` must be deterministic: [`SweepRunner`] guarantees the
+/// `Vec<CellResult>` handed to `assemble` is in grid order, so an
+/// implementation may re-enumerate the same structure there and zip.
+pub trait Experiment {
+    /// What `assemble` produces (the figure's result type).
+    type Output;
+
+    /// Short name for observers and reports (e.g. `"fig7"`).
+    fn name(&self) -> &str;
+
+    /// The cells to simulate, in presentation order.
+    fn grid(&self, scale: Scale) -> Vec<RunSpec>;
+
+    /// Folds the per-cell results (grid order) into the output.
+    fn assemble(&self, scale: Scale, cells: Vec<CellResult>) -> Self::Output;
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes experiment grids on a `std::thread` worker pool.
+///
+/// ```
+/// use snoc_core::experiments::{table3, Scale};
+/// use snoc_core::observer::NullObserver;
+/// use snoc_core::sweep::SweepRunner;
+///
+/// let out = SweepRunner::new()
+///     .threads(2)
+///     .observer(NullObserver)
+///     .run(&table3::Table3, Scale::Quick);
+/// assert!(!out.rows.is_empty());
+/// ```
+pub struct SweepRunner {
+    threads: usize,
+    observer: Box<dyn RunObserver>,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A silent single-threaded runner (the deterministic baseline).
+    pub fn new() -> Self {
+        Self {
+            threads: 1,
+            observer: Box::new(NullObserver),
+        }
+    }
+
+    /// A runner configured from the environment, as the `repro-*`
+    /// binaries do: `SNOC_THREADS` sets the worker count (default: the
+    /// machine's available parallelism) and `SNOC_PROGRESS=0` silences
+    /// the per-cell progress lines.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("SNOC_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        let runner = Self::new().threads(threads);
+        if std::env::var("SNOC_PROGRESS").is_ok_and(|v| v == "0") {
+            runner
+        } else {
+            runner.observer(crate::observer::ProgressObserver::new())
+        }
+    }
+
+    /// Sets the worker count (clamped to ≥ 1; also clamped to the grid
+    /// size at run time).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Replaces the observer.
+    pub fn observer(mut self, o: impl RunObserver + 'static) -> Self {
+        self.observer = Box::new(o);
+        self
+    }
+
+    /// Runs the experiment end to end: grid → sweep → assemble.
+    pub fn run<E: Experiment>(&self, exp: &E, scale: Scale) -> E::Output {
+        let cells = self.run_grid(exp.name(), exp.grid(scale));
+        exp.assemble(scale, cells)
+    }
+
+    /// Executes a raw grid and returns the results **in grid order**,
+    /// one [`CellResult`] per spec, regardless of which worker
+    /// finished which cell when.
+    pub fn run_grid(&self, name: &str, grid: Vec<RunSpec>) -> Vec<CellResult> {
+        let n = grid.len();
+        let threads = self.threads.min(n.max(1));
+        let observer: &dyn RunObserver = &*self.observer;
+        observer.sweep_started(name, n, threads);
+        let t0 = Instant::now();
+
+        // Each worker claims the next un-started index from the
+        // cursor, takes the spec, and deposits the result in that
+        // index's slot — completion order never leaks into the output.
+        let specs: Vec<Mutex<Option<RunSpec>>> =
+            grid.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let slots: Vec<Mutex<Option<CellResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+
+        let work = || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let spec = specs[i]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("each cell claimed once");
+            observer.cell_started(i, &spec.label);
+            let label = spec.label.clone();
+            let sim_cycles = spec.cfg.warmup_cycles + spec.cfg.measure_cycles;
+            let start = Instant::now();
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                System::new(spec.cfg, &spec.workload, spec.mode).run()
+            }))
+            .map_err(|p| CellError::Panicked(panic_message(p)));
+            let result = CellResult {
+                index: i,
+                label,
+                wall: start.elapsed(),
+                sim_cycles: if outcome.is_ok() { sim_cycles } else { 0 },
+                outcome,
+            };
+            observer.cell_finished(&result);
+            *slots[i].lock().unwrap() = Some(result);
+        };
+
+        if threads <= 1 {
+            work();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(work);
+                }
+            });
+        }
+
+        let results: Vec<CellResult> = slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every cell ran"))
+            .collect();
+        let summary = SweepSummary {
+            name: name.to_string(),
+            cells: n,
+            failed: results.iter().filter(|r| r.outcome.is_err()).count(),
+            threads,
+            wall: t0.elapsed(),
+            cell_wall: results.iter().map(|r| r.wall).sum(),
+            sim_cycles: results.iter().map(|r| r.sim_cycles).sum(),
+        };
+        observer.sweep_finished(&summary);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use snoc_workload::table3;
+
+    fn tiny(label: &str, app: &str) -> RunSpec {
+        let cfg = Scenario::Sram64Tsb
+            .config()
+            .rebuild()
+            .cycles(100, 400)
+            .build();
+        RunSpec::homogeneous(label, cfg, table3::by_name(app).unwrap())
+    }
+
+    #[test]
+    fn grid_order_is_preserved() {
+        let grid = vec![tiny("a", "tpcc"), tiny("b", "sap"), tiny("c", "lbm")];
+        let results = SweepRunner::new().threads(3).run_grid("t", grid);
+        let labels: Vec<_> = results.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["a", "b", "c"]);
+        assert_eq!(
+            results.iter().map(|r| r.index).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let results = SweepRunner::new().run_grid("empty", Vec::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let grid = || vec![tiny("a", "tpcc"), tiny("b", "sap"), tiny("c", "lbm")];
+        let serial = SweepRunner::new().threads(1).run_grid("t", grid());
+        let parallel = SweepRunner::new().threads(4).run_grid("t", grid());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                format!("{:?}", s.outcome),
+                format!("{:?}", p.outcome),
+                "cell {} must not depend on the schedule",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn a_panicking_cell_does_not_kill_the_sweep() {
+        let mut bad = tiny("bad", "sap");
+        bad.cfg.regions = 5; // fails validation → System::new panics
+        let grid = vec![tiny("a", "tpcc"), bad, tiny("c", "lbm")];
+        let results = SweepRunner::new().threads(2).run_grid("t", grid);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].outcome.is_ok());
+        assert!(matches!(results[1].outcome, Err(CellError::Panicked(_))));
+        assert_eq!(results[1].sim_cycles, 0);
+        assert!(results[2].outcome.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 'bad'")]
+    fn metrics_accessor_reraises_with_label() {
+        let r = CellResult {
+            index: 0,
+            label: "bad".into(),
+            wall: Duration::ZERO,
+            sim_cycles: 0,
+            outcome: Err(CellError::Panicked("boom".into())),
+        };
+        r.metrics();
+    }
+
+    #[test]
+    fn from_env_reads_thread_count() {
+        // Can't mutate the environment safely under the parallel test
+        // harness; just check the default path produces a runner.
+        let _ = SweepRunner::from_env();
+    }
+}

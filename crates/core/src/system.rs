@@ -113,8 +113,9 @@ impl System {
         let banks_n = cfg.banks();
         let cap_factor = cfg.tech.capacity_factor();
 
-        let cores: Vec<OooCore> =
-            (0..cfg.cores()).map(|i| OooCore::new(CoreId::new(i as u16), cfg.core)).collect();
+        let cores: Vec<OooCore> = (0..cfg.cores())
+            .map(|i| OooCore::new(CoreId::new(i as u16), cfg.core))
+            .collect();
         let streams: Vec<Stream> = workload
             .apps
             .iter()
@@ -140,23 +141,28 @@ impl System {
         };
         let banks: Vec<L2Bank> = (0..banks_n)
             .map(|i| {
-                L2Bank::new(BankId::new(i as u16), &cfg.mem, cfg.tech, cfg.write_buffer, tag_mode)
+                L2Bank::new(
+                    BankId::new(i as u16),
+                    &cfg.mem,
+                    cfg.tech,
+                    cfg.write_buffer,
+                    tag_mode,
+                )
             })
             .collect();
         let w = cfg.noc.width as u16;
         let h = cfg.noc.height as u16;
-        let mc_nodes: Vec<NodeId> = [
-            0,
-            w - 1,
-            (h - 1) * w,
-            h * w - 1,
-        ]
-        .into_iter()
-        .map(NodeId::new)
-        .collect();
+        let mc_nodes: Vec<NodeId> = [0, w - 1, (h - 1) * w, h * w - 1]
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
         let mcs: Vec<MemoryController> = (0..cfg.mem.mem_controllers)
             .map(|i| {
-                MemoryController::new(McId::new(i as u16), cfg.mem.dram_latency, cfg.mem.mc_outstanding)
+                MemoryController::new(
+                    McId::new(i as u16),
+                    cfg.mem.dram_latency,
+                    cfg.mem.mc_outstanding,
+                )
             })
             .collect();
         let commit_base = vec![0; cfg.cores()];
@@ -186,8 +192,10 @@ impl System {
     /// setup for the figure reproductions).
     pub fn homogeneous(cfg: SystemConfig, profile: &'static BenchmarkProfile) -> Self {
         let cores = cfg.cores();
-        let workload =
-            Workload { name: profile.name.to_string(), apps: vec![profile; cores] };
+        let workload = Workload {
+            name: profile.name.to_string(),
+            apps: vec![profile; cores],
+        };
         Self::new(cfg, &workload, DriveMode::Profile)
     }
 
@@ -229,19 +237,28 @@ impl System {
     }
 
     fn mc_coord(&self, block: u64) -> Coord {
-        self.mesh.coord(self.mc_nodes[self.mc_index(block)], Layer::Cache)
+        self.mesh
+            .coord(self.mc_nodes[self.mc_index(block)], Layer::Cache)
     }
 
     fn l1msg_to_packet(&self, core: CoreId, msg: L1Msg) -> Packet {
         let src = self.core_coord(core);
         let dst = self.cache_coord(msg.home());
         match msg {
-            L1Msg::GetS { block, .. } => {
-                Packet::new(PacketKind::BankRead, src, dst, block, compose_token(core, 0))
-            }
-            L1Msg::GetM { block, .. } => {
-                Packet::new(PacketKind::BankWrite, src, dst, block, compose_token(core, 0))
-            }
+            L1Msg::GetS { block, .. } => Packet::new(
+                PacketKind::BankRead,
+                src,
+                dst,
+                block,
+                compose_token(core, 0),
+            ),
+            L1Msg::GetM { block, .. } => Packet::new(
+                PacketKind::BankWrite,
+                src,
+                dst,
+                block,
+                compose_token(core, 0),
+            ),
             L1Msg::PutM { block, .. } => {
                 Packet::new(PacketKind::Writeback, src, dst, block, PLAIN_TOKEN)
             }
@@ -260,7 +277,11 @@ impl System {
     fn bankmsg_to_packet(&self, bank: BankId, msg: BankMsg) -> Packet {
         let src = self.cache_coord(bank);
         match msg {
-            BankMsg::Data { block, to, exclusive } => Packet::new(
+            BankMsg::Data {
+                block,
+                to,
+                exclusive,
+            } => Packet::new(
                 PacketKind::DataReply,
                 src,
                 self.core_coord(to),
@@ -273,9 +294,13 @@ impl System {
             BankMsg::FwdGetS { block, to, txn } => {
                 Packet::new(PacketKind::Fwd, src, self.core_coord(to), block, txn << 1)
             }
-            BankMsg::FwdGetM { block, to, txn } => {
-                Packet::new(PacketKind::Fwd, src, self.core_coord(to), block, (txn << 1) | 1)
-            }
+            BankMsg::FwdGetM { block, to, txn } => Packet::new(
+                PacketKind::Fwd,
+                src,
+                self.core_coord(to),
+                block,
+                (txn << 1) | 1,
+            ),
             BankMsg::Fetch { block } => Packet::new(
                 PacketKind::MemFetch,
                 src,
@@ -357,7 +382,8 @@ impl System {
             let src = self.mesh.coord(self.mc_nodes[m], Layer::Cache);
             for f in fills {
                 let dst = self.cache_coord(f.to);
-                self.net.inject(Packet::new(PacketKind::MemFill, src, dst, f.block, 0));
+                self.net
+                    .inject(Packet::new(PacketKind::MemFill, src, dst, f.block, 0));
             }
         }
 
@@ -381,28 +407,47 @@ impl System {
             _ => {}
         }
         let bank_id = BankId::new(node.raw());
-        let from = self.mesh.node(Coord { layer: Layer::Core, ..pkt.src });
+        let from = self.mesh.node(Coord {
+            layer: Layer::Core,
+            ..pkt.src
+        });
         let from_core = CoreId::new(from.raw());
         let forced_miss = generator::decode(pkt.addr).map(|a| a.miss).unwrap_or(false);
         let msg = match pkt.kind {
-            PacketKind::BankRead => {
-                BankIn::GetS { block: pkt.addr, from: core_of_token(pkt.token) }
-            }
-            PacketKind::BankWrite => {
-                BankIn::GetM { block: pkt.addr, from: core_of_token(pkt.token) }
-            }
+            PacketKind::BankRead => BankIn::GetS {
+                block: pkt.addr,
+                from: core_of_token(pkt.token),
+            },
+            PacketKind::BankWrite => BankIn::GetM {
+                block: pkt.addr,
+                from: core_of_token(pkt.token),
+            },
             PacketKind::Writeback => {
                 if pkt.token & FWD_FLAG != 0 {
-                    BankIn::FwdData { block: pkt.addr, from: from_core, txn: pkt.token & !FWD_FLAG }
+                    BankIn::FwdData {
+                        block: pkt.addr,
+                        from: from_core,
+                        txn: pkt.token & !FWD_FLAG,
+                    }
                 } else {
-                    BankIn::PutM { block: pkt.addr, from: from_core }
+                    BankIn::PutM {
+                        block: pkt.addr,
+                        from: from_core,
+                    }
                 }
             }
             PacketKind::Ack => {
                 if pkt.token & FWD_FLAG != 0 {
-                    BankIn::FwdMiss { block: pkt.addr, from: from_core, txn: pkt.token & !FWD_FLAG }
+                    BankIn::FwdMiss {
+                        block: pkt.addr,
+                        from: from_core,
+                        txn: pkt.token & !FWD_FLAG,
+                    }
                 } else {
-                    BankIn::InvAck { block: pkt.addr, from: from_core }
+                    BankIn::InvAck {
+                        block: pkt.addr,
+                        from: from_core,
+                    }
                 }
             }
             PacketKind::MemFill => BankIn::Fill { block: pkt.addr },
@@ -435,8 +480,10 @@ impl System {
                         self.uncore_rtt_tail.record((now - issued) as f64);
                     }
                     let exclusive = pkt.token & 1 == 1;
-                    let (msgs, retired) = self.l1s[core.index()]
-                        .handle(L1In::Data { block: pkt.addr, exclusive });
+                    let (msgs, retired) = self.l1s[core.index()].handle(L1In::Data {
+                        block: pkt.addr,
+                        exclusive,
+                    });
                     for t in retired {
                         self.cores[core.index()].complete(t, now);
                     }
@@ -447,14 +494,26 @@ impl System {
                 }
             },
             PacketKind::Inv | PacketKind::Fwd => {
-                let home_node = self.mesh.node(Coord { layer: Layer::Cache, ..pkt.src });
+                let home_node = self.mesh.node(Coord {
+                    layer: Layer::Cache,
+                    ..pkt.src
+                });
                 let home = BankId::new(home_node.raw());
                 let msg = match pkt.kind {
-                    PacketKind::Inv => L1In::Inv { block: pkt.addr, home },
-                    PacketKind::Fwd if pkt.token & 1 == 1 => {
-                        L1In::FwdGetM { block: pkt.addr, home, txn: pkt.token >> 1 }
-                    }
-                    _ => L1In::FwdGetS { block: pkt.addr, home, txn: pkt.token >> 1 },
+                    PacketKind::Inv => L1In::Inv {
+                        block: pkt.addr,
+                        home,
+                    },
+                    PacketKind::Fwd if pkt.token & 1 == 1 => L1In::FwdGetM {
+                        block: pkt.addr,
+                        home,
+                        txn: pkt.token >> 1,
+                    },
+                    _ => L1In::FwdGetS {
+                        block: pkt.addr,
+                        home,
+                        txn: pkt.token >> 1,
+                    },
                 };
                 let (msgs, retired) = self.l1s[core.index()].handle(msg);
                 for t in retired {
@@ -523,8 +582,7 @@ impl System {
             bank_reads: reads,
             bank_writes: writes,
         };
-        let energy =
-            EnergyBreakdown::compute(&activity, TechParams::of(self.cfg.tech), 3.0);
+        let energy = EnergyBreakdown::compute(&activity, TechParams::of(self.cfg.tech), 3.0);
         RunMetrics {
             cycles,
             per_core_committed,
@@ -538,8 +596,17 @@ impl System {
             bank_writes: writes,
             mem_fetches: fetches,
             post_write_gaps: gaps,
-            delayable_fraction: if after == 0 { 0.0 } else { behind as f64 / after as f64 },
+            delayable_fraction: if after == 0 {
+                0.0
+            } else {
+                behind as f64 / after as f64
+            },
             child_queue_mean: self.net.child_queue_mean(),
+            queue_mean_by_hops: [
+                self.net.queue_mean_at_hops(1),
+                self.net.queue_mean_at_hops(2),
+                self.net.queue_mean_at_hops(3),
+            ],
             held_packets: self.net.held_packets(),
             held_cycles: self.net.held_cycles(),
             energy,
@@ -590,10 +657,21 @@ impl MemPort for CorePort<'_> {
                 // from the core (Table 1); the write's data transfer
                 // rides the unrestricted response path. The window
                 // slot blocks until the bank answers.
-                let kind = if is_write { PacketKind::BankWrite } else { PacketKind::BankRead };
+                let kind = if is_write {
+                    PacketKind::BankWrite
+                } else {
+                    PacketKind::BankRead
+                };
                 let full = compose_token(core, token);
                 self.net.inject(Packet::new(kind, src, dst, addr, full));
-                self.pending_reads.insert(addr, PendingRead { core, token, issued: now });
+                self.pending_reads.insert(
+                    addr,
+                    PendingRead {
+                        core,
+                        token,
+                        issued: now,
+                    },
+                );
                 Issue::Pending
             }
             DriveMode::FullStack => {
@@ -660,10 +738,18 @@ mod tests {
         let p = table3::by_name("tpcc").unwrap();
         let mut sys = System::homogeneous(small_cfg(Scenario::Sram64Tsb), p);
         let m = sys.run();
-        assert!(m.instruction_throughput() > 1.0, "it={}", m.instruction_throughput());
+        assert!(
+            m.instruction_throughput() > 1.0,
+            "it={}",
+            m.instruction_throughput()
+        );
         assert!(m.bank_reads > 0);
         assert!(m.bank_writes > 0, "tpcc is write-heavy");
-        assert!(m.uncore_rtt > 10.0, "reads take a round trip: {}", m.uncore_rtt);
+        assert!(
+            m.uncore_rtt > 10.0,
+            "reads take a round trip: {}",
+            m.uncore_rtt
+        );
     }
 
     #[test]
@@ -684,12 +770,19 @@ mod tests {
         let p = table3::by_name("sclust").unwrap(); // multithreaded, write-heavy
         let cfg = small_cfg(Scenario::SttRam64Tsb);
         let cores = cfg.cores();
-        let w = Workload { name: "sclust".into(), apps: vec![p; cores] };
+        let w = Workload {
+            name: "sclust".into(),
+            apps: vec![p; cores],
+        };
         let mut sys = System::new(cfg, &w, DriveMode::FullStack);
         let m = sys.run();
         assert!(m.instruction_throughput() > 0.5);
         assert!(m.bank_reads > 0);
-        let coh: u64 = sys.l1s.iter().map(|l| l.stats.invalidations + l.stats.forwards).sum();
+        let coh: u64 = sys
+            .l1s
+            .iter()
+            .map(|l| l.stats.invalidations + l.stats.forwards)
+            .sum();
         assert!(coh > 0, "shared blocks must create coherence traffic");
     }
 
@@ -698,7 +791,10 @@ mod tests {
         let p = table3::by_name("lbm").unwrap();
         let mut sys = System::homogeneous(small_cfg(Scenario::SttRam4TsbWb), p);
         let m = sys.run();
-        assert!(m.held_packets > 0, "bank-aware parents must delay some requests");
+        assert!(
+            m.held_packets > 0,
+            "bank-aware parents must delay some requests"
+        );
         assert!(m.instruction_throughput() > 0.0);
     }
 

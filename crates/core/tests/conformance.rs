@@ -1,0 +1,76 @@
+//! Experiment conformance: every table/figure of the evaluation
+//! section runs at quick scale through one shared [`SweepRunner`], and
+//! each result exposes a coherent `Display` + `Rows` view.
+//!
+//! This is the heavyweight end-to-end suite (a few hundred simulation
+//! cells); the engine-level tests live in the root `tests/sweep.rs`.
+
+use snoc_core::experiments::{
+    ablations, fig10, fig12, fig13, fig14, fig3, fig6, fig7, fig8, fig9, table2, table3, Scale,
+};
+use snoc_core::report::Rows;
+use snoc_core::sweep::{Experiment, SweepRunner};
+use std::fmt::Display;
+
+fn runner() -> SweepRunner {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    SweepRunner::new().threads(threads)
+}
+
+fn check<E>(exp: &E) -> E::Output
+where
+    E: Experiment,
+    E::Output: Rows + Display,
+{
+    let grid = exp.grid(Scale::Quick);
+    let out = runner().run(exp, Scale::Quick);
+    let rows = out.rows();
+    assert!(!rows.is_empty(), "{}: no rows", exp.name());
+    let width = out.header().len();
+    for (label, values) in &rows {
+        assert_eq!(values.len(), width, "{}: ragged row '{label}'", exp.name());
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "{}: non-finite value in '{label}': {values:?}",
+            exp.name()
+        );
+    }
+    let text = out.to_string();
+    assert!(!text.trim().is_empty(), "{}: empty Display", exp.name());
+    let csv = out.csv();
+    assert_eq!(
+        csv.lines().count(),
+        rows.len() + 1,
+        "{}: csv shape",
+        exp.name()
+    );
+    // The grid enumeration is deterministic: assemble re-derives it.
+    assert_eq!(
+        grid.iter().map(|s| s.label.clone()).collect::<Vec<_>>(),
+        exp.grid(Scale::Quick)
+            .iter()
+            .map(|s| s.label.clone())
+            .collect::<Vec<_>>(),
+        "{}: unstable grid",
+        exp.name()
+    );
+    out
+}
+
+#[test]
+fn every_experiment_runs_at_quick_scale() {
+    check(&table2::Table2Exp);
+    check(&table3::Table3);
+    check(&fig3::Fig3);
+    check(&fig6::Fig6);
+    check(&fig7::Fig7);
+    check(&fig8::Fig8);
+    check(&fig9::Fig9);
+    check(&fig10::Fig10);
+    check(&fig12::Fig12);
+    check(&fig13::Fig13);
+    check(&fig14::Fig14);
+    check(&ablations::Ablations);
+}

@@ -137,10 +137,16 @@ impl OooCore {
                 let addr = instr.addr().expect("memory instruction has an address");
                 match port.issue(self.id, addr, instr.is_write(), token, now) {
                     Issue::Done(at) => {
-                        self.window.push_back(Entry { token, ready_at: Some(at) });
+                        self.window.push_back(Entry {
+                            token,
+                            ready_at: Some(at),
+                        });
                     }
                     Issue::Pending => {
-                        self.window.push_back(Entry { token, ready_at: None });
+                        self.window.push_back(Entry {
+                            token,
+                            ready_at: None,
+                        });
                     }
                     Issue::Retry => {
                         self.stats.retries += 1;
@@ -154,7 +160,10 @@ impl OooCore {
             } else {
                 let token = self.next_token;
                 self.next_token += 1;
-                self.window.push_back(Entry { token, ready_at: Some(now + 1) });
+                self.window.push_back(Entry {
+                    token,
+                    ready_at: Some(now + 1),
+                });
             }
             fetched += 1;
         }

@@ -15,7 +15,11 @@ impl CacheEnergyModel {
     /// Creates a model for `banks` banks of the given technology at
     /// `clock_ghz`.
     pub fn new(params: TechParams, banks: usize, clock_ghz: f64) -> Self {
-        Self { params, banks, clock_ghz }
+        Self {
+            params,
+            banks,
+            clock_ghz,
+        }
     }
 
     /// The technology parameters in use.

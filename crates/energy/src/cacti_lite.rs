@@ -161,7 +161,11 @@ mod tests {
         let m = table2_sram();
         assert!(close(m.area_mm2, 3.03, 0.05), "area {}", m.area_mm2);
         assert!(close(m.read_ns, 0.702, 0.05), "read {}", m.read_ns);
-        assert!(close(m.read_energy_nj, 0.168, 0.05), "renergy {}", m.read_energy_nj);
+        assert!(
+            close(m.read_energy_nj, 0.168, 0.05),
+            "renergy {}",
+            m.read_energy_nj
+        );
         assert!(close(m.leakage_mw, 444.6, 0.05), "leak {}", m.leakage_mw);
         assert_eq!(m.read_cycles, 3);
         assert_eq!(m.write_cycles, 3);
@@ -173,8 +177,16 @@ mod tests {
         assert!(close(m.area_mm2, 3.39, 0.05), "area {}", m.area_mm2);
         assert!(close(m.read_ns, 0.880, 0.05), "read {}", m.read_ns);
         assert!(close(m.write_ns, 10.67, 0.05), "write {}", m.write_ns);
-        assert!(close(m.read_energy_nj, 0.278, 0.05), "renergy {}", m.read_energy_nj);
-        assert!(close(m.write_energy_nj, 0.765, 0.05), "wenergy {}", m.write_energy_nj);
+        assert!(
+            close(m.read_energy_nj, 0.278, 0.05),
+            "renergy {}",
+            m.read_energy_nj
+        );
+        assert!(
+            close(m.write_energy_nj, 0.765, 0.05),
+            "wenergy {}",
+            m.write_energy_nj
+        );
         assert!(close(m.leakage_mw, 190.5, 0.05), "leak {}", m.leakage_mw);
         assert_eq!(m.read_cycles, 3);
         assert_eq!(m.write_cycles, 33);
@@ -184,7 +196,10 @@ mod tests {
     fn stt_is_4x_denser_at_similar_area() {
         let sram = table2_sram();
         let stt = table2_stt();
-        assert!(close(stt.area_mm2, sram.area_mm2, 0.15), "4x capacity at ~equal area");
+        assert!(
+            close(stt.area_mm2, sram.area_mm2, 0.15),
+            "4x capacity at ~equal area"
+        );
     }
 
     #[test]

@@ -92,6 +92,9 @@ mod tests {
     #[test]
     fn leakage_scales_with_routers_and_time() {
         let m = NocEnergyModel::at_32nm();
-        assert_eq!(m.leakage_nj(128, 1000), 128.0 * 1000.0 * m.router_leakage_nj_per_cycle);
+        assert_eq!(
+            m.leakage_nj(128, 1000),
+            128.0 * 1000.0 * m.router_leakage_nj_per_cycle
+        );
     }
 }

@@ -65,16 +65,30 @@ impl<M: Default + Clone> CacheArray<M> {
         policy: ReplacementKind,
         seed: u64,
     ) -> Self {
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         let sets = capacity_bytes / (ways * block_bytes);
-        assert!(sets > 0, "capacity too small for {ways} ways of {block_bytes} B");
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets > 0,
+            "capacity too small for {ways} ways of {block_bytes} B"
+        );
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         Self {
             sets,
             ways,
             block_bits: block_bytes.trailing_zeros(),
             lines: vec![
-                Line { tag: 0, valid: false, lru: 0, meta: M::default() };
+                Line {
+                    tag: 0,
+                    valid: false,
+                    lru: 0,
+                    meta: M::default()
+                };
                 sets * ways
             ],
             stamp: 0,
@@ -198,20 +212,33 @@ impl<M: Default + Clone> CacheArray<M> {
         for way in 0..self.ways {
             let idx = self.slot(set, way);
             if !self.lines[idx].valid {
-                self.lines[idx] =
-                    Line { tag, valid: true, lru: self.stamp, meta };
+                self.lines[idx] = Line {
+                    tag,
+                    valid: true,
+                    lru: self.stamp,
+                    meta,
+                };
                 self.set_state[set].touch(way, self.ways);
                 return None;
             }
         }
         // Evict the policy's victim.
-        let stamps: Vec<u64> =
-            (0..self.ways).map(|w| self.lines[self.slot(set, w)].lru).collect();
+        let stamps: Vec<u64> = (0..self.ways)
+            .map(|w| self.lines[self.slot(set, w)].lru)
+            .collect();
         let victim_way = self.set_state[set].victim(self.ways, &stamps, self.rng.as_mut());
         let victim = self.slot(set, victim_way);
         let old = &self.lines[victim];
-        let evicted = Eviction { addr: self.addr_of(set, old.tag), meta: old.meta.clone() };
-        self.lines[victim] = Line { tag, valid: true, lru: self.stamp, meta };
+        let evicted = Eviction {
+            addr: self.addr_of(set, old.tag),
+            meta: old.meta.clone(),
+        };
+        self.lines[victim] = Line {
+            tag,
+            valid: true,
+            lru: self.stamp,
+            meta,
+        };
         self.set_state[set].touch(victim_way, self.ways);
         Some(evicted)
     }
@@ -321,7 +348,7 @@ mod tests {
     #[test]
     fn eviction_reconstructs_block_address() {
         let mut a = CacheArray::<u32>::new(2 * 128 * 2, 2, 128); // 2 sets, 2 ways
-        // Fill set 0 (addresses with set bit 0).
+                                                                 // Fill set 0 (addresses with set bit 0).
         a.insert(0x0000, 1);
         a.insert(0x0100, 2); // 0x100 = set 0 again? 0x100>>7 = 2 -> set 0.
         let ev = a.insert(0x0200, 3).unwrap();
@@ -374,8 +401,7 @@ mod tests {
     #[test]
     fn plru_keeps_hot_lines_resident() {
         use crate::replacement::ReplacementKind;
-        let mut a =
-            CacheArray::<()>::with_policy(8 * 128, 8, 128, ReplacementKind::TreePlru, 0);
+        let mut a = CacheArray::<()>::with_policy(8 * 128, 8, 128, ReplacementKind::TreePlru, 0);
         // Line 0 is hot; a stream of other lines churns the set.
         a.insert(0, ());
         for i in 1..200u64 {

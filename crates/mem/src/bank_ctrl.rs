@@ -187,7 +187,11 @@ impl BankController {
                 self.running = None;
                 if let Running::Job(job, emits) = what {
                     if emits {
-                        done.push(Completion { job, started, finished: now });
+                        done.push(Completion {
+                            job,
+                            started,
+                            finished: now,
+                        });
                     }
                 }
             }
@@ -225,8 +229,11 @@ impl BankController {
                     }
                     BankOp::Write => {
                         self.stats.writes += 1;
-                        let absorbed =
-                            self.wbuf.as_mut().map(|b| b.absorb(job.addr)).unwrap_or(false);
+                        let absorbed = self
+                            .wbuf
+                            .as_mut()
+                            .map(|b| b.absorb(job.addr))
+                            .unwrap_or(false);
                         if absorbed {
                             // SRAM-speed buffer insertion.
                             let t = detect + self.read_latency;
@@ -239,7 +246,11 @@ impl BankController {
                             let occupy = detect + self.write_latency;
                             self.early_replies.push((
                                 now + reply,
-                                Completion { job, started: now, finished: now + reply },
+                                Completion {
+                                    job,
+                                    started: now,
+                                    finished: now + reply,
+                                },
                             ));
                             self.running = Some((Running::Job(job, false), now, now + occupy));
                         }
@@ -248,8 +259,7 @@ impl BankController {
             } else if let Some(b) = self.wbuf.as_mut() {
                 // Idle bank: drain one buffered write into the array.
                 if let Some(entry) = b.start_drain() {
-                    self.running =
-                        Some((Running::Drain(entry), now, now + self.write_latency));
+                    self.running = Some((Running::Drain(entry), now, now + self.write_latency));
                 }
             }
         }
@@ -277,7 +287,12 @@ mod tests {
     use super::*;
 
     fn job(op: BankOp, token: u64, arrived: Cycle) -> BankJob {
-        BankJob { op, token, addr: token * 128, arrived }
+        BankJob {
+            op,
+            token,
+            addr: token * 128,
+            arrived,
+        }
     }
 
     fn stt() -> BankController {
@@ -332,7 +347,10 @@ mod tests {
         assert_eq!(h.total(), 2);
         assert_eq!(h.counts()[0], 1);
         assert_eq!(h.counts()[2], 1);
-        assert_eq!(b.stats.arrivals_behind_write, 1, "only the 10-cycle gap is delayable");
+        assert_eq!(
+            b.stats.arrivals_behind_write, 1,
+            "only the 10-cycle gap is delayable"
+        );
         assert_eq!(b.stats.arrivals_after_write, 2);
     }
 
@@ -379,12 +397,19 @@ mod tests {
         // finish at cycle ~37; with preemption it starts immediately.
         assert!(read.started <= now + 1, "read started at {}", read.started);
         assert_eq!(b.write_buffer().unwrap().preemptions, 1);
-        assert!(b.write_buffer().unwrap().is_empty(), "aborted drain re-drains");
+        assert!(
+            b.write_buffer().unwrap().is_empty(),
+            "aborted drain re-drains"
+        );
     }
 
     #[test]
     fn full_buffer_falls_back_to_array_writes() {
-        let cfg = WriteBufferConfig { entries: 2, detect_cycles: 1, read_preemption: true };
+        let cfg = WriteBufferConfig {
+            entries: 2,
+            detect_cycles: 1,
+            read_preemption: true,
+        };
         let mut b = BankController::new(3, 33, Some(cfg));
         for i in 0..3 {
             b.enqueue(job(BankOp::Write, i, 0), 0);

@@ -46,7 +46,9 @@ impl DirEntry {
 
     /// Iterates the sharer cores.
     pub fn sharers(&self) -> impl Iterator<Item = CoreId> + '_ {
-        (0..64u16).filter(|&i| self.sharers & (1 << i) != 0).map(CoreId::new)
+        (0..64u16)
+            .filter(|&i| self.sharers & (1 << i) != 0)
+            .map(CoreId::new)
     }
 
     /// Records a read-only copy at `core`.

@@ -135,7 +135,11 @@ impl L1Cache {
             }
         }
 
-        let kind = if is_write { MissKind::Write } else { MissKind::Read };
+        let kind = if is_write {
+            MissKind::Write
+        } else {
+            MissKind::Read
+        };
         match self.mshrs.allocate(block, Waiter { token, kind }) {
             Allocation::Primary => {
                 self.stats.misses_issued += 1;
@@ -183,7 +187,10 @@ impl L1Cache {
                 } else if let Some(ev) = self.array.insert(block, state) {
                     if ev.meta == MesiState::M {
                         self.stats.writebacks += 1;
-                        out.push(L1Msg::PutM { block: ev.addr, home: self.home_of(ev.addr) });
+                        out.push(L1Msg::PutM {
+                            block: ev.addr,
+                            home: self.home_of(ev.addr),
+                        });
                     }
                 }
                 retired.extend(waiters.iter().map(|w| w.token));
@@ -236,7 +243,10 @@ mod tests {
         let (o, msgs) = c.access(0x1000, false, 1);
         assert_eq!(o, AccessOutcome::Miss);
         assert!(matches!(msgs[0], L1Msg::GetS { block: 0x1000, .. }));
-        let (_, retired) = c.handle(L1In::Data { block: 0x1000, exclusive: false });
+        let (_, retired) = c.handle(L1In::Data {
+            block: 0x1000,
+            exclusive: false,
+        });
         assert_eq!(retired, vec![1]);
         assert_eq!(c.state_of(0x1000), Some(MesiState::S));
         let (o, msgs) = c.access(0x1040, false, 2); // same block
@@ -248,11 +258,17 @@ mod tests {
     fn store_to_shared_issues_upgrade() {
         let mut c = l1();
         c.access(0x1000, false, 1);
-        c.handle(L1In::Data { block: 0x1000, exclusive: false });
+        c.handle(L1In::Data {
+            block: 0x1000,
+            exclusive: false,
+        });
         let (o, msgs) = c.access(0x1000, true, 2);
         assert_eq!(o, AccessOutcome::Miss);
         assert!(matches!(msgs[0], L1Msg::GetM { block: 0x1000, .. }));
-        let (_, retired) = c.handle(L1In::Data { block: 0x1000, exclusive: true });
+        let (_, retired) = c.handle(L1In::Data {
+            block: 0x1000,
+            exclusive: true,
+        });
         assert_eq!(retired, vec![2]);
         assert_eq!(c.state_of(0x1000), Some(MesiState::M));
     }
@@ -261,7 +277,10 @@ mod tests {
     fn exclusive_grant_installs_e_and_silently_upgrades() {
         let mut c = l1();
         c.access(0x2000, false, 1);
-        c.handle(L1In::Data { block: 0x2000, exclusive: true });
+        c.handle(L1In::Data {
+            block: 0x2000,
+            exclusive: true,
+        });
         assert_eq!(c.state_of(0x2000), Some(MesiState::E));
         let (o, msgs) = c.access(0x2000, true, 2);
         assert_eq!(o, AccessOutcome::Hit, "E->M is silent");
@@ -277,10 +296,16 @@ mod tests {
         for i in 0..4u64 {
             let addr = i * stride;
             c.access(addr, true, i);
-            c.handle(L1In::Data { block: addr, exclusive: true });
+            c.handle(L1In::Data {
+                block: addr,
+                exclusive: true,
+            });
         }
         c.access(4 * stride, true, 9);
-        let (msgs, _) = c.handle(L1In::Data { block: 4 * stride, exclusive: true });
+        let (msgs, _) = c.handle(L1In::Data {
+            block: 4 * stride,
+            exclusive: true,
+        });
         assert_eq!(msgs.len(), 1, "LRU M line written back");
         assert!(matches!(msgs[0], L1Msg::PutM { block: 0, .. }));
         assert_eq!(c.stats.writebacks, 1);
@@ -294,14 +319,20 @@ mod tests {
         assert_eq!(m1.len(), 1);
         assert_eq!(o2, AccessOutcome::Miss);
         assert!(m2.is_empty(), "secondary miss issues nothing");
-        let (_, retired) = c.handle(L1In::Data { block: 0x3000, exclusive: false });
+        let (_, retired) = c.handle(L1In::Data {
+            block: 0x3000,
+            exclusive: false,
+        });
         assert_eq!(retired, vec![1, 2]);
         assert_eq!(c.stats.misses_issued, 1);
     }
 
     #[test]
     fn mshr_full_blocks() {
-        let cfg = MemConfig { l1_mshrs: 1, ..MemConfig::default() };
+        let cfg = MemConfig {
+            l1_mshrs: 1,
+            ..MemConfig::default()
+        };
         let mut c = L1Cache::new(CoreId::new(0), &cfg, 64);
         c.access(0x1000, false, 1);
         let (o, _) = c.access(0x2000, false, 2);
@@ -312,8 +343,14 @@ mod tests {
     fn invalidation_drops_line_and_acks() {
         let mut c = l1();
         c.access(0x1000, false, 1);
-        c.handle(L1In::Data { block: 0x1000, exclusive: false });
-        let (msgs, _) = c.handle(L1In::Inv { block: 0x1000, home: BankId::new(32) });
+        c.handle(L1In::Data {
+            block: 0x1000,
+            exclusive: false,
+        });
+        let (msgs, _) = c.handle(L1In::Inv {
+            block: 0x1000,
+            home: BankId::new(32),
+        });
         assert!(matches!(msgs[0], L1Msg::InvAck { block: 0x1000, .. }));
         assert_eq!(c.state_of(0x1000), None);
         assert_eq!(c.stats.invalidations, 1);
@@ -323,10 +360,23 @@ mod tests {
     fn fwd_gets_downgrades_and_supplies_data() {
         let mut c = l1();
         c.access(0x1000, true, 1);
-        c.handle(L1In::Data { block: 0x1000, exclusive: true });
-        let (msgs, _) =
-            c.handle(L1In::FwdGetS { block: 0x1000, home: BankId::new(32), txn: 7 });
-        assert!(matches!(msgs[0], L1Msg::FwdData { block: 0x1000, txn: 7, .. }));
+        c.handle(L1In::Data {
+            block: 0x1000,
+            exclusive: true,
+        });
+        let (msgs, _) = c.handle(L1In::FwdGetS {
+            block: 0x1000,
+            home: BankId::new(32),
+            txn: 7,
+        });
+        assert!(matches!(
+            msgs[0],
+            L1Msg::FwdData {
+                block: 0x1000,
+                txn: 7,
+                ..
+            }
+        ));
         assert_eq!(c.state_of(0x1000), Some(MesiState::S));
     }
 
@@ -334,19 +384,42 @@ mod tests {
     fn fwd_getm_invalidates_owner() {
         let mut c = l1();
         c.access(0x1000, true, 1);
-        c.handle(L1In::Data { block: 0x1000, exclusive: true });
-        let (msgs, _) =
-            c.handle(L1In::FwdGetM { block: 0x1000, home: BankId::new(32), txn: 8 });
-        assert!(matches!(msgs[0], L1Msg::FwdData { block: 0x1000, txn: 8, .. }));
+        c.handle(L1In::Data {
+            block: 0x1000,
+            exclusive: true,
+        });
+        let (msgs, _) = c.handle(L1In::FwdGetM {
+            block: 0x1000,
+            home: BankId::new(32),
+            txn: 8,
+        });
+        assert!(matches!(
+            msgs[0],
+            L1Msg::FwdData {
+                block: 0x1000,
+                txn: 8,
+                ..
+            }
+        ));
         assert_eq!(c.state_of(0x1000), None);
     }
 
     #[test]
     fn fwd_to_absent_line_reports_miss() {
         let mut c = l1();
-        let (msgs, _) =
-            c.handle(L1In::FwdGetS { block: 0x9000, home: BankId::new(32), txn: 9 });
-        assert!(matches!(msgs[0], L1Msg::FwdMiss { block: 0x9000, txn: 9, .. }));
+        let (msgs, _) = c.handle(L1In::FwdGetS {
+            block: 0x9000,
+            home: BankId::new(32),
+            txn: 9,
+        });
+        assert!(matches!(
+            msgs[0],
+            L1Msg::FwdMiss {
+                block: 0x9000,
+                txn: 9,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -355,6 +428,10 @@ mod tests {
         assert_eq!(c.home_of(0), BankId::new(0));
         assert_eq!(c.home_of(128), BankId::new(1));
         assert_eq!(c.home_of(64 * 128), BankId::new(0));
-        assert_eq!(c.home_of(130), BankId::new(1), "offsets map with their block");
+        assert_eq!(
+            c.home_of(130),
+            BankId::new(1),
+            "offsets map with their block"
+        );
     }
 }

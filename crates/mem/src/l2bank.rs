@@ -32,9 +32,21 @@ pub enum TagMode {
 
 #[derive(Debug, Clone, Copy)]
 enum PendingOp {
-    Lookup { block: u64, from: CoreId, kind: MissKind, forced_miss: bool },
-    PutWrite { block: u64, from: CoreId, txn: Option<u64>, spill: bool },
-    FillWrite { block: u64 },
+    Lookup {
+        block: u64,
+        from: CoreId,
+        kind: MissKind,
+        forced_miss: bool,
+    },
+    PutWrite {
+        block: u64,
+        from: CoreId,
+        txn: Option<u64>,
+        spill: bool,
+    },
+    FillWrite {
+        block: u64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -142,14 +154,26 @@ impl L2Bank {
             && self.mshrs.is_empty()
             && self.txns.is_empty()
             && self.deferred.is_empty()
-            && self.ctrl.write_buffer().map(|b| b.is_empty()).unwrap_or(true)
+            && self
+                .ctrl
+                .write_buffer()
+                .map(|b| b.is_empty())
+                .unwrap_or(true)
     }
 
     fn enqueue_job(&mut self, op: BankOp, addr: u64, pending: PendingOp, now: Cycle) {
         let token = self.next_job;
         self.next_job += 1;
         self.pending.insert(token, pending);
-        self.ctrl.enqueue(BankJob { op, token, addr, arrived: now }, now);
+        self.ctrl.enqueue(
+            BankJob {
+                op,
+                token,
+                addr,
+                arrived: now,
+            },
+            now,
+        );
     }
 
     /// Accepts a protocol message. Most work is queued for the array;
@@ -162,7 +186,12 @@ impl L2Bank {
                 self.enqueue_job(
                     BankOp::Read,
                     block,
-                    PendingOp::Lookup { block, from, kind: MissKind::Read, forced_miss },
+                    PendingOp::Lookup {
+                        block,
+                        from,
+                        kind: MissKind::Read,
+                        forced_miss,
+                    },
                     now,
                 );
             }
@@ -179,7 +208,12 @@ impl L2Bank {
                 self.enqueue_job(
                     op,
                     block,
-                    PendingOp::Lookup { block, from, kind: MissKind::Write, forced_miss },
+                    PendingOp::Lookup {
+                        block,
+                        from,
+                        kind: MissKind::Write,
+                        forced_miss,
+                    },
                     now,
                 );
             }
@@ -190,7 +224,12 @@ impl L2Bank {
                 self.enqueue_job(
                     BankOp::Write,
                     block,
-                    PendingOp::PutWrite { block, from, txn: None, spill },
+                    PendingOp::PutWrite {
+                        block,
+                        from,
+                        txn: None,
+                        spill,
+                    },
                     now,
                 );
             }
@@ -198,7 +237,12 @@ impl L2Bank {
                 self.enqueue_job(
                     BankOp::Write,
                     block,
-                    PendingOp::PutWrite { block, from, txn: Some(txn), spill: false },
+                    PendingOp::PutWrite {
+                        block,
+                        from,
+                        txn: Some(txn),
+                        spill: false,
+                    },
                     now,
                 );
             }
@@ -227,12 +271,25 @@ impl L2Bank {
             self.miss_path(block, from, kind, &mut out);
         }
         for c in self.ctrl.tick(now) {
-            let op = self.pending.remove(&c.job.token).expect("pending op for job");
+            let op = self
+                .pending
+                .remove(&c.job.token)
+                .expect("pending op for job");
             match op {
-                PendingOp::Lookup { block, from, kind, forced_miss } => {
+                PendingOp::Lookup {
+                    block,
+                    from,
+                    kind,
+                    forced_miss,
+                } => {
                     self.on_lookup(block, from, kind, forced_miss, &mut out);
                 }
-                PendingOp::PutWrite { block, from, txn, spill } => {
+                PendingOp::PutWrite {
+                    block,
+                    from,
+                    txn,
+                    spill,
+                } => {
                     self.on_put_write(block, from, txn, spill, &mut out);
                 }
                 PendingOp::FillWrite { block } => {
@@ -244,7 +301,10 @@ impl L2Bank {
     }
 
     fn txn_for_block(&self, block: u64) -> Option<u64> {
-        self.txns.iter().find(|(_, t)| t.block == block).map(|(&id, _)| id)
+        self.txns
+            .iter()
+            .find(|(_, t)| t.block == block)
+            .map(|(&id, _)| id)
     }
 
     fn on_lookup(
@@ -258,7 +318,11 @@ impl L2Bank {
         // A transaction or fetch already in flight for this block:
         // join it.
         if let Some(txn) = self.txn_for_block(block) {
-            self.txns.get_mut(&txn).expect("live txn").waiters.push((from, kind));
+            self.txns
+                .get_mut(&txn)
+                .expect("live txn")
+                .waiters
+                .push((from, kind));
             return;
         }
         if self.mshrs.contains(block) {
@@ -270,7 +334,11 @@ impl L2Bank {
                 if forced_miss {
                     self.miss_path(block, from, kind, out);
                 } else {
-                    out.push(BankMsg::Data { block, to: from, exclusive: kind == MissKind::Write });
+                    out.push(BankMsg::Data {
+                        block,
+                        to: from,
+                        exclusive: kind == MissKind::Write,
+                    });
                 }
             }
             TagMode::Real => {
@@ -319,16 +387,32 @@ impl L2Bank {
                     if owner != from {
                         let txn = self.start_txn(block, MissKind::Read, from, kind);
                         self.stats.forwards_sent += 1;
-                        out.push(BankMsg::FwdGetS { block, to: owner, txn });
+                        out.push(BankMsg::FwdGetS {
+                            block,
+                            to: owner,
+                            txn,
+                        });
                         return;
                     }
-                    out.push(BankMsg::Data { block, to: from, exclusive: true });
+                    out.push(BankMsg::Data {
+                        block,
+                        to: from,
+                        exclusive: true,
+                    });
                 } else if dir.is_uncached() && allow_e {
                     dir.set_owner(from); // E grant
-                    out.push(BankMsg::Data { block, to: from, exclusive: true });
+                    out.push(BankMsg::Data {
+                        block,
+                        to: from,
+                        exclusive: true,
+                    });
                 } else {
                     dir.add_sharer(from);
-                    out.push(BankMsg::Data { block, to: from, exclusive: false });
+                    out.push(BankMsg::Data {
+                        block,
+                        to: from,
+                        exclusive: false,
+                    });
                 }
             }
             MissKind::Write => {
@@ -336,10 +420,18 @@ impl L2Bank {
                     if owner != from {
                         let txn = self.start_txn(block, MissKind::Write, from, kind);
                         self.stats.forwards_sent += 1;
-                        out.push(BankMsg::FwdGetM { block, to: owner, txn });
+                        out.push(BankMsg::FwdGetM {
+                            block,
+                            to: owner,
+                            txn,
+                        });
                         return;
                     }
-                    out.push(BankMsg::Data { block, to: from, exclusive: true });
+                    out.push(BankMsg::Data {
+                        block,
+                        to: from,
+                        exclusive: true,
+                    });
                 } else {
                     let sharers: Vec<CoreId> = dir.sharers().filter(|&s| s != from).collect();
                     dir.set_owner(from);
@@ -347,7 +439,11 @@ impl L2Bank {
                         self.stats.invalidations_sent += 1;
                         out.push(BankMsg::Inv { block, to: s });
                     }
-                    out.push(BankMsg::Data { block, to: from, exclusive: true });
+                    out.push(BankMsg::Data {
+                        block,
+                        to: from,
+                        exclusive: true,
+                    });
                 }
             }
         }
@@ -360,12 +456,21 @@ impl L2Bank {
     fn start_txn(&mut self, block: u64, fwd_kind: MissKind, from: CoreId, kind: MissKind) -> u64 {
         let id = self.next_txn;
         self.next_txn += 1;
-        self.txns.insert(id, Txn { block, fwd_kind, waiters: vec![(from, kind)] });
+        self.txns.insert(
+            id,
+            Txn {
+                block,
+                fwd_kind,
+                waiters: vec![(from, kind)],
+            },
+        );
         id
     }
 
     fn complete_txn(&mut self, txn: u64, out: &mut Vec<BankMsg>) {
-        let Some(t) = self.txns.remove(&txn) else { return };
+        let Some(t) = self.txns.remove(&txn) else {
+            return;
+        };
         for (from, kind) in t.waiters {
             self.serve_line(t.block, from, kind, out);
         }
@@ -416,11 +521,17 @@ impl L2Bank {
             if let Some(ev) = self.array.insert(block, DirEntry::uncached()) {
                 for s in ev.meta.sharers() {
                     self.stats.invalidations_sent += 1;
-                    out.push(BankMsg::Inv { block: ev.addr, to: s });
+                    out.push(BankMsg::Inv {
+                        block: ev.addr,
+                        to: s,
+                    });
                 }
                 if let Some(o) = ev.meta.owner() {
                     self.stats.invalidations_sent += 1;
-                    out.push(BankMsg::Inv { block: ev.addr, to: o });
+                    out.push(BankMsg::Inv {
+                        block: ev.addr,
+                        to: o,
+                    });
                 }
                 if ev.meta.dirty {
                     self.stats.dirty_evictions += 1;
@@ -428,7 +539,9 @@ impl L2Bank {
                 }
             }
         }
-        let Some((waiters, _)) = self.mshrs.complete(block) else { return };
+        let Some((waiters, _)) = self.mshrs.complete(block) else {
+            return;
+        };
         match self.mode {
             TagMode::Real => {
                 // Several merged waiters: readers get S (no E grant),
@@ -454,7 +567,10 @@ impl L2Bank {
 }
 
 fn waiter(from: CoreId, kind: MissKind) -> Waiter {
-    Waiter { token: from.index() as u64, kind }
+    Waiter {
+        token: from.index() as u64,
+        kind,
+    }
 }
 
 #[cfg(test)]
@@ -462,7 +578,13 @@ mod tests {
     use super::*;
 
     fn bank(mode: TagMode) -> L2Bank {
-        L2Bank::new(BankId::new(0), &MemConfig::default(), MemTech::SttRam, None, mode)
+        L2Bank::new(
+            BankId::new(0),
+            &MemConfig::default(),
+            MemTech::SttRam,
+            None,
+            mode,
+        )
     }
 
     fn run(bank: &mut L2Bank, from: Cycle, cycles: u64) -> (Vec<BankMsg>, Cycle) {
@@ -480,12 +602,26 @@ mod tests {
     #[test]
     fn cold_read_fetches_from_memory_then_replies_exclusive() {
         let mut b = bank(TagMode::Real);
-        b.handle(BankIn::GetS { block: 0x1000, from: core(1) }, false, 0);
+        b.handle(
+            BankIn::GetS {
+                block: 0x1000,
+                from: core(1),
+            },
+            false,
+            0,
+        );
         let (msgs, t) = run(&mut b, 0, 10);
         assert_eq!(msgs, vec![BankMsg::Fetch { block: 0x1000 }]);
         b.handle(BankIn::Fill { block: 0x1000 }, false, t);
         let (msgs, _) = run(&mut b, t, 40);
-        assert_eq!(msgs, vec![BankMsg::Data { block: 0x1000, to: core(1), exclusive: true }]);
+        assert_eq!(
+            msgs,
+            vec![BankMsg::Data {
+                block: 0x1000,
+                to: core(1),
+                exclusive: true
+            }]
+        );
         assert_eq!(b.stats.fetches, 1);
         assert_eq!(b.stats.fills, 1);
         assert!(b.is_quiescent());
@@ -494,25 +630,58 @@ mod tests {
     #[test]
     fn second_reader_gets_a_forward() {
         let mut b = bank(TagMode::Real);
-        b.handle(BankIn::GetS { block: 0x1000, from: core(1) }, false, 0);
+        b.handle(
+            BankIn::GetS {
+                block: 0x1000,
+                from: core(1),
+            },
+            false,
+            0,
+        );
         let (_, t) = run(&mut b, 0, 10);
         b.handle(BankIn::Fill { block: 0x1000 }, false, t);
         let (_, t) = run(&mut b, t, 40);
         // Core 1 owns the line in E; a second reader triggers FwdGetS.
-        b.handle(BankIn::GetS { block: 0x1000, from: core(2) }, false, t);
+        b.handle(
+            BankIn::GetS {
+                block: 0x1000,
+                from: core(2),
+            },
+            false,
+            t,
+        );
         let (msgs, t) = run(&mut b, t, 10);
         let txn = match msgs[..] {
-            [BankMsg::FwdGetS { block: 0x1000, to, txn }] => {
+            [BankMsg::FwdGetS {
+                block: 0x1000,
+                to,
+                txn,
+            }] => {
                 assert_eq!(to, core(1));
                 txn
             }
             ref other => panic!("expected FwdGetS, got {other:?}"),
         };
         // Owner had a clean E copy: FwdMiss resolves from the array.
-        let msgs = b.handle(BankIn::FwdMiss { block: 0x1000, from: core(1), txn }, false, t);
+        let msgs = b.handle(
+            BankIn::FwdMiss {
+                block: 0x1000,
+                from: core(1),
+                txn,
+            },
+            false,
+            t,
+        );
         // With the stale owner gone the block is uncached again, so
         // the reader receives a fresh E grant.
-        assert_eq!(msgs, vec![BankMsg::Data { block: 0x1000, to: core(2), exclusive: true }]);
+        assert_eq!(
+            msgs,
+            vec![BankMsg::Data {
+                block: 0x1000,
+                to: core(2),
+                exclusive: true
+            }]
+        );
         assert!(b.is_quiescent());
     }
 
@@ -520,21 +689,50 @@ mod tests {
     fn dirty_owner_writes_back_through_home() {
         let mut b = bank(TagMode::Real);
         // Core 1 takes the line for writing.
-        b.handle(BankIn::GetM { block: 0x2000, from: core(1) }, false, 0);
+        b.handle(
+            BankIn::GetM {
+                block: 0x2000,
+                from: core(1),
+            },
+            false,
+            0,
+        );
         let (_, t) = run(&mut b, 0, 10);
         b.handle(BankIn::Fill { block: 0x2000 }, false, t);
         let (_, t) = run(&mut b, t, 40);
         // Core 2 reads: home forwards to owner; owner sends FwdData.
-        b.handle(BankIn::GetS { block: 0x2000, from: core(2) }, false, t);
+        b.handle(
+            BankIn::GetS {
+                block: 0x2000,
+                from: core(2),
+            },
+            false,
+            t,
+        );
         let (msgs, t) = run(&mut b, t, 10);
         let txn = match msgs[..] {
             [BankMsg::FwdGetS { txn, .. }] => txn,
             ref other => panic!("{other:?}"),
         };
-        b.handle(BankIn::FwdData { block: 0x2000, from: core(1), txn }, false, t);
+        b.handle(
+            BankIn::FwdData {
+                block: 0x2000,
+                from: core(1),
+                txn,
+            },
+            false,
+            t,
+        );
         // The 33-cycle STT write applies, then the reader is served.
         let (msgs, _) = run(&mut b, t, 40);
-        assert_eq!(msgs, vec![BankMsg::Data { block: 0x2000, to: core(2), exclusive: false }]);
+        assert_eq!(
+            msgs,
+            vec![BankMsg::Data {
+                block: 0x2000,
+                to: core(2),
+                exclusive: false
+            }]
+        );
         assert!(b.timing().writes >= 1, "owner data is an array write");
         assert!(b.is_quiescent());
     }
@@ -543,31 +741,83 @@ mod tests {
     fn write_to_shared_line_invalidates_sharers() {
         let mut b = bank(TagMode::Real);
         // Two concurrent readers merge on the fill and both install S.
-        b.handle(BankIn::GetS { block: 0x3000, from: core(1) }, false, 0);
-        b.handle(BankIn::GetS { block: 0x3000, from: core(2) }, false, 0);
+        b.handle(
+            BankIn::GetS {
+                block: 0x3000,
+                from: core(1),
+            },
+            false,
+            0,
+        );
+        b.handle(
+            BankIn::GetS {
+                block: 0x3000,
+                from: core(2),
+            },
+            false,
+            0,
+        );
         let (_, t) = run(&mut b, 0, 15);
         b.handle(BankIn::Fill { block: 0x3000 }, false, t);
         let (msgs, t) = run(&mut b, t, 40);
-        assert!(msgs.iter().all(
-            |m| matches!(m, BankMsg::Data { exclusive: false, .. })
-        ), "merged readers get shared grants: {msgs:?}");
+        assert!(
+            msgs.iter().all(|m| matches!(
+                m,
+                BankMsg::Data {
+                    exclusive: false,
+                    ..
+                }
+            )),
+            "merged readers get shared grants: {msgs:?}"
+        );
         // Core 3 writes: both sharers must be invalidated.
-        b.handle(BankIn::GetM { block: 0x3000, from: core(3) }, false, t);
+        b.handle(
+            BankIn::GetM {
+                block: 0x3000,
+                from: core(3),
+            },
+            false,
+            t,
+        );
         let (msgs, _) = run(&mut b, t, 10);
-        assert!(msgs.contains(&BankMsg::Inv { block: 0x3000, to: core(1) }));
-        assert!(msgs.contains(&BankMsg::Inv { block: 0x3000, to: core(2) }));
-        assert!(msgs.contains(&BankMsg::Data { block: 0x3000, to: core(3), exclusive: true }));
+        assert!(msgs.contains(&BankMsg::Inv {
+            block: 0x3000,
+            to: core(1)
+        }));
+        assert!(msgs.contains(&BankMsg::Inv {
+            block: 0x3000,
+            to: core(2)
+        }));
+        assert!(msgs.contains(&BankMsg::Data {
+            block: 0x3000,
+            to: core(3),
+            exclusive: true
+        }));
         assert_eq!(b.stats.invalidations_sent, 2);
     }
 
     #[test]
     fn voluntary_putm_dirties_the_home_line() {
         let mut b = bank(TagMode::Real);
-        b.handle(BankIn::GetM { block: 0x4000, from: core(1) }, false, 0);
+        b.handle(
+            BankIn::GetM {
+                block: 0x4000,
+                from: core(1),
+            },
+            false,
+            0,
+        );
         let (_, t) = run(&mut b, 0, 10);
         b.handle(BankIn::Fill { block: 0x4000 }, false, t);
         let (_, t) = run(&mut b, t, 40);
-        b.handle(BankIn::PutM { block: 0x4000, from: core(1) }, false, t);
+        b.handle(
+            BankIn::PutM {
+                block: 0x4000,
+                from: core(1),
+            },
+            false,
+            t,
+        );
         let (msgs, _) = run(&mut b, t, 40);
         assert!(msgs.is_empty(), "voluntary PutM needs no reply");
         assert_eq!(b.stats.putm_writes, 1);
@@ -575,14 +825,35 @@ mod tests {
         // a memory fetch.
         let mut out = Vec::new();
         b.serve_line(0x4000, core(2), MissKind::Read, &mut out);
-        assert_eq!(out, vec![BankMsg::Data { block: 0x4000, to: core(2), exclusive: true }]);
+        assert_eq!(
+            out,
+            vec![BankMsg::Data {
+                block: 0x4000,
+                to: core(2),
+                exclusive: true
+            }]
+        );
     }
 
     #[test]
     fn concurrent_misses_to_one_block_merge() {
         let mut b = bank(TagMode::Real);
-        b.handle(BankIn::GetS { block: 0x5000, from: core(1) }, false, 0);
-        b.handle(BankIn::GetS { block: 0x5000, from: core(2) }, false, 0);
+        b.handle(
+            BankIn::GetS {
+                block: 0x5000,
+                from: core(1),
+            },
+            false,
+            0,
+        );
+        b.handle(
+            BankIn::GetS {
+                block: 0x5000,
+                from: core(2),
+            },
+            false,
+            0,
+        );
         let (msgs, t) = run(&mut b, 0, 15);
         assert_eq!(msgs.len(), 1, "one fetch for both: {msgs:?}");
         b.handle(BankIn::Fill { block: 0x5000 }, false, t);
@@ -597,15 +868,43 @@ mod tests {
     #[test]
     fn probabilistic_hit_and_miss_paths() {
         let mut b = bank(TagMode::Probabilistic);
-        b.handle(BankIn::GetS { block: 0x100, from: core(1) }, false, 0);
+        b.handle(
+            BankIn::GetS {
+                block: 0x100,
+                from: core(1),
+            },
+            false,
+            0,
+        );
         let (msgs, t) = run(&mut b, 0, 10);
-        assert_eq!(msgs, vec![BankMsg::Data { block: 0x100, to: core(1), exclusive: false }]);
-        b.handle(BankIn::GetS { block: 0x200, from: core(2) }, true, t);
+        assert_eq!(
+            msgs,
+            vec![BankMsg::Data {
+                block: 0x100,
+                to: core(1),
+                exclusive: false
+            }]
+        );
+        b.handle(
+            BankIn::GetS {
+                block: 0x200,
+                from: core(2),
+            },
+            true,
+            t,
+        );
         let (msgs, t2) = run(&mut b, t, 10);
         assert_eq!(msgs, vec![BankMsg::Fetch { block: 0x200 }]);
         b.handle(BankIn::Fill { block: 0x200 }, false, t2);
         let (msgs, _) = run(&mut b, t2, 40);
-        assert_eq!(msgs, vec![BankMsg::Data { block: 0x200, to: core(2), exclusive: false }]);
+        assert_eq!(
+            msgs,
+            vec![BankMsg::Data {
+                block: 0x200,
+                to: core(2),
+                exclusive: false
+            }]
+        );
     }
 
     #[test]
@@ -613,13 +912,30 @@ mod tests {
         // A forced-miss write models a dirty-victim displacement: the
         // bank emits a memory writeback alongside the array write.
         let mut b = bank(TagMode::Probabilistic);
-        b.handle(BankIn::PutM { block: 0x700, from: core(1) }, true, 0);
+        b.handle(
+            BankIn::PutM {
+                block: 0x700,
+                from: core(1),
+            },
+            true,
+            0,
+        );
         let (msgs, _) = run(&mut b, 0, 50);
-        assert!(msgs.contains(&BankMsg::WriteMem { block: 0x700 }), "{msgs:?}");
+        assert!(
+            msgs.contains(&BankMsg::WriteMem { block: 0x700 }),
+            "{msgs:?}"
+        );
         assert_eq!(b.stats.dirty_evictions, 1);
         // A hit write spills nothing.
         let mut b2 = bank(TagMode::Probabilistic);
-        b2.handle(BankIn::PutM { block: 0x800, from: core(1) }, false, 0);
+        b2.handle(
+            BankIn::PutM {
+                block: 0x800,
+                from: core(1),
+            },
+            false,
+            0,
+        );
         let (msgs, _) = run(&mut b2, 0, 50);
         assert!(msgs.is_empty(), "{msgs:?}");
     }
@@ -629,8 +945,22 @@ mod tests {
         // The paper's "write request": the requester is released fast
         // but the array is busy for 33 cycles.
         let mut b = bank(TagMode::Probabilistic);
-        b.handle(BankIn::GetM { block: 0x100, from: core(1) }, false, 0);
-        b.handle(BankIn::GetS { block: 0x200, from: core(2) }, false, 1);
+        b.handle(
+            BankIn::GetM {
+                block: 0x100,
+                from: core(1),
+            },
+            false,
+            0,
+        );
+        b.handle(
+            BankIn::GetS {
+                block: 0x200,
+                from: core(2),
+            },
+            false,
+            1,
+        );
         let mut data_times = Vec::new();
         for c in 0..80 {
             for m in b.tick(c) {
@@ -641,14 +971,31 @@ mod tests {
         }
         assert_eq!(data_times.len(), 2);
         assert!(data_times[0].1 <= 5, "writer released fast: {data_times:?}");
-        assert!(data_times[1].1 >= 36, "read waits out the write: {data_times:?}");
+        assert!(
+            data_times[1].1 >= 36,
+            "read waits out the write: {data_times:?}"
+        );
     }
 
     #[test]
     fn writeback_occupies_stt_bank_for_33_cycles() {
         let mut b = bank(TagMode::Probabilistic);
-        b.handle(BankIn::PutM { block: 0x100, from: core(1) }, false, 0);
-        b.handle(BankIn::GetS { block: 0x200, from: core(2) }, false, 1);
+        b.handle(
+            BankIn::PutM {
+                block: 0x100,
+                from: core(1),
+            },
+            false,
+            0,
+        );
+        b.handle(
+            BankIn::GetS {
+                block: 0x200,
+                from: core(2),
+            },
+            false,
+            1,
+        );
         let mut first_data_at = None;
         for c in 0..80 {
             for m in b.tick(c) {
@@ -658,7 +1005,10 @@ mod tests {
             }
         }
         // Read queued behind the 33-cycle write: served at >= 36.
-        assert!(first_data_at.unwrap() >= 36, "read must wait: {first_data_at:?}");
+        assert!(
+            first_data_at.unwrap() >= 36,
+            "read must wait: {first_data_at:?}"
+        );
     }
 
     #[test]
@@ -672,16 +1022,37 @@ mod tests {
         // Fill 16 blocks; dirty the first via PutM.
         let mut t = 0;
         for i in 0..16u64 {
-            b.handle(BankIn::GetS { block: i * 128, from: core(1) }, false, t);
+            b.handle(
+                BankIn::GetS {
+                    block: i * 128,
+                    from: core(1),
+                },
+                false,
+                t,
+            );
             let (_, t2) = run(&mut b, t, 10);
             b.handle(BankIn::Fill { block: i * 128 }, false, t2);
             let (_, t3) = run(&mut b, t2, 10);
             t = t3;
         }
-        b.handle(BankIn::PutM { block: 0, from: core(1) }, false, t);
+        b.handle(
+            BankIn::PutM {
+                block: 0,
+                from: core(1),
+            },
+            false,
+            t,
+        );
         let (_, mut t) = run(&mut b, t, 10);
         // One more block evicts the LRU line.
-        b.handle(BankIn::GetS { block: 17 * 128, from: core(2) }, false, t);
+        b.handle(
+            BankIn::GetS {
+                block: 17 * 128,
+                from: core(2),
+            },
+            false,
+            t,
+        );
         let (_, t2) = run(&mut b, t, 10);
         t = t2;
         b.handle(BankIn::Fill { block: 17 * 128 }, false, t);
@@ -695,16 +1066,36 @@ mod tests {
 
     #[test]
     fn mshr_overflow_defers_and_recovers() {
-        let cfg = MemConfig { l2_mshrs: 1, ..MemConfig::default() };
+        let cfg = MemConfig {
+            l2_mshrs: 1,
+            ..MemConfig::default()
+        };
         let mut b = L2Bank::new(BankId::new(0), &cfg, MemTech::SttRam, None, TagMode::Real);
-        b.handle(BankIn::GetS { block: 0x100, from: core(1) }, false, 0);
-        b.handle(BankIn::GetS { block: 0x200, from: core(2) }, false, 0);
+        b.handle(
+            BankIn::GetS {
+                block: 0x100,
+                from: core(1),
+            },
+            false,
+            0,
+        );
+        b.handle(
+            BankIn::GetS {
+                block: 0x200,
+                from: core(2),
+            },
+            false,
+            0,
+        );
         let (msgs, t) = run(&mut b, 0, 15);
         assert_eq!(msgs, vec![BankMsg::Fetch { block: 0x100 }]);
         assert_eq!(b.stats.deferred, 1);
         b.handle(BankIn::Fill { block: 0x100 }, false, t);
         let (msgs, t2) = run(&mut b, t, 45);
-        assert!(msgs.contains(&BankMsg::Fetch { block: 0x200 }), "deferred miss retries");
+        assert!(
+            msgs.contains(&BankMsg::Fetch { block: 0x200 }),
+            "deferred miss retries"
+        );
         b.handle(BankIn::Fill { block: 0x200 }, false, t2);
         let (msgs, _) = run(&mut b, t2, 45);
         assert!(msgs

@@ -78,12 +78,22 @@ impl MemoryController {
 
     /// Accepts a fetch (read) request from a bank.
     pub fn fetch(&mut self, block: u64, from: BankId, now: Cycle) {
-        self.queue.push_back(Request { block, from, is_write: false, arrived: now });
+        self.queue.push_back(Request {
+            block,
+            from,
+            is_write: false,
+            arrived: now,
+        });
     }
 
     /// Accepts a write (dirty eviction) from a bank.
     pub fn write(&mut self, block: u64, from: BankId, now: Cycle) {
-        self.queue.push_back(Request { block, from, is_write: true, arrived: now });
+        self.queue.push_back(Request {
+            block,
+            from,
+            is_write: true,
+            arrived: now,
+        });
     }
 
     /// Requests queued or in flight.
@@ -100,7 +110,10 @@ impl MemoryController {
             if self.inflight[i].0 <= now {
                 let (_, req) = self.inflight.swap_remove(i);
                 if !req.is_write {
-                    fills.push(Fill { block: req.block, to: req.from });
+                    fills.push(Fill {
+                        block: req.block,
+                        to: req.from,
+                    });
                 }
             } else {
                 i += 1;
@@ -108,7 +121,9 @@ impl MemoryController {
         }
         if self.inflight.len() < self.max_outstanding {
             if let Some(req) = self.queue.pop_front() {
-                self.stats.queue_wait.record(now.saturating_sub(req.arrived) as f64);
+                self.stats
+                    .queue_wait
+                    .record(now.saturating_sub(req.arrived) as f64);
                 if req.is_write {
                     self.stats.writes += 1;
                 } else {
@@ -138,7 +153,13 @@ mod tests {
         for c in 0..400 {
             let fills = m.tick(c);
             if !fills.is_empty() {
-                assert_eq!(fills[0], Fill { block: 0x100, to: BankId::new(3) });
+                assert_eq!(
+                    fills[0],
+                    Fill {
+                        block: 0x100,
+                        to: BankId::new(3)
+                    }
+                );
                 fill_at = Some(c);
                 break;
             }
@@ -178,7 +199,10 @@ mod tests {
             fills += m.tick(c).len();
         }
         assert_eq!(fills, 8);
-        assert!(m.stats.queue_wait.max() >= 320.0, "later fetches waited for slots");
+        assert!(
+            m.stats.queue_wait.max() >= 320.0,
+            "later fetches waited for slots"
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ impl MshrFile {
     /// Creates a file with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one entry");
-        Self { entries: Vec::new(), capacity, peak: 0 }
+        Self {
+            entries: Vec::new(),
+            capacity,
+            peak: 0,
+        }
     }
 
     /// Outstanding entry count.
@@ -97,7 +101,11 @@ impl MshrFile {
         let mut waiters = VecDeque::with_capacity(2);
         let wants_write = waiter.kind == MissKind::Write;
         waiters.push_back(waiter);
-        self.entries.push(Entry { block, waiters, wants_write });
+        self.entries.push(Entry {
+            block,
+            waiters,
+            wants_write,
+        });
         self.peak = self.peak.max(self.entries.len());
         Allocation::Primary
     }
@@ -123,7 +131,10 @@ mod tests {
     fn primary_then_secondary_merge() {
         let mut m = MshrFile::new(4);
         assert_eq!(m.allocate(0x80, w(1, MissKind::Read)), Allocation::Primary);
-        assert_eq!(m.allocate(0x80, w(2, MissKind::Read)), Allocation::Secondary);
+        assert_eq!(
+            m.allocate(0x80, w(2, MissKind::Read)),
+            Allocation::Secondary
+        );
         assert_eq!(m.len(), 1);
         let (waiters, wants_write) = m.complete(0x80).unwrap();
         assert_eq!(waiters.len(), 2);
@@ -147,7 +158,10 @@ mod tests {
         m.allocate(0x200, w(2, MissKind::Read));
         assert!(m.is_full());
         assert_eq!(m.allocate(0x300, w(3, MissKind::Read)), Allocation::Full);
-        assert_eq!(m.allocate(0x100, w(4, MissKind::Read)), Allocation::Secondary);
+        assert_eq!(
+            m.allocate(0x100, w(4, MissKind::Read)),
+            Allocation::Secondary
+        );
         assert_eq!(m.peak(), 2);
     }
 

@@ -238,10 +238,17 @@ mod tests {
 
     #[test]
     fn l1msg_accessors() {
-        let m = L1Msg::GetS { block: 0x1000, home: BankId::new(9) };
+        let m = L1Msg::GetS {
+            block: 0x1000,
+            home: BankId::new(9),
+        };
         assert_eq!(m.home(), BankId::new(9));
         assert_eq!(m.block(), 0x1000);
-        let m = L1Msg::FwdData { block: 0x2000, home: BankId::new(1), txn: 5 };
+        let m = L1Msg::FwdData {
+            block: 0x2000,
+            home: BankId::new(1),
+            txn: 5,
+        };
         assert_eq!(m.home(), BankId::new(1));
         assert_eq!(m.block(), 0x2000);
     }

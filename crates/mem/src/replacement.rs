@@ -42,7 +42,9 @@ impl SetState {
             ReplacementKind::Lru => SetState::Lru,
             ReplacementKind::TreePlru => {
                 assert!(ways.is_power_of_two(), "PLRU needs power-of-two ways");
-                SetState::TreePlru { bits: vec![false; ways - 1] }
+                SetState::TreePlru {
+                    bits: vec![false; ways - 1],
+                }
             }
             ReplacementKind::Random => SetState::Random,
         }
@@ -100,9 +102,7 @@ impl SetState {
                 }
                 lo
             }
-            SetState::Random => {
-                rng.expect("random replacement needs an RNG").below(ways)
-            }
+            SetState::Random => rng.expect("random replacement needs an RNG").below(ways),
         }
     }
 }

@@ -105,7 +105,7 @@ mod tests {
     fn leakage_energy_scales_with_time() {
         let sram = TechParams::sram_1mb();
         let one = sram.leakage_nj(3_000_000, 3.0); // 1 ms
-        // 444.6 mW for 1 ms = 444.6 uJ = 444_600 nJ.
+                                                   // 444.6 mW for 1 ms = 444.6 uJ = 444_600 nJ.
         assert!((one - 444_600.0).abs() / 444_600.0 < 1e-9);
         assert_eq!(sram.leakage_nj(0, 3.0), 0.0);
     }

@@ -32,7 +32,10 @@ impl Arena {
         let idx = match self.free.pop() {
             Some(i) => i,
             None => {
-                assert!(self.slots.len() < u16::MAX as usize, "too many packets in flight");
+                assert!(
+                    self.slots.len() < u16::MAX as usize,
+                    "too many packets in flight"
+                );
                 self.slots.push(None);
                 (self.slots.len() - 1) as u16
             }

@@ -18,7 +18,9 @@ pub struct BusyTable {
 impl BusyTable {
     /// Creates a table for the given children.
     pub fn new(children: impl IntoIterator<Item = BankId>) -> Self {
-        Self { entries: children.into_iter().map(|b| (b, 0)).collect() }
+        Self {
+            entries: children.into_iter().map(|b| (b, 0)).collect(),
+        }
     }
 
     /// `true` if `bank` is managed by this table.

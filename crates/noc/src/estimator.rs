@@ -45,7 +45,12 @@ pub struct WbEstimator {
 impl WbEstimator {
     /// Creates state for the given children.
     pub fn new(children: impl IntoIterator<Item = BankId>) -> Self {
-        Self { children: children.into_iter().map(|b| (b, WbChild::default())).collect() }
+        Self {
+            children: children
+                .into_iter()
+                .map(|b| (b, WbChild::default()))
+                .collect(),
+        }
     }
 
     /// Called when the parent forwards a request to `child`. Returns
@@ -69,8 +74,12 @@ impl WbEstimator {
     /// latency; congestion = max(0, RTT/2 - base), smoothed 3:1
     /// towards the previous estimate.
     pub fn on_ack(&mut self, child: BankId, stamp: u8, now: Cycle, base_one_way: Cycle) {
-        let Some(st) = self.children.get_mut(&child) else { return };
-        let Some((expected, sent_at)) = st.outstanding else { return };
+        let Some(st) = self.children.get_mut(&child) else {
+            return;
+        };
+        let Some((expected, sent_at)) = st.outstanding else {
+            return;
+        };
         if expected != stamp {
             return;
         }
@@ -86,7 +95,11 @@ impl WbEstimator {
         };
         let sample = (elapsed / 2).saturating_sub(base_one_way);
         // Jump on the first observation, then smooth 3:1.
-        st.estimate = if st.estimate == 0 { sample } else { (3 * st.estimate + sample) / 4 };
+        st.estimate = if st.estimate == 0 {
+            sample
+        } else {
+            (3 * st.estimate + sample) / 4
+        };
     }
 
     /// The current congestion estimate towards `child`, in cycles.
@@ -134,7 +147,9 @@ const RCA_DIRS: [Direction; 6] = [
 impl RcaState {
     /// Creates zeroed state for `routers` routers.
     pub fn new(routers: usize) -> Self {
-        Self { values: vec![[0; 6]; routers] }
+        Self {
+            values: vec![[0; 6]; routers],
+        }
     }
 
     /// The aggregated congestion value at `router` looking in `dir`.
@@ -288,15 +303,17 @@ mod tests {
     fn rca_blends_neighbour_occupancy() {
         let mut rca = RcaState::new(2);
         // Router 0's East neighbour is router 1 with occupancy 200.
-        let nb = |i: usize, d: Direction| {
-            (i == 0 && d == Direction::East).then_some(1usize)
-        };
+        let nb = |i: usize, d: Direction| (i == 0 && d == Direction::East).then_some(1usize);
         rca.propagate(|i| if i == 1 { 200 } else { 0 }, nb);
         assert_eq!(rca.value(0, Direction::East), 100); // (200 + 0)/2
         rca.propagate(|i| if i == 1 { 200 } else { 0 }, nb);
         assert_eq!(rca.value(0, Direction::East), 100); // steady state: (200+0)/2
         assert_eq!(rca.value(0, Direction::West), 0);
-        assert_eq!(rca.value(1, Direction::East), 0, "boundary has no neighbour");
+        assert_eq!(
+            rca.value(1, Direction::East),
+            0,
+            "boundary has no neighbour"
+        );
     }
 
     #[test]

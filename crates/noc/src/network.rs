@@ -156,8 +156,16 @@ impl Network {
         for layer in [Layer::Core, Layer::Cache] {
             for node in mesh.nodes() {
                 let coord = mesh.coord(node, layer);
-                let children = parents.children_of(coord).map(<[_]>::to_vec).unwrap_or_default();
-                routers.push(Router::new(coord, params.noc.vcs_per_port, params.noc.vc_depth, children));
+                let children = parents
+                    .children_of(coord)
+                    .map(<[_]>::to_vec)
+                    .unwrap_or_default();
+                routers.push(Router::new(
+                    coord,
+                    params.noc.vcs_per_port,
+                    params.noc.vc_depth,
+                    children,
+                ));
                 let cap = match layer {
                     Layer::Core => params.core_outbox_cap,
                     Layer::Cache => params.cache_outbox_cap,
@@ -180,10 +188,12 @@ impl Network {
         }
 
         let estimator = match params.arbitration {
-            ArbitrationPolicy::BankAware { estimator: Estimator::Rca } => {
-                EstimatorState::Rca(RcaState::new(2 * n))
-            }
-            ArbitrationPolicy::BankAware { estimator: Estimator::WindowBased } => {
+            ArbitrationPolicy::BankAware {
+                estimator: Estimator::Rca,
+            } => EstimatorState::Rca(RcaState::new(2 * n)),
+            ArbitrationPolicy::BankAware {
+                estimator: Estimator::WindowBased,
+            } => {
                 let map = parents
                     .parents()
                     .map(|p| {
@@ -326,7 +336,11 @@ impl Network {
         // VC allocation and switch allocation at every active router.
         let mut moves: Vec<(usize, SwitchMove)> = Vec::new();
         {
-            let view = View { arena: &self.arena, routing: &self.routing, mesh: self.mesh };
+            let view = View {
+                arena: &self.arena,
+                routing: &self.routing,
+                mesh: self.mesh,
+            };
             let tsb_extra = self.params.noc.tsb_width_factor.saturating_sub(1);
             for idx in 0..self.routers.len() {
                 if self.routers[idx].buffered_flits() == 0 {
@@ -454,8 +468,11 @@ impl Network {
                     if let EstimatorState::WindowBased(map) = &mut self.estimator {
                         if let Some(wb) = map.get_mut(&coord) {
                             if let Some(stamp) = wb.on_forward(bank, now, self.params.wb_window) {
-                                self.arena.get_mut(pid).wb_tag =
-                                    Some(WbTag { stamp, parent: coord, child: bank });
+                                self.arena.get_mut(pid).wb_tag = Some(WbTag {
+                                    stamp,
+                                    parent: coord,
+                                    child: bank,
+                                });
                             }
                         }
                     }
@@ -465,8 +482,11 @@ impl Network {
                         self.params.bank_read_latency
                     };
                     let extra = (kind.flits(self.params.noc.data_flits) - 1) as u64;
-                    let view =
-                        View { arena: &self.arena, routing: &self.routing, mesh: self.mesh };
+                    let view = View {
+                        arena: &self.arena,
+                        routing: &self.routing,
+                        mesh: self.mesh,
+                    };
                     self.routers[idx].note_forward(
                         bank,
                         kind.is_bank_write(),
@@ -484,7 +504,10 @@ impl Network {
         if in_dir == Direction::Local {
             self.nics[idx].return_credit(m.in_vc, nflits);
         } else {
-            let up = self.mesh.neighbour(coord, in_dir).expect("input port has an upstream");
+            let up = self
+                .mesh
+                .neighbour(coord, in_dir)
+                .expect("input port has an upstream");
             let uidx = self.ridx(up);
             self.routers[uidx].return_credit(in_dir.arrival_port(), m.in_vc, nflits);
         }
@@ -497,13 +520,22 @@ impl Network {
                 }
             }
             dir => {
-                let to = self.mesh.neighbour(coord, dir).expect("route stays on chip");
+                let to = self
+                    .mesh
+                    .neighbour(coord, dir)
+                    .expect("route stays on chip");
                 let tidx = self.ridx(to);
                 let in_port = dir.arrival_port().port();
-                let ready =
-                    now + self.params.noc.link_latency + self.params.noc.router_stages;
+                let ready = now + self.params.noc.link_latency + self.params.noc.router_stages;
                 for f in &m.flits {
-                    self.routers[tidx].accept(in_port, m.out_vc, Flit { ready_at: ready, ..*f });
+                    self.routers[tidx].accept(
+                        in_port,
+                        m.out_vc,
+                        Flit {
+                            ready_at: ready,
+                            ..*f
+                        },
+                    );
                 }
                 if matches!(dir, Direction::Up | Direction::Down) {
                     self.stats.vertical_flits += nflits as u64;
@@ -556,7 +588,10 @@ impl Network {
 
     /// Bank requests forwarded by parent routers.
     pub fn forwarded_requests(&self) -> u64 {
-        self.routers.iter().map(|r| r.stats.forwarded_to_children).sum()
+        self.routers
+            .iter()
+            .map(|r| r.stats.forwarded_to_children)
+            .sum()
     }
 
     /// Mean number of request packets buffered in a sampled router
@@ -564,9 +599,16 @@ impl Network {
     /// write forwards (Figure 3 inset / Figure 13a).
     pub fn queue_mean_at_hops(&self, hops: u32) -> f64 {
         assert!((1..=3).contains(&hops));
-        let sum: u64 =
-            self.routers.iter().map(|r| r.stats.queue_by_hops[(hops - 1) as usize]).sum();
-        let n: u64 = self.routers.iter().map(|r| r.stats.child_queue_samples).sum();
+        let sum: u64 = self
+            .routers
+            .iter()
+            .map(|r| r.stats.queue_by_hops[(hops - 1) as usize])
+            .sum();
+        let n: u64 = self
+            .routers
+            .iter()
+            .map(|r| r.stats.child_queue_samples)
+            .sum();
         if n == 0 {
             0.0
         } else {
@@ -595,10 +637,7 @@ mod tests {
     use super::*;
     use crate::packet::PacketKind;
 
-    fn params(
-        mode: RequestPathMode,
-        arbitration: ArbitrationPolicy,
-    ) -> NetworkParams {
+    fn params(mode: RequestPathMode, arbitration: ArbitrationPolicy) -> NetworkParams {
         NetworkParams {
             noc: NocConfig::default(),
             path_mode: mode,
@@ -617,11 +656,13 @@ mod tests {
     }
 
     fn core(net: &Network, node: u16) -> Coord {
-        net.mesh().coord(snoc_common::ids::NodeId::new(node), Layer::Core)
+        net.mesh()
+            .coord(snoc_common::ids::NodeId::new(node), Layer::Core)
     }
 
     fn cache(net: &Network, node: u16) -> Coord {
-        net.mesh().coord(snoc_common::ids::NodeId::new(node), Layer::Cache)
+        net.mesh()
+            .coord(snoc_common::ids::NodeId::new(node), Layer::Cache)
     }
 
     fn deliver(net: &mut Network, at: Coord, max_cycles: u64) -> Vec<Packet> {
@@ -637,7 +678,10 @@ mod tests {
 
     #[test]
     fn read_request_crosses_the_chip() {
-        let mut net = Network::new(params(RequestPathMode::AllTsvs, ArbitrationPolicy::RoundRobin));
+        let mut net = Network::new(params(
+            RequestPathMode::AllTsvs,
+            ArbitrationPolicy::RoundRobin,
+        ));
         let src = core(&net, 0);
         let dst = cache(&net, 63);
         net.inject(Packet::new(PacketKind::BankRead, src, dst, 0x1000, 5));
@@ -654,7 +698,10 @@ mod tests {
 
     #[test]
     fn data_packet_arrives_intact() {
-        let mut net = Network::new(params(RequestPathMode::AllTsvs, ArbitrationPolicy::RoundRobin));
+        let mut net = Network::new(params(
+            RequestPathMode::AllTsvs,
+            ArbitrationPolicy::RoundRobin,
+        ));
         let src = cache(&net, 9);
         let dst = core(&net, 54);
         net.inject(Packet::new(PacketKind::DataReply, src, dst, 0xBEEF, 9));
@@ -668,29 +715,51 @@ mod tests {
         // Flit combining needs back-to-back flits buffered at the TSB
         // router, which only happens under contention: converge
         // several writebacks from different cores on one region.
-        let mut net =
-            Network::new(params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin));
+        let mut net = Network::new(params(
+            RequestPathMode::RegionTsbs,
+            ArbitrationPolicy::RoundRobin,
+        ));
         let banks = [25u16, 18, 11, 24, 17, 10, 9, 16];
         for (i, &b) in banks.iter().enumerate() {
             let src = core(&net, (i * 9) as u16);
             let dst = cache(&net, b); // all in region 0
-            net.inject(Packet::new(PacketKind::Writeback, src, dst, i as u64, i as u64));
+            net.inject(Packet::new(
+                PacketKind::Writeback,
+                src,
+                dst,
+                i as u64,
+                i as u64,
+            ));
         }
         net.run(1500);
-        let delivered: usize =
-            banks.iter().map(|&b| net.drain_delivered(cache(&net, b)).len()).sum();
+        let delivered: usize = banks
+            .iter()
+            .map(|&b| net.drain_delivered(cache(&net, b)).len())
+            .sum();
         assert_eq!(delivered, banks.len());
-        assert!(net.stats().wide_tsb_flits > 0, "contended TSB should combine flits");
+        assert!(
+            net.stats().wide_tsb_flits > 0,
+            "contended TSB should combine flits"
+        );
     }
 
     #[test]
     fn many_packets_all_arrive_exactly_once() {
-        let mut net = Network::new(params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin));
+        let mut net = Network::new(params(
+            RequestPathMode::RegionTsbs,
+            ArbitrationPolicy::RoundRobin,
+        ));
         let n = 200;
         for i in 0..n {
             let src = core(&net, (i * 7) % 64);
             let dst = cache(&net, (i * 13) % 64);
-            net.inject(Packet::new(PacketKind::BankRead, src, dst, i as u64, i as u64));
+            net.inject(Packet::new(
+                PacketKind::BankRead,
+                src,
+                dst,
+                i as u64,
+                i as u64,
+            ));
         }
         let mut seen = std::collections::HashSet::new();
         for _ in 0..3000 {
@@ -711,7 +780,9 @@ mod tests {
 
     #[test]
     fn bank_aware_holds_back_to_back_writes() {
-        let aware = ArbitrationPolicy::BankAware { estimator: Estimator::Simple };
+        let aware = ArbitrationPolicy::BankAware {
+            estimator: Estimator::Simple,
+        };
         let mut net = Network::new(params(RequestPathMode::RegionTsbs, aware));
         let src = core(&net, 7);
         let dst = cache(&net, 25); // managed by parent chip node 91
@@ -727,14 +798,19 @@ mod tests {
             }
         }
         assert_eq!(delivered, 4);
-        assert!(net.held_packets() >= 1, "later writes must be held at the parent");
+        assert!(
+            net.held_packets() >= 1,
+            "later writes must be held at the parent"
+        );
         assert!(net.held_cycles() > 0);
     }
 
     #[test]
     fn round_robin_never_holds() {
-        let mut net =
-            Network::new(params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin));
+        let mut net = Network::new(params(
+            RequestPathMode::RegionTsbs,
+            ArbitrationPolicy::RoundRobin,
+        ));
         let src = core(&net, 7);
         let dst = cache(&net, 25);
         for i in 0..4 {
@@ -746,7 +822,9 @@ mod tests {
 
     #[test]
     fn wb_estimator_closes_the_tag_loop() {
-        let aware = ArbitrationPolicy::BankAware { estimator: Estimator::WindowBased };
+        let aware = ArbitrationPolicy::BankAware {
+            estimator: Estimator::WindowBased,
+        };
         let mut p = params(RequestPathMode::RegionTsbs, aware);
         p.wb_window = 2; // tag frequently so the test is quick
         let mut net = Network::new(p);
@@ -756,14 +834,23 @@ mod tests {
         let mut drained = 0;
         for cycle in 0..3000 {
             if cycle % 20 == 0 && injected < 30 {
-                net.inject(Packet::new(PacketKind::BankRead, src, dst, injected, injected));
+                net.inject(Packet::new(
+                    PacketKind::BankRead,
+                    src,
+                    dst,
+                    injected,
+                    injected,
+                ));
                 injected += 1;
             }
             net.step();
             drained += net.drain_delivered(dst).len();
         }
         assert_eq!(drained, 30);
-        assert!(net.stats().tag_acks > 0, "acks must flow back to the parent");
+        assert!(
+            net.stats().tag_acks > 0,
+            "acks must flow back to the parent"
+        );
         assert_eq!(net.in_flight(), 0, "tag acks are consumed internally");
     }
 
@@ -771,12 +858,20 @@ mod tests {
     fn outbox_backpressure_throttles_delivery() {
         // Never drain the destination: deliveries stop at the outbox
         // cap while the network holds the rest without losing packets.
-        let mut net =
-            Network::new(params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin));
+        let mut net = Network::new(params(
+            RequestPathMode::RegionTsbs,
+            ArbitrationPolicy::RoundRobin,
+        ));
         let dst = cache(&net, 25);
         for i in 0..40 {
             let src = core(&net, (i % 64) as u16);
-            net.inject(Packet::new(PacketKind::BankRead, src, dst, i as u64, i as u64));
+            net.inject(Packet::new(
+                PacketKind::BankRead,
+                src,
+                dst,
+                i as u64,
+                i as u64,
+            ));
         }
         net.run(2000);
         assert_eq!(net.stats().delivered, 0, "nothing drained yet");
@@ -787,18 +882,27 @@ mod tests {
         assert_eq!(got2.len(), 2, "partial drain respects the bound");
         net.run(500);
         let got3 = net.drain_delivered(dst);
-        assert!(!got3.is_empty(), "backpressured packets flow after draining");
+        assert!(
+            !got3.is_empty(),
+            "backpressured packets flow after draining"
+        );
     }
 
     #[test]
     fn deterministic_replay() {
         let run = || {
-            let aware = ArbitrationPolicy::BankAware { estimator: Estimator::WindowBased };
+            let aware = ArbitrationPolicy::BankAware {
+                estimator: Estimator::WindowBased,
+            };
             let mut net = Network::new(params(RequestPathMode::RegionTsbs, aware));
             for i in 0..100u64 {
                 let src = core(&net, ((i * 11) % 64) as u16);
                 let dst = cache(&net, ((i * 29) % 64) as u16);
-                let kind = if i % 3 == 0 { PacketKind::Writeback } else { PacketKind::BankRead };
+                let kind = if i % 3 == 0 {
+                    PacketKind::Writeback
+                } else {
+                    PacketKind::BankRead
+                };
                 net.inject(Packet::new(kind, src, dst, i, i));
             }
             net.run(2500);
@@ -818,8 +922,10 @@ mod tests {
 
     #[test]
     fn coherence_traffic_reaches_cores() {
-        let mut net =
-            Network::new(params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin));
+        let mut net = Network::new(params(
+            RequestPathMode::RegionTsbs,
+            ArbitrationPolicy::RoundRobin,
+        ));
         let src = cache(&net, 12);
         let dst = core(&net, 51);
         net.inject(Packet::new(PacketKind::Inv, src, dst, 0xA, 1));

@@ -21,8 +21,11 @@ use snoc_common::Cycle;
 use std::collections::VecDeque;
 
 /// The classes, in injection arbitration order.
-const CLASSES: [TrafficClass; 3] =
-    [TrafficClass::Request, TrafficClass::Coherence, TrafficClass::Response];
+const CLASSES: [TrafficClass; 3] = [
+    TrafficClass::Request,
+    TrafficClass::Coherence,
+    TrafficClass::Response,
+];
 
 fn class_idx(c: TrafficClass) -> usize {
     match c {
@@ -72,7 +75,13 @@ pub struct Nic {
 impl Nic {
     /// Creates the NI for a node whose router has `vcs` VCs of `depth`
     /// flits. `outbox_cap` bounds assembled-but-unconsumed packets.
-    pub fn new(coord: Coord, vcs: usize, depth: usize, data_flits: usize, outbox_cap: usize) -> Self {
+    pub fn new(
+        coord: Coord,
+        vcs: usize,
+        depth: usize,
+        data_flits: usize,
+        outbox_cap: usize,
+    ) -> Self {
         Self {
             coord,
             vcs,
@@ -128,7 +137,11 @@ impl Nic {
                 let free = range.clone().find(|&v| self.bindings[v].is_none());
                 let Some(v) = free else { break };
                 let total = arena.get(head).kind.flits(self.data_flits) as u16;
-                self.bindings[v] = Some(InjectBinding { packet: head, next_seq: 0, total });
+                self.bindings[v] = Some(InjectBinding {
+                    packet: head,
+                    next_seq: 0,
+                    total,
+                });
                 self.inject_queues[ci].pop_front();
             }
         }
@@ -137,7 +150,9 @@ impl Nic {
         let start = self.inject_rr;
         for off in 1..=self.vcs {
             let v = (start + off) % self.vcs;
-            let Some(binding) = self.bindings[v].as_mut() else { continue };
+            let Some(binding) = self.bindings[v].as_mut() else {
+                continue;
+            };
             if self.credits[v] == 0 {
                 continue;
             }
@@ -199,8 +214,7 @@ impl Nic {
                         // measures network transit, not the bank's
                         // service backlog behind a full outbox.
                         let p = arena.get_mut(pid);
-                        if let (Some(tag), true) = (p.wb_tag.take(), p.kind.is_bank_request())
-                        {
+                        if let (Some(tag), true) = (p.wb_tag.take(), p.kind.is_bank_request()) {
                             let mut ack =
                                 Packet::new(PacketKind::TagAck, self.coord, tag.parent, 0, 0);
                             ack.wb_tag = Some(tag);
@@ -289,12 +303,22 @@ mod tests {
         let mut nic = Nic::new(coord(), 6, 16, 8, 4);
         let mut router = Router::new(coord(), 6, 5, vec![]);
         let mut arena = Arena::new();
-        let p = Packet::new(PacketKind::Writeback, coord(), Coord::new(3, 3, Layer::Cache), 0, 0);
+        let p = Packet::new(
+            PacketKind::Writeback,
+            coord(),
+            Coord::new(3, 3, Layer::Cache),
+            0,
+            0,
+        );
         let id = arena.insert(p);
         nic.enqueue(id, TrafficClass::Request);
         for cycle in 0..8 {
             nic.inject_step(&mut router, &mut arena, cycle, 2);
-            assert_eq!(router.buffered_flits(), cycle as usize + 1, "one flit per cycle");
+            assert_eq!(
+                router.buffered_flits(),
+                cycle as usize + 1,
+                "one flit per cycle"
+            );
         }
         nic.inject_step(&mut router, &mut arena, 8, 2);
         assert_eq!(router.buffered_flits(), 9, "writeback is 9 flits");
@@ -306,7 +330,13 @@ mod tests {
     #[test]
     fn injection_respects_credits() {
         let (mut nic, mut router, mut arena) = mk();
-        let p = Packet::new(PacketKind::Writeback, coord(), Coord::new(3, 3, Layer::Cache), 0, 0);
+        let p = Packet::new(
+            PacketKind::Writeback,
+            coord(),
+            Coord::new(3, 3, Layer::Cache),
+            0,
+            0,
+        );
         let id = arena.insert(p);
         nic.enqueue(id, TrafficClass::Request);
         // Only 5 credits per VC: the 6th flit stalls until a credit
@@ -332,8 +362,9 @@ mod tests {
         nic.inject_step(&mut router, &mut arena, 1, 2);
         // Request lands in VC 0..2, response in VC 4..6.
         assert_eq!(router.input_vc(Direction::Local.port(), 0).len(), 1);
-        let rsp_vcs: usize =
-            (4..6).map(|v| router.input_vc(Direction::Local.port(), v).len()).sum();
+        let rsp_vcs: usize = (4..6)
+            .map(|v| router.input_vc(Direction::Local.port(), v).len())
+            .sum();
         assert_eq!(rsp_vcs, 1);
     }
 
@@ -376,8 +407,11 @@ mod tests {
         let (mut nic, mut router, mut arena) = mk();
         let id = request(&mut arena);
         let parent = Coord::new(3, 3, Layer::Cache);
-        arena.get_mut(id).wb_tag =
-            Some(WbTag { stamp: 42, parent, child: BankId::new(9) });
+        arena.get_mut(id).wb_tag = Some(WbTag {
+            stamp: 42,
+            parent,
+            child: BankId::new(9),
+        });
         for flit in Flit::sequence(id, 1) {
             nic.accept_eject(0, flit);
         }
@@ -394,8 +428,18 @@ mod tests {
     fn tagack_is_consumed_internally() {
         let (mut nic, _router, mut arena) = mk();
         let parent = coord();
-        let mut ack = Packet::new(PacketKind::TagAck, Coord::new(3, 3, Layer::Cache), parent, 0, 0);
-        ack.wb_tag = Some(WbTag { stamp: 7, parent, child: BankId::new(9) });
+        let mut ack = Packet::new(
+            PacketKind::TagAck,
+            Coord::new(3, 3, Layer::Cache),
+            parent,
+            0,
+            0,
+        );
+        ack.wb_tag = Some(WbTag {
+            stamp: 7,
+            parent,
+            child: BankId::new(9),
+        });
         let id = arena.insert(ack);
         for flit in Flit::sequence(id, 1) {
             nic.accept_eject(5, flit);

@@ -94,10 +94,9 @@ impl PacketKind {
             | PacketKind::MemFetch
             | PacketKind::MemWriteback => TrafficClass::Request,
             PacketKind::Inv | PacketKind::Fwd => TrafficClass::Coherence,
-            PacketKind::DataReply
-            | PacketKind::Ack
-            | PacketKind::MemFill
-            | PacketKind::TagAck => TrafficClass::Response,
+            PacketKind::DataReply | PacketKind::Ack | PacketKind::MemFill | PacketKind::TagAck => {
+                TrafficClass::Response
+            }
         }
     }
 
@@ -126,7 +125,10 @@ impl PacketKind {
     /// packets subject to region-TSB path restriction and parent-router
     /// re-ordering.
     pub fn is_bank_request(self) -> bool {
-        matches!(self, PacketKind::BankRead | PacketKind::BankWrite | PacketKind::Writeback)
+        matches!(
+            self,
+            PacketKind::BankRead | PacketKind::BankWrite | PacketKind::Writeback
+        )
     }
 
     /// `true` for the requests that occupy an STT-RAM bank for the long

@@ -70,19 +70,30 @@ impl ParentMap {
                 // unique TSB->dest X-Y route (the TSB node itself when
                 // dist == hops).
                 let idx = dist - hops; // index into [tsb, path...]
-                let parent = if idx == 0 { tsb } else { path[idx as usize - 1] };
+                let parent = if idx == 0 {
+                    tsb
+                } else {
+                    path[idx as usize - 1]
+                };
                 (parent, hops)
             } else {
                 // Too close to the TSB: managed from the core layer
                 // router above the TSB (one vertical hop + the X-Y
                 // remainder).
-                (Coord { layer: Layer::Core, ..tsb }, dist + 1)
+                (
+                    Coord {
+                        layer: Layer::Core,
+                        ..tsb
+                    },
+                    dist + 1,
+                )
             };
 
             let first_hop = if parent.layer == Layer::Core {
                 Direction::Down
             } else {
-                mesh.xy_step(parent, dest).expect("parent differs from child")
+                mesh.xy_step(parent, dest)
+                    .expect("parent differs from child")
             };
 
             let info = ChildInfo {
@@ -95,7 +106,10 @@ impl ParentMap {
             children_of.entry(parent).or_default().push(info);
         }
 
-        Self { parent_of, children_of }
+        Self {
+            parent_of,
+            children_of,
+        }
     }
 
     /// The parent router coordinate for a bank.
@@ -161,7 +175,11 @@ mod tests {
         let (mesh, map) = setup(2);
         let parent = cache(mesh, 26); // chip node 90
         for chip in [74u16, 81, 88] {
-            assert_eq!(map.parent_of(BankId::new(chip - 64)), parent, "chip node {chip}");
+            assert_eq!(
+                map.parent_of(BankId::new(chip - 64)),
+                parent,
+                "chip node {chip}"
+            );
         }
     }
 
@@ -172,7 +190,11 @@ mod tests {
         let (mesh, map) = setup(2);
         let core_parent = mesh.coord(NodeId::new(27), Layer::Core);
         for cache_node in [19u16, 26, 27] {
-            assert_eq!(map.parent_of(BankId::new(cache_node)), core_parent, "cache {cache_node}");
+            assert_eq!(
+                map.parent_of(BankId::new(cache_node)),
+                core_parent,
+                "cache {cache_node}"
+            );
         }
         let kids = map.children_of(core_parent).unwrap();
         assert_eq!(kids.len(), 3);
@@ -181,7 +203,10 @@ mod tests {
     #[test]
     fn every_bank_has_exactly_one_parent() {
         let (mesh, map) = setup(2);
-        let total: usize = map.parents().map(|p| map.children_of(p).unwrap().len()).sum();
+        let total: usize = map
+            .parents()
+            .map(|p| map.children_of(p).unwrap().len())
+            .sum();
         assert_eq!(total, mesh.nodes_per_layer());
     }
 
@@ -199,16 +224,27 @@ mod tests {
     fn first_hop_directions_follow_xy() {
         let (mesh, map) = setup(2);
         let parent = cache(mesh, 27); // (3,3)
-        // chip 89 = cache 25 = (1,3): pure -x => West.
-        assert_eq!(map.child_info(parent, BankId::new(25)).unwrap().first_hop, Direction::West);
+                                      // chip 89 = cache 25 = (1,3): pure -x => West.
+        assert_eq!(
+            map.child_info(parent, BankId::new(25)).unwrap().first_hop,
+            Direction::West
+        );
         // chip 75 = cache 11 = (3,1): pure -y => South.
-        assert_eq!(map.child_info(parent, BankId::new(11)).unwrap().first_hop, Direction::South);
+        assert_eq!(
+            map.child_info(parent, BankId::new(11)).unwrap().first_hop,
+            Direction::South
+        );
         // chip 82 = cache 18 = (2,2): X first => West.
-        assert_eq!(map.child_info(parent, BankId::new(18)).unwrap().first_hop, Direction::West);
+        assert_eq!(
+            map.child_info(parent, BankId::new(18)).unwrap().first_hop,
+            Direction::West
+        );
         // Core-layer parents descend first.
         let core_parent = mesh.coord(NodeId::new(27), Layer::Core);
         assert_eq!(
-            map.child_info(core_parent, BankId::new(27)).unwrap().first_hop,
+            map.child_info(core_parent, BankId::new(27))
+                .unwrap()
+                .first_hop,
             Direction::Down
         );
     }
@@ -218,9 +254,20 @@ mod tests {
         // Figure 13: larger H means each parent sees more banks.
         let (_, map1) = setup(1);
         let (_, map3) = setup(3);
-        let max1 = map1.parents().map(|p| map1.children_of(p).unwrap().len()).max().unwrap();
-        let max3 = map3.parents().map(|p| map3.children_of(p).unwrap().len()).max().unwrap();
-        assert!(max3 > max1, "H=3 max children {max3} should exceed H=1 {max1}");
+        let max1 = map1
+            .parents()
+            .map(|p| map1.children_of(p).unwrap().len())
+            .max()
+            .unwrap();
+        let max3 = map3
+            .parents()
+            .map(|p| map3.children_of(p).unwrap().len())
+            .max()
+            .unwrap();
+        assert!(
+            max3 > max1,
+            "H=3 max children {max3} should exceed H=1 {max1}"
+        );
     }
 
     #[test]

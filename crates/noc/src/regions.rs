@@ -59,7 +59,15 @@ impl RegionMap {
             tsb_of.push(Self::tsb_position(mesh, tile_w, tile_h, tx, ty, placement));
         }
 
-        Self { mesh, regions, placement, region_of, tsb_of, tile_w, tile_h }
+        Self {
+            mesh,
+            regions,
+            placement,
+            region_of,
+            tsb_of,
+            tile_w,
+            tile_h,
+        }
     }
 
     /// The `(columns, rows)` arrangement of tiles for a region count.
@@ -90,8 +98,16 @@ impl RegionMap {
         // centre (between columns w/2-1 and w/2).
         let cx2 = mesh.width() as i32 - 1; // 2*centre_x
         let cy2 = mesh.height() as i32 - 1;
-        let inner_x = if (2 * x0 as i32 - cx2).abs() <= (2 * x1 as i32 - cx2).abs() { x0 } else { x1 };
-        let inner_y = if (2 * y0 as i32 - cy2).abs() <= (2 * y1 as i32 - cy2).abs() { y0 } else { y1 };
+        let inner_x = if (2 * x0 as i32 - cx2).abs() <= (2 * x1 as i32 - cx2).abs() {
+            x0
+        } else {
+            x1
+        };
+        let inner_y = if (2 * y0 as i32 - cy2).abs() <= (2 * y1 as i32 - cy2).abs() {
+            y0
+        } else {
+            y1
+        };
         let (x, y) = match placement {
             TsbPlacement::Corner => (inner_x, inner_y),
             TsbPlacement::Staggered => {
@@ -212,7 +228,9 @@ mod tests {
     fn corner_tsbs_are_innermost() {
         let m = RegionMap::new(mesh(), 4, TsbPlacement::Corner);
         let expected = [27, 28, 35, 36]; // (3,3), (4,3), (3,4), (4,4)
-        let mut got: Vec<_> = (0..4).map(|r| m.tsb_node(RegionId::new(r)).index()).collect();
+        let mut got: Vec<_> = (0..4)
+            .map(|r| m.tsb_node(RegionId::new(r)).index())
+            .collect();
         got.sort_unstable();
         assert_eq!(got, expected);
     }
@@ -229,7 +247,11 @@ mod tests {
                 .collect();
             cols.sort_unstable();
             cols.dedup();
-            assert_eq!(cols.len(), regions, "{regions} regions share TSB columns: {cols:?}");
+            assert_eq!(
+                cols.len(),
+                regions,
+                "{regions} regions share TSB columns: {cols:?}"
+            );
         }
     }
 

@@ -98,7 +98,10 @@ struct OutputPort {
 
 impl OutputPort {
     fn new(vcs: usize, depth: usize) -> Self {
-        Self { credits: vec![depth as u8; vcs], owner: vec![None; vcs] }
+        Self {
+            credits: vec![depth as u8; vcs],
+            owner: vec![None; vcs],
+        }
     }
 }
 
@@ -394,7 +397,9 @@ impl Router {
         if route.dir != out_dir {
             return false;
         }
-        let Some(front) = q.flits.front() else { return false };
+        let Some(front) = q.flits.front() else {
+            return false;
+        };
         front.ready_at <= now && self.outputs[out_dir.port()].credits[route.vc] > 0
     }
 
@@ -445,7 +450,9 @@ impl Router {
                     }
                 }
             }
-            let Some(winner) = winner.or(fallback) else { continue };
+            let Some(winner) = winner.or(fallback) else {
+                continue;
+            };
             self.sa_rr[op] = winner;
             let (port, vc) = (winner / self.vcs, winner % self.vcs);
             input_port_used[port] = true;
@@ -461,7 +468,9 @@ impl Router {
     /// destination bank is busy); 0 — writes to predicted-busy banks.
     fn sa_priority(&self, port: usize, vc: usize, view: &dyn NetView, now: Cycle) -> u8 {
         let q = &self.inputs[port][vc];
-        let Some(front) = q.flits.front() else { return 2 };
+        let Some(front) = q.flits.front() else {
+            return 2;
+        };
         let packet = view.packet(front.packet);
         if let Some(bank) = view.dest_bank(packet) {
             if let Some(arrival) = self.arrival_estimate(bank) {
@@ -479,18 +488,27 @@ impl Router {
         let route = self.inputs[port][vc].route.expect("granted VC has a route");
         // A wide (256b) region TSB carries up to `1 + tsb_extra` flits
         // of the same packet per cycle (XShare-style combining).
-        let burst = if route.dir == Direction::Down && p.wide_down { 1 + p.tsb_extra } else { 1 };
+        let burst = if route.dir == Direction::Down && p.wide_down {
+            1 + p.tsb_extra
+        } else {
+            1
+        };
         let mut flits = Vec::with_capacity(burst);
         let mut tail_sent = false;
         for _ in 0..burst {
             if tail_sent || self.outputs[route.dir.port()].credits[route.vc] == 0 {
                 break;
             }
-            let Some(front) = self.inputs[port][vc].flits.front() else { break };
+            let Some(front) = self.inputs[port][vc].flits.front() else {
+                break;
+            };
             if front.ready_at > p.now {
                 break;
             }
-            let flit = self.inputs[port][vc].flits.pop_front().expect("front checked");
+            let flit = self.inputs[port][vc]
+                .flits
+                .pop_front()
+                .expect("front checked");
             self.buffered -= 1;
             self.outputs[route.dir.port()].credits[route.vc] -= 1;
             self.stats.switch_traversals += 1;
@@ -509,7 +527,13 @@ impl Router {
                 self.va_mask |= 1 << flat;
             }
         }
-        SwitchMove { in_port: port, in_vc: vc, out_dir: route.dir, out_vc: route.vc, flits }
+        SwitchMove {
+            in_port: port,
+            in_vc: vc,
+            out_dir: route.dir,
+            out_vc: route.vc,
+            flits,
+        }
     }
 
     /// Called by the network when this (parent) router forwards the
@@ -530,9 +554,12 @@ impl Router {
         // The busy horizon uses the uncontended arrival: congestion
         // estimates time the *release* of held packets but should not
         // inflate the bank's predicted service chain.
-        let Some(idx) = self.children.iter().position(|c| c.bank == bank) else { return };
+        let Some(idx) = self.children.iter().position(|c| c.bank == bank) else {
+            return;
+        };
         let base = self.children[idx].base_latency;
-        self.busy.on_forward(bank, now, base + extra_serialization, service);
+        self.busy
+            .on_forward(bank, now, base + extra_serialization, service);
         self.stats.forwarded_to_children += 1;
         if is_write {
             self.stats.writes_to_children += 1;
@@ -592,7 +619,11 @@ mod tests {
                 routes.push(dir);
                 banks.push(bank);
             }
-            Self { packets, routes, banks }
+            Self {
+                packets,
+                routes,
+                banks,
+            }
         }
     }
 
@@ -609,10 +640,19 @@ mod tests {
     }
 
     fn params(now: Cycle, policy: ArbitrationPolicy) -> StepParams {
-        StepParams { now, policy, max_hold: 100, hold_slack: 0, wide_down: false, tsb_extra: 0 }
+        StepParams {
+            now,
+            policy,
+            max_hold: 100,
+            hold_slack: 0,
+            wide_down: false,
+            tsb_extra: 0,
+        }
     }
 
-    const AWARE: ArbitrationPolicy = ArbitrationPolicy::BankAware { estimator: Estimator::Simple };
+    const AWARE: ArbitrationPolicy = ArbitrationPolicy::BankAware {
+        estimator: Estimator::Simple,
+    };
 
     fn mk_router(children: Vec<ChildInfo>) -> Router {
         Router::new(Coord::new(3, 3, Layer::Cache), 6, 5, children)
@@ -631,7 +671,13 @@ mod tests {
         r.accept(
             port,
             vc,
-            Flit { packet: PacketId::new(pid as u16), seq: 0, head: true, tail: true, ready_at: 0 },
+            Flit {
+                packet: PacketId::new(pid as u16),
+                seq: 0,
+                head: true,
+                tail: true,
+                ready_at: 0,
+            },
         );
     }
 
@@ -659,10 +705,19 @@ mod tests {
         r.accept(
             0,
             0,
-            Flit { packet: PacketId::new(0), seq: 0, head: true, tail: true, ready_at: 12 },
+            Flit {
+                packet: PacketId::new(0),
+                seq: 0,
+                head: true,
+                tail: true,
+                ready_at: 12,
+            },
         );
         r.step_va(&view, params(10, ArbitrationPolicy::RoundRobin));
-        assert!(r.input_vc(0, 0).route().is_none(), "not ready until cycle 12");
+        assert!(
+            r.input_vc(0, 0).route().is_none(),
+            "not ready until cycle 12"
+        );
         r.step_va(&view, params(12, ArbitrationPolicy::RoundRobin));
         assert!(r.input_vc(0, 0).route().is_some());
     }
@@ -729,7 +784,10 @@ mod tests {
         r.busy.on_forward(BankId::new(11), 0, 9, 33);
         put_single(&mut r, 0, 0, 0);
         r.step_va(&view, params(5, ArbitrationPolicy::RoundRobin));
-        assert!(r.input_vc(0, 0).route().is_some(), "RR is STT-RAM oblivious");
+        assert!(
+            r.input_vc(0, 0).route().is_some(),
+            "RR is STT-RAM oblivious"
+        );
         assert_eq!(r.stats.held_packets, 0);
     }
 
@@ -759,7 +817,11 @@ mod tests {
         // bank-aware arbitration even though port 0 is first in RR
         // order.
         let view = TestView::new(vec![
-            (PacketKind::BankRead, Direction::South, Some(BankId::new(11))),
+            (
+                PacketKind::BankRead,
+                Direction::South,
+                Some(BankId::new(11)),
+            ),
             (PacketKind::DataReply, Direction::South, None),
         ]);
         let mut r = mk_router(parent_children());
@@ -786,7 +848,10 @@ mod tests {
         r.step_va(&view, params(5, AWARE));
         assert!(r.input_vc(0, 0).route().is_none());
         r.step_va(&view, params(106, AWARE));
-        assert!(r.input_vc(0, 0).route().is_some(), "hold is capped at max_hold");
+        assert!(
+            r.input_vc(0, 0).route().is_some(),
+            "hold is capped at max_hold"
+        );
     }
 
     #[test]
@@ -881,8 +946,16 @@ mod tests {
         // Three-level SA priority: among requests to a busy child, a
         // read (rank 1) wins over a write (rank 0).
         let view = TestView::new(vec![
-            (PacketKind::Writeback, Direction::South, Some(BankId::new(11))),
-            (PacketKind::BankRead, Direction::South, Some(BankId::new(11))),
+            (
+                PacketKind::Writeback,
+                Direction::South,
+                Some(BankId::new(11)),
+            ),
+            (
+                PacketKind::BankRead,
+                Direction::South,
+                Some(BankId::new(11)),
+            ),
         ]);
         let mut r = mk_router(parent_children());
         put_single(&mut r, 0, 0, 0); // write, first in RR order
@@ -914,7 +987,11 @@ mod tests {
     #[test]
     fn hold_releases_when_a_foreign_packet_stacks_behind() {
         let view = TestView::new(vec![
-            (PacketKind::BankRead, Direction::South, Some(BankId::new(11))),
+            (
+                PacketKind::BankRead,
+                Direction::South,
+                Some(BankId::new(11)),
+            ),
             (PacketKind::BankRead, Direction::North, None), // foreign
         ]);
         let mut r = mk_router(parent_children());
@@ -925,14 +1002,25 @@ mod tests {
         // A foreign-destination packet lands behind it in the same VC.
         put_single(&mut r, 0, 0, 1);
         r.step_va(&view, params(6, AWARE));
-        assert!(r.input_vc(0, 0).route().is_some(), "hold released for the bystander");
+        assert!(
+            r.input_vc(0, 0).route().is_some(),
+            "hold released for the bystander"
+        );
     }
 
     #[test]
     fn hold_persists_when_a_same_bank_packet_stacks_behind() {
         let view = TestView::new(vec![
-            (PacketKind::BankRead, Direction::South, Some(BankId::new(11))),
-            (PacketKind::BankRead, Direction::South, Some(BankId::new(11))),
+            (
+                PacketKind::BankRead,
+                Direction::South,
+                Some(BankId::new(11)),
+            ),
+            (
+                PacketKind::BankRead,
+                Direction::South,
+                Some(BankId::new(11)),
+            ),
         ]);
         let mut r = mk_router(parent_children());
         r.busy.on_forward(BankId::new(11), 0, 9, 1000);

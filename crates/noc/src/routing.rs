@@ -31,7 +31,11 @@ pub struct RoutingTable {
 impl RoutingTable {
     /// Creates the routing function.
     pub fn new(mesh: Mesh, mode: RequestPathMode, regions: RegionMap) -> Self {
-        Self { mesh, mode, regions }
+        Self {
+            mesh,
+            mode,
+            regions,
+        }
     }
 
     /// The region map this table routes over.
@@ -59,7 +63,9 @@ impl RoutingTable {
 
         if restricted && at.layer == Layer::Core {
             // X-Y towards the region TSB in the core layer, then down.
-            let tsb = self.mesh.coord(self.regions.tsb_for(self.mesh.node(dst)), Layer::Core);
+            let tsb = self
+                .mesh
+                .coord(self.regions.tsb_for(self.mesh.node(dst)), Layer::Core);
             return match self.mesh.xy_step(at, tsb) {
                 Some(dir) => dir,
                 None => Direction::Down,
@@ -69,7 +75,11 @@ impl RoutingTable {
         if at.layer != dst.layer {
             // Z first (the packet is at its source column, or at the
             // TSB column for restricted requests).
-            return if at.layer == Layer::Core { Direction::Down } else { Direction::Up };
+            return if at.layer == Layer::Core {
+                Direction::Down
+            } else {
+                Direction::Up
+            };
         }
 
         self.mesh.xy_step(at, dst).unwrap_or(Direction::Local)
@@ -84,7 +94,12 @@ impl RoutingTable {
         let limit = 4 * (self.mesh.width() as usize + self.mesh.height() as usize);
         while at != packet.dst {
             let dir = self.next_hop(at, packet);
-            assert_ne!(dir, Direction::Local, "stuck at {at} routing to {}", packet.dst);
+            assert_ne!(
+                dir,
+                Direction::Local,
+                "stuck at {at} routing to {}",
+                packet.dst
+            );
             at = self.mesh.neighbour(at, dir).expect("route stays on chip");
             route.push(at);
             assert!(route.len() <= limit, "route too long: {route:?}");
@@ -154,10 +169,18 @@ mod tests {
             let dst = mesh().coord(NodeId::new(bank_chip - 64), Layer::Cache);
             let p = pkt(PacketKind::Writeback, src, dst);
             let route = t.trace(&p);
-            assert!(route.contains(&tsb_core), "core {core} misses TSB core node");
-            assert!(route.contains(&tsb_cache), "core {core} misses TSB cache node");
+            assert!(
+                route.contains(&tsb_core),
+                "core {core} misses TSB core node"
+            );
+            assert!(
+                route.contains(&tsb_cache),
+                "core {core} misses TSB cache node"
+            );
             let down_idx = route.iter().position(|&c| c == tsb_cache).unwrap();
-            assert!(route[..down_idx].iter().all(|c| c.layer == Layer::Core || *c == tsb_cache));
+            assert!(route[..down_idx]
+                .iter()
+                .all(|c| c.layer == Layer::Core || *c == tsb_cache));
             assert_eq!(*route.last().unwrap(), dst);
         }
     }

@@ -26,14 +26,20 @@ impl BurstParams {
             // Calibrated so the "delayable" fraction (arrivals within
             // the 33-cycle write window) lands near the paper's 27%
             // ceiling for the most bursty applications.
-            Burstiness::High => {
-                BurstParams { on_mean: 150, off_mean: 450, gain_on: 2.2, hot_banks: 6 }
-            }
+            Burstiness::High => BurstParams {
+                on_mean: 150,
+                off_mean: 450,
+                gain_on: 2.2,
+                hot_banks: 6,
+            },
             // 25% duty cycle at 1.15x: g_off = 0.95. Weak clustering:
             // low-bursty applications sit near the paper's ~4-18%.
-            Burstiness::Low => {
-                BurstParams { on_mean: 150, off_mean: 450, gain_on: 1.15, hot_banks: 16 }
-            }
+            Burstiness::Low => BurstParams {
+                on_mean: 150,
+                off_mean: 450,
+                gain_on: 1.15,
+                hot_banks: 16,
+            },
         }
     }
 
@@ -106,7 +112,11 @@ impl BurstModulator {
 
     fn enter_phase(&mut self, on: bool, rng: &mut SimRng) {
         self.on = on;
-        let mean = if on { self.params.on_mean } else { self.params.off_mean };
+        let mean = if on {
+            self.params.on_mean
+        } else {
+            self.params.off_mean
+        };
         self.remaining = mean / 2 + rng.below(mean as usize) as u32 + 1;
         if on {
             self.private_hot = (0..self.params.hot_banks)
@@ -175,7 +185,9 @@ mod tests {
 
     #[test]
     fn high_burst_gain_exceeds_low() {
-        assert!(BurstParams::of(Burstiness::High).gain_on > BurstParams::of(Burstiness::Low).gain_on);
+        assert!(
+            BurstParams::of(Burstiness::High).gain_on > BurstParams::of(Burstiness::Low).gain_on
+        );
     }
 
     #[test]
@@ -206,7 +218,11 @@ mod tests {
         for _ in 0..400 {
             banks.insert(m.pick_bank(&mut rng));
         }
-        assert!(banks.len() > 30, "OFF phase is near-uniform: {}", banks.len());
+        assert!(
+            banks.len() > 30,
+            "OFF phase is near-uniform: {}",
+            banks.len()
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ use snoc_cpu::{Instr, InstructionStream};
 
 /// A stable per-application tag (shared bank-popularity seed).
 fn app_tag(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 const MARKER_BIT: u64 = 1 << 63;
@@ -86,9 +88,18 @@ impl ProfileStream {
         seed: u64,
     ) -> Self {
         let mut rng = SimRng::for_stream(seed, 0x1000 + core.index() as u64);
-        let shared = if profile.is_multithreaded() { 0.25 } else { 0.12 };
-        let burst =
-            BurstModulator::new(profile.bursty, banks, &mut rng, app_tag(profile.name), shared);
+        let shared = if profile.is_multithreaded() {
+            0.25
+        } else {
+            0.12
+        };
+        let burst = BurstModulator::new(
+            profile.bursty,
+            banks,
+            &mut rng,
+            app_tag(profile.name),
+            shared,
+        );
         Self {
             profile: *profile,
             rng,
@@ -121,17 +132,27 @@ impl InstructionStream for ProfileStream {
                 miss: self.rng.chance(self.p_miss),
                 bank: self.burst.pick_bank(&mut self.rng),
             };
-            Instr::Load { addr: encode(access, self.seq) }
+            Instr::Load {
+                addr: encode(access, self.seq),
+            }
         } else if u < p_read + p_write {
             let access = ProfileAccess {
                 l2: true,
                 miss: self.rng.chance(self.p_miss),
                 bank: self.burst.pick_bank(&mut self.rng),
             };
-            Instr::Store { addr: encode(access, self.seq) }
+            Instr::Store {
+                addr: encode(access, self.seq),
+            }
         } else if u < p_read + p_write + p_l1_hit {
-            let access = ProfileAccess { l2: false, miss: false, bank: 0 };
-            Instr::Load { addr: encode(access, self.seq) }
+            let access = ProfileAccess {
+                l2: false,
+                miss: false,
+                bank: 0,
+            };
+            Instr::Load {
+                addr: encode(access, self.seq),
+            }
         } else {
             Instr::NonMem
         }
@@ -166,14 +187,27 @@ impl FullStackStream {
     /// Creates the stream for one core.
     pub fn new(profile: &BenchmarkProfile, core: CoreId, banks: usize, seed: u64) -> Self {
         let mut rng = SimRng::for_stream(seed, 0x2000 + core.index() as u64);
-        let shared = if profile.is_multithreaded() { 0.25 } else { 0.12 };
-        let burst =
-            BurstModulator::new(profile.bursty, banks, &mut rng, app_tag(profile.name), shared);
+        let shared = if profile.is_multithreaded() {
+            0.25
+        } else {
+            0.12
+        };
+        let burst = BurstModulator::new(
+            profile.bursty,
+            banks,
+            &mut rng,
+            app_tag(profile.name),
+            shared,
+        );
         // Calibration heuristics (see DESIGN.md): the probability an
         // access leaves the L1 tracks l1mpki; among those, the cold
         // share tracks the L2 miss ratio.
         let p_l1_miss = (profile.l1_mpki / 1000.0 / MEM_FRACTION).min(0.9);
-        let p_shared = if profile.is_multithreaded() { 0.10 * p_l1_miss } else { 0.0 };
+        let p_shared = if profile.is_multithreaded() {
+            0.10 * p_l1_miss
+        } else {
+            0.0
+        };
         let p_cold = profile.l2_miss_ratio() * (p_l1_miss - p_shared);
         let p_warm = (p_l1_miss - p_shared - p_cold).max(0.0);
         let p_hot = (1.0 - p_l1_miss).max(0.0);
@@ -205,7 +239,9 @@ impl FullStackStream {
         let total = self.p_hot + self.p_warm + self.p_cold + self.p_shared;
         let u = u / MEM_FRACTION * total;
         if u < self.p_hot {
-            self.private_base() | (1 << 32) | ((self.rng.below(self.hot_blocks as usize) as u64) << 7)
+            self.private_base()
+                | (1 << 32)
+                | ((self.rng.below(self.hot_blocks as usize) as u64) << 7)
         } else if u < self.p_hot + self.p_warm {
             self.private_base()
                 | (2 << 32)
@@ -243,14 +279,30 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         for access in [
-            ProfileAccess { l2: true, miss: false, bank: 63 },
-            ProfileAccess { l2: true, miss: true, bank: 0 },
-            ProfileAccess { l2: false, miss: false, bank: 0 },
+            ProfileAccess {
+                l2: true,
+                miss: false,
+                bank: 63,
+            },
+            ProfileAccess {
+                l2: true,
+                miss: true,
+                bank: 0,
+            },
+            ProfileAccess {
+                l2: false,
+                miss: false,
+                bank: 0,
+            },
         ] {
             let addr = encode(access, 12345);
             assert_eq!(decode(addr), Some(access));
         }
-        assert_eq!(decode(0x1000), None, "ordinary addresses are not profile-coded");
+        assert_eq!(
+            decode(0x1000),
+            None,
+            "ordinary addresses are not profile-coded"
+        );
     }
 
     #[test]
@@ -272,8 +324,22 @@ mod tests {
 
     #[test]
     fn encoded_sequence_varies_block_bits() {
-        let a = encode(ProfileAccess { l2: true, miss: false, bank: 1 }, 1);
-        let b = encode(ProfileAccess { l2: true, miss: false, bank: 1 }, 2);
+        let a = encode(
+            ProfileAccess {
+                l2: true,
+                miss: false,
+                bank: 1,
+            },
+            1,
+        );
+        let b = encode(
+            ProfileAccess {
+                l2: true,
+                miss: false,
+                bank: 1,
+            },
+            2,
+        );
         assert_ne!(a, b);
         assert_eq!(decode(a), decode(b));
     }
@@ -301,8 +367,16 @@ mod tests {
         }
         let rpki = reads as f64 * 1000.0 / n as f64;
         let wpki = writes as f64 * 1000.0 / n as f64;
-        assert!((rpki - p.l2_rpki).abs() / p.l2_rpki < 0.15, "rpki {rpki} vs {}", p.l2_rpki);
-        assert!((wpki - p.l2_wpki).abs() / p.l2_wpki < 0.15, "wpki {wpki} vs {}", p.l2_wpki);
+        assert!(
+            (rpki - p.l2_rpki).abs() / p.l2_rpki < 0.15,
+            "rpki {rpki} vs {}",
+            p.l2_rpki
+        );
+        assert!(
+            (wpki - p.l2_wpki).abs() / p.l2_wpki < 0.15,
+            "wpki {wpki} vs {}",
+            p.l2_wpki
+        );
     }
 
     #[test]
@@ -338,7 +412,9 @@ mod tests {
             assert_eq!(a.next_instr(), b.next_instr());
         }
         let mut c = ProfileStream::new(p, CoreId::new(6), 64, 4, 7);
-        let same = (0..1000).filter(|_| a.next_instr() == c.next_instr()).count();
+        let same = (0..1000)
+            .filter(|_| a.next_instr() == c.next_instr())
+            .count();
         assert!(same < 1000, "different cores get different streams");
     }
 
@@ -396,6 +472,10 @@ mod tests {
                 }
             }
         }
-        assert!(cold_addrs.len() > 500, "cold region must stream: {}", cold_addrs.len());
+        assert!(
+            cold_addrs.len() > 500,
+            "cold region must stream: {}",
+            cold_addrs.len()
+        );
     }
 }

@@ -19,7 +19,10 @@ impl Workload {
     /// speedup metric).
     pub fn homogeneous(name: &str, cores: usize) -> Option<Workload> {
         let p = table3::by_name(name)?;
-        Some(Workload { name: name.to_string(), apps: vec![p; cores] })
+        Some(Workload {
+            name: name.to_string(),
+            apps: vec![p; cores],
+        })
     }
 
     /// One copy of `name` on core 0 with every other core idle — the
@@ -28,7 +31,10 @@ impl Workload {
         let p = table3::by_name(name)?;
         let mut apps: Vec<&'static BenchmarkProfile> = vec![&crate::profile::IDLE; cores];
         apps[0] = p;
-        Some(Workload { name: format!("{name}-solo"), apps })
+        Some(Workload {
+            name: format!("{name}-solo"),
+            apps,
+        })
     }
 
     /// Interleaves `names` across `cores` cores: core `i` runs
@@ -90,11 +96,21 @@ pub fn case2(cores: usize) -> Workload {
 pub fn case3(cores: usize, seed: u64) -> Vec<Workload> {
     let mut rng = SimRng::for_stream(seed, 0xCA5E3);
     let spec: Vec<&BenchmarkProfile> = table3::suite(Suite::Spec).collect();
-    let read_heavy: Vec<_> = spec.iter().filter(|p| !p.is_write_intensive()).copied().collect();
-    let write_heavy: Vec<_> = spec.iter().filter(|p| p.is_write_intensive()).copied().collect();
+    let read_heavy: Vec<_> = spec
+        .iter()
+        .filter(|p| !p.is_write_intensive())
+        .copied()
+        .collect();
+    let write_heavy: Vec<_> = spec
+        .iter()
+        .filter(|p| p.is_write_intensive())
+        .copied()
+        .collect();
 
     let pick = |pool: &[&'static BenchmarkProfile], n: usize, rng: &mut SimRng| {
-        (0..n).map(|_| pool[rng.below(pool.len())]).collect::<Vec<_>>()
+        (0..n)
+            .map(|_| pool[rng.below(pool.len())])
+            .collect::<Vec<_>>()
     };
 
     let mut out = Vec::with_capacity(32);
@@ -147,10 +163,18 @@ mod tests {
         }
         // Read-intensive mixes contain no write-intensive app.
         for m in &mixes[..8] {
-            assert!(m.distinct().iter().all(|p| !p.is_write_intensive()), "{}", m.name);
+            assert!(
+                m.distinct().iter().all(|p| !p.is_write_intensive()),
+                "{}",
+                m.name
+            );
         }
         for m in &mixes[8..16] {
-            assert!(m.distinct().iter().all(|p| p.is_write_intensive()), "{}", m.name);
+            assert!(
+                m.distinct().iter().all(|p| p.is_write_intensive()),
+                "{}",
+                m.name
+            );
         }
     }
 

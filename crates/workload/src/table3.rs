@@ -96,8 +96,8 @@ pub mod figures {
     ];
     /// Apps of the Figure 3 histograms.
     pub const FIG3: &[&str] = &[
-        "ferret", "facesim", "sclust", "x264", "libqntm", "lbm", "sphinx3", "hmmer", "sap",
-        "sjas", "tpcc", "sjbb",
+        "ferret", "facesim", "sclust", "x264", "libqntm", "lbm", "sphinx3", "hmmer", "sap", "sjas",
+        "tpcc", "sjbb",
     ];
     /// Apps of the Figure 7 latency breakdown.
     pub const FIG7: &[&str] = &["sap", "sjbb", "sclust", "lbm", "hmmer"];

@@ -22,8 +22,13 @@ fn main() {
     println!("{}", table2::run());
 
     // From most read-intensive to most write-intensive.
-    let apps = ["libqntm", "xalan", "omnet", "hmmer", "soplex", "sclust", "lbm", "tpcc"];
-    println!("{:8} {:>11} {:>11} {:>9} {:>12}", "app", "read share", "SRAM IT", "STT IT", "STT/SRAM");
+    let apps = [
+        "libqntm", "xalan", "omnet", "hmmer", "soplex", "sclust", "lbm", "tpcc",
+    ];
+    println!(
+        "{:8} {:>11} {:>11} {:>9} {:>12}",
+        "app", "read share", "SRAM IT", "STT IT", "STT/SRAM"
+    );
     for name in apps {
         let p = table3::by_name(name).expect("known app");
         let run = |sc: Scenario| {

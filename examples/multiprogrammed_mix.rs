@@ -20,7 +20,11 @@ fn main() {
     let apps: Vec<&str> = mix.distinct().iter().map(|p| p.name).collect();
     println!("Case-2 mix: {} (16 copies each)\n", apps.join(", "));
 
-    for scenario in [Scenario::Sram64Tsb, Scenario::SttRam64Tsb, Scenario::SttRam4TsbWb] {
+    for scenario in [
+        Scenario::Sram64Tsb,
+        Scenario::SttRam64Tsb,
+        Scenario::SttRam4TsbWb,
+    ] {
         let mut cfg = scenario.config();
         cfg.warmup_cycles = 2_000;
         cfg.measure_cycles = 10_000;
@@ -35,8 +39,10 @@ fn main() {
         }
 
         let m = System::new(cfg, &mix, DriveMode::Profile).run();
-        let shared: Vec<f64> =
-            apps.iter().map(|n| m.ipc_of_cores(&mix.cores_running(n))).collect();
+        let shared: Vec<f64> = apps
+            .iter()
+            .map(|n| m.ipc_of_cores(&mix.cores_running(n)))
+            .collect();
 
         println!("{}:", scenario.name());
         for ((name, s), a) in apps.iter().zip(&shared).zip(&alone) {

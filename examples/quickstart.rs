@@ -19,7 +19,11 @@ fn main() {
     );
 
     // Compare the SRAM baseline against the proposed WB design.
-    for scenario in [Scenario::Sram64Tsb, Scenario::SttRam64Tsb, Scenario::SttRam4TsbWb] {
+    for scenario in [
+        Scenario::Sram64Tsb,
+        Scenario::SttRam64Tsb,
+        Scenario::SttRam4TsbWb,
+    ] {
         let mut cfg = scenario.config();
         cfg.warmup_cycles = 2_000;
         cfg.measure_cycles = 10_000;

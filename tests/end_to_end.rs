@@ -36,14 +36,22 @@ fn stt_ram_swap_hurts_write_heavy_and_helps_read_heavy() {
     // The crossover structure of Figure 6.
     let run = |app: &str, sc: Scenario| {
         let p = table3::by_name(app).unwrap();
-        System::homogeneous(quick(sc), p).run().instruction_throughput()
+        System::homogeneous(quick(sc), p)
+            .run()
+            .instruction_throughput()
     };
     // tpcc: 80% writes -> loses.
     let tpcc_ratio = run("tpcc", Scenario::SttRam64Tsb) / run("tpcc", Scenario::Sram64Tsb);
-    assert!(tpcc_ratio < 0.95, "write-heavy tpcc should lose: {tpcc_ratio}");
+    assert!(
+        tpcc_ratio < 0.95,
+        "write-heavy tpcc should lose: {tpcc_ratio}"
+    );
     // xalan: read-heavy, reusable -> the 4x capacity wins.
     let xalan_ratio = run("xalan", Scenario::SttRam64Tsb) / run("xalan", Scenario::Sram64Tsb);
-    assert!(xalan_ratio > 1.05, "read-heavy xalan should win: {xalan_ratio}");
+    assert!(
+        xalan_ratio > 1.05,
+        "read-heavy xalan should win: {xalan_ratio}"
+    );
 }
 
 #[test]
@@ -52,7 +60,10 @@ fn bank_aware_schemes_hold_packets_and_keep_banks_less_queued() {
     let plain = System::homogeneous(quick(Scenario::SttRam4Tsb), p).run();
     let wb = System::homogeneous(quick(Scenario::SttRam4TsbWb), p).run();
     assert_eq!(plain.held_packets, 0, "round robin never holds");
-    assert!(wb.held_packets > 0, "the WB scheme must delay some requests");
+    assert!(
+        wb.held_packets > 0,
+        "the WB scheme must delay some requests"
+    );
     assert!(
         wb.bank_queue_wait < plain.bank_queue_wait,
         "holding at parents must relieve the bank-side queue: {} vs {}",
@@ -72,7 +83,10 @@ fn case2_mix_prefers_the_proposed_design() {
     };
     let plain = run(Scenario::SttRam64Tsb);
     let wb = run(Scenario::SttRam4TsbWb);
-    assert!(wb > 0.97 * plain, "WB {wb} should be at least competitive with plain {plain}");
+    assert!(
+        wb > 0.97 * plain,
+        "WB {wb} should be at least competitive with plain {plain}"
+    );
 }
 
 #[test]
@@ -109,7 +123,13 @@ fn whole_system_replay_is_deterministic() {
     let w = mixes::case1(64);
     let run = || {
         let m = System::new(quick(Scenario::SttRam4TsbRca), &w, DriveMode::Profile).run();
-        (m.per_core_committed.clone(), m.bank_reads, m.bank_writes, m.held_cycles, m.mem_fetches)
+        (
+            m.per_core_committed.clone(),
+            m.bank_reads,
+            m.bank_writes,
+            m.held_cycles,
+            m.mem_fetches,
+        )
     };
     assert_eq!(run(), run());
 }
@@ -148,7 +168,10 @@ fn sixteen_regions_are_legal_but_usually_slower_than_eight() {
     // sane results here — the full sweep lives in the fig12 bench.
     let p = table3::by_name("sap").unwrap();
     for (regions, placement) in [
-        (8usize, sttram_noc_repro::common::config::TsbPlacement::Staggered),
+        (
+            8usize,
+            sttram_noc_repro::common::config::TsbPlacement::Staggered,
+        ),
         (16, sttram_noc_repro::common::config::TsbPlacement::Corner),
     ] {
         let mut cfg = quick(Scenario::SttRam4TsbWb);

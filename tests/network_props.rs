@@ -1,14 +1,15 @@
-//! Property-based tests of the 3D NoC: conservation (every injected
-//! packet is delivered exactly once), minimality of uncontended
-//! latency, and robustness across the region/placement/scheme design
-//! space.
+//! Randomized property tests of the 3D NoC: conservation (every
+//! injected packet is delivered exactly once), minimality of
+//! uncontended latency, and robustness across the
+//! region/placement/scheme design space. Cases are drawn from the
+//! deterministic [`SimRng`] so every run replays the same inputs.
 
-use proptest::prelude::*;
 use sttram_noc_repro::common::config::{
     ArbitrationPolicy, Estimator, RequestPathMode, SystemConfig, TsbPlacement,
 };
 use sttram_noc_repro::common::geom::{Coord, Layer, Mesh};
-use sttram_noc_repro::noc::{Network, NetworkParams, Packet, PacketKind};
+use sttram_noc_repro::common::rng::SimRng;
+use sttram_noc_repro::noc::{NetworkParams, Packet, PacketKind};
 
 fn params(
     mode: RequestPathMode,
@@ -38,41 +39,41 @@ fn kind_of(i: usize) -> PacketKind {
 fn policy_of(i: usize) -> ArbitrationPolicy {
     match i % 4 {
         0 => ArbitrationPolicy::RoundRobin,
-        1 => ArbitrationPolicy::BankAware { estimator: Estimator::Simple },
-        2 => ArbitrationPolicy::BankAware { estimator: Estimator::Rca },
-        _ => ArbitrationPolicy::BankAware { estimator: Estimator::WindowBased },
+        1 => ArbitrationPolicy::BankAware {
+            estimator: Estimator::Simple,
+        },
+        2 => ArbitrationPolicy::BankAware {
+            estimator: Estimator::Rca,
+        },
+        _ => ArbitrationPolicy::BankAware {
+            estimator: Estimator::WindowBased,
+        },
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// No packet is ever lost or duplicated, whatever the topology
-    /// parameters and traffic pattern.
-    #[test]
-    fn conservation_across_design_space(
-        srcs in prop::collection::vec(0u16..64, 1..60),
-        dsts in prop::collection::vec(0u16..64, 60),
-        regions_sel in 0usize..3,
-        placement_sel in 0usize..2,
-        policy_sel in 0usize..4,
-        hops in 1u32..4,
-    ) {
-        let regions = [4usize, 8, 16][regions_sel];
-        let placement =
-            [TsbPlacement::Corner, TsbPlacement::Staggered][placement_sel];
+/// No packet is ever lost or duplicated, whatever the topology
+/// parameters and traffic pattern.
+#[test]
+fn conservation_across_design_space() {
+    use sttram_noc_repro::noc::Network;
+    let mut rng = SimRng::for_stream(0xA11CE, 1);
+    for case in 0..12usize {
+        let regions = [4usize, 8, 16][rng.below(3)];
+        let placement = [TsbPlacement::Corner, TsbPlacement::Staggered][rng.below(2)];
+        let policy = policy_of(rng.below(4));
+        let hops = 1 + rng.below(3) as u32;
+        let n = 1 + rng.below(59);
         let mut net = Network::new(params(
             RequestPathMode::RegionTsbs,
             regions,
             placement,
-            policy_of(policy_sel),
+            policy,
             hops,
         ));
         let mesh = net.mesh();
-        let n = srcs.len();
-        for (i, &s) in srcs.iter().enumerate() {
-            let src = mesh.coord(s.into(), Layer::Core);
-            let dst = mesh.coord(dsts[i].into(), Layer::Cache);
+        for i in 0..n {
+            let src = mesh.coord((rng.below(64) as u16).into(), Layer::Core);
+            let dst = mesh.coord((rng.below(64) as u16).into(), Layer::Cache);
             net.inject(Packet::new(kind_of(i), src, dst, i as u64, i as u64));
         }
         let mut seen = std::collections::HashSet::new();
@@ -81,22 +82,32 @@ proptest! {
             for node in 0..64u16 {
                 let at = mesh.coord(node.into(), Layer::Cache);
                 for p in net.drain_delivered(at) {
-                    prop_assert_eq!(mesh.node(p.dst), node.into(), "delivered at its destination");
-                    prop_assert!(seen.insert(p.token), "duplicate {}", p.token);
+                    assert_eq!(
+                        mesh.node(p.dst),
+                        node.into(),
+                        "case {case}: delivered at its destination"
+                    );
+                    assert!(seen.insert(p.token), "case {case}: duplicate {}", p.token);
                 }
             }
             if seen.len() == n {
                 break;
             }
         }
-        prop_assert_eq!(seen.len(), n, "all packets delivered");
-        prop_assert_eq!(net.in_flight(), 0);
+        assert_eq!(seen.len(), n, "case {case}: all packets delivered");
+        assert_eq!(net.in_flight(), 0, "case {case}");
     }
+}
 
-    /// A single uncontended packet is delivered no faster than the
-    /// pipeline allows and within a small constant of it.
-    #[test]
-    fn uncontended_latency_is_near_minimal(src in 0u16..64, dst in 0u16..64) {
+/// A single uncontended packet is delivered no faster than the
+/// pipeline allows and within a small constant of it.
+#[test]
+fn uncontended_latency_is_near_minimal() {
+    use sttram_noc_repro::noc::Network;
+    let mut rng = SimRng::for_stream(0xA11CE, 2);
+    for _ in 0..24 {
+        let src_n = rng.below(64) as u16;
+        let dst_n = rng.below(64) as u16;
         let mut net = Network::new(params(
             RequestPathMode::AllTsvs,
             4,
@@ -105,8 +116,8 @@ proptest! {
             2,
         ));
         let mesh = net.mesh();
-        let s = mesh.coord(src.into(), Layer::Core);
-        let d = mesh.coord(dst.into(), Layer::Cache);
+        let s = mesh.coord(src_n.into(), Layer::Core);
+        let d = mesh.coord(dst_n.into(), Layer::Cache);
         net.inject(Packet::new(PacketKind::BankRead, s, d, 0, 0));
         let mut got = None;
         for _ in 0..300 {
@@ -120,15 +131,20 @@ proptest! {
         let hops = s.manhattan(d) as u64 + 1; // +1 for the vertical hop
         let min = hops * 3; // 2-stage router + 1-cycle link per hop
         let lat = p.net_latency();
-        prop_assert!(lat >= min, "{lat} >= {min}");
-        prop_assert!(lat <= min + 16, "{lat} <= {min} + slack");
+        assert!(lat >= min, "{lat} >= {min}");
+        assert!(lat <= min + 16, "{lat} <= {min} + slack");
     }
+}
 
-    /// Z-X-Y routes and region-TSB routes both reach the same
-    /// destination set (the restriction changes paths, not
-    /// reachability).
-    #[test]
-    fn both_path_modes_deliver(core in 0u16..64, bank in 0u16..64) {
+/// Z-X-Y routes and region-TSB routes both reach the same destination
+/// set (the restriction changes paths, not reachability).
+#[test]
+fn both_path_modes_deliver() {
+    use sttram_noc_repro::noc::Network;
+    let mut rng = SimRng::for_stream(0xA11CE, 3);
+    for _ in 0..16 {
+        let core = rng.below(64) as u16;
+        let bank = rng.below(64) as u16;
         for mode in [RequestPathMode::AllTsvs, RequestPathMode::RegionTsbs] {
             let mut net = Network::new(params(
                 mode,
@@ -149,7 +165,7 @@ proptest! {
                     break;
                 }
             }
-            prop_assert!(delivered, "{mode:?} delivers");
+            assert!(delivered, "{mode:?} delivers {core}->{bank}");
         }
     }
 }
@@ -163,11 +179,7 @@ fn routing_trace_is_bounded_for_all_pairs() {
     use sttram_noc_repro::noc::routing::RoutingTable;
     let mesh = Mesh::new(8, 8);
     for mode in [RequestPathMode::AllTsvs, RequestPathMode::RegionTsbs] {
-        let table = RoutingTable::new(
-            mesh,
-            mode,
-            RegionMap::new(mesh, 4, TsbPlacement::Corner),
-        );
+        let table = RoutingTable::new(mesh, mode, RegionMap::new(mesh, 4, TsbPlacement::Corner));
         for core in 0..64u16 {
             for bank in 0..64u16 {
                 let src = mesh.coord(core.into(), Layer::Core);
@@ -201,7 +213,14 @@ fn responses_always_use_local_tsvs() {
             let dst = mesh.coord(core.into(), Layer::Core);
             let p = Packet::new(PacketKind::DataReply, src, dst, 0, 0);
             let route = table.trace(&p);
-            assert_eq!(route[0], Coord { layer: Layer::Core, ..src }, "{bank}->{core}");
+            assert_eq!(
+                route[0],
+                Coord {
+                    layer: Layer::Core,
+                    ..src
+                },
+                "{bank}->{core}"
+            );
         }
     }
 }

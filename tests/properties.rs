@@ -1,10 +1,11 @@
-//! Property-based tests of the core data structures: LRU arrays
+//! Randomized property tests of the core data structures: LRU arrays
 //! against a reference model, MSHR merging, directory invariants,
 //! busy-table monotonicity, VC partitioning, histograms and the
-//! wrap-around timestamp arithmetic.
+//! wrap-around timestamp arithmetic. Cases are drawn from the
+//! deterministic [`SimRng`] so every run replays the same inputs.
 
-use proptest::prelude::*;
 use sttram_noc_repro::common::ids::{BankId, CoreId};
+use sttram_noc_repro::common::rng::SimRng;
 use sttram_noc_repro::common::stats::Histogram;
 use sttram_noc_repro::mem::array::CacheArray;
 use sttram_noc_repro::mem::directory::DirEntry;
@@ -13,19 +14,22 @@ use sttram_noc_repro::noc::busy::BusyTable;
 use sttram_noc_repro::noc::estimator::{stamp_elapsed, stamp_of};
 use sttram_noc_repro::noc::TrafficClass;
 
-proptest! {
-    /// The tag array behaves exactly like a reference true-LRU model.
-    #[test]
-    fn cache_array_matches_reference_lru(ops in prop::collection::vec(0u64..48, 1..300)) {
+/// The tag array behaves exactly like a reference true-LRU model.
+#[test]
+fn cache_array_matches_reference_lru() {
+    let mut rng = SimRng::for_stream(0xD00D, 1);
+    for case in 0..32 {
+        let len = 1 + rng.below(299);
         // 2 sets x 4 ways of 128-byte blocks.
         let mut array = CacheArray::<()>::new(2 * 4 * 128, 4, 128);
         let mut reference: Vec<Vec<u64>> = vec![Vec::new(); 2]; // MRU at the back
-        for op in ops {
+        for _ in 0..len {
+            let op = rng.below(48) as u64;
             let block = op * 128;
             let set = (op % 2) as usize;
             let hit_model = reference[set].contains(&block);
             let hit_real = array.probe(block).is_some();
-            prop_assert_eq!(hit_real, hit_model, "block {}", block);
+            assert_eq!(hit_real, hit_model, "case {case}: block {block}");
             if hit_model {
                 reference[set].retain(|&b| b != block);
                 reference[set].push(block);
@@ -33,55 +37,72 @@ proptest! {
                 let evicted = array.insert(block, ());
                 if reference[set].len() == 4 {
                     let victim = reference[set].remove(0);
-                    prop_assert_eq!(evicted.map(|e| e.addr), Some(victim));
+                    assert_eq!(evicted.map(|e| e.addr), Some(victim));
                 } else {
-                    prop_assert!(evicted.is_none());
+                    assert!(evicted.is_none());
                 }
                 reference[set].push(block);
             }
         }
     }
+}
 
-    /// MSHR merging: each block has at most one outstanding entry, all
-    /// waiters come back, and capacity is respected.
-    #[test]
-    fn mshr_merges_and_bounds(blocks in prop::collection::vec(0u64..12, 1..80)) {
+/// MSHR merging: each block has at most one outstanding entry, all
+/// waiters come back, and capacity is respected.
+#[test]
+fn mshr_merges_and_bounds() {
+    let mut rng = SimRng::for_stream(0xD00D, 2);
+    for _ in 0..32 {
+        let blocks: Vec<u64> = (0..1 + rng.below(79))
+            .map(|_| rng.below(12) as u64)
+            .collect();
         let mut m = MshrFile::new(4);
         let mut outstanding: std::collections::HashMap<u64, usize> = Default::default();
         let mut rejected = 0usize;
         for (i, &b) in blocks.iter().enumerate() {
             let block = b * 128;
-            match m.allocate(block, Waiter { token: i as u64, kind: MissKind::Read }) {
+            match m.allocate(
+                block,
+                Waiter {
+                    token: i as u64,
+                    kind: MissKind::Read,
+                },
+            ) {
                 Allocation::Primary => {
-                    prop_assert!(!outstanding.contains_key(&block));
+                    assert!(!outstanding.contains_key(&block));
                     outstanding.insert(block, 1);
                 }
                 Allocation::Secondary => {
                     *outstanding.get_mut(&block).unwrap() += 1;
                 }
                 Allocation::Full => {
-                    prop_assert!(outstanding.len() == 4 && !outstanding.contains_key(&block));
+                    assert!(outstanding.len() == 4 && !outstanding.contains_key(&block));
                     rejected += 1;
                 }
             }
-            prop_assert!(m.len() <= 4);
+            assert!(m.len() <= 4);
         }
         let mut returned = 0usize;
         for (&block, &count) in &outstanding {
             let (waiters, _) = m.complete(block).expect("entry exists");
-            prop_assert_eq!(waiters.len(), count);
+            assert_eq!(waiters.len(), count);
             returned += count;
         }
-        prop_assert_eq!(returned + rejected, blocks.len());
-        prop_assert!(m.is_empty());
+        assert_eq!(returned + rejected, blocks.len());
+        assert!(m.is_empty());
     }
+}
 
-    /// Directory invariant: an owner never coexists with sharers,
-    /// under any operation sequence.
-    #[test]
-    fn directory_invariant_holds(ops in prop::collection::vec((0u8..4, 0u16..64), 0..200)) {
+/// Directory invariant: an owner never coexists with sharers, under
+/// any operation sequence.
+#[test]
+fn directory_invariant_holds() {
+    let mut rng = SimRng::for_stream(0xD00D, 3);
+    for _ in 0..32 {
         let mut d = DirEntry::uncached();
-        for (op, core) in ops {
+        for _ in 0..rng.below(200) {
+            let op = rng.below(4) as u8;
+            let core = rng.below(64) as u16;
             let c = CoreId::new(core);
             match op {
                 0 => {
@@ -93,62 +114,76 @@ proptest! {
                 2 => d.downgrade_owner(core % 2 == 0),
                 _ => d.remove(c),
             }
-            prop_assert!(d.invariant_holds());
+            assert!(d.invariant_holds());
         }
     }
+}
 
-    /// The busy horizon never moves backwards and service times chain.
-    #[test]
-    fn busy_table_is_monotone(events in prop::collection::vec((0u64..200, 0u8..2), 1..60)) {
+/// The busy horizon never moves backwards and service times chain.
+#[test]
+fn busy_table_is_monotone() {
+    let mut rng = SimRng::for_stream(0xD00D, 4);
+    for _ in 0..32 {
         let mut t = BusyTable::new([BankId::new(0)]);
         let mut now = 0u64;
         let mut last = 0u64;
-        for (gap, is_write) in events {
-            now += gap;
-            let service = if is_write == 1 { 33 } else { 3 };
+        for _ in 0..1 + rng.below(59) {
+            now += rng.below(200) as u64;
+            let service = if rng.chance(0.5) { 33 } else { 3 };
             let until = t.on_forward(BankId::new(0), now, 9, service);
-            prop_assert!(until >= last, "horizon regressed: {} < {}", until, last);
-            prop_assert!(until >= now + 9 + service);
+            assert!(until >= last, "horizon regressed: {until} < {last}");
+            assert!(until >= now + 9 + service);
             last = until;
         }
     }
+}
 
-    /// The VC partition always covers all channels exactly once.
-    #[test]
-    fn vc_partition_is_exact(vcs in 3usize..12) {
+/// The VC partition always covers all channels exactly once.
+#[test]
+fn vc_partition_is_exact() {
+    for vcs in 3usize..12 {
         let r = TrafficClass::Request.vc_range(vcs);
         let c = TrafficClass::Coherence.vc_range(vcs);
         let p = TrafficClass::Response.vc_range(vcs);
-        prop_assert_eq!(r.start, 0);
-        prop_assert_eq!(r.end, c.start);
-        prop_assert_eq!(c.end, p.start);
-        prop_assert_eq!(p.end, vcs);
-        prop_assert!(!r.is_empty() && !c.is_empty() && !p.is_empty());
+        assert_eq!(r.start, 0);
+        assert_eq!(r.end, c.start);
+        assert_eq!(c.end, p.start);
+        assert_eq!(p.end, vcs);
+        assert!(!r.is_empty() && !c.is_empty() && !p.is_empty());
     }
+}
 
-    /// Histogram counts partition the samples: total preserved, each
-    /// sample in exactly one bin.
-    #[test]
-    fn histogram_partitions_samples(samples in prop::collection::vec(0u64..400, 0..300)) {
+/// Histogram counts partition the samples: total preserved, each
+/// sample in exactly one bin.
+#[test]
+fn histogram_partitions_samples() {
+    let mut rng = SimRng::for_stream(0xD00D, 5);
+    for _ in 0..32 {
+        let samples: Vec<u64> = (0..rng.below(300)).map(|_| rng.below(400) as u64).collect();
         let mut h = Histogram::fig3();
         for &s in &samples {
             h.record(s);
         }
-        prop_assert_eq!(h.total(), samples.len() as u64);
+        assert_eq!(h.total(), samples.len() as u64);
         let fr = h.fractions();
         let sum: f64 = fr.iter().sum();
         if !samples.is_empty() {
-            prop_assert!((sum - 1.0).abs() < 1e-9);
+            assert!((sum - 1.0).abs() < 1e-9);
         }
         // Cross-check one bin against a direct count.
         let below16 = samples.iter().filter(|&&s| s < 16).count() as u64;
-        prop_assert_eq!(h.counts()[0], below16);
+        assert_eq!(h.counts()[0], below16);
     }
+}
 
-    /// 8-bit timestamp round trips for any elapsed time below the wrap.
-    #[test]
-    fn stamps_round_trip(start in 0u64..1_000_000, elapsed in 0u64..256) {
+/// 8-bit timestamp round trips for any elapsed time below the wrap.
+#[test]
+fn stamps_round_trip() {
+    let mut rng = SimRng::for_stream(0xD00D, 6);
+    for _ in 0..256 {
+        let start = rng.below(1_000_000) as u64;
+        let elapsed = rng.below(256) as u64;
         let s = stamp_of(start);
-        prop_assert_eq!(stamp_elapsed(s, start + elapsed), elapsed);
+        assert_eq!(stamp_elapsed(s, start + elapsed), elapsed);
     }
 }

@@ -1,0 +1,86 @@
+//! Integration tests of the sweep engine: schedule-invariant results,
+//! grid-order delivery, per-cell panic isolation, and experiments
+//! running end to end through the runner.
+
+use sttram_noc_repro::sim::experiments::{fig3, table2, Scale};
+use sttram_noc_repro::sim::report::Rows;
+use sttram_noc_repro::sim::scenario::Scenario;
+use sttram_noc_repro::sim::sweep::{CellError, RunSpec, SweepRunner};
+use sttram_noc_repro::workload::table3;
+
+fn tiny(label: &str, app: &str, scenario: Scenario) -> RunSpec {
+    let cfg = scenario.config().rebuild().cycles(100, 600).build();
+    RunSpec::homogeneous(label, cfg, table3::by_name(app).unwrap())
+}
+
+fn tiny_grid() -> Vec<RunSpec> {
+    vec![
+        tiny("sram/tpcc", "tpcc", Scenario::Sram64Tsb),
+        tiny("stt/tpcc", "tpcc", Scenario::SttRam64Tsb),
+        tiny("wb/sap", "sap", Scenario::SttRam4TsbWb),
+        tiny("rca/lbm", "lbm", Scenario::SttRam4TsbRca),
+    ]
+}
+
+/// The acceptance property: per-cell metrics are bit-identical whether
+/// the grid runs on one worker or many.
+#[test]
+fn thread_count_never_changes_results() {
+    let serial = SweepRunner::new().threads(1).run_grid("t1", tiny_grid());
+    let parallel = SweepRunner::new().threads(4).run_grid("t4", tiny_grid());
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.index, p.index);
+        assert_eq!(s.label, p.label);
+        let sm = s.outcome.as_ref().expect("cell runs");
+        let pm = p.outcome.as_ref().expect("cell runs");
+        // Debug covers every metric field, histograms included.
+        assert_eq!(format!("{sm:?}"), format!("{pm:?}"), "cell {}", s.label);
+    }
+}
+
+/// Results come back in grid order even though workers finish out of
+/// order.
+#[test]
+fn results_arrive_in_grid_order() {
+    let results = SweepRunner::new().threads(3).run_grid("order", tiny_grid());
+    let labels: Vec<&str> = results.iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(labels, ["sram/tpcc", "stt/tpcc", "wb/sap", "rca/lbm"]);
+}
+
+/// A cell whose simulation panics is reported as a poisoned cell; the
+/// sweep and its other cells are unaffected.
+#[test]
+fn poisoned_cell_is_isolated() {
+    let mut grid = tiny_grid();
+    // An invalid region count makes System::new's validation panic.
+    grid[1].cfg.regions = 7;
+    let results = SweepRunner::new().threads(2).run_grid("poison", grid);
+    assert_eq!(results.len(), 4);
+    match &results[1].outcome {
+        Err(CellError::Panicked(msg)) => {
+            assert!(msg.contains("valid configuration"), "got: {msg}")
+        }
+        other => panic!("expected a poisoned cell, got {other:?}"),
+    }
+    for i in [0, 2, 3] {
+        assert!(results[i].outcome.is_ok(), "cell {i} must survive");
+    }
+}
+
+/// An experiment runs end to end through the runner, and its result
+/// exposes the uniform Rows view.
+#[test]
+fn experiments_run_through_the_runner() {
+    let r = SweepRunner::new().threads(2).run(&fig3::Fig3, Scale::Quick);
+    assert_eq!(r.panels.len(), 3);
+    let rows = r.rows();
+    assert!(!rows.is_empty());
+    assert!(rows.iter().all(|(_, v)| v.len() == r.header().len()));
+    assert!(r.csv().starts_with("label,"));
+
+    // The analytic table rides the same interface with an empty grid.
+    let t2 = SweepRunner::new().run(&table2::Table2Exp, Scale::Quick);
+    assert_eq!(t2.stt.write_cycles, 33);
+    assert_eq!(t2.rows().len(), 2);
+}
