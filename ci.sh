@@ -13,6 +13,9 @@ cargo test -q
 echo "== formatting =="
 cargo fmt --all -- --check
 
+echo "== audit: every experiment invariant-clean at quick scale =="
+cargo test --release -q -p snoc-core --test audit
+
 echo "== sweep smoke: SNOC_THREADS=1 vs 4 stdout must be identical =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT

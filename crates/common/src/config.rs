@@ -132,6 +132,12 @@ pub struct NocConfig {
     /// many cycles before the predicted bank-idle time to cover
     /// allocation/switch contention on the way.
     pub hold_slack: u64,
+    /// Window-based estimator housekeeping period: outstanding tags
+    /// are scanned for staleness every this many cycles (1024).
+    pub wb_expire_period: u64,
+    /// Age beyond which an outstanding WB tag is considered lost and
+    /// dropped, freeing the child for a fresh sample (4096).
+    pub wb_tag_timeout: u64,
 }
 
 impl Default for NocConfig {
@@ -146,6 +152,8 @@ impl Default for NocConfig {
             link_latency: 1,
             tsb_width_factor: 2,
             hold_slack: 8,
+            wb_expire_period: 1024,
+            wb_tag_timeout: 4096,
         }
     }
 }
@@ -497,6 +505,9 @@ impl SystemConfig {
         }
         if self.parent_hops == 0 {
             return Err("parent_hops must be at least 1".into());
+        }
+        if self.noc.wb_expire_period == 0 {
+            return Err("wb_expire_period must be at least 1".into());
         }
         if self.mem.block_bytes == 0 || !self.mem.block_bytes.is_power_of_two() {
             return Err("block size must be a power of two".into());

@@ -4,6 +4,7 @@
 
 use snoc_common::stats::Histogram;
 use snoc_energy::EnergyBreakdown;
+use snoc_noc::audit::AuditReport;
 
 /// The measured output of one simulation run.
 #[derive(Debug, Clone)]
@@ -47,6 +48,9 @@ pub struct RunMetrics {
     pub held_cycles: u64,
     /// Uncore energy breakdown.
     pub energy: EnergyBreakdown,
+    /// NoC invariant audit outcome (`None` unless `SNOC_AUDIT` or
+    /// [`snoc_noc::NetworkParams::audit`] enabled the auditor).
+    pub audit: Option<AuditReport>,
 }
 
 impl RunMetrics {
@@ -143,6 +147,7 @@ mod tests {
             held_packets: 5,
             held_cycles: 50,
             energy: EnergyBreakdown::default(),
+            audit: None,
         }
     }
 

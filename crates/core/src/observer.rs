@@ -71,6 +71,13 @@ pub trait RunObserver: Sync {
         let _ = result;
     }
 
+    /// A cell's run reported a NoC invariant violation (the
+    /// `SNOC_AUDIT` auditor was on and found one); called once per
+    /// retained violation sample before [`RunObserver::cell_finished`].
+    fn audit_violation(&self, label: &str, message: &str) {
+        let _ = (label, message);
+    }
+
     /// The whole grid is done.
     fn sweep_finished(&self, summary: &SweepSummary) {
         let _ = summary;
@@ -136,6 +143,10 @@ impl RunObserver for ProgressObserver {
         eprintln!("[{done:>width$}/{total}] {:32} {status}", result.label);
     }
 
+    fn audit_violation(&self, label: &str, message: &str) {
+        eprintln!("AUDIT {label}: {message}");
+    }
+
     fn sweep_finished(&self, s: &SweepSummary) {
         eprintln!(
             "{}: {} cells in {:.2} s ({}, {} failed)",
@@ -155,6 +166,14 @@ pub struct MachineObserver;
 impl RunObserver for MachineObserver {
     fn sweep_started(&self, name: &str, cells: usize, threads: usize) {
         println!("sweep name={name} cells={cells} threads={threads}");
+    }
+
+    fn audit_violation(&self, label: &str, message: &str) {
+        println!(
+            "audit label={} message={}",
+            label.replace(' ', "_"),
+            message.replace(' ', "_")
+        );
     }
 
     fn cell_finished(&self, r: &CellResult) {

@@ -282,6 +282,13 @@ impl SweepRunner {
                 System::new(spec.cfg, &spec.workload, spec.mode).run()
             }))
             .map_err(|p| CellError::Panicked(panic_message(p)));
+            if let Ok(metrics) = &outcome {
+                if let Some(audit) = &metrics.audit {
+                    for sample in &audit.samples {
+                        observer.audit_violation(&label, sample);
+                    }
+                }
+            }
             let result = CellResult {
                 index: i,
                 label,

@@ -610,6 +610,7 @@ impl System {
             held_packets: self.net.held_packets(),
             held_cycles: self.net.held_cycles(),
             energy,
+            audit: self.net.audit_report().cloned(),
         }
     }
 

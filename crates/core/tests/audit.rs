@@ -1,0 +1,82 @@
+//! Audited conformance: every experiment of the evaluation section
+//! runs at quick scale with the NoC invariant auditor enabled
+//! (`SNOC_AUDIT=1`), and every cell must finish with zero violations —
+//! packet conservation, credit/flit conservation and hold
+//! work-conservation all hold across the full configuration space the
+//! figures exercise.
+
+use snoc_core::experiments::{
+    ablations, fig10, fig12, fig13, fig14, fig3, fig6, fig7, fig8, fig9, table2, table3, Scale,
+};
+use snoc_core::observer::RunObserver;
+use snoc_core::sweep::{Experiment, SweepRunner};
+use std::sync::{Arc, Mutex};
+
+/// Collects violations surfaced through the observer hook.
+#[derive(Default)]
+struct Collect {
+    violations: Mutex<Vec<String>>,
+}
+
+/// Clonable observer handle (the runner takes owned observers).
+struct Shared(Arc<Collect>);
+
+impl RunObserver for Shared {
+    fn audit_violation(&self, label: &str, message: &str) {
+        self.0
+            .violations
+            .lock()
+            .unwrap()
+            .push(format!("{label}: {message}"));
+    }
+}
+
+fn check<E: Experiment>(exp: &E, collect: &Arc<Collect>) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let runner = SweepRunner::new()
+        .threads(threads)
+        .observer(Shared(collect.clone()));
+    // Some experiments (table2) are static tables with no simulation
+    // cells; their empty grids still go through the runner.
+    let cells = runner.run_grid(exp.name(), exp.grid(Scale::Quick));
+    for cell in &cells {
+        let metrics = cell.metrics(); // re-raises cell panics, labelled
+        let audit = metrics
+            .audit
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: '{}' ran unaudited", exp.name(), cell.label));
+        assert!(
+            audit.clean(),
+            "{}: '{}' violated invariants over {} cycles: {:?}",
+            exp.name(),
+            cell.label,
+            audit.checked_cycles,
+            audit.samples
+        );
+    }
+}
+
+#[test]
+fn every_experiment_is_invariant_clean_at_quick_scale() {
+    std::env::set_var("SNOC_AUDIT", "1");
+    let collect = Arc::new(Collect::default());
+    check(&table2::Table2Exp, &collect);
+    check(&table3::Table3, &collect);
+    check(&fig3::Fig3, &collect);
+    check(&fig6::Fig6, &collect);
+    check(&fig7::Fig7, &collect);
+    check(&fig8::Fig8, &collect);
+    check(&fig9::Fig9, &collect);
+    check(&fig10::Fig10, &collect);
+    check(&fig12::Fig12, &collect);
+    check(&fig13::Fig13, &collect);
+    check(&fig14::Fig14, &collect);
+    check(&ablations::Ablations, &collect);
+    let surfaced = collect.violations.lock().unwrap();
+    assert!(
+        surfaced.is_empty(),
+        "observer surfaced violations: {surfaced:?}"
+    );
+}

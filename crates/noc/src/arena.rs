@@ -14,6 +14,10 @@ pub struct Arena {
     slots: Vec<Option<Packet>>,
     free: Vec<u16>,
     live: usize,
+    /// Monotonic counter behind [`Packet::uid`]: slots (and thus
+    /// [`PacketId`]s) are recycled, so lifecycle auditing keys on this
+    /// never-reused identity instead.
+    next_uid: u64,
 }
 
 impl Arena {
@@ -42,6 +46,8 @@ impl Arena {
         };
         let id = PacketId::new(idx);
         packet.id = id;
+        self.next_uid += 1;
+        packet.uid = self.next_uid;
         self.slots[idx as usize] = Some(packet);
         self.live += 1;
         id
@@ -80,6 +86,11 @@ impl Arena {
     /// Number of live packets.
     pub fn live(&self) -> usize {
         self.live
+    }
+
+    /// Iterates over all live packets (audit instrumentation).
+    pub fn iter_live(&self) -> impl Iterator<Item = &Packet> {
+        self.slots.iter().filter_map(Option::as_ref)
     }
 }
 

@@ -10,32 +10,39 @@ use snoc_common::ids::BankId;
 use snoc_common::Cycle;
 
 /// Predicted busy horizon of the child banks managed by one parent.
+///
+/// Children are indexed once at construction (sorted ids + parallel
+/// horizon vector) so the per-arbitration lookups are binary searches
+/// rather than linear scans.
 #[derive(Debug, Clone, Default)]
 pub struct BusyTable {
-    entries: Vec<(BankId, Cycle)>,
+    banks: Vec<BankId>,
+    until: Vec<Cycle>,
 }
 
 impl BusyTable {
     /// Creates a table for the given children.
     pub fn new(children: impl IntoIterator<Item = BankId>) -> Self {
-        Self {
-            entries: children.into_iter().map(|b| (b, 0)).collect(),
-        }
+        let mut banks: Vec<BankId> = children.into_iter().collect();
+        banks.sort_unstable();
+        banks.dedup();
+        let until = vec![0; banks.len()];
+        Self { banks, until }
+    }
+
+    fn slot(&self, bank: BankId) -> Option<usize> {
+        self.banks.binary_search(&bank).ok()
     }
 
     /// `true` if `bank` is managed by this table.
     pub fn manages(&self, bank: BankId) -> bool {
-        self.entries.iter().any(|&(b, _)| b == bank)
+        self.slot(bank).is_some()
     }
 
     /// The predicted cycle at which `bank` becomes idle (0 if unknown
     /// or not managed).
     pub fn busy_until(&self, bank: BankId) -> Cycle {
-        self.entries
-            .iter()
-            .find(|&&(b, _)| b == bank)
-            .map(|&(_, until)| until)
-            .unwrap_or(0)
+        self.slot(bank).map(|i| self.until[i]).unwrap_or(0)
     }
 
     /// Records that a request was forwarded towards `bank` at `now`,
@@ -53,12 +60,12 @@ impl BusyTable {
         arrival_latency: Cycle,
         service: Cycle,
     ) -> Cycle {
-        let Some(entry) = self.entries.iter_mut().find(|(b, _)| *b == bank) else {
+        let Some(i) = self.slot(bank) else {
             return 0;
         };
-        let start = entry.1.max(now + arrival_latency);
-        entry.1 = start + service;
-        entry.1
+        let start = self.until[i].max(now + arrival_latency);
+        self.until[i] = start + service;
+        self.until[i]
     }
 
     /// `true` if a request dispatched at `now` with the given expected

@@ -84,14 +84,19 @@ impl WbEstimator {
             return;
         }
         st.outstanding = None;
-        // Prefer the exact elapsed time when available (the stamp
-        // decode is used when only the 8-bit value survives).
+        // The hardware only carries the 8-bit stamp, so the RTT must
+        // come from the modular decode. Short RTTs decode exactly (the
+        // wide `sent_at` is kept only to cross-check them); RTTs of 256
+        // cycles or more alias into the bottom 8 bits — the decode
+        // yields `rtt mod 256`, deliberately clamping ancient acks
+        // instead of letting one huge sample swamp the smoothed
+        // estimate.
         let elapsed = now.saturating_sub(sent_at);
         let elapsed = if elapsed < (1 << STAMP_BITS) {
             debug_assert_eq!(elapsed, stamp_elapsed(stamp, now));
             elapsed
         } else {
-            elapsed
+            stamp_elapsed(stamp, now)
         };
         let sample = (elapsed / 2).saturating_sub(base_one_way);
         // Jump on the first observation, then smooth 3:1.
@@ -132,6 +137,10 @@ impl WbEstimator {
 pub struct RcaState {
     /// `values[router][direction] = aggregated congestion (0..=255)`.
     values: Vec<[u8; 6]>,
+    /// Double buffer for [`Self::propagate`]: the previous cycle's
+    /// values are read from here while the new ones are written into
+    /// `values`, avoiding a per-cycle allocation.
+    scratch: Vec<[u8; 6]>,
 }
 
 /// The six propagating directions (all but `Local`).
@@ -149,6 +158,7 @@ impl RcaState {
     pub fn new(routers: usize) -> Self {
         Self {
             values: vec![[0; 6]; routers],
+            scratch: vec![[0; 6]; routers],
         }
     }
 
@@ -182,7 +192,8 @@ impl RcaState {
         occupancy: impl Fn(usize) -> u8,
         neighbour: impl Fn(usize, Direction) -> Option<usize>,
     ) {
-        let prev = self.values.clone();
+        std::mem::swap(&mut self.values, &mut self.scratch);
+        let prev = &self.scratch;
         for i in 0..self.values.len() {
             for dir in RCA_DIRS {
                 let slot = Self::slot(dir);
@@ -275,6 +286,20 @@ mod tests {
         let stamp = wb.on_forward(BankId::new(1), 2000, 1).unwrap();
         wb.on_ack(BankId::new(1), stamp, 2012, 4); // sample 2
         assert_eq!(wb.estimate(BankId::new(1)), (3 * 10 + 2) / 4);
+    }
+
+    #[test]
+    fn wb_long_rtt_uses_the_stamp_decode() {
+        let mut wb = WbEstimator::new([BankId::new(1)]);
+        // Forwarded at cycle 1000 => stamp = 1000 mod 256 = 232.
+        let stamp = wb.on_forward(BankId::new(1), 1000, 1).unwrap();
+        assert_eq!(stamp, stamp_of(1000));
+        // The ack limps home 300 cycles later — past what 8 bits can
+        // represent. Hardware only has the stamp, so the decode gives
+        // (1300 - 232) mod 256 = 44, not the wide 300:
+        // sample = 44/2 - 4 = 18.
+        wb.on_ack(BankId::new(1), stamp, 1300, 4);
+        assert_eq!(wb.estimate(BankId::new(1)), 18);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 pub mod arbiter;
 pub mod arena;
+pub mod audit;
 pub mod busy;
 pub mod estimator;
 pub mod network;
@@ -40,5 +41,6 @@ pub mod regions;
 pub mod router;
 pub mod routing;
 
+pub use audit::{AuditConfig, AuditReport, NetAuditor};
 pub use network::{NetStats, Network, NetworkParams};
 pub use packet::{Flit, Packet, PacketKind, TrafficClass};

@@ -3,6 +3,7 @@
 //! the congestion estimators, advanced cycle by cycle.
 
 use crate::arena::Arena;
+use crate::audit::{AuditConfig, AuditReport, NetAuditor};
 use crate::estimator::{EstimatorState, RcaState, WbEstimator};
 use crate::nic::{DeliveryEvent, Nic};
 use crate::packet::{Flit, Packet, TrafficClass, WbTag};
@@ -48,6 +49,8 @@ pub struct NetworkParams {
     pub max_hold: Cycle,
     /// Release slack for held packets (cycles).
     pub hold_slack: Cycle,
+    /// Invariant auditing configuration (`None` = off).
+    pub audit: Option<AuditConfig>,
 }
 
 impl NetworkParams {
@@ -68,6 +71,7 @@ impl NetworkParams {
             core_outbox_cap: 64,
             max_hold: 3 * cfg.mem.stt_write_latency,
             hold_slack: cfg.noc.hold_slack,
+            audit: AuditConfig::from_env(),
         }
     }
 }
@@ -121,15 +125,17 @@ impl NetView for View<'_> {
 pub struct Network {
     params: NetworkParams,
     mesh: Mesh,
-    routing: RoutingTable,
+    pub(crate) routing: RoutingTable,
     parents: ParentMap,
-    routers: Vec<Router>,
-    nics: Vec<Nic>,
-    arena: Arena,
+    pub(crate) routers: Vec<Router>,
+    pub(crate) nics: Vec<Nic>,
+    pub(crate) arena: Arena,
     estimator: EstimatorState,
     wide_down: Vec<bool>,
     now: Cycle,
     stats: NetStats,
+    /// Optional invariant checker, boxed off the hot state.
+    auditor: Option<Box<NetAuditor>>,
 }
 
 impl Network {
@@ -219,6 +225,7 @@ impl Network {
             wide_down,
             now: 0,
             stats: NetStats::default(),
+            auditor: params.audit.map(|cfg| Box::new(NetAuditor::new(cfg))),
         }
     }
 
@@ -258,8 +265,13 @@ impl Network {
         &self.stats
     }
 
+    /// The audit report, when auditing is enabled.
+    pub fn audit_report(&self) -> Option<&AuditReport> {
+        self.auditor.as_deref().map(NetAuditor::report)
+    }
+
     /// Router index for a coordinate.
-    fn ridx(&self, c: Coord) -> usize {
+    pub(crate) fn ridx(&self, c: Coord) -> usize {
         let n = self.mesh.nodes_per_layer();
         let base = if c.layer == Layer::Cache { n } else { 0 };
         base + self.mesh.node(c).index()
@@ -286,6 +298,9 @@ impl Network {
         let src = packet.src;
         let class = packet.kind.class();
         let id = self.arena.insert(packet);
+        if let Some(a) = &mut self.auditor {
+            a.note_offered(self.arena.get(id).uid, self.now);
+        }
         let idx = self.ridx(src);
         self.nics[idx].enqueue(id, class);
         self.stats.offered += 1;
@@ -304,6 +319,9 @@ impl Network {
         let idx = self.ridx(at);
         let delivered = self.nics[idx].pop_delivered_up_to(&mut self.arena, max);
         for p in &delivered {
+            if let Some(a) = &mut self.auditor {
+                a.note_delivered(p.uid, self.now);
+            }
             let lat = p.net_latency() as f64;
             self.stats.delivered += 1;
             self.stats.latency.record(lat);
@@ -391,12 +409,19 @@ impl Network {
                 },
             );
         }
-        if now % 1024 == 0 {
+        if now % self.params.noc.wb_expire_period == 0 {
             if let EstimatorState::WindowBased(map) = &mut self.estimator {
                 for wb in map.values_mut() {
-                    wb.expire_stale(now, 4096);
+                    wb.expire_stale(now, self.params.noc.wb_tag_timeout);
                 }
             }
+        }
+
+        // Invariants hold at end-of-step: flit movement and credit
+        // returns are synchronous, so there is no on-the-wire state.
+        if let Some(mut a) = self.auditor.take() {
+            a.audit_cycle(self);
+            self.auditor = Some(a);
         }
 
         self.now += 1;
@@ -652,6 +677,7 @@ mod tests {
             core_outbox_cap: 64,
             max_hold: 99,
             hold_slack: 0,
+            audit: None,
         }
     }
 
@@ -918,6 +944,93 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn audited_mixed_run_is_clean() {
+        let aware = ArbitrationPolicy::BankAware {
+            estimator: Estimator::WindowBased,
+        };
+        let mut p = params(RequestPathMode::RegionTsbs, aware);
+        p.wb_window = 2;
+        p.audit = Some(AuditConfig::default());
+        let mut net = Network::new(p);
+        for i in 0..100u64 {
+            let src = core(&net, ((i * 11) % 64) as u16);
+            let dst = cache(&net, ((i * 29) % 64) as u16);
+            let kind = if i % 3 == 0 {
+                PacketKind::Writeback
+            } else {
+                PacketKind::BankRead
+            };
+            net.inject(Packet::new(kind, src, dst, i, i));
+        }
+        let mut delivered = 0;
+        for _ in 0..2500 {
+            net.step();
+            for node in 0..64u16 {
+                let at = cache(&net, node);
+                delivered += net.drain_delivered(at).len();
+            }
+        }
+        assert_eq!(delivered, 100);
+        let report = net.audit_report().expect("auditor is on");
+        assert!(report.violations == 0, "violations: {:?}", report.samples);
+        assert!(report.clean());
+        assert!(report.checked_cycles == 2500);
+    }
+
+    #[test]
+    fn auditor_flags_a_packet_past_the_age_bound() {
+        let mut p = params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin);
+        p.audit = Some(AuditConfig {
+            max_age: 50,
+            ..AuditConfig::default()
+        });
+        let mut net = Network::new(p);
+        let src = core(&net, 7);
+        let dst = cache(&net, 25);
+        net.inject(Packet::new(PacketKind::BankRead, src, dst, 0, 0));
+        // Never drain the destination: the packet sits in the outbox
+        // and trips the watchdog.
+        net.run(200);
+        let report = net.audit_report().unwrap();
+        assert_eq!(report.violations, 1, "age bound reported exactly once");
+        assert!(report.samples[0].contains("age bound"));
+    }
+
+    #[test]
+    fn outbox_backpressure_never_drops_a_delivery() {
+        // Satellite regression: with the auditor on, saturate one
+        // cache NI (cap 4) far beyond its outbox capacity, drain
+        // slowly, and verify every offered packet is delivered exactly
+        // once with zero conservation violations.
+        let mut p = params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin);
+        p.audit = Some(AuditConfig::default());
+        let mut net = Network::new(p);
+        let dst = cache(&net, 25);
+        for i in 0..40u64 {
+            let src = core(&net, (i % 64) as u16);
+            net.inject(Packet::new(PacketKind::BankRead, src, dst, i, i));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for cycle in 0..6000 {
+            net.step();
+            // Drain at most one packet every 16 cycles: the outbox
+            // stays pinned at its cap most of the time.
+            if cycle % 16 == 0 {
+                for packet in net.drain_delivered_up_to(dst, 1) {
+                    assert!(seen.insert(packet.token), "duplicate {}", packet.token);
+                }
+            }
+        }
+        for packet in net.drain_delivered(dst) {
+            assert!(seen.insert(packet.token), "duplicate {}", packet.token);
+        }
+        assert_eq!(seen.len(), 40, "every offered packet delivered");
+        assert_eq!(net.in_flight(), 0);
+        let report = net.audit_report().unwrap();
+        assert!(report.violations == 0, "violations: {:?}", report.samples);
     }
 
     #[test]

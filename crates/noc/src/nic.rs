@@ -267,6 +267,17 @@ impl Nic {
     pub fn outbox_len(&self) -> usize {
         self.outbox.len()
     }
+
+    /// Flits buffered in the per-VC ejection queue (audit
+    /// instrumentation: credit-matched to the router's local port).
+    pub fn eject_depth(&self, vc: usize) -> usize {
+        self.eject[vc].len()
+    }
+
+    /// Remaining credits for a local input VC (audit instrumentation).
+    pub fn inject_credits(&self, vc: usize) -> u8 {
+        self.credits[vc]
+    }
 }
 
 #[cfg(test)]

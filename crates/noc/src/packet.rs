@@ -153,6 +153,9 @@ impl PacketKind {
 pub struct Packet {
     /// Arena identifier, unique within a run.
     pub id: PacketId,
+    /// Monotonic lifetime identity assigned at arena insertion.
+    /// Unlike `id`, never recycled; 0 until the packet is stored.
+    pub uid: u64,
     /// Message kind.
     pub kind: PacketKind,
     /// Injection position.
@@ -192,6 +195,7 @@ impl Packet {
     pub fn new(kind: PacketKind, src: Coord, dst: Coord, addr: u64, token: u64) -> Self {
         Self {
             id: PacketId::new(0),
+            uid: 0,
             kind,
             src,
             dst,

@@ -56,7 +56,18 @@ pub struct VirtualChannel {
     /// bank-aware policy; cleared at allocation. The hold condition is
     /// re-evaluated every cycle against the live busy table, so a
     /// parent naturally serializes several held requests to one bank.
+    /// This anchor survives a lapsed hold (it drives the `max_hold`
+    /// force release and the held-packet statistics), so it alone does
+    /// not say whether the policy is withholding VA *right now* — that
+    /// is `policy_held`.
     held_since: Option<Cycle>,
+    /// `true` only when the most recent VA pass decided to withhold
+    /// allocation because the bank was predicted busy. Cleared the
+    /// moment the hold lapses (bank idle, `max_hold` hit, or a
+    /// bystander blocked behind), even if the packet then has to wait
+    /// for a free output VC — that wait is ordinary backpressure, not
+    /// bank-aware holding.
+    policy_held: bool,
 }
 
 impl VirtualChannel {
@@ -84,6 +95,18 @@ impl VirtualChannel {
     /// arbitration.
     pub fn is_held(&self, _now: Cycle) -> bool {
         self.held_since.is_some() && self.route.is_none()
+    }
+
+    /// The cycle the head packet was first held, while the bank-aware
+    /// policy is actively withholding VA (audit instrumentation).
+    /// Lapsed holds — the policy released the packet but allocation is
+    /// backpressured — report `None`.
+    pub fn held_since(&self) -> Option<Cycle> {
+        if self.policy_held && self.route.is_none() {
+            self.held_since
+        } else {
+            None
+        }
     }
 }
 
@@ -180,6 +203,9 @@ pub struct Router {
     sa_mask: [u64; PORTS],
     /// Child banks managed by this router (empty if not a parent).
     children: Vec<ChildInfo>,
+    /// Sorted `(bank, position in children)` index so the hot-path
+    /// child lookups are binary searches, not linear scans.
+    child_index: Vec<(BankId, u32)>,
     /// Predicted busy horizons for the children.
     pub busy: BusyTable,
     /// Per-child congestion estimates, refreshed each cycle by the
@@ -194,6 +220,12 @@ impl Router {
     pub fn new(coord: Coord, vcs: usize, depth: usize, children: Vec<ChildInfo>) -> Self {
         let busy = BusyTable::new(children.iter().map(|c| c.bank));
         let child_cong = vec![0; children.len()];
+        let mut child_index: Vec<(BankId, u32)> = children
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.bank, i as u32))
+            .collect();
+        child_index.sort_unstable_by_key(|&(b, _)| b);
         Self {
             coord,
             vcs,
@@ -209,6 +241,7 @@ impl Router {
             va_mask: 0,
             sa_mask: [0; PORTS],
             children,
+            child_index,
             busy,
             child_cong,
             stats: RouterStats::default(),
@@ -225,9 +258,17 @@ impl Router {
         &self.children
     }
 
+    /// The position of `bank` in `children`/`child_cong`, if managed.
+    fn child_slot(&self, bank: BankId) -> Option<usize> {
+        self.child_index
+            .binary_search_by_key(&bank, |&(b, _)| b)
+            .ok()
+            .map(|i| self.child_index[i].1 as usize)
+    }
+
     /// `true` if this router is the parent of `bank`.
     pub fn manages(&self, bank: BankId) -> bool {
-        self.children.iter().any(|c| c.bank == bank)
+        self.child_slot(bank).is_some()
     }
 
     /// Total buffered flits (for RCA occupancy and fast idle skip).
@@ -248,6 +289,27 @@ impl Router {
     /// Remaining credits for an output VC.
     pub fn credits(&self, dir: Direction, vc: usize) -> u8 {
         self.outputs[dir.port()].credits[vc]
+    }
+
+    /// VCs per port.
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// Buffer depth per VC in flits.
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// `true` if the output port in `dir` has an unowned VC with
+    /// credits available inside `range` — i.e. VC allocation towards
+    /// `dir` could succeed right now for a packet of that class
+    /// (audit instrumentation).
+    pub fn has_free_credited_vc(&self, dir: Direction, range: std::ops::Range<usize>) -> bool {
+        let out = &self.outputs[dir.port()];
+        range
+            .into_iter()
+            .any(|v| out.owner[v].is_none() && out.credits[v] > 0)
     }
 
     /// Accepts a flit into an input VC (link arrival or NI injection).
@@ -280,8 +342,8 @@ impl Router {
     /// The congestion-adjusted arrival estimate for a request sent now
     /// towards child `bank`, or `None` if this router does not manage
     /// `bank`.
-    fn arrival_estimate(&self, bank: BankId) -> Option<Cycle> {
-        let idx = self.children.iter().position(|c| c.bank == bank)?;
+    pub fn arrival_estimate(&self, bank: BankId) -> Option<Cycle> {
+        let idx = self.child_slot(bank)?;
         Some(self.children[idx].base_latency + self.child_cong[idx])
     }
 
@@ -347,15 +409,22 @@ impl Router {
                                     p.hold_slack,
                                 )
                             {
+                                let q = &mut self.inputs[port][vc];
                                 if held_since.is_none() {
-                                    self.inputs[port][vc].held_since = Some(p.now);
+                                    q.held_since = Some(p.now);
                                     self.stats.held_packets += 1;
                                 }
+                                q.policy_held = true;
                                 continue;
                             }
                         }
                     }
                 }
+                // Reaching here means the policy is not withholding VA
+                // this cycle; any remaining wait is backpressure. The
+                // `held_since` anchor stays so a later re-hold keeps
+                // counting against the same `max_hold` budget.
+                self.inputs[port][vc].policy_held = false;
 
                 let dir = view.route(self.coord, packet);
                 let class = packet.kind.class();
@@ -523,6 +592,7 @@ impl Router {
             let q = &mut self.inputs[port][vc];
             q.route = None;
             q.held_since = None;
+            q.policy_held = false;
             if q.flits.front().map(|f| f.head).unwrap_or(false) {
                 self.va_mask |= 1 << flat;
             }
@@ -554,7 +624,7 @@ impl Router {
         // The busy horizon uses the uncontended arrival: congestion
         // estimates time the *release* of held packets but should not
         // inflate the bank's predicted service chain.
-        let Some(idx) = self.children.iter().position(|c| c.bank == bank) else {
+        let Some(idx) = self.child_slot(bank) else {
             return;
         };
         let base = self.children[idx].base_latency;
@@ -852,6 +922,34 @@ mod tests {
             r.input_vc(0, 0).route().is_some(),
             "hold is capped at max_hold"
         );
+    }
+
+    #[test]
+    fn hold_of_exactly_max_hold_cycles_is_force_released() {
+        // Satellite regression for the audit watchdog: the livelock
+        // guard fires at age == max_hold, not a cycle later.
+        let view = TestView::new(vec![(
+            PacketKind::BankRead,
+            Direction::South,
+            Some(BankId::new(11)),
+        )]);
+        let mut r = mk_router(parent_children());
+        r.busy.on_forward(BankId::new(11), 0, 9, 1000); // busy until 1009
+        put_single(&mut r, 0, 0, 0);
+        r.step_va(&view, params(5, AWARE)); // held from cycle 5
+        assert!(r.input_vc(0, 0).is_held(5));
+        r.step_va(&view, params(104, AWARE)); // age 99 < max_hold 100
+        assert!(
+            r.input_vc(0, 0).route().is_none(),
+            "one cycle short of the cap stays held"
+        );
+        r.step_va(&view, params(105, AWARE)); // age exactly 100
+        assert!(
+            r.input_vc(0, 0).route().is_some(),
+            "exactly max_hold cycles forces the release"
+        );
+        assert_eq!(r.stats.held_cycles, 100);
+        assert!(r.input_vc(0, 0).held_since().is_none());
     }
 
     #[test]
