@@ -13,6 +13,9 @@ cargo test -q
 echo "== formatting =="
 cargo fmt --all -- --check
 
+echo "== lints: clippy, warnings are errors =="
+cargo clippy --all-targets -- -D warnings
+
 echo "== audit: every experiment invariant-clean at quick scale =="
 cargo test --release -q -p snoc-core --test audit
 
@@ -27,5 +30,10 @@ SNOC_THREADS=4 cargo run --release -q -p snoc-bench --bin repro-fig3 -- --quick 
 diff -u "$tmp/t1.out" "$tmp/t4.out"
 test -s "$tmp/t1.out"
 echo "ok: identical across thread counts"
+
+echo "== perf smoke: repro-perf runs and emits a parseable report =="
+cargo run --release -q -p snoc-bench --bin repro-perf -- --smoke --out "$tmp/bench.json" \
+    >/dev/null
+grep -q '"kernels/network_step"' "$tmp/bench.json"
 
 echo "== ci passed =="

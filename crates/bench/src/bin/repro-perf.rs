@@ -1,0 +1,135 @@
+//! Tracked performance baseline for the simulator hot path.
+//!
+//! Times the two workloads the perf trajectory is anchored on — the
+//! bare network-step kernel and one full Quick-scale fig6 cell — and
+//! writes `BENCH_hotpath.json` (override with `--out <path>`) so every
+//! PR lands on a machine-readable perf record.
+//!
+//! When `SNOC_BENCH_BASELINE=<path>` names a previous `snoc-bench/1`
+//! document (e.g. a checked-in `BENCH_hotpath.json` from before a
+//! change), matching benchmarks gain `baseline_*_ns` and `speedup_*`
+//! fields so the document itself shows the delta.
+//!
+//! `--smoke` shrinks the warm-up/measure budgets to a fraction of a
+//! second; it exists so CI can keep this binary building and running
+//! without paying for a real measurement.
+
+use snoc_bench::harness::{self, Timing};
+use snoc_common::config::SystemConfig;
+use snoc_common::geom::{Coord, Layer};
+use snoc_core::experiments::Scale;
+use snoc_core::scenario::Scenario;
+use snoc_core::system::System;
+use snoc_noc::{Network, NetworkParams, Packet, PacketKind};
+use snoc_workload::table3 as t3;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    let (warmup, measure) = if smoke {
+        (Duration::from_millis(20), Duration::from_millis(120))
+    } else {
+        (Duration::from_millis(500), Duration::from_secs(6))
+    };
+
+    // The bare hot path: default-geometry network (two 8x8 meshes),
+    // 64 in-flight bank reads, 1000 cycles per iteration.
+    let network_step = harness::bench_with("kernels/network_step", warmup, measure, || {
+        let cfg = SystemConfig::default();
+        let mut net = Network::new(NetworkParams::from_config(&cfg));
+        for i in 0..64u64 {
+            let src = Coord::new((i % 8) as u8, ((i / 8) % 8) as u8, Layer::Core);
+            let dst = Coord::new(((i * 5) % 8) as u8, ((i * 11) % 8) as u8, Layer::Cache);
+            net.inject(Packet::new(PacketKind::BankRead, src, dst, i, i));
+        }
+        net.run(1_000);
+        net.stats().delivered
+    });
+
+    // One full-system Quick-scale fig6 cell: cores + caches + banks +
+    // memory controllers end to end, STT-RAM with bank-aware
+    // arbitration (the paper's headline configuration).
+    let app = t3::by_name("sap").unwrap();
+    let fig6_cell = harness::bench_with("fig6/cell/sap/SttRam4TsbWb", warmup, measure, || {
+        System::homogeneous(Scale::Quick.apply(Scenario::SttRam4TsbWb.config()), app).run()
+    });
+
+    let records = vec![
+        ("kernels/network_step".to_string(), network_step),
+        ("fig6/cell/sap/SttRam4TsbWb".to_string(), fig6_cell),
+    ];
+    let baseline = std::env::var("SNOC_BENCH_BASELINE")
+        .ok()
+        .filter(|p| !p.is_empty())
+        .and_then(|p| match std::fs::read_to_string(&p) {
+            Ok(doc) => Some(harness::from_json(&doc)),
+            Err(e) => {
+                eprintln!("warning: could not read baseline {p}: {e}");
+                None
+            }
+        })
+        .unwrap_or_default();
+
+    let doc = render(&records, &baseline);
+    match std::fs::write(&out, &doc) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("error: failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    for (name, t) in &records {
+        if let Some((_, b)) = baseline.iter().find(|(n, _)| n == name) {
+            println!(
+                "{name}: {:.2}x mean speedup, {:.2}x best speedup vs baseline",
+                ratio(b.mean, t.mean),
+                ratio(b.best, t.best),
+            );
+        }
+    }
+}
+
+fn ratio(base: Duration, new: Duration) -> f64 {
+    base.as_nanos() as f64 / new.as_nanos().max(1) as f64
+}
+
+/// `snoc-bench/1` document with optional per-bench baseline comparison
+/// fields, one bench object per line (the shape `harness::from_json`
+/// parses).
+fn render(records: &[(String, Timing)], baseline: &[(String, Timing)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"snoc-bench/1\",\n  \"benches\": [\n");
+    for (i, (name, t)) in records.iter().enumerate() {
+        let mut line = format!(
+            "    {{\"name\": \"{name}\", \"iters\": {}, \"mean_ns\": {}, \"best_ns\": {}, \"worst_ns\": {}",
+            t.iters,
+            t.mean.as_nanos(),
+            t.best.as_nanos(),
+            t.worst.as_nanos(),
+        );
+        if let Some((_, b)) = baseline.iter().find(|(n, _)| n == name) {
+            line.push_str(&format!(
+                ", \"baseline_mean_ns\": {}, \"baseline_best_ns\": {}, \"speedup_mean\": {:.3}, \"speedup_best\": {:.3}",
+                b.mean.as_nanos(),
+                b.best.as_nanos(),
+                ratio(b.mean, t.mean),
+                ratio(b.best, t.best),
+            ));
+        }
+        line.push('}');
+        if i + 1 < records.len() {
+            line.push(',');
+        }
+        line.push('\n');
+        out.push_str(&line);
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -496,7 +496,7 @@ impl SystemConfig {
         if self.noc.vc_depth == 0 {
             return Err("vc_depth must be at least 1".into());
         }
-        if self.regions == 0 || self.banks() % self.regions != 0 {
+        if self.regions == 0 || !self.banks().is_multiple_of(self.regions) {
             return Err(format!(
                 "regions ({}) must evenly divide the bank count ({})",
                 self.regions,

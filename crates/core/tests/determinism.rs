@@ -1,0 +1,61 @@
+//! Differential determinism on the optimized hot path: the
+//! activity-driven, allocation-free cycle loop must produce the exact
+//! same `RunMetrics` run-to-run — with and without the invariant
+//! auditor riding along — for both a plain SRAM baseline and the
+//! paper's full STT-RAM + bank-aware-arbitration configuration.
+//!
+//! One `#[test]` on purpose: it toggles the process-wide `SNOC_AUDIT`
+//! environment variable, which must not race a parallel test.
+
+use snoc_core::experiments::Scale;
+use snoc_core::metrics::RunMetrics;
+use snoc_core::scenario::Scenario;
+use snoc_core::system::System;
+use snoc_workload::table3 as t3;
+
+fn run_cell(scenario: Scenario) -> RunMetrics {
+    let app = t3::by_name("sap").unwrap();
+    System::homogeneous(Scale::Quick.apply(scenario.config()), app).run()
+}
+
+/// The full metrics record as a comparable string, minus the audit
+/// attachment (present only on audited runs; everything the simulation
+/// computed must match bit-for-bit).
+fn fingerprint(m: &RunMetrics) -> String {
+    let mut m = m.clone();
+    m.audit = None;
+    format!("{m:?}")
+}
+
+#[test]
+fn quick_cells_are_deterministic_and_audit_clean() {
+    for scenario in [Scenario::Sram64Tsb, Scenario::SttRam4TsbWb] {
+        let first = run_cell(scenario);
+        let second = run_cell(scenario);
+        assert_eq!(
+            fingerprint(&first),
+            fingerprint(&second),
+            "{scenario:?}: repeated runs diverged"
+        );
+
+        std::env::set_var("SNOC_AUDIT", "1");
+        let audited = run_cell(scenario);
+        std::env::remove_var("SNOC_AUDIT");
+
+        let report = audited
+            .audit
+            .clone()
+            .expect("SNOC_AUDIT enables the auditor");
+        assert!(
+            report.clean(),
+            "{scenario:?}: audit violations: {:?}",
+            report.samples
+        );
+        assert!(report.checked_cycles > 0, "auditor must have run");
+        assert_eq!(
+            fingerprint(&first),
+            fingerprint(&audited),
+            "{scenario:?}: auditing changed simulated behaviour"
+        );
+    }
+}

@@ -36,12 +36,8 @@ pub fn rr_pick_prioritized(
         let i = (last + off) % n;
         match priority(i) {
             Some(true) => return Some(i),
-            Some(false) => {
-                if fallback.is_none() {
-                    fallback = Some(i);
-                }
-            }
-            None => {}
+            Some(false) if fallback.is_none() => fallback = Some(i),
+            _ => {}
         }
     }
     fallback

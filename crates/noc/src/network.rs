@@ -9,7 +9,7 @@ use crate::nic::{DeliveryEvent, Nic};
 use crate::packet::{Flit, Packet, TrafficClass, WbTag};
 use crate::parent::ParentMap;
 use crate::regions::RegionMap;
-use crate::router::{NetView, Router, StepParams, SwitchMove};
+use crate::router::{NetView, Router, StepParams, SwitchMove, MAX_BURST};
 use crate::routing::RoutingTable;
 use snoc_common::config::{
     ArbitrationPolicy, Estimator, NocConfig, RequestPathMode, SystemConfig, TsbPlacement,
@@ -101,6 +101,45 @@ pub struct NetStats {
     pub tag_acks: u64,
 }
 
+/// A wake list over `n` indexed components, stored as a bitmask so
+/// membership updates are O(1) and iteration visits members in
+/// ascending index order — exactly the order the former full scans
+/// used, which keeps activity-driven stepping byte-identical to
+/// stepping everything and skipping the idle.
+#[derive(Debug, Clone)]
+struct WakeMask {
+    bits: Vec<u64>,
+}
+
+impl WakeMask {
+    fn new(n: usize) -> Self {
+        Self {
+            bits: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.bits[i >> 6] |= 1 << (i & 63);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.bits[i >> 6] &= !(1 << (i & 63));
+    }
+
+    fn words(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Snapshot of one 64-bit word (safe to take while clearing bits
+    /// of the same mask or setting bits of *other* masks).
+    #[inline]
+    fn word(&self, w: usize) -> u64 {
+        self.bits[w]
+    }
+}
+
 /// The network view handed to routers.
 struct View<'a> {
     arena: &'a Arena,
@@ -134,6 +173,21 @@ pub struct Network {
     wide_down: Vec<bool>,
     now: Cycle,
     stats: NetStats,
+    /// Routers that may have work: a router is woken when a flit
+    /// enters it and put back to sleep when visited empty.
+    router_wake: WakeMask,
+    /// NICs with injection backlog (woken on enqueue).
+    nic_inject_wake: WakeMask,
+    /// NICs with buffered ejection flits (woken on ejection).
+    nic_eject_wake: WakeMask,
+    /// Indices of parent routers (non-empty child list), ascending.
+    parent_idxs: Vec<u32>,
+    /// Persistent scratch: granted moves of the current cycle.
+    moves: Vec<(usize, SwitchMove)>,
+    /// Persistent scratch for the NIC drain credit sink.
+    eject_credits: Vec<(usize, u8)>,
+    /// Persistent scratch for the NIC drain event sink.
+    eject_events: Vec<DeliveryEvent>,
     /// Optional invariant checker, boxed off the hot state.
     auditor: Option<Box<NetAuditor>>,
 }
@@ -145,6 +199,11 @@ impl Network {
     ///
     /// Panics if the region count cannot tile the mesh.
     pub fn new(params: NetworkParams) -> Self {
+        assert!(
+            params.noc.tsb_width_factor <= MAX_BURST,
+            "tsb_width_factor {} exceeds the supported burst bound {MAX_BURST}",
+            params.noc.tsb_width_factor
+        );
         let mesh = Mesh::new(params.noc.width, params.noc.height);
         let regions = RegionMap::new(mesh, params.regions, params.placement);
         let parents = ParentMap::new(
@@ -213,11 +272,24 @@ impl Network {
         };
 
         let routing = RoutingTable::new(mesh, params.path_mode, regions);
+        let parent_idxs = routers
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.children().is_empty())
+            .map(|(i, _)| i as u32)
+            .collect();
         Self {
             params,
             mesh,
             routing,
             parents,
+            router_wake: WakeMask::new(routers.len()),
+            nic_inject_wake: WakeMask::new(nics.len()),
+            nic_eject_wake: WakeMask::new(nics.len()),
+            parent_idxs,
+            moves: Vec::with_capacity(64),
+            eject_credits: Vec::new(),
+            eject_events: Vec::new(),
             routers,
             nics,
             arena: Arena::new(),
@@ -303,6 +375,7 @@ impl Network {
         }
         let idx = self.ridx(src);
         self.nics[idx].enqueue(id, class);
+        self.nic_inject_wake.set(idx);
         self.stats.offered += 1;
         id
     }
@@ -335,24 +408,43 @@ impl Network {
     }
 
     /// Advances the network by one cycle.
+    ///
+    /// Each phase walks its wake list instead of every component: the
+    /// lists hold a superset of the components with work, are visited
+    /// in ascending index order (identical to the former full scans),
+    /// and members found idle are dropped — so quiescent corners of
+    /// the two meshes cost zero work per cycle.
     pub fn step(&mut self) {
         let now = self.now;
         self.refresh_child_cong();
 
-        // Injection: one flit per NI per cycle.
-        for i in 0..self.nics.len() {
-            if self.nics[i].inject_backlog() > 0 {
-                self.nics[i].inject_step(
+        // Injection: one flit per woken NI per cycle.
+        for w in 0..self.nic_inject_wake.words() {
+            let mut word = self.nic_inject_wake.word(w);
+            while word != 0 {
+                let i = (w << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if self.nics[i].inject_backlog() == 0 {
+                    self.nic_inject_wake.clear(i);
+                    continue;
+                }
+                if self.nics[i].inject_step(
                     &mut self.routers[i],
                     &mut self.arena,
                     now,
                     self.params.noc.router_stages,
-                );
+                ) {
+                    self.router_wake.set(i);
+                }
+                if self.nics[i].inject_backlog() == 0 {
+                    self.nic_inject_wake.clear(i);
+                }
             }
         }
 
         // VC allocation and switch allocation at every active router.
-        let mut moves: Vec<(usize, SwitchMove)> = Vec::new();
+        let mut moves = std::mem::take(&mut self.moves);
+        debug_assert!(moves.is_empty());
         {
             let view = View {
                 arena: &self.arena,
@@ -360,38 +452,64 @@ impl Network {
                 mesh: self.mesh,
             };
             let tsb_extra = self.params.noc.tsb_width_factor.saturating_sub(1);
-            for idx in 0..self.routers.len() {
-                if self.routers[idx].buffered_flits() == 0 {
-                    continue;
-                }
-                let p = StepParams {
-                    now,
-                    policy: self.params.arbitration,
-                    max_hold: self.params.max_hold,
-                    hold_slack: self.params.hold_slack,
-                    wide_down: self.wide_down[idx],
-                    tsb_extra,
-                };
-                self.routers[idx].step_va(&view, p);
-                for m in self.routers[idx].step_sa(&view, p) {
-                    moves.push((idx, m));
+            for w in 0..self.router_wake.words() {
+                let mut word = self.router_wake.word(w);
+                while word != 0 {
+                    let idx = (w << 6) + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    if self.routers[idx].buffered_flits() == 0 {
+                        self.router_wake.clear(idx);
+                        continue;
+                    }
+                    let p = StepParams {
+                        now,
+                        policy: self.params.arbitration,
+                        max_hold: self.params.max_hold,
+                        hold_slack: self.params.hold_slack,
+                        wide_down: self.wide_down[idx],
+                        tsb_extra,
+                    };
+                    self.routers[idx].step_va(&view, p);
+                    for m in self.routers[idx].step_sa(&view, p) {
+                        moves.push((idx, *m));
+                    }
                 }
             }
         }
-        for (idx, m) in moves {
+        for (idx, m) in moves.drain(..) {
             self.apply_move(idx, m, now);
         }
+        self.moves = moves;
 
         // Ejection, assembly, estimator events.
-        for i in 0..self.nics.len() {
-            let (credits, events) = self.nics[i].drain_eject(&mut self.arena, now);
-            for (vc, k) in credits {
-                self.routers[i].return_credit(Direction::Local, vc, k);
-            }
-            for e in events {
-                self.handle_event(e);
+        let mut credits = std::mem::take(&mut self.eject_credits);
+        let mut events = std::mem::take(&mut self.eject_events);
+        for w in 0..self.nic_eject_wake.words() {
+            let mut word = self.nic_eject_wake.word(w);
+            while word != 0 {
+                let i = (w << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                credits.clear();
+                self.nics[i].drain_eject(&mut self.arena, now, &mut credits, &mut events);
+                for &(vc, k) in &credits {
+                    self.routers[i].return_credit(Direction::Local, vc, k);
+                }
+                for e in events.drain(..) {
+                    self.handle_event(e);
+                }
+                // Draining may have enqueued a tag ack for injection.
+                if self.nics[i].inject_backlog() > 0 {
+                    self.nic_inject_wake.set(i);
+                }
+                // Back-pressured tails stay buffered and keep the NI
+                // on the wake list.
+                if self.nics[i].eject_buffered() == 0 {
+                    self.nic_eject_wake.clear(i);
+                }
             }
         }
+        self.eject_credits = credits;
+        self.eject_events = events;
 
         // Estimator upkeep.
         if let EstimatorState::Rca(rca) = &mut self.estimator {
@@ -409,7 +527,7 @@ impl Network {
                 },
             );
         }
-        if now % self.params.noc.wb_expire_period == 0 {
+        if now.is_multiple_of(self.params.noc.wb_expire_period) {
             if let EstimatorState::WindowBased(map) = &mut self.estimator {
                 for wb in map.values_mut() {
                     wb.expire_stale(now, self.params.noc.wb_tag_timeout);
@@ -442,34 +560,21 @@ impl Network {
             EstimatorState::Simple => {}
             EstimatorState::Rca(rca) => {
                 let per_hop = self.params.noc.vc_depth * self.params.noc.vcs_per_port;
-                for idx in 0..self.routers.len() {
-                    if self.routers[idx].children().is_empty() {
-                        continue;
-                    }
-                    let ests: Vec<Cycle> = self.routers[idx]
-                        .children()
-                        .iter()
-                        .map(|c| {
-                            rca.estimate_cycles(idx, c.first_hop, per_hop, c.hops)
-                                .min(3 * c.base_latency)
-                        })
-                        .collect();
-                    self.routers[idx].child_cong = ests;
+                for &idx in &self.parent_idxs {
+                    let idx = idx as usize;
+                    self.routers[idx].refresh_child_cong_with(|c| {
+                        rca.estimate_cycles(idx, c.first_hop, per_hop, c.hops)
+                            .min(3 * c.base_latency)
+                    });
                 }
             }
             EstimatorState::WindowBased(map) => {
-                for idx in 0..self.routers.len() {
-                    if self.routers[idx].children().is_empty() {
-                        continue;
-                    }
+                for &idx in &self.parent_idxs {
+                    let idx = idx as usize;
                     let coord = self.routers[idx].coord();
                     let Some(wb) = map.get(&coord) else { continue };
-                    let ests: Vec<Cycle> = self.routers[idx]
-                        .children()
-                        .iter()
-                        .map(|c| wb.estimate(c.bank).min(3 * c.base_latency))
-                        .collect();
-                    self.routers[idx].child_cong = ests;
+                    self.routers[idx]
+                        .refresh_child_cong_with(|c| wb.estimate(c.bank).min(3 * c.base_latency));
                 }
             }
         }
@@ -543,6 +648,7 @@ impl Network {
                 for f in &m.flits {
                     self.nics[idx].accept_eject(m.out_vc, *f);
                 }
+                self.nic_eject_wake.set(idx);
             }
             dir => {
                 let to = self
@@ -562,6 +668,7 @@ impl Network {
                         },
                     );
                 }
+                self.router_wake.set(tidx);
                 if matches!(dir, Direction::Up | Direction::Down) {
                     self.stats.vertical_flits += nflits as u64;
                     if nflits > 1 {

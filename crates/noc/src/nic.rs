@@ -64,6 +64,10 @@ pub struct Nic {
     /// Per-VC ejection buffers (credit-matched to the router's local
     /// output port).
     eject: Vec<VecDeque<Flit>>,
+    /// Total flits across `eject` (O(1) idle check for the drain path).
+    eject_buffered: usize,
+    /// Packets waiting to inject: queued plus bound (O(1) backlog).
+    backlog: usize,
     outbox: VecDeque<PacketId>,
     outbox_cap: usize,
     /// Delivered packet count.
@@ -91,6 +95,8 @@ impl Nic {
             credits: vec![depth as u8; vcs],
             inject_rr: 0,
             eject: (0..vcs).map(|_| VecDeque::new()).collect(),
+            eject_buffered: 0,
+            backlog: 0,
             outbox: VecDeque::new(),
             outbox_cap,
             delivered: 0,
@@ -106,12 +112,13 @@ impl Nic {
     /// Queues a packet for injection.
     pub fn enqueue(&mut self, id: PacketId, class: TrafficClass) {
         self.inject_queues[class_idx(class)].push_back(id);
+        self.backlog += 1;
     }
 
-    /// Packets waiting in injection queues (all classes).
+    /// Packets waiting in injection queues (all classes), queued or
+    /// bound to an injection VC.
     pub fn inject_backlog(&self) -> usize {
-        self.inject_queues.iter().map(VecDeque::len).sum::<usize>()
-            + self.bindings.iter().filter(|b| b.is_some()).count()
+        self.backlog
     }
 
     /// Returns `credits` slots for a local input VC (called when the
@@ -122,14 +129,15 @@ impl Nic {
 
     /// One injection cycle: bind waiting packets to free local input
     /// VCs of their class, then send one flit from a bound VC with
-    /// credit, round-robin.
+    /// credit, round-robin. Returns `true` if a flit entered the
+    /// router (so the caller can wake it).
     pub fn inject_step(
         &mut self,
         router: &mut Router,
         arena: &mut Arena,
         now: Cycle,
         router_stages: u64,
-    ) {
+    ) -> bool {
         // Bind queue heads to free VCs in their class partition.
         for (ci, class) in CLASSES.iter().enumerate() {
             while let Some(&head) = self.inject_queues[ci].front() {
@@ -176,30 +184,44 @@ impl Nic {
             binding.next_seq += 1;
             if binding.next_seq == total {
                 self.bindings[v] = None;
+                self.backlog -= 1;
             }
             self.inject_rr = v;
-            break;
+            return true;
         }
+        false
     }
 
     /// Accepts an ejected flit from the router's local output port.
     pub fn accept_eject(&mut self, vc: usize, flit: Flit) {
         self.eject[vc].push_back(flit);
+        self.eject_buffered += 1;
     }
 
-    /// Drains ejection buffers, assembling packets.
+    /// Flits buffered across all ejection VCs.
+    pub fn eject_buffered(&self) -> usize {
+        self.eject_buffered
+    }
+
+    /// Drains ejection buffers, assembling packets into the outbox.
     ///
-    /// Returns `(credits, events)`: per-VC credits to return to the
-    /// router's local output port, and estimator events. Assembled
-    /// [`PacketKind::TagAck`]s are consumed here; tagged bank requests
-    /// trigger an automatic ack injection.
+    /// Appends to the caller-provided sinks instead of allocating:
+    /// `credits` receives per-VC credits to return to the router's
+    /// local output port, `events` receives estimator events. When the
+    /// ejection buffers are empty this returns immediately without
+    /// touching either sink. Assembled [`PacketKind::TagAck`]s are
+    /// consumed here; tagged bank requests trigger an automatic ack
+    /// injection.
     pub fn drain_eject(
         &mut self,
         arena: &mut Arena,
         now: Cycle,
-    ) -> (Vec<(usize, u8)>, Vec<DeliveryEvent>) {
-        let mut credits = Vec::new();
-        let mut events = Vec::new();
+        credits: &mut Vec<(usize, u8)>,
+        events: &mut Vec<DeliveryEvent>,
+    ) {
+        if self.eject_buffered == 0 {
+            return;
+        }
         for v in 0..self.vcs {
             let mut returned = 0u8;
             while let Some(front) = self.eject[v].front() {
@@ -226,6 +248,7 @@ impl Nic {
                         break; // back-pressure: leave the tail buffered
                     }
                     self.eject[v].pop_front();
+                    self.eject_buffered -= 1;
                     returned += 1;
                     let p = arena.get_mut(pid);
                     p.ejected_at = now;
@@ -240,6 +263,7 @@ impl Nic {
                     }
                 } else {
                     self.eject[v].pop_front();
+                    self.eject_buffered -= 1;
                     returned += 1;
                 }
             }
@@ -247,7 +271,6 @@ impl Nic {
                 credits.push((v, returned));
             }
         }
-        (credits, events)
     }
 
     /// Takes all assembled packets out of the outbox.
@@ -295,6 +318,17 @@ mod tests {
         let nic = Nic::new(coord(), 6, 5, 8, 4);
         let router = Router::new(coord(), 6, 5, vec![]);
         (nic, router, Arena::new())
+    }
+
+    fn drain(
+        nic: &mut Nic,
+        arena: &mut Arena,
+        now: Cycle,
+    ) -> (Vec<(usize, u8)>, Vec<DeliveryEvent>) {
+        let mut credits = Vec::new();
+        let mut events = Vec::new();
+        nic.drain_eject(arena, now, &mut credits, &mut events);
+        (credits, events)
     }
 
     fn request(arena: &mut Arena) -> PacketId {
@@ -386,7 +420,7 @@ mod tests {
         for flit in Flit::sequence(id, 1) {
             nic.accept_eject(4, flit);
         }
-        let (credits, events) = nic.drain_eject(&mut arena, 50);
+        let (credits, events) = drain(&mut nic, &mut arena, 50);
         assert_eq!(credits, vec![(4, 1)]);
         assert!(events.is_empty());
         let delivered = nic.pop_delivered(&mut arena);
@@ -405,11 +439,11 @@ mod tests {
                 nic.accept_eject(0, flit);
             }
         }
-        let (credits, _) = nic.drain_eject(&mut arena, 1);
+        let (credits, _) = drain(&mut nic, &mut arena, 1);
         assert_eq!(credits, vec![(0, 4)], "fifth tail stays buffered");
         assert_eq!(nic.outbox_len(), 4);
         nic.pop_delivered(&mut arena);
-        let (credits, _) = nic.drain_eject(&mut arena, 2);
+        let (credits, _) = drain(&mut nic, &mut arena, 2);
         assert_eq!(credits, vec![(0, 1)]);
     }
 
@@ -426,7 +460,7 @@ mod tests {
         for flit in Flit::sequence(id, 1) {
             nic.accept_eject(0, flit);
         }
-        let (_, events) = nic.drain_eject(&mut arena, 10);
+        let (_, events) = drain(&mut nic, &mut arena, 10);
         assert!(events.is_empty(), "ack is sent, not an event at the child");
         // The ack is queued for injection in the response class.
         assert_eq!(nic.inject_backlog(), 1);
@@ -455,7 +489,7 @@ mod tests {
         for flit in Flit::sequence(id, 1) {
             nic.accept_eject(5, flit);
         }
-        let (credits, events) = nic.drain_eject(&mut arena, 99);
+        let (credits, events) = drain(&mut nic, &mut arena, 99);
         assert_eq!(credits, vec![(5, 1)]);
         assert_eq!(events.len(), 1);
         match &events[0] {

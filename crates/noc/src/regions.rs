@@ -38,7 +38,7 @@ impl RegionMap {
         let w = mesh.width() as usize;
         let h = mesh.height() as usize;
         assert!(
-            w % tiles_x == 0 && h % tiles_y == 0,
+            w.is_multiple_of(tiles_x) && h.is_multiple_of(tiles_y),
             "mesh {w}x{h} cannot be tiled into {tiles_x}x{tiles_y} regions"
         );
         let tile_w = (w / tiles_x) as u8;

@@ -128,8 +128,53 @@ impl OutputPort {
     }
 }
 
+/// Largest burst one switch grant can carry: a wide TSB moves
+/// `tsb_width_factor` flits per cycle, and every supported
+/// configuration fits in this bound (checked at network construction).
+pub const MAX_BURST: usize = 4;
+
+/// An inline, fixed-capacity run of flits leaving in one grant — the
+/// hot path moves these by value instead of heap-allocating a `Vec`
+/// per grant per cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct FlitBurst {
+    len: u8,
+    flits: [Flit; MAX_BURST],
+}
+
+impl FlitBurst {
+    /// A burst holding a single flit.
+    fn one(flit: Flit) -> Self {
+        Self {
+            len: 1,
+            flits: [flit; MAX_BURST],
+        }
+    }
+
+    /// Appends a flit. Panics past [`MAX_BURST`].
+    fn push(&mut self, flit: Flit) {
+        self.flits[self.len as usize] = flit;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for FlitBurst {
+    type Target = [Flit];
+    fn deref(&self) -> &[Flit] {
+        &self.flits[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a FlitBurst {
+    type Item = &'a Flit;
+    type IntoIter = std::slice::Iter<'a, Flit>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// A granted switch traversal: flits leaving through an output port.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct SwitchMove {
     /// Source input port.
     pub in_port: usize,
@@ -140,7 +185,7 @@ pub struct SwitchMove {
     /// Output VC (= downstream input VC).
     pub out_vc: usize,
     /// The departing flits (more than one only over a wide TSB).
-    pub flits: Vec<Flit>,
+    pub flits: FlitBurst,
 }
 
 /// Per-cycle scalar parameters for a router step.
@@ -203,9 +248,13 @@ pub struct Router {
     sa_mask: [u64; PORTS],
     /// Child banks managed by this router (empty if not a parent).
     children: Vec<ChildInfo>,
-    /// Sorted `(bank, position in children)` index so the hot-path
-    /// child lookups are binary searches, not linear scans.
-    child_index: Vec<(BankId, u32)>,
+    /// Direct-index lookup: raw bank id -> position in `children`
+    /// (`u8::MAX` = not managed), so the hot-path child lookups are a
+    /// single array access.
+    child_lut: Box<[u8]>,
+    /// Persistent scratch for the switch-allocation grants of one
+    /// cycle (capacity [`PORTS`], never reallocated).
+    sa_moves: Vec<SwitchMove>,
     /// Predicted busy horizons for the children.
     pub busy: BusyTable,
     /// Per-child congestion estimates, refreshed each cycle by the
@@ -220,12 +269,16 @@ impl Router {
     pub fn new(coord: Coord, vcs: usize, depth: usize, children: Vec<ChildInfo>) -> Self {
         let busy = BusyTable::new(children.iter().map(|c| c.bank));
         let child_cong = vec![0; children.len()];
-        let mut child_index: Vec<(BankId, u32)> = children
+        assert!(children.len() < u8::MAX as usize, "child slots fit in u8");
+        let lut_len = children
             .iter()
-            .enumerate()
-            .map(|(i, c)| (c.bank, i as u32))
-            .collect();
-        child_index.sort_unstable_by_key(|&(b, _)| b);
+            .map(|c| c.bank.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut child_lut = vec![u8::MAX; lut_len].into_boxed_slice();
+        for (i, c) in children.iter().enumerate() {
+            child_lut[c.bank.index()] = i as u8;
+        }
         Self {
             coord,
             vcs,
@@ -241,7 +294,8 @@ impl Router {
             va_mask: 0,
             sa_mask: [0; PORTS],
             children,
-            child_index,
+            child_lut,
+            sa_moves: Vec::with_capacity(PORTS),
             busy,
             child_cong,
             stats: RouterStats::default(),
@@ -259,11 +313,21 @@ impl Router {
     }
 
     /// The position of `bank` in `children`/`child_cong`, if managed.
+    #[inline]
     fn child_slot(&self, bank: BankId) -> Option<usize> {
-        self.child_index
-            .binary_search_by_key(&bank, |&(b, _)| b)
-            .ok()
-            .map(|i| self.child_index[i].1 as usize)
+        match self.child_lut.get(bank.index()) {
+            Some(&slot) if slot != u8::MAX => Some(slot as usize),
+            _ => None,
+        }
+    }
+
+    /// Recomputes the per-child congestion estimates in place (called
+    /// by the network each cycle on parent routers; writes into the
+    /// persistent `child_cong` instead of allocating a fresh vector).
+    pub fn refresh_child_cong_with(&mut self, mut estimate: impl FnMut(&ChildInfo) -> Cycle) {
+        for i in 0..self.children.len() {
+            self.child_cong[i] = estimate(&self.children[i]);
+        }
     }
 
     /// `true` if this router is the parent of `bank`.
@@ -475,10 +539,11 @@ impl Router {
     /// Switch allocation: one grant per output port, at most one grant
     /// per input port, prioritized when the bank-aware policy is on.
     ///
-    /// Returns the granted moves; flits are already popped and credits
-    /// decremented.
-    pub fn step_sa(&mut self, view: &dyn NetView, p: StepParams) -> Vec<SwitchMove> {
-        let mut moves = Vec::new();
+    /// Returns the granted moves (backed by a persistent per-router
+    /// buffer, valid until the next call); flits are already popped and
+    /// credits decremented.
+    pub fn step_sa(&mut self, view: &dyn NetView, p: StepParams) -> &[SwitchMove] {
+        self.sa_moves.clear();
         let mut input_port_used = [false; PORTS];
 
         for out_dir in Direction::ALL {
@@ -525,9 +590,10 @@ impl Router {
             self.sa_rr[op] = winner;
             let (port, vc) = (winner / self.vcs, winner % self.vcs);
             input_port_used[port] = true;
-            moves.push(self.grant(port, vc, p));
+            let mv = self.grant(port, vc, p);
+            self.sa_moves.push(mv);
         }
-        moves
+        &self.sa_moves
     }
 
     /// Three-level SA priority (the re-ordering of Figure 2(c)):
@@ -562,7 +628,8 @@ impl Router {
         } else {
             1
         };
-        let mut flits = Vec::with_capacity(burst);
+        debug_assert!(burst <= MAX_BURST);
+        let mut flits: Option<FlitBurst> = None;
         let mut tail_sent = false;
         for _ in 0..burst {
             if tail_sent || self.outputs[route.dir.port()].credits[route.vc] == 0 {
@@ -582,9 +649,13 @@ impl Router {
             self.outputs[route.dir.port()].credits[route.vc] -= 1;
             self.stats.switch_traversals += 1;
             tail_sent = flit.tail;
-            flits.push(flit);
+            match &mut flits {
+                None => flits = Some(FlitBurst::one(flit)),
+                Some(b) => b.push(flit),
+            }
         }
-        debug_assert!(!flits.is_empty());
+        // SA candidacy guarantees a ready front flit with credit.
+        let flits = flits.expect("granted VC moves at least one flit");
         if tail_sent {
             self.outputs[route.dir.port()].owner[route.vc] = None;
             let flat = port * self.vcs + vc;

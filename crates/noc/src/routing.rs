@@ -21,21 +21,58 @@ use snoc_common::config::RequestPathMode;
 use snoc_common::geom::{Coord, Direction, Layer, Mesh};
 
 /// The routing function for one configuration.
+///
+/// The routing decision depends only on the current coordinate, the
+/// destination and whether the packet is subject to the region-TSB
+/// restriction, so the whole function is memoized at construction into
+/// a flat `[restricted][at][dst]` next-hop table: the per-flit lookup
+/// on the hot path is a single array index.
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     mesh: Mesh,
     mode: RequestPathMode,
     regions: RegionMap,
+    /// `2 * (2n)^2` precomputed next hops, `n` nodes per layer.
+    table: Box<[Direction]>,
+    /// Chip positions (`2n`): core layer `0..n`, cache layer `n..2n`.
+    positions: usize,
 }
 
 impl RoutingTable {
-    /// Creates the routing function.
+    /// Creates the routing function and memoizes every next-hop
+    /// decision.
     pub fn new(mesh: Mesh, mode: RequestPathMode, regions: RegionMap) -> Self {
+        let n = mesh.nodes_per_layer();
+        let positions = 2 * n;
+        let mut table = vec![Direction::Local; 2 * positions * positions].into_boxed_slice();
+        for restricted in [false, true] {
+            for at_flat in 0..positions {
+                for dst_flat in 0..positions {
+                    let at = unflatten(mesh, at_flat);
+                    let dst = unflatten(mesh, dst_flat);
+                    let i = (restricted as usize * positions + at_flat) * positions + dst_flat;
+                    table[i] = compute_hop(mesh, &regions, at, dst, restricted);
+                }
+            }
+        }
         Self {
             mesh,
             mode,
             regions,
+            table,
+            positions,
         }
+    }
+
+    /// Chip-flat position of a coordinate (core layer first).
+    #[inline]
+    fn flat(&self, c: Coord) -> usize {
+        let base = if c.layer == Layer::Cache {
+            self.positions / 2
+        } else {
+            0
+        };
+        base + self.mesh.node(c).index()
     }
 
     /// The region map this table routes over.
@@ -51,38 +88,12 @@ impl RoutingTable {
     /// The output direction for `packet` at router `at`.
     ///
     /// Returns [`Direction::Local`] at the destination.
+    #[inline]
     pub fn next_hop(&self, at: Coord, packet: &Packet) -> Direction {
-        let dst = packet.dst;
-        if at == dst {
-            return Direction::Local;
-        }
-
-        let restricted = self.mode == RequestPathMode::RegionTsbs
-            && packet.kind.is_bank_request()
-            && dst.layer == Layer::Cache;
-
-        if restricted && at.layer == Layer::Core {
-            // X-Y towards the region TSB in the core layer, then down.
-            let tsb = self
-                .mesh
-                .coord(self.regions.tsb_for(self.mesh.node(dst)), Layer::Core);
-            return match self.mesh.xy_step(at, tsb) {
-                Some(dir) => dir,
-                None => Direction::Down,
-            };
-        }
-
-        if at.layer != dst.layer {
-            // Z first (the packet is at its source column, or at the
-            // TSB column for restricted requests).
-            return if at.layer == Layer::Core {
-                Direction::Down
-            } else {
-                Direction::Up
-            };
-        }
-
-        self.mesh.xy_step(at, dst).unwrap_or(Direction::Local)
+        let restricted = self.mode == RequestPathMode::RegionTsbs && packet.kind.is_bank_request();
+        let i = (restricted as usize * self.positions + self.flat(at)) * self.positions
+            + self.flat(packet.dst);
+        self.table[i]
     }
 
     /// The full route from `src` to the destination, as the sequence of
@@ -116,6 +127,54 @@ impl RoutingTable {
             && packet.dst.layer == Layer::Cache
             && packet.src.layer == Layer::Core
     }
+}
+
+/// Inverse of [`RoutingTable::flat`].
+fn unflatten(mesh: Mesh, flat: usize) -> Coord {
+    let n = mesh.nodes_per_layer();
+    let (node, layer) = if flat < n {
+        (flat, Layer::Core)
+    } else {
+        (flat - n, Layer::Cache)
+    };
+    mesh.coord(snoc_common::ids::NodeId::new(node as u16), layer)
+}
+
+/// The unmemoized routing decision; `restricted` says the packet is a
+/// bank request under the region-TSB path mode (the destination-layer
+/// condition is applied here, so core-layer destinations route
+/// identically in both halves of the table).
+fn compute_hop(
+    mesh: Mesh,
+    regions: &RegionMap,
+    at: Coord,
+    dst: Coord,
+    restricted: bool,
+) -> Direction {
+    if at == dst {
+        return Direction::Local;
+    }
+
+    if restricted && dst.layer == Layer::Cache && at.layer == Layer::Core {
+        // X-Y towards the region TSB in the core layer, then down.
+        let tsb = mesh.coord(regions.tsb_for(mesh.node(dst)), Layer::Core);
+        return match mesh.xy_step(at, tsb) {
+            Some(dir) => dir,
+            None => Direction::Down,
+        };
+    }
+
+    if at.layer != dst.layer {
+        // Z first (the packet is at its source column, or at the
+        // TSB column for restricted requests).
+        return if at.layer == Layer::Core {
+            Direction::Down
+        } else {
+            Direction::Up
+        };
+    }
+
+    mesh.xy_step(at, dst).unwrap_or(Direction::Local)
 }
 
 #[cfg(test)]
@@ -251,6 +310,38 @@ mod tests {
             }
         }
         assert!(penultimate.len() > 1, "Z-X-Y should have path diversity");
+    }
+
+    #[test]
+    fn memoized_table_matches_direct_computation() {
+        // Every (mode, at, dst, kind-class) the simulator can query
+        // must resolve to the same hop the unmemoized function yields.
+        for mode in [RequestPathMode::AllTsvs, RequestPathMode::RegionTsbs] {
+            let t = table(mode);
+            let m = mesh();
+            for kind in [PacketKind::BankRead, PacketKind::DataReply] {
+                for at_node in 0..64u16 {
+                    for dst_node in 0..64u16 {
+                        for at_layer in [Layer::Core, Layer::Cache] {
+                            for dst_layer in [Layer::Core, Layer::Cache] {
+                                let at = m.coord(NodeId::new(at_node), at_layer);
+                                let dst = m.coord(NodeId::new(dst_node), dst_layer);
+                                let p = pkt(kind, at, dst);
+                                let restricted =
+                                    mode == RequestPathMode::RegionTsbs && kind.is_bank_request();
+                                let expect =
+                                    super::compute_hop(m, t.regions(), at, dst, restricted);
+                                assert_eq!(
+                                    t.next_hop(at, &p),
+                                    expect,
+                                    "{mode:?} {kind:?} {at} -> {dst}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -89,10 +89,10 @@ impl BenchmarkProfile {
     }
 
     /// Capacity sensitivity `alpha` in `[0, 0.9]`: how much a larger L2
-    /// shrinks the miss rate. Streaming applications (miss ratio near
-    /// 1) gain nothing from capacity; read-intensive applications with
-    /// reusable working sets gain the most. This is the derived knob
-    /// behind the paper's observation that read-heavy benchmarks
+    /// shrinks the miss rate. Streaming applications (miss ratio
+    /// near 1) gain nothing from capacity; read-intensive applications
+    /// with reusable working sets gain the most. This is the derived
+    /// knob behind the paper's observation that read-heavy benchmarks
     /// benefit from the 4x STT-RAM capacity.
     pub fn capacity_sensitivity(&self) -> f64 {
         0.9 * self.read_share() * (1.0 - self.l2_miss_ratio())

@@ -18,12 +18,14 @@ fn params(
     policy: ArbitrationPolicy,
     hops: u32,
 ) -> NetworkParams {
-    let mut cfg = SystemConfig::default();
-    cfg.path_mode = mode;
-    cfg.regions = regions;
-    cfg.tsb_placement = placement;
-    cfg.arbitration = policy;
-    cfg.parent_hops = hops;
+    let cfg = SystemConfig {
+        path_mode: mode,
+        regions,
+        tsb_placement: placement,
+        arbitration: policy,
+        parent_hops: hops,
+        ..SystemConfig::default()
+    };
     NetworkParams::from_config(&cfg)
 }
 

@@ -111,7 +111,7 @@ fn directory_invariant_holds() {
                     }
                 }
                 1 => d.set_owner(c),
-                2 => d.downgrade_owner(core % 2 == 0),
+                2 => d.downgrade_owner(core.is_multiple_of(2)),
                 _ => d.remove(c),
             }
             assert!(d.invariant_holds());
