@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 build+test, formatting, and a sweep determinism
-# smoke test (SNOC_THREADS must not change a repro binary's stdout).
+# CI gate: tier-1 build+test, formatting, lints, the audited
+# conformance leg, a sweep determinism smoke test (SNOC_THREADS must
+# not change a repro binary's stdout), a perf smoke gated against the
+# tracked baseline, a telemetry smoke, and an optional coverage floor.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,9 +33,26 @@ diff -u "$tmp/t1.out" "$tmp/t4.out"
 test -s "$tmp/t1.out"
 echo "ok: identical across thread counts"
 
-echo "== perf smoke: repro-perf runs and emits a parseable report =="
-cargo run --release -q -p snoc-bench --bin repro-perf -- --smoke --out "$tmp/bench.json" \
-    >/dev/null
+echo "== perf smoke: repro-perf within 10% of the tracked baseline =="
+SNOC_BENCH_BASELINE=BENCH_hotpath.json \
+    cargo run --release -q -p snoc-bench --bin repro-perf -- \
+    --smoke --out "$tmp/bench.json" --assert-within 10 >/dev/null
 grep -q '"kernels/network_step"' "$tmp/bench.json"
+
+echo "== telemetry smoke: repro-telemetry writes heatmaps and a trace =="
+cargo run --release -q -p snoc-bench --bin repro-telemetry -- --smoke \
+    >/dev/null 2>&1
+test -s "$tmp/results/telemetry/fig6_util_heatmap.csv"
+test -s "$tmp/results/telemetry/fig6_hold_heatmap.csv"
+test -s "$tmp/results/telemetry/fig6_latency_hist.csv"
+test -s "$tmp/results/telemetry/fig6_trace.jsonl"
+
+echo "== coverage: line floor over snoc-noc (gated on tool presence) =="
+if cargo llvm-cov --version >/dev/null 2>&1; then
+    cargo llvm-cov -q -p snoc-noc --fail-under-lines 70 --summary-only
+else
+    echo "skipped: cargo-llvm-cov is not installed" \
+        "(cargo install cargo-llvm-cov to enable this leg)"
+fi
 
 echo "== ci passed =="

@@ -13,6 +13,13 @@
 //! `--smoke` shrinks the warm-up/measure budgets to a fraction of a
 //! second; it exists so CI can keep this binary building and running
 //! without paying for a real measurement.
+//!
+//! `--assert-within <pct>` turns the baseline comparison into a gate:
+//! the process exits nonzero when the `kernels/network_step` *best*
+//! iteration is more than `pct` percent slower than the baseline's
+//! best (best-vs-best because a loaded CI machine inflates the mean
+//! far more than the minimum). It requires a readable
+//! `SNOC_BENCH_BASELINE` with that benchmark in it.
 
 use snoc_bench::harness::{self, Timing};
 use snoc_common::config::SystemConfig;
@@ -33,6 +40,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let assert_within: Option<f64> = args
+        .iter()
+        .position(|a| a == "--assert-within")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
 
     let (warmup, measure) = if smoke {
         (Duration::from_millis(20), Duration::from_millis(120))
@@ -94,6 +106,32 @@ fn main() {
                 ratio(b.best, t.best),
             );
         }
+    }
+
+    if let Some(pct) = assert_within {
+        let name = "kernels/network_step";
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) else {
+            eprintln!(
+                "error: --assert-within needs a baseline entry for {name} \
+                 (point SNOC_BENCH_BASELINE at a snoc-bench/1 document)"
+            );
+            std::process::exit(1);
+        };
+        let (_, t) = records.iter().find(|(n, _)| n == name).expect("bench ran");
+        let limit_ns = base.best.as_nanos() as f64 * (1.0 + pct / 100.0);
+        if t.best.as_nanos() as f64 > limit_ns {
+            eprintln!(
+                "error: {name} best {:.3} ms exceeds baseline best {:.3} ms by more than {pct}%",
+                t.best.as_secs_f64() * 1e3,
+                base.best.as_secs_f64() * 1e3,
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "{name}: best {:.3} ms within {pct}% of baseline best {:.3} ms",
+            t.best.as_secs_f64() * 1e3,
+            base.best.as_secs_f64() * 1e3,
+        );
     }
 }
 

@@ -1,0 +1,254 @@
+//! Telemetry deep-dive of one Quick-scale fig6 cell.
+//!
+//! Runs the paper's headline configuration (`SttRam4TsbWb`, the `sap`
+//! server workload) with `SNOC_TELEMETRY` forced on and writes, under
+//! `<SNOC_RESULTS_DIR|results>/telemetry/`:
+//!
+//! * `fig6_util_heatmap.{txt,csv}` — mean buffer utilization per
+//!   router, one row per (layer, y), one column per x;
+//! * `fig6_hold_heatmap.{txt,csv}` — mean bank-aware hold delay per
+//!   router, same shape;
+//! * `fig6_latency_hist.{txt,csv}` — log2-bucketed end-to-end latency
+//!   per traffic class and per hop count;
+//! * `fig6_timeseries.{txt,csv}` — the per-epoch time series;
+//! * `fig6_trace.jsonl` — the retained flit-trace ring, replayable
+//!   event by event.
+//!
+//! `--smoke` is accepted for CI symmetry with the other binaries; the
+//! cell is Quick-scale either way, so it changes nothing.
+
+use snoc_core::experiments::Scale;
+use snoc_core::report::{self, Rows};
+use snoc_core::scenario::Scenario;
+use snoc_core::system::System;
+use snoc_noc::telemetry::{EpochRow, TelemetrySummary, CLASS_NAMES, LATENCY_EDGES};
+use snoc_workload::table3 as t3;
+use std::fmt;
+
+/// Per-router scalar rendered as a (layer, y) x (x) grid.
+struct Heatmap {
+    title: &'static str,
+    width: usize,
+    height: usize,
+    /// Core layer first, then cache, row-major (network router order).
+    values: Vec<f64>,
+}
+
+impl Heatmap {
+    fn layer_rows(&self) -> Vec<(String, Vec<f64>)> {
+        let n = self.width * self.height;
+        let mut rows = Vec::with_capacity(2 * self.height);
+        for (layer, base) in [("core", 0), ("cache", n)] {
+            for y in 0..self.height {
+                let start = base + y * self.width;
+                rows.push((
+                    format!("{layer}/y{y}"),
+                    self.values[start..start + self.width].to_vec(),
+                ));
+            }
+        }
+        rows
+    }
+}
+
+impl Rows for Heatmap {
+    fn header(&self) -> Vec<String> {
+        (0..self.width).map(|x| format!("x{x}")).collect()
+    }
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        self.layer_rows()
+    }
+}
+
+impl fmt::Display for Heatmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        for (label, values) in self.layer_rows() {
+            write!(f, "{label:>9}")?;
+            for v in values {
+                write!(f, " {v:8.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Latency histograms per class and per hop count over shared edges.
+struct LatencyHist {
+    summary: TelemetrySummary,
+}
+
+impl Rows for LatencyHist {
+    fn header(&self) -> Vec<String> {
+        let mut h: Vec<String> = LATENCY_EDGES.iter().map(|e| format!("<={e}")).collect();
+        h.push(format!(">{}", LATENCY_EDGES[LATENCY_EDGES.len() - 1]));
+        h
+    }
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        let counts = |h: &snoc_common::stats::Histogram| -> Vec<f64> {
+            h.counts().iter().map(|&c| c as f64).collect()
+        };
+        let mut rows: Vec<(String, Vec<f64>)> = CLASS_NAMES
+            .iter()
+            .zip(&self.summary.class_latency)
+            .map(|(name, h)| (format!("class/{name}"), counts(h)))
+            .collect();
+        let last = self.summary.hop_latency.len() - 1;
+        for (i, h) in self.summary.hop_latency.iter().enumerate() {
+            let label = if i == last {
+                format!("hops/{i}+")
+            } else {
+                format!("hops/{i}")
+            };
+            rows.push((label, counts(h)));
+        }
+        rows
+    }
+}
+
+impl fmt::Display for LatencyHist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "end-to-end latency histograms (counts per bucket)")?;
+        writeln!(f, "buckets: {:?} + overflow", LATENCY_EDGES)?;
+        for (label, values) in self.rows() {
+            let total: f64 = values.iter().sum();
+            if total == 0.0 {
+                continue;
+            }
+            write!(f, "{label:>16} |")?;
+            for v in values {
+                write!(f, " {v:6.0}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The per-epoch time series as labelled rows.
+struct TimeSeries {
+    series: Vec<EpochRow>,
+}
+
+impl Rows for TimeSeries {
+    fn header(&self) -> Vec<String> {
+        [
+            "in_flight",
+            "buffered",
+            "tsb_buffered",
+            "busy_frac",
+            "delivered_delta",
+            "held_cycles_delta",
+        ]
+        .map(String::from)
+        .to_vec()
+    }
+    fn rows(&self) -> Vec<(String, Vec<f64>)> {
+        self.series
+            .iter()
+            .map(|r| {
+                (
+                    format!("c{}", r.cycle),
+                    vec![
+                        r.in_flight as f64,
+                        r.buffered as f64,
+                        r.tsb_buffered as f64,
+                        r.busy_frac,
+                        r.delivered_delta as f64,
+                        r.held_cycles_delta as f64,
+                    ],
+                )
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "per-epoch time series ({} samples)", self.series.len())?;
+        writeln!(
+            f,
+            "{:>8} {:>9} {:>8} {:>12} {:>9} {:>15} {:>17}",
+            "cycle",
+            "in_flight",
+            "buffered",
+            "tsb_buffered",
+            "busy",
+            "delivered_delta",
+            "held_cycles_delta"
+        )?;
+        for r in &self.series {
+            writeln!(
+                f,
+                "{:>8} {:>9} {:>8} {:>12} {:>9.3} {:>15} {:>17}",
+                r.cycle,
+                r.in_flight,
+                r.buffered,
+                r.tsb_buffered,
+                r.busy_frac,
+                r.delivered_delta,
+                r.held_cycles_delta
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn main() {
+    // Force the collector on for this binary regardless of the
+    // caller's environment; epoch/trace overrides still apply.
+    std::env::set_var("SNOC_TELEMETRY", "1");
+
+    let cfg = Scale::Quick.apply(Scenario::SttRam4TsbWb.config());
+    let (width, height) = (cfg.noc.width as usize, cfg.noc.height as usize);
+    let app = t3::by_name("sap").expect("table 3 has sap");
+    let metrics = System::homogeneous(cfg, app).run();
+    let summary = metrics
+        .telemetry
+        .expect("telemetry was forced on for this run");
+    eprintln!("telemetry: {}", summary.digest());
+
+    let base = std::env::var("SNOC_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let dir = format!("{base}/telemetry");
+
+    let util = Heatmap {
+        title: "mean router buffer utilization (fraction of capacity)",
+        width,
+        height,
+        values: summary.router_util.clone(),
+    };
+    let hold = Heatmap {
+        title: "mean bank-aware hold delay per router (cycles)",
+        width,
+        height,
+        values: summary.router_hold_mean.clone(),
+    };
+    let series = TimeSeries {
+        series: summary.series.clone(),
+    };
+    let trace = summary.trace_jsonl();
+    let hist = LatencyHist { summary };
+
+    save(&dir, "fig6_util_heatmap", &util);
+    save(&dir, "fig6_hold_heatmap", &hold);
+    save(&dir, "fig6_latency_hist", &hist);
+    save(&dir, "fig6_timeseries", &series);
+    match report::save_raw(&dir, "fig6_trace", "jsonl", &trace) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("error: could not write trace under {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn save<R: Rows + fmt::Display>(dir: &str, name: &str, result: &R) {
+    match report::save(dir, name, result) {
+        Ok((txt, csv)) => eprintln!("wrote {} and {}", txt.display(), csv.display()),
+        Err(e) => {
+            eprintln!("error: could not write {name} under {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

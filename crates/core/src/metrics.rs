@@ -5,6 +5,7 @@
 use snoc_common::stats::Histogram;
 use snoc_energy::EnergyBreakdown;
 use snoc_noc::audit::AuditReport;
+use snoc_noc::telemetry::TelemetrySummary;
 
 /// The measured output of one simulation run.
 #[derive(Debug, Clone)]
@@ -51,6 +52,9 @@ pub struct RunMetrics {
     /// NoC invariant audit outcome (`None` unless `SNOC_AUDIT` or
     /// [`snoc_noc::NetworkParams::audit`] enabled the auditor).
     pub audit: Option<AuditReport>,
+    /// NoC telemetry (`None` unless `SNOC_TELEMETRY` or
+    /// [`snoc_noc::NetworkParams::telemetry`] enabled the collector).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunMetrics {
@@ -148,6 +152,7 @@ mod tests {
             held_cycles: 50,
             energy: EnergyBreakdown::default(),
             audit: None,
+            telemetry: None,
         }
     }
 

@@ -78,6 +78,13 @@ pub trait RunObserver: Sync {
         let _ = (label, message);
     }
 
+    /// A cell's run carried telemetry (`SNOC_TELEMETRY` was on);
+    /// `note` is the collector's one-line digest. Called before
+    /// [`RunObserver::cell_finished`].
+    fn telemetry_note(&self, label: &str, note: &str) {
+        let _ = (label, note);
+    }
+
     /// The whole grid is done.
     fn sweep_finished(&self, summary: &SweepSummary) {
         let _ = summary;
@@ -147,6 +154,10 @@ impl RunObserver for ProgressObserver {
         eprintln!("AUDIT {label}: {message}");
     }
 
+    fn telemetry_note(&self, label: &str, note: &str) {
+        eprintln!("TELEMETRY {label}: {note}");
+    }
+
     fn sweep_finished(&self, s: &SweepSummary) {
         eprintln!(
             "{}: {} cells in {:.2} s ({}, {} failed)",
@@ -173,6 +184,14 @@ impl RunObserver for MachineObserver {
             "audit label={} message={}",
             label.replace(' ', "_"),
             message.replace(' ', "_")
+        );
+    }
+
+    fn telemetry_note(&self, label: &str, note: &str) {
+        println!(
+            "telemetry label={} note={}",
+            label.replace(' ', "_"),
+            note.replace(' ', "_")
         );
     }
 

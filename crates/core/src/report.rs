@@ -63,6 +63,21 @@ pub fn save<R: Rows + Display>(
     Ok((txt, csv))
 }
 
+/// Writes `<dir>/<name>.<ext>` verbatim, creating `dir` if needed —
+/// for non-tabular artifacts such as JSONL traces. Returns the path.
+pub fn save_raw(
+    dir: impl AsRef<Path>,
+    name: &str,
+    ext: &str,
+    contents: &str,
+) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.{ext}"));
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +119,15 @@ mod tests {
         let (txt, csv) = save(&dir, "dummy", &Dummy).unwrap();
         assert_eq!(std::fs::read_to_string(&txt).unwrap(), "dummy");
         assert!(std::fs::read_to_string(&csv).unwrap().starts_with("label,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_raw_writes_verbatim() {
+        let dir = std::env::temp_dir().join("snoc-report-raw-test");
+        let path = save_raw(&dir, "trace", "jsonl", "{\"a\":1}\n").unwrap();
+        assert!(path.ends_with("trace.jsonl"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}\n");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

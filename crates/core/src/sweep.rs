@@ -288,6 +288,9 @@ impl SweepRunner {
                         observer.audit_violation(&label, sample);
                     }
                 }
+                if let Some(t) = &metrics.telemetry {
+                    observer.telemetry_note(&label, &t.digest());
+                }
             }
             let result = CellResult {
                 index: i,

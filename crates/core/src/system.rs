@@ -611,6 +611,7 @@ impl System {
             held_cycles: self.net.held_cycles(),
             energy,
             audit: self.net.audit_report().cloned(),
+            telemetry: self.net.telemetry_summary(),
         }
     }
 

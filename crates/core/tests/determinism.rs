@@ -5,7 +5,8 @@
 //! paper's full STT-RAM + bank-aware-arbitration configuration.
 //!
 //! One `#[test]` on purpose: it toggles the process-wide `SNOC_AUDIT`
-//! environment variable, which must not race a parallel test.
+//! and `SNOC_TELEMETRY` environment variables, which must not race a
+//! parallel test.
 
 use snoc_core::experiments::Scale;
 use snoc_core::metrics::RunMetrics;
@@ -18,12 +19,13 @@ fn run_cell(scenario: Scenario) -> RunMetrics {
     System::homogeneous(Scale::Quick.apply(scenario.config()), app).run()
 }
 
-/// The full metrics record as a comparable string, minus the audit
-/// attachment (present only on audited runs; everything the simulation
-/// computed must match bit-for-bit).
+/// The full metrics record as a comparable string, minus the audit and
+/// telemetry attachments (present only on instrumented runs; everything
+/// the simulation computed must match bit-for-bit).
 fn fingerprint(m: &RunMetrics) -> String {
     let mut m = m.clone();
     m.audit = None;
+    m.telemetry = None;
     format!("{m:?}")
 }
 
@@ -56,6 +58,25 @@ fn quick_cells_are_deterministic_and_audit_clean() {
             fingerprint(&first),
             fingerprint(&audited),
             "{scenario:?}: auditing changed simulated behaviour"
+        );
+
+        std::env::set_var("SNOC_TELEMETRY", "1");
+        let instrumented = run_cell(scenario);
+        std::env::remove_var("SNOC_TELEMETRY");
+
+        let summary = instrumented
+            .telemetry
+            .clone()
+            .expect("SNOC_TELEMETRY enables the collector");
+        assert!(summary.epochs_sampled > 0, "collector must have sampled");
+        assert!(
+            summary.class_latency.iter().any(|h| h.total() > 0),
+            "{scenario:?}: no latencies recorded"
+        );
+        assert_eq!(
+            fingerprint(&first),
+            fingerprint(&instrumented),
+            "{scenario:?}: telemetry changed simulated behaviour"
         );
     }
 }

@@ -96,6 +96,11 @@ impl BusyTable {
     pub fn release_at(&self, bank: BankId, arrival_latency: Cycle) -> Cycle {
         self.busy_until(bank).saturating_sub(arrival_latency)
     }
+
+    /// How many managed banks are predicted busy at `now` (telemetry).
+    pub fn busy_now(&self, now: Cycle) -> usize {
+        self.until.iter().filter(|&&u| u > now).count()
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +161,17 @@ mod tests {
         t.on_forward(bank(1), 100, 4, 33); // busy until 137
         assert!(t.would_queue(bank(1), 128, 4));
         assert!(!t.would_queue_with_slack(bank(1), 128, 4, 8));
+    }
+
+    #[test]
+    fn busy_now_counts_banks_with_open_horizons() {
+        let mut t = BusyTable::new([bank(1), bank(2), bank(3)]);
+        assert_eq!(t.busy_now(0), 0);
+        t.on_forward(bank(1), 100, 4, 33); // until 137
+        t.on_forward(bank(3), 100, 4, 3); // until 107
+        assert_eq!(t.busy_now(100), 2);
+        assert_eq!(t.busy_now(107), 1, "horizon is exclusive at its end");
+        assert_eq!(t.busy_now(137), 0);
     }
 
     #[test]

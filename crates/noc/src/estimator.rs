@@ -72,16 +72,20 @@ impl WbEstimator {
     /// Called when the tag acknowledgement for `child` arrives back at
     /// the parent. `base_one_way` is the uncontended parent->child
     /// latency; congestion = max(0, RTT/2 - base), smoothed 3:1
-    /// towards the previous estimate.
-    pub fn on_ack(&mut self, child: BankId, stamp: u8, now: Cycle, base_one_way: Cycle) {
-        let Some(st) = self.children.get_mut(&child) else {
-            return;
-        };
-        let Some((expected, sent_at)) = st.outstanding else {
-            return;
-        };
+    /// towards the previous estimate. Returns the congestion sample the
+    /// ack produced, or `None` when the ack was ignored (unknown child,
+    /// no outstanding tag, or a stamp mismatch).
+    pub fn on_ack(
+        &mut self,
+        child: BankId,
+        stamp: u8,
+        now: Cycle,
+        base_one_way: Cycle,
+    ) -> Option<Cycle> {
+        let st = self.children.get_mut(&child)?;
+        let (expected, sent_at) = st.outstanding?;
         if expected != stamp {
-            return;
+            return None;
         }
         st.outstanding = None;
         // The hardware only carries the 8-bit stamp, so the RTT must
@@ -105,6 +109,7 @@ impl WbEstimator {
         } else {
             (3 * st.estimate + sample) / 4
         };
+        Some(sample)
     }
 
     /// The current congestion estimate towards `child`, in cycles.
@@ -264,7 +269,7 @@ mod tests {
             if wb.on_forward(BankId::new(1), i, 100).is_some() {
                 tags += 1;
                 // Acknowledge immediately so the next window can tag.
-                wb.on_ack(BankId::new(1), stamp_of(i), i + 8, 4);
+                assert!(wb.on_ack(BankId::new(1), stamp_of(i), i + 8, 4).is_some());
             }
         }
         assert_eq!(tags, 2);
@@ -279,12 +284,12 @@ mod tests {
             }
         };
         // RTT of 28 cycles, base one-way 4 => sample = 14 - 4 = 10.
-        wb.on_ack(BankId::new(1), stamp, 1028, 4);
+        assert_eq!(wb.on_ack(BankId::new(1), stamp, 1028, 4), Some(10));
         // The first observation is adopted directly.
         assert_eq!(wb.estimate(BankId::new(1)), 10);
         // Subsequent samples are smoothed 3:1.
         let stamp = wb.on_forward(BankId::new(1), 2000, 1).unwrap();
-        wb.on_ack(BankId::new(1), stamp, 2012, 4); // sample 2
+        assert_eq!(wb.on_ack(BankId::new(1), stamp, 2012, 4), Some(2));
         assert_eq!(wb.estimate(BankId::new(1)), (3 * 10 + 2) / 4);
     }
 
@@ -298,7 +303,7 @@ mod tests {
         // represent. Hardware only has the stamp, so the decode gives
         // (1300 - 232) mod 256 = 44, not the wide 300:
         // sample = 44/2 - 4 = 18.
-        wb.on_ack(BankId::new(1), stamp, 1300, 4);
+        assert_eq!(wb.on_ack(BankId::new(1), stamp, 1300, 4), Some(18));
         assert_eq!(wb.estimate(BankId::new(1)), 18);
     }
 
@@ -306,11 +311,14 @@ mod tests {
     fn wb_ignores_mismatched_or_unknown_acks() {
         let mut wb = WbEstimator::new([BankId::new(1)]);
         let stamp = wb.on_forward(BankId::new(1), 5, 1).unwrap();
-        wb.on_ack(BankId::new(1), stamp.wrapping_add(1), 20, 4);
+        assert_eq!(
+            wb.on_ack(BankId::new(1), stamp.wrapping_add(1), 20, 4),
+            None
+        );
         assert_eq!(wb.estimate(BankId::new(1)), 0);
-        wb.on_ack(BankId::new(9), stamp, 20, 4);
+        assert_eq!(wb.on_ack(BankId::new(9), stamp, 20, 4), None);
         // The genuine ack still lands.
-        wb.on_ack(BankId::new(1), stamp, 105, 4);
+        assert!(wb.on_ack(BankId::new(1), stamp, 105, 4).is_some());
         assert!(wb.estimate(BankId::new(1)) > 0);
     }
 

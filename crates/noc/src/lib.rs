@@ -40,7 +40,9 @@ pub mod parent;
 pub mod regions;
 pub mod router;
 pub mod routing;
+pub mod telemetry;
 
 pub use audit::{AuditConfig, AuditReport, NetAuditor};
 pub use network::{NetStats, Network, NetworkParams};
 pub use packet::{Flit, Packet, PacketKind, TrafficClass};
+pub use telemetry::{TelemetryConfig, TelemetrySummary};

@@ -11,6 +11,7 @@ use crate::parent::ParentMap;
 use crate::regions::RegionMap;
 use crate::router::{NetView, Router, StepParams, SwitchMove, MAX_BURST};
 use crate::routing::RoutingTable;
+use crate::telemetry::{NetTelemetry, TelemetryConfig, TelemetrySummary};
 use snoc_common::config::{
     ArbitrationPolicy, Estimator, NocConfig, RequestPathMode, SystemConfig, TsbPlacement,
 };
@@ -51,6 +52,8 @@ pub struct NetworkParams {
     pub hold_slack: Cycle,
     /// Invariant auditing configuration (`None` = off).
     pub audit: Option<AuditConfig>,
+    /// Telemetry collection configuration (`None` = off).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl NetworkParams {
@@ -72,6 +75,7 @@ impl NetworkParams {
             max_hold: 3 * cfg.mem.stt_write_latency,
             hold_slack: cfg.noc.hold_slack,
             audit: AuditConfig::from_env(),
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 }
@@ -190,6 +194,8 @@ pub struct Network {
     eject_events: Vec<DeliveryEvent>,
     /// Optional invariant checker, boxed off the hot state.
     auditor: Option<Box<NetAuditor>>,
+    /// Optional telemetry collector, boxed off the hot state.
+    telemetry: Option<Box<NetTelemetry>>,
 }
 
 impl Network {
@@ -278,6 +284,20 @@ impl Network {
             .filter(|(_, r)| !r.children().is_empty())
             .map(|(i, _)| i as u32)
             .collect();
+        let telemetry = params.telemetry.map(|cfg| {
+            Box::new(NetTelemetry::new(
+                cfg,
+                routers.len(),
+                params.noc.vcs_per_port,
+            ))
+        });
+        if telemetry.is_some() {
+            // Routers report VA grants and closed holds through their
+            // taps only while a collector is listening.
+            for r in &mut routers {
+                r.tap = Some(Box::default());
+            }
+        }
         Self {
             params,
             mesh,
@@ -298,6 +318,7 @@ impl Network {
             now: 0,
             stats: NetStats::default(),
             auditor: params.audit.map(|cfg| Box::new(NetAuditor::new(cfg))),
+            telemetry,
         }
     }
 
@@ -373,6 +394,9 @@ impl Network {
         if let Some(a) = &mut self.auditor {
             a.note_offered(self.arena.get(id).uid, self.now);
         }
+        if let Some(t) = &mut self.telemetry {
+            t.note_inject(self.arena.get(id).uid, src, self.now);
+        }
         let idx = self.ridx(src);
         self.nics[idx].enqueue(id, class);
         self.nic_inject_wake.set(idx);
@@ -402,6 +426,10 @@ impl Network {
                 TrafficClass::Request => self.stats.request_latency.record(lat),
                 TrafficClass::Response => self.stats.response_latency.record(lat),
                 TrafficClass::Coherence => self.stats.coherence_latency.record(lat),
+            }
+            if let Some(t) = &mut self.telemetry {
+                let hops = p.src.manhattan(p.dst) + u32::from(p.src.layer != p.dst.layer);
+                t.note_deliver(p.uid, at, p.kind.class(), hops, p.net_latency(), self.now);
             }
         }
         delivered
@@ -473,6 +501,18 @@ impl Network {
                     for m in self.routers[idx].step_sa(&view, p) {
                         moves.push((idx, *m));
                     }
+                    if let Some(t) = &mut self.telemetry {
+                        let coord = self.routers[idx].coord();
+                        if let Some(tap) = self.routers[idx].tap.as_mut() {
+                            for &(pid, dir, vc) in &tap.va_grants {
+                                t.note_va(self.arena.get(pid).uid, coord, dir, vc, now);
+                            }
+                            for &delay in &tap.hold_delays {
+                                t.note_hold(idx, delay);
+                            }
+                            tap.clear();
+                        }
+                    }
                 }
             }
         }
@@ -533,6 +573,17 @@ impl Network {
                     wb.expire_stale(now, self.params.noc.wb_tag_timeout);
                 }
             }
+        }
+
+        // Telemetry sees the same end-of-step state the auditor checks.
+        if let Some(t) = &mut self.telemetry {
+            t.on_cycle_end(
+                now,
+                &self.routers,
+                self.arena.live(),
+                self.stats.delivered,
+                &self.wide_down,
+            );
         }
 
         // Invariants hold at end-of-step: flit movement and credit
@@ -629,6 +680,11 @@ impl Network {
             }
         }
 
+        if let Some(t) = &mut self.telemetry {
+            let uid = self.arena.get(m.flits[0].packet).uid;
+            t.note_link(idx, coord, uid, m.out_dir, m.out_vc as u8, nflits, now);
+        }
+
         // Return credits upstream for the freed buffer slots.
         let in_dir = Direction::ALL[m.in_port];
         if in_dir == Direction::Local {
@@ -692,7 +748,11 @@ impl Network {
                     .unwrap_or(0);
                 if let EstimatorState::WindowBased(map) = &mut self.estimator {
                     if let Some(wb) = map.get_mut(&tag.parent) {
-                        wb.on_ack(tag.child, tag.stamp, when, base);
+                        let before = wb.estimate(tag.child);
+                        let sample = wb.on_ack(tag.child, tag.stamp, when, base);
+                        if let (Some(sample), Some(t)) = (sample, &mut self.telemetry) {
+                            t.note_estimator(before, sample);
+                        }
                     }
                 }
             }
@@ -706,6 +766,14 @@ impl Network {
         for r in &mut self.routers {
             r.reset_stats();
         }
+        if let Some(t) = &mut self.telemetry {
+            t.reset();
+        }
+    }
+
+    /// The collected telemetry so far, when telemetry is enabled.
+    pub fn telemetry_summary(&self) -> Option<TelemetrySummary> {
+        self.telemetry.as_deref().map(NetTelemetry::summary)
     }
 
     /// Total packets held at parent routers so far.
@@ -785,6 +853,7 @@ mod tests {
             max_hold: 99,
             hold_slack: 0,
             audit: None,
+            telemetry: None,
         }
     }
 
@@ -1138,6 +1207,72 @@ mod tests {
         assert_eq!(net.in_flight(), 0);
         let report = net.audit_report().unwrap();
         assert!(report.violations == 0, "violations: {:?}", report.samples);
+    }
+
+    #[test]
+    fn telemetry_collects_without_changing_the_run() {
+        let aware = ArbitrationPolicy::BankAware {
+            estimator: Estimator::WindowBased,
+        };
+        let run = |telemetry: Option<TelemetryConfig>| {
+            let mut p = params(RequestPathMode::RegionTsbs, aware);
+            p.wb_window = 2;
+            p.telemetry = telemetry;
+            let mut net = Network::new(p);
+            for i in 0..100u64 {
+                let src = core(&net, ((i * 11) % 64) as u16);
+                let dst = cache(&net, ((i * 29) % 64) as u16);
+                let kind = if i % 3 == 0 {
+                    PacketKind::Writeback
+                } else {
+                    PacketKind::BankRead
+                };
+                net.inject(Packet::new(kind, src, dst, i, i));
+            }
+            let mut delivered = 0;
+            for _ in 0..2500 {
+                net.step();
+                for node in 0..64u16 {
+                    delivered += net.drain_delivered(cache(&net, node)).len();
+                }
+            }
+            let fp = (
+                delivered,
+                net.stats().latency.mean(),
+                net.held_packets(),
+                net.stats().vertical_flits,
+                net.stats().tag_acks,
+            );
+            (fp, net.telemetry_summary())
+        };
+        let (fp_off, none) = run(None);
+        let (fp_on, summary) = run(Some(TelemetryConfig::default()));
+        assert!(none.is_none());
+        assert_eq!(fp_off, fp_on, "collection must not perturb the run");
+        let s = summary.expect("telemetry was on");
+        assert!(s.epochs_sampled > 0);
+        assert_eq!(s.router_util.len(), 128);
+        assert_eq!(
+            s.class_latency.iter().map(|h| h.total()).sum::<u64>(),
+            100,
+            "every delivery lands in a class histogram"
+        );
+        assert_eq!(
+            s.hop_latency.iter().map(|h| h.total()).sum::<u64>(),
+            100,
+            "and in a hop histogram"
+        );
+        assert!(s.hold_delay.total() > 0, "bank-aware holds were recorded");
+        assert!(
+            s.trace
+                .iter()
+                .any(|e| e.stage == crate::telemetry::TraceStage::Deliver),
+            "the trace retains deliveries"
+        );
+        assert!(
+            s.link_flits.iter().flatten().sum::<u64>() > 0,
+            "link counters move"
+        );
     }
 
     #[test]

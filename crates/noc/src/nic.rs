@@ -470,6 +470,49 @@ mod tests {
     }
 
     #[test]
+    fn eject_buffered_counter_tracks_per_vc_depths_exactly() {
+        // The O(1) early-out in `drain_eject` hinges on the counter: it
+        // must equal the summed per-VC depths after every mutation,
+        // reaching zero exactly when all VCs are empty — a phantom
+        // non-zero count would burn cycles, a phantom zero would strand
+        // buffered flits forever.
+        use snoc_common::rng::SimRng;
+        let (mut nic, _router, mut arena) = mk();
+        let mut rng = SimRng::for_stream(0x41C, 0);
+        fn check(nic: &Nic) {
+            let total: usize = (0..6).map(|v| nic.eject_depth(v)).sum();
+            assert_eq!(nic.eject_buffered(), total, "counter out of sync");
+        }
+        for step in 0..500u64 {
+            if rng.chance(0.6) {
+                let id = request(&mut arena);
+                let vc = rng.below(6);
+                for flit in Flit::sequence(id, 1 + rng.below(4)) {
+                    nic.accept_eject(vc, flit);
+                    check(&nic);
+                }
+            } else {
+                drain(&mut nic, &mut arena, step);
+                check(&nic);
+                nic.pop_delivered(&mut arena);
+            }
+        }
+        // Drain to empty: with the outbox popped between passes, every
+        // pass with flits buffered must make progress.
+        while nic.eject_buffered() > 0 {
+            let before = nic.eject_buffered();
+            drain(&mut nic, &mut arena, 1_000);
+            nic.pop_delivered(&mut arena);
+            check(&nic);
+            assert!(nic.eject_buffered() < before, "drain made no progress");
+        }
+        // Draining while empty is a strict no-op: no credits, no events.
+        let (credits, events) = drain(&mut nic, &mut arena, 2_000);
+        assert!(credits.is_empty() && events.is_empty());
+        assert_eq!(arena.live(), 0, "every packet was assembled and taken");
+    }
+
+    #[test]
     fn tagack_is_consumed_internally() {
         let (mut nic, _router, mut arena) = mk();
         let parent = coord();

@@ -206,6 +206,25 @@ pub struct StepParams {
     pub tsb_extra: usize,
 }
 
+/// Per-cycle telemetry scratch a router fills during VA when the
+/// network's telemetry collector is on; drained (and cleared) by the
+/// network right after the router steps. Boxed off the router so the
+/// telemetry-off hot path pays one cold-pointer branch.
+#[derive(Debug, Default)]
+pub(crate) struct RouterTap {
+    /// Output VCs granted this cycle: (packet, direction, output VC).
+    pub va_grants: Vec<(PacketId, Direction, u8)>,
+    /// Bank-aware holds that ended at those grants, in cycles.
+    pub hold_delays: Vec<Cycle>,
+}
+
+impl RouterTap {
+    pub fn clear(&mut self) {
+        self.va_grants.clear();
+        self.hold_delays.clear();
+    }
+}
+
 /// Counters a router keeps for the evaluation figures.
 #[derive(Debug, Clone, Default)]
 pub struct RouterStats {
@@ -262,6 +281,8 @@ pub struct Router {
     pub child_cong: Vec<Cycle>,
     /// Statistics.
     pub stats: RouterStats,
+    /// Telemetry scratch (present only while telemetry is on).
+    pub(crate) tap: Option<Box<RouterTap>>,
 }
 
 impl Router {
@@ -299,6 +320,7 @@ impl Router {
             busy,
             child_cong,
             stats: RouterStats::default(),
+            tap: None,
         }
     }
 
@@ -513,6 +535,12 @@ impl Router {
                     let held = self.inputs[port][vc].held_since.take();
                     if let Some(since) = held {
                         self.stats.held_cycles += p.now - since;
+                    }
+                    if let Some(tap) = &mut self.tap {
+                        tap.va_grants.push((pid, dir, out_vc as u8));
+                        if let Some(since) = held {
+                            tap.hold_delays.push(p.now - since);
+                        }
                     }
                     self.inputs[port][vc].route = Some(OutRoute { dir, vc: out_vc });
                     self.va_mask &= !(1 << flat);
@@ -832,9 +860,10 @@ mod tests {
         assert!(r.input_vc(0, 0).route().is_some());
         let moves = r.step_sa(&view, p);
         assert_eq!(moves.len(), 1);
-        assert_eq!(moves[0].out_dir, Direction::South);
+        let mv = moves[0];
+        assert_eq!(mv.out_dir, Direction::South);
         assert_eq!(r.buffered_flits(), 0);
-        assert_eq!(r.credits(Direction::South, moves[0].out_vc), 4);
+        assert_eq!(r.credits(Direction::South, mv.out_vc), 4);
         assert_eq!(r.stats.switch_traversals, 1);
         assert_eq!(r.stats.buffer_writes, 1);
     }
