@@ -2,7 +2,8 @@
 # CI gate: tier-1 build+test, formatting, lints, the audited
 # conformance leg, a sweep determinism smoke test (SNOC_THREADS must
 # not change a repro binary's stdout), a perf smoke gated against the
-# tracked baseline, a telemetry smoke, and an optional coverage floor.
+# tracked baseline, a telemetry smoke, the audited fault campaign plus
+# a repro-faults smoke, and an optional coverage floor.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -46,6 +47,15 @@ test -s "$tmp/results/telemetry/fig6_util_heatmap.csv"
 test -s "$tmp/results/telemetry/fig6_hold_heatmap.csv"
 test -s "$tmp/results/telemetry/fig6_latency_hist.csv"
 test -s "$tmp/results/telemetry/fig6_trace.jsonl"
+
+echo "== faults: audited campaign conservation-clean and deterministic =="
+cargo test --release -q -p snoc-core --test faults
+
+echo "== faults smoke: repro-faults writes the campaign table =="
+cargo run --release -q -p snoc-bench --bin repro-faults -- --smoke \
+    >/dev/null 2>&1
+test -s "$tmp/results/faults/fault_campaign.txt"
+test -s "$tmp/results/faults/fault_campaign.csv"
 
 echo "== coverage: line floor over snoc-noc (gated on tool presence) =="
 if cargo llvm-cov --version >/dev/null 2>&1; then

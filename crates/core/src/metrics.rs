@@ -5,6 +5,7 @@
 use snoc_common::stats::Histogram;
 use snoc_energy::EnergyBreakdown;
 use snoc_noc::audit::AuditReport;
+use snoc_noc::fault::FaultSummary;
 use snoc_noc::telemetry::TelemetrySummary;
 
 /// The measured output of one simulation run.
@@ -55,6 +56,9 @@ pub struct RunMetrics {
     /// NoC telemetry (`None` unless `SNOC_TELEMETRY` or
     /// [`snoc_noc::NetworkParams::telemetry`] enabled the collector).
     pub telemetry: Option<TelemetrySummary>,
+    /// Fault campaign outcome (`None` unless `SNOC_FAULTS` or
+    /// [`snoc_noc::NetworkParams::faults`] enabled the injector).
+    pub faults: Option<FaultSummary>,
 }
 
 impl RunMetrics {
@@ -153,6 +157,7 @@ mod tests {
             energy: EnergyBreakdown::default(),
             audit: None,
             telemetry: None,
+            faults: None,
         }
     }
 

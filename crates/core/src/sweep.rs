@@ -38,6 +38,7 @@ use crate::metrics::RunMetrics;
 use crate::observer::{NullObserver, RunObserver, SweepSummary};
 use crate::system::{DriveMode, System};
 use snoc_common::config::SystemConfig;
+use snoc_noc::FaultPlan;
 use snoc_workload::mixes::Workload;
 use snoc_workload::BenchmarkProfile;
 use std::panic::{self, AssertUnwindSafe};
@@ -56,6 +57,9 @@ pub struct RunSpec {
     pub mode: DriveMode,
     /// The system configuration (scale already applied).
     pub cfg: SystemConfig,
+    /// Optional NoC fault-injection campaign for this cell (applied
+    /// programmatically — workers never mutate the environment).
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunSpec {
@@ -75,6 +79,7 @@ impl RunSpec {
             },
             mode: DriveMode::Profile,
             cfg,
+            faults: None,
         }
     }
 
@@ -91,7 +96,14 @@ impl RunSpec {
             workload,
             mode,
             cfg,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection campaign to this cell.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 }
 
@@ -279,7 +291,11 @@ impl SweepRunner {
             let sim_cycles = spec.cfg.warmup_cycles + spec.cfg.measure_cycles;
             let start = Instant::now();
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                System::new(spec.cfg, &spec.workload, spec.mode).run()
+                let mut system = System::new(spec.cfg, &spec.workload, spec.mode);
+                if let Some(plan) = spec.faults {
+                    system.enable_faults(plan);
+                }
+                system.run()
             }))
             .map_err(|p| CellError::Panicked(panic_message(p)));
             if let Ok(metrics) = &outcome {

@@ -22,6 +22,7 @@ use snoc_common::Cycle;
 use snoc_cpu::{Instr, InstructionStream, Issue, MemPort, OooCore};
 use snoc_energy::{EnergyBreakdown, UncoreActivity};
 use snoc_mem::l2bank::TagMode;
+use snoc_mem::mem_ctrl::Fill;
 use snoc_mem::protocol::{BankIn, BankMsg, L1In, L1Msg};
 use snoc_mem::tech::TechParams;
 use snoc_mem::{L1Cache, L2Bank, MemoryController};
@@ -95,6 +96,9 @@ pub struct System {
     /// Maximum packets allowed in a core NI's injection queue before
     /// the core stalls (models a bounded L1 writeback buffer).
     inject_cap: usize,
+    /// Persistent sink for [`MemoryController::tick`] completions —
+    /// cleared and refilled each cycle instead of allocating.
+    fill_sink: Vec<Fill>,
 }
 
 impl System {
@@ -185,6 +189,7 @@ impl System {
             uncore_rtt_tail: Reservoir::new(4096),
             commit_base,
             inject_cap: 24,
+            fill_sink: Vec::new(),
         }
     }
 
@@ -377,15 +382,18 @@ impl System {
         }
 
         // 5. Memory controllers.
+        let mut fills = std::mem::take(&mut self.fill_sink);
         for m in 0..self.mcs.len() {
-            let fills = self.mcs[m].tick(now);
+            fills.clear();
+            self.mcs[m].tick(now, &mut fills);
             let src = self.mesh.coord(self.mc_nodes[m], Layer::Cache);
-            for f in fills {
+            for f in &fills {
                 let dst = self.cache_coord(f.to);
                 self.net
                     .inject(Packet::new(PacketKind::MemFill, src, dst, f.block, 0));
             }
         }
+        self.fill_sink = fills;
 
         self.now += 1;
     }
@@ -612,7 +620,15 @@ impl System {
             energy,
             audit: self.net.audit_report().cloned(),
             telemetry: self.net.telemetry_summary(),
+            faults: self.net.fault_summary(),
         }
+    }
+
+    /// Switches on NoC fault injection for this run (programmatic
+    /// alternative to `SNOC_FAULTS`; safe under parallel sweeps where
+    /// mutating the environment would race).
+    pub fn enable_faults(&mut self, plan: snoc_noc::FaultPlan) {
+        self.net.enable_faults(plan);
     }
 
     /// Runs warm-up then the measurement window and returns the

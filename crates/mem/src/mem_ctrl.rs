@@ -101,10 +101,12 @@ impl MemoryController {
         self.queue.len() + self.inflight.len()
     }
 
-    /// Advances one cycle: issues at most one request and returns the
-    /// fills whose DRAM access completed.
-    pub fn tick(&mut self, now: Cycle) -> Vec<Fill> {
-        let mut fills = Vec::new();
+    /// Advances one cycle: issues at most one request and pushes the
+    /// fills whose DRAM access completed into the caller-provided
+    /// `fills` sink (same shape as `Nic::drain_eject`; the sink is
+    /// appended to, never cleared, so one scratch vector can collect
+    /// across controllers without a per-cycle allocation).
+    pub fn tick(&mut self, now: Cycle, fills: &mut Vec<Fill>) {
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].0 <= now {
@@ -133,7 +135,6 @@ impl MemoryController {
                 self.stats.peak_inflight = self.stats.peak_inflight.max(self.inflight.len());
             }
         }
-        fills
     }
 }
 
@@ -150,8 +151,9 @@ mod tests {
         let mut m = mc();
         m.fetch(0x100, BankId::new(3), 0);
         let mut fill_at = None;
+        let mut fills = Vec::new();
         for c in 0..400 {
-            let fills = m.tick(c);
+            m.tick(c, &mut fills);
             if !fills.is_empty() {
                 assert_eq!(
                     fills[0],
@@ -175,7 +177,7 @@ mod tests {
         m.write(0x100, BankId::new(3), 0);
         let mut fills = Vec::new();
         for c in 0..400 {
-            fills.extend(m.tick(c));
+            m.tick(c, &mut fills);
         }
         assert!(fills.is_empty());
         assert_eq!(m.stats.writes, 1);
@@ -189,16 +191,16 @@ mod tests {
             m.fetch(i * 128, BankId::new(0), 0);
         }
         // Issue rate: 1/cycle until 4 in flight; the rest wait.
+        let mut sink = Vec::new();
         for c in 0..10 {
-            m.tick(c);
+            m.tick(c, &mut sink);
         }
         assert_eq!(m.pending(), 8);
         assert_eq!(m.stats.peak_inflight, 4);
-        let mut fills = 0;
         for c in 10..1000 {
-            fills += m.tick(c).len();
+            m.tick(c, &mut sink);
         }
-        assert_eq!(fills, 8);
+        assert_eq!(sink.len(), 8);
         assert!(
             m.stats.queue_wait.max() >= 320.0,
             "later fetches waited for slots"
@@ -210,11 +212,14 @@ mod tests {
         let mut m = mc();
         m.fetch(0x100, BankId::new(0), 0);
         m.fetch(0x200, BankId::new(0), 0);
-        m.tick(0);
-        m.tick(1);
+        let mut sink = Vec::new();
+        m.tick(0, &mut sink);
+        m.tick(1, &mut sink);
         let mut arrivals = Vec::new();
         for c in 2..400 {
-            for f in m.tick(c) {
+            sink.clear();
+            m.tick(c, &mut sink);
+            for f in &sink {
                 arrivals.push((c, f.block));
             }
         }

@@ -65,7 +65,16 @@ impl WriteBuffer {
 
     /// Absorbs a write; returns `false` (and counts an overflow) when
     /// full — the caller must write the array directly.
+    ///
+    /// A write to an address already buffered coalesces into the
+    /// existing entry (the slot's data is overwritten in place), so the
+    /// buffer never holds two entries for one address and a coalescing
+    /// write can never overflow.
     pub fn absorb(&mut self, addr: u64) -> bool {
+        if self.entries.iter().any(|e| e.addr == addr) {
+            self.absorbed += 1;
+            return true;
+        }
         if self.is_full() {
             self.overflows += 1;
             return false;
@@ -95,8 +104,19 @@ impl WriteBuffer {
     }
 
     /// Puts back a drain aborted by a preempting read.
+    ///
+    /// The buffer may have changed while the drain was in flight, so
+    /// the entry cannot be re-inserted unconditionally: a write to the
+    /// same address absorbed meanwhile supersedes the aborted drain
+    /// (re-inserting would duplicate the address), and if absorbed
+    /// writes filled the buffer the partially drained line is treated
+    /// as committed to the array (re-inserting would exceed
+    /// `capacity`). In both cases the entry is dropped.
     pub fn abort_drain(&mut self, entry: BufferedWrite) {
         self.preemptions += 1;
+        if self.entries.iter().any(|e| e.addr == entry.addr) || self.is_full() {
+            return;
+        }
         self.entries.push_front(entry);
     }
 }
@@ -138,5 +158,57 @@ mod tests {
         assert_eq!(b.start_drain().unwrap().addr, 0x100);
         assert_eq!(b.start_drain().unwrap().addr, 0x200);
         assert!(b.start_drain().is_none());
+    }
+
+    #[test]
+    fn absorb_coalesces_duplicate_addresses() {
+        let mut b = WriteBuffer::new(2);
+        assert!(b.absorb(0x100));
+        assert!(b.absorb(0x100));
+        assert_eq!(b.len(), 1, "second write coalesces into the entry");
+        assert_eq!(b.absorbed, 2);
+        assert!(!b.is_full());
+        assert!(b.absorb(0x200));
+        // Coalescing writes still succeed even when the buffer is full.
+        assert!(b.absorb(0x200));
+        assert_eq!(b.overflows, 0);
+        assert!(!b.absorb(0x300));
+        assert_eq!(b.overflows, 1);
+    }
+
+    #[test]
+    fn abort_drain_coalesces_with_a_write_absorbed_mid_drain() {
+        let mut b = WriteBuffer::new(4);
+        b.absorb(0x100);
+        b.absorb(0x200);
+        let d = b.start_drain().unwrap();
+        assert_eq!(d.addr, 0x100);
+        // The same address is written again while the drain is in
+        // flight; the aborted entry is superseded, not re-inserted.
+        assert!(b.absorb(0x100));
+        b.abort_drain(d);
+        assert_eq!(b.preemptions, 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.start_drain().unwrap().addr, 0x200);
+        assert_eq!(b.start_drain().unwrap().addr, 0x100);
+        assert!(b.start_drain().is_none());
+    }
+
+    #[test]
+    fn abort_drain_respects_capacity() {
+        let mut b = WriteBuffer::new(2);
+        b.absorb(0x100);
+        b.absorb(0x200);
+        let d = b.start_drain().unwrap();
+        // A new write fills the freed slot while the drain is in
+        // flight; re-inserting the aborted entry would exceed capacity,
+        // so it is treated as committed to the array instead.
+        assert!(b.absorb(0x300));
+        assert!(b.is_full());
+        b.abort_drain(d);
+        assert_eq!(b.preemptions, 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.start_drain().unwrap().addr, 0x200);
+        assert_eq!(b.start_drain().unwrap().addr, 0x300);
     }
 }

@@ -1,0 +1,139 @@
+//! Property tests for the BUFF-20 write buffer (hand-rolled with
+//! [`SimRng`]; the workspace carries no external property-testing
+//! dependency — same pattern as `estimator_props.rs` in `snoc-noc`).
+//!
+//! Random `absorb` / `read_probe` / `start_drain` / `abort_drain` /
+//! drain-completion sequences are checked against an independently
+//! written reference model, and after every operation three invariants
+//! must hold:
+//!
+//! * the buffer never holds more than `capacity` entries;
+//! * no address appears twice (writes coalesce);
+//! * entries drain in FIFO order of their first absorption.
+
+use snoc_common::rng::SimRng;
+use snoc_mem::write_buffer::{BufferedWrite, WriteBuffer};
+
+/// Reference model: a plain ordered list of unique addresses plus an
+/// optional in-flight drain, written straight from the intended
+/// semantics rather than the production code.
+struct RefBuffer {
+    capacity: usize,
+    entries: Vec<u64>,
+}
+
+impl RefBuffer {
+    fn absorb(&mut self, addr: u64) -> bool {
+        if self.entries.contains(&addr) {
+            return true; // coalesces into the existing slot
+        }
+        if self.entries.len() >= self.capacity {
+            return false; // overflow: goes to the array
+        }
+        self.entries.push(addr);
+        true
+    }
+
+    fn start_drain(&mut self) -> Option<u64> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0))
+        }
+    }
+
+    fn abort_drain(&mut self, addr: u64) {
+        if self.entries.contains(&addr) || self.entries.len() >= self.capacity {
+            return; // superseded or no room: committed to the array
+        }
+        self.entries.insert(0, addr);
+    }
+}
+
+#[test]
+fn random_sequences_match_the_reference_and_hold_the_invariants() {
+    for seed in 0..50u64 {
+        let mut rng = SimRng::for_stream(0xB0FF, seed);
+        let capacity = 1 + rng.below(8);
+        let mut buf = WriteBuffer::new(capacity);
+        let mut reference = RefBuffer {
+            capacity,
+            entries: Vec::new(),
+        };
+        // A small address pool so coalescing and mid-drain duplicates
+        // actually happen.
+        let pool: Vec<u64> = (0..(2 + rng.below(10) as u64)).map(|i| 0x40 * i).collect();
+        let mut in_flight: Option<BufferedWrite> = None;
+
+        for step in 0..2_000 {
+            let addr = pool[rng.below(pool.len())];
+            match rng.below(10) {
+                0..=4 => {
+                    let got = buf.absorb(addr);
+                    let want = reference.absorb(addr);
+                    assert_eq!(got, want, "absorb {addr:#x} step {step} seed {seed}");
+                }
+                5..=6 => {
+                    // One drain at a time, as the bank controller does.
+                    if in_flight.is_none() {
+                        let got = buf.start_drain();
+                        let want = reference.start_drain();
+                        assert_eq!(got.map(|e| e.addr), want, "drain step {step} seed {seed}");
+                        in_flight = got;
+                    }
+                }
+                7 => {
+                    // A preempting read aborts the in-flight drain.
+                    if let Some(entry) = in_flight.take() {
+                        buf.abort_drain(entry);
+                        reference.abort_drain(entry.addr);
+                    }
+                }
+                8 => {
+                    // The drain write completes into the array.
+                    in_flight = None;
+                }
+                _ => {
+                    let got = buf.read_probe(addr);
+                    let want = reference.entries.contains(&addr);
+                    assert_eq!(got, want, "probe {addr:#x} step {step} seed {seed}");
+                }
+            }
+
+            // Invariants after every operation.
+            assert!(
+                buf.len() <= capacity,
+                "capacity exceeded: {} > {capacity} (step {step} seed {seed})",
+                buf.len()
+            );
+            assert_eq!(
+                buf.len(),
+                reference.entries.len(),
+                "length diverged at step {step} seed {seed}"
+            );
+            for &a in &pool {
+                let mut probe = buf.clone();
+                assert_eq!(
+                    probe.read_probe(a),
+                    reference.entries.contains(&a),
+                    "contents diverged on {a:#x} at step {step} seed {seed}"
+                );
+            }
+        }
+
+        // Drain everything: order must be the reference's FIFO order
+        // (first-absorption order, with coalesced rewrites keeping the
+        // original slot).
+        if let Some(entry) = in_flight.take() {
+            buf.abort_drain(entry);
+            reference.abort_drain(entry.addr);
+        }
+        let mut drained = Vec::new();
+        while let Some(e) = buf.start_drain() {
+            drained.push(e.addr);
+        }
+        assert_eq!(drained, reference.entries, "FIFO order (seed {seed})");
+        let unique: std::collections::HashSet<_> = drained.iter().collect();
+        assert_eq!(unique.len(), drained.len(), "duplicates (seed {seed})");
+    }
+}

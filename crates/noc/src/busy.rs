@@ -101,6 +101,38 @@ impl BusyTable {
     pub fn busy_now(&self, now: Cycle) -> usize {
         self.until.iter().filter(|&&u| u > now).count()
     }
+
+    /// Pushes `bank`'s busy horizon out to at least `until` (fault
+    /// injection: a stuck-busy bank advertises a horizon far beyond
+    /// anything its real service times would produce). Never shortens
+    /// an existing prediction.
+    pub fn force_busy(&mut self, bank: BankId, until: Cycle) {
+        if let Some(i) = self.slot(bank) {
+            self.until[i] = self.until[i].max(until);
+        }
+    }
+
+    /// Clamps every horizon more than `max_ahead` cycles in the future
+    /// down to `now + max_ahead`, returning how many were clamped.
+    ///
+    /// Defends the hold machinery against wedged predictions: a horizon
+    /// can only grow without bound if forwards pile up faster than the
+    /// bank drains — or if a fault (stuck-busy injection, a dropped ack
+    /// inflating the congestion estimate) poisoned it. No legitimate
+    /// single forward extends the horizon by more than arrival latency
+    /// plus one service time, so a generous `max_ahead` never fires in
+    /// a healthy run.
+    pub fn expire_stale(&mut self, now: Cycle, max_ahead: Cycle) -> usize {
+        let cap = now + max_ahead;
+        let mut clamped = 0;
+        for u in &mut self.until {
+            if *u > cap {
+                *u = cap;
+                clamped += 1;
+            }
+        }
+        clamped
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +204,41 @@ mod tests {
         assert_eq!(t.busy_now(100), 2);
         assert_eq!(t.busy_now(107), 1, "horizon is exclusive at its end");
         assert_eq!(t.busy_now(137), 0);
+    }
+
+    #[test]
+    fn force_busy_only_extends_the_horizon() {
+        let mut t = BusyTable::new([bank(1)]);
+        t.on_forward(bank(1), 100, 4, 33); // until 137
+        t.force_busy(bank(1), 120);
+        assert_eq!(t.busy_until(bank(1)), 137, "never shortens");
+        t.force_busy(bank(1), 2_000);
+        assert_eq!(t.busy_until(bank(1)), 2_000);
+        t.force_busy(bank(9), 5_000); // unmanaged: ignored
+        assert_eq!(t.busy_until(bank(9)), 0);
+    }
+
+    #[test]
+    fn expire_stale_clamps_wedged_horizons_and_spares_healthy_ones() {
+        // The dropped-ack recovery path: a stuck-busy injection (or an
+        // ack that never came back) leaves a horizon thousands of
+        // cycles out, and every request to that bank would be held at
+        // its parent until the prediction drains. Expiry clamps the
+        // wedged horizon so holds release, while a healthy prediction
+        // within the window is untouched.
+        let mut t = BusyTable::new([bank(1), bank(2), bank(3)]);
+        t.on_forward(bank(1), 100, 4, 33); // until 137: healthy
+        t.force_busy(bank(2), 9_000); // wedged
+        t.force_busy(bank(3), 10_000); // wedged
+        assert_eq!(t.expire_stale(100, 500), 2);
+        assert_eq!(t.busy_until(bank(1)), 137);
+        assert_eq!(t.busy_until(bank(2)), 600);
+        assert_eq!(t.busy_until(bank(3)), 600);
+        // Requests held on the wedged banks now release within the
+        // window instead of waiting out the injected horizon.
+        assert!(!t.would_queue(bank(2), 596, 4));
+        // A second pass finds nothing left to clamp.
+        assert_eq!(t.expire_stale(100, 500), 0);
     }
 
     #[test]

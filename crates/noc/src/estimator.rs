@@ -206,7 +206,10 @@ impl RcaState {
                     Some(n) => {
                         let local = occupancy(n) as u16;
                         let downstream = prev[n][slot] as u16;
-                        ((local + downstream) / 2) as u8
+                        // Round to nearest: truncating division would
+                        // bias every hop downwards, and a downstream
+                        // value of 1 could never propagate past one hop.
+                        (local + downstream).div_ceil(2) as u8
                     }
                     None => 0,
                 };
@@ -354,8 +357,8 @@ mod tests {
         let mut rca = RcaState::new(2);
         let nb = |i: usize, d: Direction| (i == 0 && d == Direction::East).then_some(1usize);
         rca.propagate(|_| 255, nb);
-        // value = (255+0)/2 = 127; 127/255 * 5 * 2 = 4 (integer math).
-        assert_eq!(rca.estimate_cycles(0, Direction::East, 5, 2), 4);
+        // value = (255+0+1)/2 = 128; 128/255 * 5 * 2 = 5 (integer math).
+        assert_eq!(rca.estimate_cycles(0, Direction::East, 5, 2), 5);
         assert_eq!(rca.estimate_cycles(0, Direction::West, 5, 2), 0);
     }
 

@@ -33,6 +33,7 @@ pub mod arena;
 pub mod audit;
 pub mod busy;
 pub mod estimator;
+pub mod fault;
 pub mod network;
 pub mod nic;
 pub mod packet;
@@ -43,6 +44,7 @@ pub mod routing;
 pub mod telemetry;
 
 pub use audit::{AuditConfig, AuditReport, NetAuditor};
+pub use fault::{FaultPlan, FaultSummary};
 pub use network::{NetStats, Network, NetworkParams};
 pub use packet::{Flit, Packet, PacketKind, TrafficClass};
 pub use telemetry::{TelemetryConfig, TelemetrySummary};

@@ -5,18 +5,19 @@
 use crate::arena::Arena;
 use crate::audit::{AuditConfig, AuditReport, NetAuditor};
 use crate::estimator::{EstimatorState, RcaState, WbEstimator};
+use crate::fault::{FaultPlan, FaultState, FaultSummary};
 use crate::nic::{DeliveryEvent, Nic};
 use crate::packet::{Flit, Packet, TrafficClass, WbTag};
 use crate::parent::ParentMap;
 use crate::regions::RegionMap;
-use crate::router::{NetView, Router, StepParams, SwitchMove, MAX_BURST};
+use crate::router::{NetView, Router, StepParams, SwitchMove, MAX_BURST, PORTS};
 use crate::routing::RoutingTable;
 use crate::telemetry::{NetTelemetry, TelemetryConfig, TelemetrySummary};
 use snoc_common::config::{
     ArbitrationPolicy, Estimator, NocConfig, RequestPathMode, SystemConfig, TsbPlacement,
 };
 use snoc_common::geom::{Coord, Direction, Layer, Mesh};
-use snoc_common::ids::{BankId, PacketId};
+use snoc_common::ids::{BankId, NodeId, PacketId, RegionId};
 use snoc_common::stats::Accumulator;
 use snoc_common::Cycle;
 
@@ -54,6 +55,8 @@ pub struct NetworkParams {
     pub audit: Option<AuditConfig>,
     /// Telemetry collection configuration (`None` = off).
     pub telemetry: Option<TelemetryConfig>,
+    /// Fault-injection campaign (`None` = off).
+    pub faults: Option<FaultPlan>,
 }
 
 impl NetworkParams {
@@ -76,6 +79,7 @@ impl NetworkParams {
             hold_slack: cfg.noc.hold_slack,
             audit: AuditConfig::from_env(),
             telemetry: TelemetryConfig::from_env(),
+            faults: FaultPlan::from_env(),
         }
     }
 }
@@ -196,6 +200,8 @@ pub struct Network {
     auditor: Option<Box<NetAuditor>>,
     /// Optional telemetry collector, boxed off the hot state.
     telemetry: Option<Box<NetTelemetry>>,
+    /// Optional fault-injection campaign, boxed off the hot state.
+    faults: Option<Box<FaultState>>,
 }
 
 impl Network {
@@ -319,6 +325,9 @@ impl Network {
             stats: NetStats::default(),
             auditor: params.audit.map(|cfg| Box::new(NetAuditor::new(cfg))),
             telemetry,
+            faults: params
+                .faults
+                .map(|plan| Box::new(FaultState::new(plan, 2 * n))),
         }
     }
 
@@ -414,7 +423,7 @@ impl Network {
     /// paper's "queued at the network interface").
     pub fn drain_delivered_up_to(&mut self, at: Coord, max: usize) -> Vec<Packet> {
         let idx = self.ridx(at);
-        let delivered = self.nics[idx].pop_delivered_up_to(&mut self.arena, max);
+        let mut delivered = self.nics[idx].pop_delivered_up_to(&mut self.arena, max);
         for p in &delivered {
             if let Some(a) = &mut self.auditor {
                 a.note_delivered(p.uid, self.now);
@@ -432,6 +441,16 @@ impl Network {
                 t.note_deliver(p.uid, at, p.kind.class(), hops, p.net_latency(), self.now);
             }
         }
+        // Fault injection: a bank in a dropped-ack episode may lose a
+        // request *after* network delivery (the network conserved the
+        // packet — the auditor and latency stats above already saw it —
+        // but the endpoint never does; the NI timeout re-injects it).
+        if let Some(f) = &mut self.faults {
+            if f.may_drop() {
+                let (mesh, now) = (self.mesh, self.now);
+                delivered.retain(|p| f.filter_delivery(p, mesh, now));
+            }
+        }
         delivered
     }
 
@@ -443,6 +462,7 @@ impl Network {
     /// and members found idle are dropped — so quiescent corners of
     /// the two meshes cost zero work per cycle.
     pub fn step(&mut self) {
+        self.fault_tick();
         let now = self.now;
         self.refresh_child_cong();
 
@@ -480,6 +500,7 @@ impl Network {
                 mesh: self.mesh,
             };
             let tsb_extra = self.params.noc.tsb_width_factor.saturating_sub(1);
+            let fault_blocked = self.faults.as_deref().map(FaultState::blocked_masks);
             for w in 0..self.router_wake.words() {
                 let mut word = self.router_wake.word(w);
                 while word != 0 {
@@ -496,6 +517,7 @@ impl Network {
                         hold_slack: self.params.hold_slack,
                         wide_down: self.wide_down[idx],
                         tsb_extra,
+                        blocked: fault_blocked.map_or(0, |b| b[idx]),
                     };
                     self.routers[idx].step_va(&view, p);
                     for m in self.routers[idx].step_sa(&view, p) {
@@ -601,6 +623,181 @@ impl Network {
         for _ in 0..cycles {
             self.step();
         }
+    }
+
+    /// One cycle of the fault campaign: expire finished episodes, draw
+    /// this cycle's events (fixed order, so the schedule is a pure
+    /// function of the plan seed), fire the permanent TSB kill, sweep
+    /// wedged busy horizons and re-inject due retries. No-op when
+    /// injection is off.
+    fn fault_tick(&mut self) {
+        let Some(mut f) = self.faults.take() else {
+            return;
+        };
+        let now = self.now;
+        let plan = *f.plan();
+        let n = self.mesh.nodes_per_layer();
+        let mut degraded = f.expire(now);
+
+        let (tsb, link, port, bank) = f.draw_events();
+        if tsb {
+            // A TSB outage severs the vertical hop in both directions:
+            // the Down port of the core-layer router above it and the
+            // Up port of the cache-layer router below it.
+            f.summary.tsb_faults += 1;
+            let regions = self.routing.regions();
+            let r = f.rng().below(regions.regions());
+            let t = regions.tsb_node(RegionId::new(r as u16));
+            let until = now + plan.outage_cycles;
+            f.push_outage(t.index(), 1 << Direction::Down.port(), until);
+            f.push_outage(n + t.index(), 1 << Direction::Up.port(), until);
+            degraded = true;
+        }
+        if link {
+            f.summary.link_faults += 1;
+            let r = f.rng().below(2 * n);
+            let dir = f.draw_lateral();
+            f.push_outage(r, 1 << dir.port(), now + plan.outage_cycles);
+            degraded = true;
+        }
+        if port {
+            f.summary.port_faults += 1;
+            let r = f.rng().below(2 * n);
+            let p = f.rng().below(PORTS);
+            f.push_outage(r, 1 << p, now + plan.outage_cycles);
+            degraded = true;
+        }
+        if bank {
+            f.summary.bank_faults += 1;
+            let b = BankId::new(f.rng().below(n) as u16);
+            if f.rng().chance(0.5) {
+                // Stuck-busy: the parent's prediction wedges far out;
+                // the periodic expiry sweep below is what un-wedges it.
+                let idx = self.ridx(self.parents.parent_of(b));
+                self.routers[idx]
+                    .busy
+                    .force_busy(b, now + plan.stuck_cycles);
+            } else {
+                f.push_dropping(b, now + plan.outage_cycles);
+            }
+            degraded = true;
+        }
+
+        if !f.killed {
+            if let Some(at) = plan.kill_tsb_at {
+                if now >= at
+                    && self.params.path_mode == RequestPathMode::RegionTsbs
+                    && self.params.regions > 1
+                {
+                    let regions = self.routing.regions();
+                    let victim = RegionId::new(f.rng().below(regions.regions()) as u16);
+                    let dead = self.mesh.coord(regions.tsb_node(victim), Layer::Cache);
+                    // Re-home onto the nearest surviving TSB (ties break
+                    // towards the lowest region index).
+                    let survivor = (0..regions.regions() as u16)
+                        .filter(|&r| r != victim.raw())
+                        .map(|r| regions.tsb_node(RegionId::new(r)))
+                        .min_by_key(|&t| dead.manhattan(self.mesh.coord(t, Layer::Cache)));
+                    if let Some(survivor) = survivor {
+                        self.rehome_region(victim, survivor);
+                        f.killed = true;
+                        f.summary.rehomed_regions += 1;
+                    }
+                }
+            }
+        }
+
+        if plan.expiry_period > 0 && now > 0 && now.is_multiple_of(plan.expiry_period) {
+            for &idx in &self.parent_idxs {
+                let clamped = self.routers[idx as usize]
+                    .busy
+                    .expire_stale(now, plan.busy_cap);
+                f.summary.busy_expiries += clamped as u64;
+            }
+        }
+
+        let mut due = Vec::new();
+        f.due_retries(now, &mut due);
+        for p in due {
+            self.inject(p);
+        }
+
+        if degraded || f.killed {
+            f.summary.degraded_cycles += 1;
+        }
+        self.faults = Some(f);
+    }
+
+    /// Re-homes `region`'s request traffic onto the TSB at `new_tsb`
+    /// (fail-stop degradation after a permanent TSB death).
+    ///
+    /// Rebuilds everything derived from the region map: the memoized
+    /// routing table, the parent/child serialization points (and each
+    /// router's busy/congestion tables via
+    /// [`Router::set_children`]), the wide-TSB lane set and the
+    /// window-based estimator state. Router VC and credit state is
+    /// untouched, so traffic already in flight drains normally — routes
+    /// are recomputed per-position at each VC allocation, stale WB tag
+    /// acks are ignored by the estimator's stamp check, and packets
+    /// held at a router that stops being a parent release at its next
+    /// allocation pass. The dead TSB's port is deliberately *not*
+    /// blocked: already-switched flits must drain, and new requests no
+    /// longer route through it.
+    pub fn rehome_region(&mut self, region: RegionId, new_tsb: NodeId) {
+        let mut regions = self.routing.regions().clone();
+        regions.retarget_tsb(region, new_tsb);
+        let parents = ParentMap::new(
+            self.mesh,
+            &regions,
+            self.params.parent_hops,
+            self.params.noc.router_stages,
+            self.params.noc.link_latency,
+        );
+        for r in &mut self.routers {
+            let children = parents
+                .children_of(r.coord())
+                .map(<[_]>::to_vec)
+                .unwrap_or_default();
+            r.set_children(children);
+        }
+        self.wide_down.iter_mut().for_each(|w| *w = false);
+        if self.params.path_mode == RequestPathMode::RegionTsbs {
+            for r in 0..regions.regions() {
+                let t = regions.tsb_node(RegionId::new(r as u16));
+                self.wide_down[t.index()] = true;
+            }
+        }
+        self.parent_idxs = self
+            .routers
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.children().is_empty())
+            .map(|(i, _)| i as u32)
+            .collect();
+        if matches!(self.estimator, EstimatorState::WindowBased(_)) {
+            let map = parents
+                .parents()
+                .map(|p| {
+                    let kids = parents.children_of(p).unwrap().iter().map(|c| c.bank);
+                    (p, WbEstimator::new(kids))
+                })
+                .collect();
+            self.estimator = EstimatorState::WindowBased(map);
+        }
+        self.parents = parents;
+        self.routing = RoutingTable::new(self.mesh, self.params.path_mode, regions);
+    }
+
+    /// Switches fault injection on mid-construction (programmatic
+    /// alternative to `SNOC_FAULTS`, race-free under parallel sweeps).
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        self.params.faults = Some(plan);
+        self.faults = Some(Box::new(FaultState::new(plan, self.routers.len())));
+    }
+
+    /// The fault campaign's summary so far, when injection is enabled.
+    pub fn fault_summary(&self) -> Option<FaultSummary> {
+        self.faults.as_deref().map(|f| f.summary.clone())
     }
 
     fn refresh_child_cong(&mut self) {
@@ -740,6 +937,14 @@ impl Network {
     fn handle_event(&mut self, event: DeliveryEvent) {
         match event {
             DeliveryEvent::TagAck(tag, when) => {
+                // A bank mid dropped-ack episode may swallow its
+                // estimator acks; the WB estimator's periodic stale-tag
+                // expiry unwedges the prediction.
+                if let Some(f) = &mut self.faults {
+                    if f.swallow_ack(tag.child) {
+                        return;
+                    }
+                }
                 self.stats.tag_acks += 1;
                 let base = self
                     .parents
@@ -854,6 +1059,7 @@ mod tests {
             hold_slack: 0,
             audit: None,
             telemetry: None,
+            faults: None,
         }
     }
 
@@ -1273,6 +1479,242 @@ mod tests {
             s.link_flits.iter().flatten().sum::<u64>() > 0,
             "link counters move"
         );
+    }
+
+    #[test]
+    fn blocked_port_outage_delays_but_never_loses_traffic() {
+        use crate::fault::FaultPlan;
+        // A long outage on the TSB's Down port while requests stream
+        // through it: everything still arrives (as backpressure, not
+        // loss), and an identical fault-free run is strictly faster.
+        let run = |faults: Option<FaultPlan>| {
+            let mut p = params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin);
+            p.faults = faults;
+            let mut net = Network::new(p);
+            let mut tokens = std::collections::HashSet::new();
+            let mut injected = 0u64;
+            for cycle in 0..4000u64 {
+                // Stream requests so the outages always overlap live
+                // traffic somewhere on the chip.
+                if cycle % 10 == 0 && injected < 100 {
+                    let src = core(&net, ((injected * 7) % 64) as u16);
+                    let dst = cache(&net, ((injected * 5) % 64) as u16);
+                    net.inject(Packet::new(
+                        PacketKind::BankRead,
+                        src,
+                        dst,
+                        injected,
+                        injected,
+                    ));
+                    injected += 1;
+                }
+                net.step();
+                for node in 0..64u16 {
+                    for p in net.drain_delivered(cache(&net, node)) {
+                        tokens.insert(p.token);
+                    }
+                }
+            }
+            (tokens.len(), net.stats().latency.mean(), net.in_flight())
+        };
+        let plan = FaultPlan {
+            tsb_rate: 0.02, // dozens of outages across the run
+            link_rate: 0.0,
+            port_rate: 0.0,
+            bank_rate: 0.0,
+            outage_cycles: 100,
+            ..FaultPlan::default()
+        };
+        let (clean_n, clean_lat, clean_flight) = run(None);
+        let (fault_n, fault_lat, fault_flight) = run(Some(plan));
+        assert_eq!(clean_n, 100);
+        assert_eq!(fault_n, 100, "outages delay, never drop");
+        assert_eq!((clean_flight, fault_flight), (0, 0));
+        assert!(
+            fault_lat > clean_lat,
+            "outages must cost latency: {fault_lat} vs {clean_lat}"
+        );
+    }
+
+    #[test]
+    fn dropped_requests_are_retried_to_completion() {
+        use crate::fault::FaultPlan;
+        let mut p = params(RequestPathMode::RegionTsbs, ArbitrationPolicy::RoundRobin);
+        // No random events: drive the dropped-ack machinery directly so
+        // the retry path is exercised deterministically.
+        p.faults = Some(FaultPlan {
+            tsb_rate: 0.0,
+            link_rate: 0.0,
+            port_rate: 0.0,
+            bank_rate: 0.0,
+            drop_rate: 1.0,
+            retry_base: 32,
+            retry_cap: 256,
+            ..FaultPlan::default()
+        });
+        p.audit = Some(AuditConfig::default());
+        let mut net = Network::new(p);
+        let dst = cache(&net, 25);
+        let bank = BankId::new(25);
+        // The bank drops everything for 300 cycles.
+        {
+            let f = net.faults.as_mut().unwrap();
+            f.push_dropping(bank, 300);
+        }
+        let src = core(&net, 7);
+        net.inject(Packet::new(PacketKind::BankRead, src, dst, 0xAB, 1));
+        let mut got = Vec::new();
+        for _ in 0..3000 {
+            net.step();
+            got.extend(net.drain_delivered(dst));
+            if !got.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(got.len(), 1, "the retried request eventually lands");
+        assert_eq!((got[0].addr, got[0].token), (0xAB, 1));
+        let s = net.fault_summary().unwrap();
+        assert!(s.dropped >= 1, "at least the first attempt was eaten");
+        assert_eq!(s.retries, s.dropped, "every drop scheduled a retry");
+        assert_eq!(s.abandoned, 0);
+        assert!(s.degraded_cycles > 0);
+        let report = net.audit_report().unwrap();
+        assert!(report.violations == 0, "violations: {:?}", report.samples);
+    }
+
+    #[test]
+    fn rehoming_moves_request_traffic_onto_the_survivor() {
+        let mut net = Network::new(params(
+            RequestPathMode::RegionTsbs,
+            ArbitrationPolicy::RoundRobin,
+        ));
+        let victim_bank = NodeId::new(0); // SW region, TSB at node 27
+        let victim = net.regions().region_of(victim_bank);
+        let dead = net.regions().tsb_node(victim);
+        let survivor_region = (0..4u16).map(RegionId::new).find(|&r| r != victim).unwrap();
+        let survivor = net.regions().tsb_node(survivor_region);
+        net.rehome_region(victim, survivor);
+        assert_eq!(net.regions().tsb_node(victim), survivor);
+        assert!(!net.regions().is_tsb_node(dead));
+        // The dead TSB's core-layer router lost its wide-down lane.
+        assert!(!net.wide_down[dead.index()]);
+        assert!(net.wide_down[survivor.index()]);
+        // Requests into the victim region still arrive, via the
+        // survivor's vertical hop.
+        let src = core(&net, 63);
+        let dst = cache(&net, 0);
+        net.inject(Packet::new(PacketKind::BankRead, src, dst, 0xF, 3));
+        let got = deliver(&mut net, dst, 400);
+        assert_eq!(got.len(), 1);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn killing_a_tsb_mid_run_degrades_gracefully() {
+        use crate::fault::FaultPlan;
+        let aware = ArbitrationPolicy::BankAware {
+            estimator: Estimator::WindowBased,
+        };
+        let mut p = params(RequestPathMode::RegionTsbs, aware);
+        p.wb_window = 2;
+        p.faults = Some(FaultPlan {
+            tsb_rate: 0.0,
+            link_rate: 0.0,
+            port_rate: 0.0,
+            bank_rate: 0.0,
+            kill_tsb_at: Some(500),
+            ..FaultPlan::default()
+        });
+        p.audit = Some(AuditConfig::default());
+        let mut net = Network::new(p);
+        let mut seen = std::collections::HashSet::new();
+        let mut injected = 0u64;
+        for cycle in 0..6000u64 {
+            // Keep a steady trickle flowing across the kill boundary.
+            if cycle % 25 == 0 && injected < 120 {
+                let src = core(&net, ((injected * 11) % 64) as u16);
+                let dst = cache(&net, ((injected * 29) % 64) as u16);
+                let kind = if injected % 3 == 0 {
+                    PacketKind::Writeback
+                } else {
+                    PacketKind::BankRead
+                };
+                net.inject(Packet::new(kind, src, dst, injected, injected));
+                injected += 1;
+            }
+            net.step();
+            for node in 0..64u16 {
+                for p in net.drain_delivered(cache(&net, node)) {
+                    assert!(seen.insert(p.token), "duplicate {}", p.token);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 120, "traffic survives the TSB death");
+        assert_eq!(net.in_flight(), 0);
+        let s = net.fault_summary().unwrap();
+        assert_eq!(s.rehomed_regions, 1);
+        assert!(s.degraded_cycles > 0);
+        let report = net.audit_report().unwrap();
+        assert!(report.violations == 0, "violations: {:?}", report.samples);
+    }
+
+    #[test]
+    fn faulty_runs_replay_byte_identically_per_seed() {
+        use crate::fault::FaultPlan;
+        let run = |seed: u64| {
+            let aware = ArbitrationPolicy::BankAware {
+                estimator: Estimator::WindowBased,
+            };
+            let mut p = params(RequestPathMode::RegionTsbs, aware);
+            p.wb_window = 2;
+            p.faults = Some(FaultPlan {
+                seed,
+                tsb_rate: 2e-3,
+                link_rate: 4e-3,
+                port_rate: 4e-3,
+                bank_rate: 8e-3,
+                kill_tsb_at: Some(400),
+                ..FaultPlan::default()
+            });
+            let mut net = Network::new(p);
+            for i in 0..100u64 {
+                let src = core(&net, ((i * 11) % 64) as u16);
+                let dst = cache(&net, ((i * 29) % 64) as u16);
+                let kind = if i % 3 == 0 {
+                    PacketKind::Writeback
+                } else {
+                    PacketKind::BankRead
+                };
+                net.inject(Packet::new(kind, src, dst, i, i));
+            }
+            let mut tokens: Vec<u64> = Vec::new();
+            for _ in 0..4000 {
+                net.step();
+                for node in 0..64u16 {
+                    tokens.extend(
+                        net.drain_delivered(cache(&net, node))
+                            .iter()
+                            .map(|p| p.token),
+                    );
+                }
+            }
+            let s = net.fault_summary().unwrap();
+            (
+                tokens,
+                net.stats().latency.mean(),
+                net.stats().vertical_flits,
+                s.injected(),
+                s.dropped,
+                s.retries,
+                s.degraded_cycles,
+            )
+        };
+        let a = run(7);
+        let b = run(7);
+        assert!(a.3 > 0, "the campaign injected something");
+        assert_eq!(a, b, "same seed, same faults, same run");
+        let c = run(8);
+        assert_ne!(a, c, "a different seed draws a different schedule");
     }
 
     #[test]

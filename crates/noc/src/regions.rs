@@ -166,6 +166,21 @@ impl RegionMap {
         self.tsb_of.contains(&node)
     }
 
+    /// Re-homes `region` onto `new_tsb` (fail-stop degradation: when a
+    /// TSB dies permanently, its region's request traffic is re-routed
+    /// through a surviving TSB — normally a neighbouring region's, so
+    /// the victim region keeps a unique descent point and the busy-time
+    /// serialization property survives the fault).
+    ///
+    /// Only the TSB assignment moves; the region tiling itself is
+    /// fixed in silicon. After the call, [`RegionMap::tsb_node`] and
+    /// [`RegionMap::tsb_for`] report the survivor for the victim
+    /// region, so a routing table rebuilt from this map sends the
+    /// region's requests through the new descent point.
+    pub fn retarget_tsb(&mut self, region: RegionId, new_tsb: NodeId) {
+        self.tsb_of[region.index()] = new_tsb;
+    }
+
     /// All banks in a region.
     pub fn banks_in(&self, region: RegionId) -> impl Iterator<Item = BankId> + '_ {
         self.mesh
@@ -275,6 +290,22 @@ mod tests {
         for r in 0..16 {
             assert_eq!(m.banks_in(RegionId::new(r)).count(), 4);
         }
+    }
+
+    #[test]
+    fn retarget_tsb_moves_one_region_onto_a_survivor() {
+        let mut m = RegionMap::new(mesh(), 4, TsbPlacement::Corner);
+        let victim = m.region_of(NodeId::new(0)); // SW region, TSB 27
+        let survivor_region = m.region_of(NodeId::new(63)); // NE region
+        let survivor = m.tsb_node(survivor_region);
+        m.retarget_tsb(victim, survivor);
+        assert_eq!(m.tsb_node(victim), survivor);
+        assert_eq!(m.tsb_for(NodeId::new(0)), survivor);
+        // The tiling itself is untouched: node 0 still belongs to the
+        // victim region, and the other regions keep their own TSBs.
+        assert_eq!(m.region_of(NodeId::new(0)), victim);
+        assert_eq!(m.tsb_node(survivor_region), survivor);
+        assert!(!m.is_tsb_node(NodeId::new(27)), "dead TSB no longer listed");
     }
 
     #[test]

@@ -204,6 +204,13 @@ pub struct StepParams {
     pub wide_down: bool,
     /// Extra flits a wide TSB may send per grant (width factor - 1).
     pub tsb_extra: usize,
+    /// Output ports disabled this cycle (fault injection), as a
+    /// bitmask over [`Direction::port`] indices. A blocked port simply
+    /// loses switch allocation: buffered flits wait in their VCs as
+    /// ordinary backpressure, no credit moves, so every flow-control
+    /// invariant holds while the outage lasts. Zero when fault
+    /// injection is off.
+    pub blocked: u8,
 }
 
 /// Per-cycle telemetry scratch a router fills during VA when the
@@ -332,6 +339,31 @@ impl Router {
     /// The banks this router manages as a parent.
     pub fn children(&self) -> &[ChildInfo] {
         &self.children
+    }
+
+    /// Replaces this router's child-bank assignment (TSB re-homing:
+    /// when a region's request traffic moves to a surviving TSB, the
+    /// serialization points — and with them the busy tables — move
+    /// too). Rebuilds the busy table, congestion estimates and lookup
+    /// table from scratch exactly as construction does; in-flight VC,
+    /// credit and statistics state is deliberately untouched so the
+    /// network keeps draining under the old wiring while new requests
+    /// follow the new one.
+    pub fn set_children(&mut self, children: Vec<ChildInfo>) {
+        assert!(children.len() < u8::MAX as usize, "child slots fit in u8");
+        self.busy = BusyTable::new(children.iter().map(|c| c.bank));
+        self.child_cong = vec![0; children.len()];
+        let lut_len = children
+            .iter()
+            .map(|c| c.bank.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut child_lut = vec![u8::MAX; lut_len].into_boxed_slice();
+        for (i, c) in children.iter().enumerate() {
+            child_lut[c.bank.index()] = i as u8;
+        }
+        self.child_lut = child_lut;
+        self.children = children;
     }
 
     /// The position of `bank` in `children`/`child_cong`, if managed.
@@ -576,6 +608,9 @@ impl Router {
 
         for out_dir in Direction::ALL {
             let op = out_dir.port();
+            if p.blocked & (1 << op) != 0 {
+                continue; // faulted port: flits wait as backpressure
+            }
             let candidates = self.sa_mask[op];
             if candidates == 0 {
                 continue;
@@ -816,6 +851,7 @@ mod tests {
             hold_slack: 0,
             wide_down: false,
             tsb_extra: 0,
+            blocked: 0,
         }
     }
 
@@ -1227,6 +1263,82 @@ mod tests {
         r.step_va(&view, params(5, AWARE));
         assert!(r.input_vc(0, 0).route().is_none(), "hold persists");
         assert!(r.input_vc(0, 0).is_held(5));
+    }
+
+    #[test]
+    fn blocked_output_port_stalls_then_recovers() {
+        // A faulted link blocks SA on its output port: the flit keeps
+        // its VC, route and the output credit pool intact, and departs
+        // normally the cycle the fault clears.
+        let view = TestView::new(vec![(PacketKind::BankRead, Direction::South, None)]);
+        let mut r = mk_router(vec![]);
+        put_single(&mut r, 0, 0, 0);
+        let mut p = params(10, ArbitrationPolicy::RoundRobin);
+        r.step_va(&view, p);
+        assert!(r.input_vc(0, 0).route().is_some(), "VA is unaffected");
+        p.blocked = 1 << Direction::South.port();
+        assert!(
+            r.step_sa(&view, p).is_empty(),
+            "blocked port grants nothing"
+        );
+        assert_eq!(r.buffered_flits(), 1);
+        assert_eq!(r.credits(Direction::South, 0), 5, "no credit consumed");
+        p.blocked = 0;
+        let moves = r.step_sa(&view, p);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].out_dir, Direction::South);
+    }
+
+    #[test]
+    fn blocked_port_does_not_stall_other_ports() {
+        let view = TestView::new(vec![
+            (PacketKind::BankRead, Direction::South, None),
+            (PacketKind::BankRead, Direction::North, None),
+        ]);
+        let mut r = mk_router(vec![]);
+        put_single(&mut r, 0, 0, 0);
+        put_single(&mut r, 1, 0, 1);
+        let mut p = params(10, ArbitrationPolicy::RoundRobin);
+        r.step_va(&view, p);
+        p.blocked = 1 << Direction::South.port();
+        let moves = r.step_sa(&view, p);
+        assert_eq!(moves.len(), 1, "the healthy port still grants");
+        assert_eq!(moves[0].out_dir, Direction::North);
+    }
+
+    #[test]
+    fn set_children_rebuilds_the_parent_tables() {
+        let mut r = mk_router(parent_children());
+        r.busy.on_forward(BankId::new(11), 0, 9, 33);
+        assert!(r.manages(BankId::new(11)));
+        let adopted = vec![
+            ChildInfo {
+                bank: BankId::new(11),
+                base_latency: 14,
+                first_hop: Direction::West,
+                hops: 4,
+            },
+            ChildInfo {
+                bank: BankId::new(20),
+                base_latency: 9,
+                first_hop: Direction::South,
+                hops: 2,
+            },
+        ];
+        r.set_children(adopted);
+        assert_eq!(r.children().len(), 2);
+        assert!(r.manages(BankId::new(20)));
+        assert_eq!(
+            r.busy.busy_until(BankId::new(11)),
+            0,
+            "horizons restart under the new wiring"
+        );
+        assert_eq!(r.arrival_estimate(BankId::new(11)), Some(14));
+        assert_eq!(r.arrival_estimate(BankId::new(20)), Some(9));
+        // Orphaned banks are forgotten entirely.
+        r.set_children(vec![]);
+        assert!(!r.manages(BankId::new(11)));
+        assert_eq!(r.arrival_estimate(BankId::new(20)), None);
     }
 
     #[test]

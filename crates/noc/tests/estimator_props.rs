@@ -198,7 +198,7 @@ impl NaiveRca {
         for i in 0..self.values.len() {
             for (slot, dir) in DIRS.into_iter().enumerate() {
                 self.values[i][slot] = match neighbour(i, dir) {
-                    Some(n) => ((occupancy(n) as u16 + prev[n][slot] as u16) / 2) as u8,
+                    Some(n) => ((occupancy(n) as u16 + prev[n][slot] as u16 + 1) / 2) as u8,
                     None => 0,
                 };
             }
