@@ -34,10 +34,10 @@ diff -u "$tmp/t1.out" "$tmp/t4.out"
 test -s "$tmp/t1.out"
 echo "ok: identical across thread counts"
 
-echo "== perf smoke: repro-perf within 10% of the tracked baseline =="
+echo "== perf smoke: repro-perf within 8% of the tracked baseline =="
 SNOC_BENCH_BASELINE=BENCH_hotpath.json \
     cargo run --release -q -p snoc-bench --bin repro-perf -- \
-    --smoke --out "$tmp/bench.json" --assert-within 10 >/dev/null
+    --smoke --out "$tmp/bench.json" --assert-within 8 >/dev/null
 grep -q '"kernels/network_step"' "$tmp/bench.json"
 
 echo "== telemetry smoke: repro-telemetry writes heatmaps and a trace =="
@@ -57,9 +57,11 @@ cargo run --release -q -p snoc-bench --bin repro-faults -- --smoke \
 test -s "$tmp/results/faults/fault_campaign.txt"
 test -s "$tmp/results/faults/fault_campaign.csv"
 
-echo "== coverage: line floor over snoc-noc (gated on tool presence) =="
+echo "== coverage: line floor over snoc-noc incl. workspace (gated on tool presence) =="
 if cargo llvm-cov --version >/dev/null 2>&1; then
-    cargo llvm-cov -q -p snoc-noc --fail-under-lines 70 --summary-only
+    # 72: raised from 70 when the SoA workspace module landed with its
+    # own unit + differential test coverage.
+    cargo llvm-cov -q -p snoc-noc --fail-under-lines 72 --summary-only
 else
     echo "skipped: cargo-llvm-cov is not installed" \
         "(cargo install cargo-llvm-cov to enable this leg)"

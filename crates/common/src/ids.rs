@@ -93,6 +93,51 @@ id_type!(
     "p"
 );
 
+/// The flat key of one virtual channel in a workspace-wide
+/// structure-of-arrays store: `(router, port, vc)` collapsed to
+/// `router * ports * vcs + port * vcs + vc`.
+///
+/// Input-VC lanes and output-VC lanes share this index space (an
+/// output VC `(router, port, vc)` is credit-matched to the downstream
+/// input VC it feeds), so one key addresses both sides of a link's
+/// flow-control state. The geometry (`ports`, `vcs`) is carried by the
+/// store, not the key; composing and decomposing against a different
+/// geometry is a bug the paired helpers make hard to write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VcKey(u32);
+
+impl VcKey {
+    /// Composes a key from its coordinates under a `(ports, vcs)`
+    /// geometry.
+    pub const fn compose(router: usize, port: usize, vc: usize, ports: usize, vcs: usize) -> Self {
+        debug_assert!(port < ports && vc < vcs);
+        Self(((router * ports + port) * vcs + vc) as u32)
+    }
+
+    /// Wraps an already-flat lane index.
+    pub const fn from_lane(lane: usize) -> Self {
+        Self(lane as u32)
+    }
+
+    /// The flat lane index (the array subscript).
+    pub const fn lane(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Splits the key back into `(router, port, vc)` under the same
+    /// geometry it was composed with.
+    pub const fn decompose(self, ports: usize, vcs: usize) -> (usize, usize, usize) {
+        let lane = self.0 as usize;
+        (lane / (ports * vcs), (lane / vcs) % ports, lane % vcs)
+    }
+}
+
+impl fmt::Display for VcKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vc#{}", self.0)
+    }
+}
+
 impl NodeId {
     /// The node's id in the paper's whole-chip numbering, where the
     /// cache layer is offset by the number of nodes per layer.

@@ -38,7 +38,7 @@ use crate::metrics::RunMetrics;
 use crate::observer::{NullObserver, RunObserver, SweepSummary};
 use crate::system::{DriveMode, System};
 use snoc_common::config::SystemConfig;
-use snoc_noc::FaultPlan;
+use snoc_noc::{AuditConfig, FaultPlan, TelemetryConfig};
 use snoc_workload::mixes::Workload;
 use snoc_workload::BenchmarkProfile;
 use std::panic::{self, AssertUnwindSafe};
@@ -60,6 +60,13 @@ pub struct RunSpec {
     /// Optional NoC fault-injection campaign for this cell (applied
     /// programmatically — workers never mutate the environment).
     pub faults: Option<FaultPlan>,
+    /// Optional NoC invariant auditing for this cell (programmatic
+    /// counterpart of `SNOC_AUDIT`, same env-race-free contract as
+    /// `faults`).
+    pub audit: Option<AuditConfig>,
+    /// Optional NoC telemetry collection for this cell (programmatic
+    /// counterpart of `SNOC_TELEMETRY`).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl RunSpec {
@@ -80,6 +87,8 @@ impl RunSpec {
             mode: DriveMode::Profile,
             cfg,
             faults: None,
+            audit: None,
+            telemetry: None,
         }
     }
 
@@ -97,12 +106,26 @@ impl RunSpec {
             mode,
             cfg,
             faults: None,
+            audit: None,
+            telemetry: None,
         }
     }
 
     /// Attaches a fault-injection campaign to this cell.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Switches on NoC invariant auditing for this cell.
+    pub fn with_audit(mut self, cfg: AuditConfig) -> Self {
+        self.audit = Some(cfg);
+        self
+    }
+
+    /// Switches on NoC telemetry collection for this cell.
+    pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
         self
     }
 }
@@ -295,6 +318,12 @@ impl SweepRunner {
                 if let Some(plan) = spec.faults {
                     system.enable_faults(plan);
                 }
+                if let Some(cfg) = spec.audit {
+                    system.enable_audit(cfg);
+                }
+                if let Some(cfg) = spec.telemetry {
+                    system.enable_telemetry(cfg);
+                }
                 system.run()
             }))
             .map_err(|p| CellError::Panicked(panic_message(p)));
@@ -393,6 +422,26 @@ mod tests {
                 s.label
             );
         }
+    }
+
+    #[test]
+    fn programmatic_audit_and_telemetry_reach_the_metrics() {
+        // The env-race-free opt-ins must produce the same artefacts the
+        // `SNOC_AUDIT` / `SNOC_TELEMETRY` variables would, per cell.
+        let grid = vec![
+            tiny("plain", "tpcc"),
+            tiny("instrumented", "tpcc")
+                .with_audit(AuditConfig::default())
+                .with_telemetry(TelemetryConfig::default()),
+        ];
+        let results = SweepRunner::new().threads(2).run_grid("t", grid);
+        let plain = results[0].metrics();
+        assert!(plain.audit.is_none() && plain.telemetry.is_none());
+        let m = results[1].metrics();
+        let audit = m.audit.as_ref().expect("audit report attached");
+        assert!(audit.clean(), "violations: {:?}", audit.samples);
+        let telemetry = m.telemetry.as_ref().expect("telemetry attached");
+        assert!(telemetry.epochs_sampled > 0);
     }
 
     #[test]

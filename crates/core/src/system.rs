@@ -631,6 +631,21 @@ impl System {
         self.net.enable_faults(plan);
     }
 
+    /// Switches on NoC invariant auditing for this run (programmatic
+    /// alternative to `SNOC_AUDIT`; safe under parallel sweeps where
+    /// mutating the environment would race). The report lands in
+    /// [`RunMetrics::audit`].
+    pub fn enable_audit(&mut self, cfg: snoc_noc::AuditConfig) {
+        self.net.enable_audit(cfg);
+    }
+
+    /// Switches on NoC telemetry collection for this run (programmatic
+    /// alternative to `SNOC_TELEMETRY`). The summary lands in
+    /// [`RunMetrics::telemetry`].
+    pub fn enable_telemetry(&mut self, cfg: snoc_noc::TelemetryConfig) {
+        self.net.enable_telemetry(cfg);
+    }
+
     /// Runs warm-up then the measurement window and returns the
     /// metrics.
     pub fn run(&mut self) -> RunMetrics {

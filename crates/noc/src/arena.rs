@@ -7,6 +7,30 @@
 
 use crate::packet::Packet;
 use snoc_common::ids::PacketId;
+use std::fmt;
+
+/// The arena refused a packet: the id space of a flit's 16-bit packet
+/// field is exhausted. Carries the live count so the failure is
+/// attributable (a workload injecting without back-pressure, or a
+/// leak keeping delivered packets alive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaFull {
+    /// Packets simultaneously in flight when the insert was refused.
+    pub live: usize,
+}
+
+impl fmt::Display for ArenaFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "packet arena full: {} packets simultaneously in flight \
+             (the id space of a flit's packet field is u16)",
+            self.live
+        )
+    }
+}
+
+impl std::error::Error for ArenaFull {}
 
 /// A recycling slab of in-flight packets.
 #[derive(Debug, Default)]
@@ -30,16 +54,25 @@ impl Arena {
     ///
     /// # Panics
     ///
-    /// Panics if more than `u16::MAX` packets are simultaneously in
-    /// flight (the id space of a flit's packet field).
-    pub fn insert(&mut self, mut packet: Packet) -> PacketId {
+    /// Panics with the live count if more than `u16::MAX` packets are
+    /// simultaneously in flight (the id space of a flit's packet
+    /// field); use [`Self::try_insert`] to handle that case instead.
+    pub fn insert(&mut self, packet: Packet) -> PacketId {
+        match self.try_insert(packet) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Stores a packet, assigning its id, or returns [`ArenaFull`]
+    /// when the id space is exhausted (the packet is dropped).
+    pub fn try_insert(&mut self, mut packet: Packet) -> Result<PacketId, ArenaFull> {
         let idx = match self.free.pop() {
             Some(i) => i,
             None => {
-                assert!(
-                    self.slots.len() < u16::MAX as usize,
-                    "too many packets in flight"
-                );
+                if self.slots.len() >= u16::MAX as usize {
+                    return Err(ArenaFull { live: self.live });
+                }
                 self.slots.push(None);
                 (self.slots.len() - 1) as u16
             }
@@ -50,7 +83,7 @@ impl Arena {
         packet.uid = self.next_uid;
         self.slots[idx as usize] = Some(packet);
         self.live += 1;
-        id
+        Ok(id)
     }
 
     /// Borrows a live packet.
@@ -141,5 +174,35 @@ mod tests {
         let id = a.insert(pkt());
         a.take(id);
         a.take(id);
+    }
+
+    #[test]
+    fn full_arena_returns_a_typed_error_with_the_live_count() {
+        let mut a = Arena::new();
+        for _ in 0..u16::MAX {
+            a.try_insert(pkt()).expect("id space not yet exhausted");
+        }
+        let err = a.try_insert(pkt()).unwrap_err();
+        assert_eq!(
+            err,
+            ArenaFull {
+                live: u16::MAX as usize
+            }
+        );
+        assert!(err.to_string().contains("65535 packets"));
+        // Freeing one slot makes insertion possible again.
+        a.take(PacketId::new(100));
+        let id = a.try_insert(pkt()).expect("recycled slot");
+        assert_eq!(id, PacketId::new(100));
+        assert_eq!(a.live(), u16::MAX as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet arena full: 65535 packets")]
+    fn insert_panic_names_the_live_count() {
+        let mut a = Arena::new();
+        for _ in 0..=u16::MAX {
+            a.insert(pkt());
+        }
     }
 }

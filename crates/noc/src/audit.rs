@@ -14,8 +14,10 @@
 //! * **Credit/flit conservation** — for every link, the upstream
 //!   output VC's remaining credits plus the downstream input VC's
 //!   occupancy equal the buffer depth (credits returned can never
-//!   exceed credits consumed), and each router's `buffered_flits()`
-//!   cache matches the sum of its VC occupancies.
+//!   exceed credits consumed), and each router's per-router buffered
+//!   counter in the [`crate::workspace::NocWorkspace`] matches the sum
+//!   of its VC occupancies — read through the same `VcRef`/`PortRef`
+//!   lane handles the allocator sweeps.
 //! * **Hold work-conservation** (Section 3.5) — a packet held at a
 //!   parent router is released by `max_hold`, and a bank is not left
 //!   idle while a request for it sits held with a free output VC
@@ -259,14 +261,14 @@ impl NetAuditor {
             let coord = r.coord();
             for dir in Direction::ALL {
                 for vc in 0..vcs {
-                    let credits = r.credits(dir, vc) as usize;
+                    let credits = r.credits(&net.ws, dir, vc) as usize;
                     let (occupied, what) = if dir == Direction::Local {
                         (net.nics[idx].eject_depth(vc), "NI ejection")
                     } else {
                         match mesh.neighbour(coord, dir) {
                             Some(nb) => {
-                                let d = &net.routers[net.ridx(nb)];
-                                (d.input_vc(dir.arrival_port().port(), vc).len(), "link")
+                                let d = net.ws.vc(net.ridx(nb), dir.arrival_port().port(), vc);
+                                (d.len(), "link")
                             }
                             None => (0, "edge"),
                         }
@@ -285,7 +287,7 @@ impl NetAuditor {
             // NI injection side of the local port.
             for vc in 0..vcs {
                 let credits = net.nics[idx].inject_credits(vc) as usize;
-                let occupied = r.input_vc(Direction::Local.port(), vc).len();
+                let occupied = net.ws.vc(idx, Direction::Local.port(), vc).len();
                 if credits + occupied != depth {
                     self.violation(
                         now,
@@ -298,10 +300,10 @@ impl NetAuditor {
             }
             let buffered: usize = (0..crate::router::PORTS)
                 .flat_map(|p| (0..vcs).map(move |v| (p, v)))
-                .map(|(p, v)| r.input_vc(p, v).len())
+                .map(|(p, v)| net.ws.vc(idx, p, v).len())
                 .sum();
-            if buffered != r.buffered_flits() {
-                let cached = r.buffered_flits();
+            if buffered != net.ws.buffered(idx) {
+                let cached = net.ws.buffered(idx);
                 self.violation(
                     now,
                     format_args!(
@@ -331,7 +333,7 @@ impl NetAuditor {
             for port in 0..crate::router::PORTS {
                 for vc in 0..vcs {
                     let flat = (idx * crate::router::PORTS + port) * vcs + vc;
-                    let q = r.input_vc(port, vc);
+                    let q = net.ws.vc(idx, port, vc);
                     let (Some(since), Some(front)) = (q.held_since(), q.front()) else {
                         self.strikes[flat] = (0, 0);
                         continue;
@@ -363,7 +365,8 @@ impl NetAuditor {
                     // its route).
                     let dir = net.routing.next_hop(r.coord(), packet);
                     let range = packet.kind.class().vc_range(vcs);
-                    let escape = front.ready_at <= now && r.has_free_credited_vc(dir, range);
+                    let escape =
+                        front.ready_at <= now && r.has_free_credited_vc(&net.ws, dir, range);
                     if !escape {
                         self.strikes[flat] = (0, 0);
                         continue;

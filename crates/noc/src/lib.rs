@@ -42,9 +42,12 @@ pub mod regions;
 pub mod router;
 pub mod routing;
 pub mod telemetry;
+pub mod workspace;
 
+pub use arena::{Arena, ArenaFull};
 pub use audit::{AuditConfig, AuditReport, NetAuditor};
 pub use fault::{FaultPlan, FaultSummary};
 pub use network::{NetStats, Network, NetworkParams};
 pub use packet::{Flit, Packet, PacketKind, TrafficClass};
 pub use telemetry::{TelemetryConfig, TelemetrySummary};
+pub use workspace::{NocWorkspace, PortRef, VcRef};

@@ -13,6 +13,7 @@ use crate::regions::RegionMap;
 use crate::router::{NetView, Router, StepParams, SwitchMove, MAX_BURST, PORTS};
 use crate::routing::RoutingTable;
 use crate::telemetry::{NetTelemetry, TelemetryConfig, TelemetrySummary};
+use crate::workspace::NocWorkspace;
 use snoc_common::config::{
     ArbitrationPolicy, Estimator, NocConfig, RequestPathMode, SystemConfig, TsbPlacement,
 };
@@ -175,6 +176,9 @@ pub struct Network {
     pub(crate) routing: RoutingTable,
     parents: ParentMap,
     pub(crate) routers: Vec<Router>,
+    /// The shared structure-of-arrays store holding every router's VC
+    /// buffer, credit and hold lanes.
+    pub(crate) ws: NocWorkspace,
     pub(crate) nics: Vec<Nic>,
     pub(crate) arena: Arena,
     estimator: EstimatorState,
@@ -238,6 +242,7 @@ impl Network {
                     .map(<[_]>::to_vec)
                     .unwrap_or_default();
                 routers.push(Router::new(
+                    routers.len(),
                     coord,
                     params.noc.vcs_per_port,
                     params.noc.vc_depth,
@@ -316,6 +321,7 @@ impl Network {
             moves: Vec::with_capacity(64),
             eject_credits: Vec::new(),
             eject_events: Vec::new(),
+            ws: NocWorkspace::new(routers.len(), params.noc.vcs_per_port, params.noc.vc_depth),
             routers,
             nics,
             arena: Arena::new(),
@@ -478,6 +484,7 @@ impl Network {
                 }
                 if self.nics[i].inject_step(
                     &mut self.routers[i],
+                    &mut self.ws,
                     &mut self.arena,
                     now,
                     self.params.noc.router_stages,
@@ -506,7 +513,7 @@ impl Network {
                 while word != 0 {
                     let idx = (w << 6) + word.trailing_zeros() as usize;
                     word &= word - 1;
-                    if self.routers[idx].buffered_flits() == 0 {
+                    if self.ws.buffered(idx) == 0 {
                         self.router_wake.clear(idx);
                         continue;
                     }
@@ -519,8 +526,8 @@ impl Network {
                         tsb_extra,
                         blocked: fault_blocked.map_or(0, |b| b[idx]),
                     };
-                    self.routers[idx].step_va(&view, p);
-                    for m in self.routers[idx].step_sa(&view, p) {
+                    self.routers[idx].step_va(&mut self.ws, &view, p);
+                    for m in self.routers[idx].step_sa(&mut self.ws, &view, p) {
                         moves.push((idx, *m));
                     }
                     if let Some(t) = &mut self.telemetry {
@@ -554,7 +561,7 @@ impl Network {
                 credits.clear();
                 self.nics[i].drain_eject(&mut self.arena, now, &mut credits, &mut events);
                 for &(vc, k) in &credits {
-                    self.routers[i].return_credit(Direction::Local, vc, k);
+                    self.routers[i].return_credit(&mut self.ws, Direction::Local, vc, k);
                 }
                 for e in events.drain(..) {
                     self.handle_event(e);
@@ -576,10 +583,11 @@ impl Network {
         // Estimator upkeep.
         if let EstimatorState::Rca(rca) = &mut self.estimator {
             let routers = &self.routers;
+            let ws = &self.ws;
             let mesh = self.mesh;
             let n = mesh.nodes_per_layer();
             rca.propagate(
-                |i| routers[i].occupancy_byte(),
+                |i| ws.occupancy_byte(i),
                 |i, dir| {
                     let coord = routers[i].coord();
                     mesh.neighbour(coord, dir).map(|c| {
@@ -602,6 +610,7 @@ impl Network {
             t.on_cycle_end(
                 now,
                 &self.routers,
+                &self.ws,
                 self.arena.live(),
                 self.stats.delivered,
                 &self.wide_down,
@@ -795,6 +804,28 @@ impl Network {
         self.faults = Some(Box::new(FaultState::new(plan, self.routers.len())));
     }
 
+    /// Switches invariant auditing on mid-construction (programmatic
+    /// alternative to `SNOC_AUDIT`, race-free under parallel sweeps).
+    pub fn enable_audit(&mut self, cfg: AuditConfig) {
+        self.params.audit = Some(cfg);
+        self.auditor = Some(Box::new(NetAuditor::new(cfg)));
+    }
+
+    /// Switches telemetry collection on mid-construction (programmatic
+    /// alternative to `SNOC_TELEMETRY`, race-free under parallel
+    /// sweeps). Also installs the per-router taps the collector drains.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.params.telemetry = Some(cfg);
+        self.telemetry = Some(Box::new(NetTelemetry::new(
+            cfg,
+            self.routers.len(),
+            self.params.noc.vcs_per_port,
+        )));
+        for r in &mut self.routers {
+            r.tap = Some(Box::default());
+        }
+    }
+
     /// The fault campaign's summary so far, when injection is enabled.
     pub fn fault_summary(&self) -> Option<FaultSummary> {
         self.faults.as_deref().map(|f| f.summary.clone())
@@ -866,6 +897,7 @@ impl Network {
                         mesh: self.mesh,
                     };
                     self.routers[idx].note_forward(
+                        &self.ws,
                         bank,
                         kind.is_bank_write(),
                         service,
@@ -892,7 +924,7 @@ impl Network {
                 .neighbour(coord, in_dir)
                 .expect("input port has an upstream");
             let uidx = self.ridx(up);
-            self.routers[uidx].return_credit(in_dir.arrival_port(), m.in_vc, nflits);
+            self.routers[uidx].return_credit(&mut self.ws, in_dir.arrival_port(), m.in_vc, nflits);
         }
 
         // Deliver the flits.
@@ -913,6 +945,7 @@ impl Network {
                 let ready = now + self.params.noc.link_latency + self.params.noc.router_stages;
                 for f in &m.flits {
                     self.routers[tidx].accept(
+                        &mut self.ws,
                         in_port,
                         m.out_vc,
                         Flit {

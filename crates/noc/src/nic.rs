@@ -15,6 +15,7 @@
 use crate::arena::Arena;
 use crate::packet::{Flit, Packet, PacketKind, TrafficClass};
 use crate::router::Router;
+use crate::workspace::NocWorkspace;
 use snoc_common::geom::{Coord, Direction};
 use snoc_common::ids::PacketId;
 use snoc_common::Cycle;
@@ -134,6 +135,7 @@ impl Nic {
     pub fn inject_step(
         &mut self,
         router: &mut Router,
+        ws: &mut NocWorkspace,
         arena: &mut Arena,
         now: Cycle,
         router_stages: u64,
@@ -179,7 +181,7 @@ impl Nic {
                 tail: seq + 1 == total,
                 ready_at: now + router_stages,
             };
-            router.accept(Direction::Local.port(), v, flit);
+            router.accept(ws, Direction::Local.port(), v, flit);
             self.credits[v] -= 1;
             binding.next_seq += 1;
             if binding.next_seq == total {
@@ -314,10 +316,10 @@ mod tests {
         Coord::new(1, 1, Layer::Cache)
     }
 
-    fn mk() -> (Nic, Router, Arena) {
+    fn mk() -> (Nic, Router, NocWorkspace, Arena) {
         let nic = Nic::new(coord(), 6, 5, 8, 4);
-        let router = Router::new(coord(), 6, 5, vec![]);
-        (nic, router, Arena::new())
+        let router = Router::new(0, coord(), 6, 5, vec![]);
+        (nic, router, NocWorkspace::new(1, 6, 5), Arena::new())
     }
 
     fn drain(
@@ -346,7 +348,8 @@ mod tests {
     fn injects_one_flit_per_cycle() {
         // Give the NI a deep credit pool so the buffer never limits it.
         let mut nic = Nic::new(coord(), 6, 16, 8, 4);
-        let mut router = Router::new(coord(), 6, 5, vec![]);
+        let mut router = Router::new(0, coord(), 6, 16, vec![]);
+        let mut ws = NocWorkspace::new(1, 6, 16);
         let mut arena = Arena::new();
         let p = Packet::new(
             PacketKind::Writeback,
@@ -358,15 +361,15 @@ mod tests {
         let id = arena.insert(p);
         nic.enqueue(id, TrafficClass::Request);
         for cycle in 0..8 {
-            nic.inject_step(&mut router, &mut arena, cycle, 2);
+            nic.inject_step(&mut router, &mut ws, &mut arena, cycle, 2);
             assert_eq!(
-                router.buffered_flits(),
+                router.buffered_flits(&ws),
                 cycle as usize + 1,
                 "one flit per cycle"
             );
         }
-        nic.inject_step(&mut router, &mut arena, 8, 2);
-        assert_eq!(router.buffered_flits(), 9, "writeback is 9 flits");
+        nic.inject_step(&mut router, &mut ws, &mut arena, 8, 2);
+        assert_eq!(router.buffered_flits(&ws), 9, "writeback is 9 flits");
         assert_eq!(arena.get(id).injected_at, 0);
         assert_eq!(nic.injected, 1);
         assert_eq!(nic.inject_backlog(), 0);
@@ -374,7 +377,7 @@ mod tests {
 
     #[test]
     fn injection_respects_credits() {
-        let (mut nic, mut router, mut arena) = mk();
+        let (mut nic, mut router, mut ws, mut arena) = mk();
         let p = Packet::new(
             PacketKind::Writeback,
             coord(),
@@ -387,35 +390,40 @@ mod tests {
         // Only 5 credits per VC: the 6th flit stalls until a credit
         // returns.
         for cycle in 0..9 {
-            nic.inject_step(&mut router, &mut arena, cycle, 2);
+            nic.inject_step(&mut router, &mut ws, &mut arena, cycle, 2);
         }
-        assert_eq!(router.buffered_flits(), 5);
+        assert_eq!(router.buffered_flits(&ws), 5);
+        // The router forwards two flits downstream, freeing the buffer
+        // slots whose credits flow back to the NI.
+        let lane = ws.lane(0, Direction::Local.port(), 0);
+        ws.pop_front(0, lane);
+        ws.pop_front(0, lane);
         nic.return_credit(0, 2);
-        nic.inject_step(&mut router, &mut arena, 9, 2);
-        nic.inject_step(&mut router, &mut arena, 10, 2);
-        assert_eq!(router.buffered_flits(), 7);
+        nic.inject_step(&mut router, &mut ws, &mut arena, 9, 2);
+        nic.inject_step(&mut router, &mut ws, &mut arena, 10, 2);
+        assert_eq!(router.buffered_flits(&ws), 5, "two more flits entered");
     }
 
     #[test]
     fn classes_bind_disjoint_vcs() {
-        let (mut nic, mut router, mut arena) = mk();
+        let (mut nic, mut router, mut ws, mut arena) = mk();
         let req = request(&mut arena);
         let rsp = arena.insert(Packet::new(PacketKind::Ack, coord(), coord(), 0, 0));
         nic.enqueue(req, TrafficClass::Request);
         nic.enqueue(rsp, TrafficClass::Response);
-        nic.inject_step(&mut router, &mut arena, 0, 2);
-        nic.inject_step(&mut router, &mut arena, 1, 2);
+        nic.inject_step(&mut router, &mut ws, &mut arena, 0, 2);
+        nic.inject_step(&mut router, &mut ws, &mut arena, 1, 2);
         // Request lands in VC 0..2, response in VC 4..6.
-        assert_eq!(router.input_vc(Direction::Local.port(), 0).len(), 1);
+        assert_eq!(router.input_vc(&ws, Direction::Local.port(), 0).len(), 1);
         let rsp_vcs: usize = (4..6)
-            .map(|v| router.input_vc(Direction::Local.port(), v).len())
+            .map(|v| router.input_vc(&ws, Direction::Local.port(), v).len())
             .sum();
         assert_eq!(rsp_vcs, 1);
     }
 
     #[test]
     fn eject_assembles_and_returns_credits() {
-        let (mut nic, _router, mut arena) = mk();
+        let (mut nic, _router, _ws, mut arena) = mk();
         let id = request(&mut arena);
         for flit in Flit::sequence(id, 1) {
             nic.accept_eject(4, flit);
@@ -431,7 +439,7 @@ mod tests {
 
     #[test]
     fn outbox_backpressure_stalls_tail_flits() {
-        let (mut nic, _router, mut arena) = mk();
+        let (mut nic, _router, _ws, mut arena) = mk();
         // Fill the outbox to its cap of 4.
         for _ in 0..5 {
             let id = request(&mut arena);
@@ -449,7 +457,7 @@ mod tests {
 
     #[test]
     fn tagged_request_triggers_an_ack() {
-        let (mut nic, mut router, mut arena) = mk();
+        let (mut nic, mut router, mut ws, mut arena) = mk();
         let id = request(&mut arena);
         let parent = Coord::new(3, 3, Layer::Cache);
         arena.get_mut(id).wb_tag = Some(WbTag {
@@ -464,9 +472,9 @@ mod tests {
         assert!(events.is_empty(), "ack is sent, not an event at the child");
         // The ack is queued for injection in the response class.
         assert_eq!(nic.inject_backlog(), 1);
-        nic.inject_step(&mut router, &mut arena, 11, 2);
+        nic.inject_step(&mut router, &mut ws, &mut arena, 11, 2);
         let v = TrafficClass::Response.vc_range(6).start;
-        assert_eq!(router.input_vc(Direction::Local.port(), v).len(), 1);
+        assert_eq!(router.input_vc(&ws, Direction::Local.port(), v).len(), 1);
     }
 
     #[test]
@@ -477,7 +485,7 @@ mod tests {
         // non-zero count would burn cycles, a phantom zero would strand
         // buffered flits forever.
         use snoc_common::rng::SimRng;
-        let (mut nic, _router, mut arena) = mk();
+        let (mut nic, _router, _ws, mut arena) = mk();
         let mut rng = SimRng::for_stream(0x41C, 0);
         fn check(nic: &Nic) {
             let total: usize = (0..6).map(|v| nic.eject_depth(v)).sum();
@@ -514,7 +522,7 @@ mod tests {
 
     #[test]
     fn tagack_is_consumed_internally() {
-        let (mut nic, _router, mut arena) = mk();
+        let (mut nic, _router, _ws, mut arena) = mk();
         let parent = coord();
         let mut ack = Packet::new(
             PacketKind::TagAck,

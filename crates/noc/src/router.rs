@@ -8,6 +8,13 @@
 //! competes in switch allocation (SA) — one grant per output port and
 //! per input port each cycle — and departs over the link.
 //!
+//! All VC buffer, credit and hold state lives in the shared
+//! [`NocWorkspace`](crate::workspace::NocWorkspace) structure-of-arrays
+//! store; the router itself keeps only its allocation bitmasks,
+//! round-robin pointers and statistics, and steps by sweeping its
+//! workspace lanes. Callers thread the workspace through every
+//! stepping call.
+//!
 //! Parent routers additionally implement the paper's STT-RAM-aware
 //! arbitration: a head flit whose destination bank is predicted busy is
 //! *held* in its VC (VA is withheld) until its release time, and
@@ -18,11 +25,11 @@ use crate::arbiter::rr_pick;
 use crate::busy::BusyTable;
 use crate::packet::{Flit, Packet};
 use crate::parent::ChildInfo;
+use crate::workspace::{NocWorkspace, VcRef};
 use snoc_common::config::ArbitrationPolicy;
 use snoc_common::geom::{Coord, Direction};
 use snoc_common::ids::{BankId, PacketId};
 use snoc_common::Cycle;
-use std::collections::VecDeque;
 
 /// Number of router ports.
 pub const PORTS: usize = 7;
@@ -45,87 +52,6 @@ pub struct OutRoute {
     pub dir: Direction,
     /// Output virtual channel.
     pub vc: usize,
-}
-
-/// One input virtual channel.
-#[derive(Debug, Clone, Default)]
-pub struct VirtualChannel {
-    flits: VecDeque<Flit>,
-    route: Option<OutRoute>,
-    /// Cycle at which the current head packet was first held by the
-    /// bank-aware policy; cleared at allocation. The hold condition is
-    /// re-evaluated every cycle against the live busy table, so a
-    /// parent naturally serializes several held requests to one bank.
-    /// This anchor survives a lapsed hold (it drives the `max_hold`
-    /// force release and the held-packet statistics), so it alone does
-    /// not say whether the policy is withholding VA *right now* — that
-    /// is `policy_held`.
-    held_since: Option<Cycle>,
-    /// `true` only when the most recent VA pass decided to withhold
-    /// allocation because the bank was predicted busy. Cleared the
-    /// moment the hold lapses (bank idle, `max_hold` hit, or a
-    /// bystander blocked behind), even if the packet then has to wait
-    /// for a free output VC — that wait is ordinary backpressure, not
-    /// bank-aware holding.
-    policy_held: bool,
-}
-
-impl VirtualChannel {
-    /// The flit at the head of the buffer.
-    pub fn front(&self) -> Option<&Flit> {
-        self.flits.front()
-    }
-
-    /// Buffered flit count.
-    pub fn len(&self) -> usize {
-        self.flits.len()
-    }
-
-    /// `true` when no flits are buffered.
-    pub fn is_empty(&self) -> bool {
-        self.flits.is_empty()
-    }
-
-    /// The allocated output, if any.
-    pub fn route(&self) -> Option<OutRoute> {
-        self.route
-    }
-
-    /// `true` while the head packet is being held by bank-aware
-    /// arbitration.
-    pub fn is_held(&self, _now: Cycle) -> bool {
-        self.held_since.is_some() && self.route.is_none()
-    }
-
-    /// The cycle the head packet was first held, while the bank-aware
-    /// policy is actively withholding VA (audit instrumentation).
-    /// Lapsed holds — the policy released the packet but allocation is
-    /// backpressured — report `None`.
-    pub fn held_since(&self) -> Option<Cycle> {
-        if self.policy_held && self.route.is_none() {
-            self.held_since
-        } else {
-            None
-        }
-    }
-}
-
-/// Per-output-port downstream state: credits and VC ownership.
-#[derive(Debug, Clone)]
-struct OutputPort {
-    credits: Vec<u8>,
-    /// The (input port, input VC) currently bound to each output VC;
-    /// bound from head-flit VA until the tail flit departs.
-    owner: Vec<Option<(u8, u8)>>,
-}
-
-impl OutputPort {
-    fn new(vcs: usize, depth: usize) -> Self {
-        Self {
-            credits: vec![depth as u8; vcs],
-            owner: vec![None; vcs],
-        }
-    }
 }
 
 /// Largest burst one switch grant can carry: a wide TSB moves
@@ -255,18 +181,21 @@ pub struct RouterStats {
     pub buffer_writes: u64,
 }
 
-/// One router of the 3D mesh.
+/// One router of the 3D mesh. Owns allocation masks, round-robin
+/// state, the parent busy table and statistics; buffer/credit/hold
+/// lanes live in the [`NocWorkspace`] it is stepped against.
 #[derive(Debug)]
 pub struct Router {
     coord: Coord,
+    /// This router's index in the workspace lane space.
+    idx: usize,
     vcs: usize,
     depth: u8,
-    inputs: Vec<Vec<VirtualChannel>>,
-    outputs: Vec<OutputPort>,
-    va_rr: Vec<usize>,
-    sa_rr: Vec<usize>,
-    buffered: usize,
-    capacity: usize,
+    /// Per output port: last granted output VC (rotating VA priority).
+    va_rr: [u8; PORTS],
+    /// Per output port: last granted flat input index (rotating SA
+    /// priority over the candidate bitmask).
+    sa_rr: [u8; PORTS],
     /// Flat (port*vcs+vc) bitmask of VCs whose front flit is a header
     /// awaiting VC allocation.
     va_mask: u64,
@@ -293,8 +222,15 @@ pub struct Router {
 }
 
 impl Router {
-    /// Creates a router with `vcs` VCs of `depth` flits on each port.
-    pub fn new(coord: Coord, vcs: usize, depth: usize, children: Vec<ChildInfo>) -> Self {
+    /// Creates the router at workspace index `idx` with `vcs` VCs of
+    /// `depth` flits on each port.
+    pub fn new(
+        idx: usize,
+        coord: Coord,
+        vcs: usize,
+        depth: usize,
+        children: Vec<ChildInfo>,
+    ) -> Self {
         let busy = BusyTable::new(children.iter().map(|c| c.bank));
         let child_cong = vec![0; children.len()];
         assert!(children.len() < u8::MAX as usize, "child slots fit in u8");
@@ -309,16 +245,11 @@ impl Router {
         }
         Self {
             coord,
+            idx,
             vcs,
             depth: depth as u8,
-            inputs: (0..PORTS)
-                .map(|_| (0..vcs).map(|_| VirtualChannel::default()).collect())
-                .collect(),
-            outputs: (0..PORTS).map(|_| OutputPort::new(vcs, depth)).collect(),
-            va_rr: vec![0; PORTS],
-            sa_rr: vec![0; PORTS],
-            buffered: 0,
-            capacity: PORTS * vcs * depth,
+            va_rr: [0; PORTS],
+            sa_rr: [0; PORTS],
             va_mask: 0,
             sa_mask: [0; PORTS],
             children,
@@ -334,6 +265,11 @@ impl Router {
     /// This router's position.
     pub fn coord(&self) -> Coord {
         self.coord
+    }
+
+    /// This router's index in the workspace lane space.
+    pub fn idx(&self) -> usize {
+        self.idx
     }
 
     /// The banks this router manages as a parent.
@@ -390,23 +326,23 @@ impl Router {
     }
 
     /// Total buffered flits (for RCA occupancy and fast idle skip).
-    pub fn buffered_flits(&self) -> usize {
-        self.buffered
+    pub fn buffered_flits(&self, ws: &NocWorkspace) -> usize {
+        ws.buffered(self.idx)
     }
 
     /// Buffer occupancy as a 0..=255 fraction of capacity.
-    pub fn occupancy_byte(&self) -> u8 {
-        (self.buffered * 255 / self.capacity) as u8
+    pub fn occupancy_byte(&self, ws: &NocWorkspace) -> u8 {
+        ws.occupancy_byte(self.idx)
     }
 
     /// Read access to an input VC (tests and instrumentation).
-    pub fn input_vc(&self, port: usize, vc: usize) -> &VirtualChannel {
-        &self.inputs[port][vc]
+    pub fn input_vc<'w>(&self, ws: &'w NocWorkspace, port: usize, vc: usize) -> VcRef<'w> {
+        ws.vc(self.idx, port, vc)
     }
 
     /// Remaining credits for an output VC.
-    pub fn credits(&self, dir: Direction, vc: usize) -> u8 {
-        self.outputs[dir.port()].credits[vc]
+    pub fn credits(&self, ws: &NocWorkspace, dir: Direction, vc: usize) -> u8 {
+        ws.port(self.idx, dir.port()).credits(vc)
     }
 
     /// VCs per port.
@@ -423,22 +359,22 @@ impl Router {
     /// credits available inside `range` — i.e. VC allocation towards
     /// `dir` could succeed right now for a packet of that class
     /// (audit instrumentation).
-    pub fn has_free_credited_vc(&self, dir: Direction, range: std::ops::Range<usize>) -> bool {
-        let out = &self.outputs[dir.port()];
-        range
-            .into_iter()
-            .any(|v| out.owner[v].is_none() && out.credits[v] > 0)
+    pub fn has_free_credited_vc(
+        &self,
+        ws: &NocWorkspace,
+        dir: Direction,
+        range: std::ops::Range<usize>,
+    ) -> bool {
+        ws.port(self.idx, dir.port()).has_free_credited_vc(range)
     }
 
     /// Accepts a flit into an input VC (link arrival or NI injection).
-    pub fn accept(&mut self, port: usize, vc: usize, flit: Flit) {
-        let q = &mut self.inputs[port][vc];
-        let was_empty = q.flits.is_empty();
-        q.flits.push_back(flit);
+    pub fn accept(&mut self, ws: &mut NocWorkspace, port: usize, vc: usize, flit: Flit) {
+        let lane = ws.lane(self.idx, port, vc);
+        let was_empty = ws.push_back(self.idx, lane, flit);
         if was_empty && flit.head {
             self.va_mask |= 1 << (port * self.vcs + vc);
         }
-        self.buffered += 1;
         self.stats.buffer_writes += 1;
     }
 
@@ -448,13 +384,13 @@ impl Router {
     }
 
     /// Returns `credits` slots to an output VC.
-    pub fn return_credit(&mut self, dir: Direction, vc: usize, credits: u8) {
-        self.outputs[dir.port()].credits[vc] += credits;
+    pub fn return_credit(&self, ws: &mut NocWorkspace, dir: Direction, vc: usize, credits: u8) {
+        ws.refund_credits(ws.lane(self.idx, dir.port(), vc), credits);
     }
 
     #[cfg(test)]
-    fn drain_credits(&mut self, dir: Direction, vc: usize) -> u8 {
-        std::mem::take(&mut self.outputs[dir.port()].credits[vc])
+    fn drain_credits(&self, ws: &mut NocWorkspace, dir: Direction, vc: usize) -> u8 {
+        ws.drain_credits_lane(ws.lane(self.idx, dir.port(), vc))
     }
 
     /// The congestion-adjusted arrival estimate for a request sent now
@@ -473,127 +409,131 @@ impl Router {
     /// parent and the bank is predicted busy at the packet's estimated
     /// arrival, VA is withheld until the computed release cycle — the
     /// packet waits in its (already buffered) VC.
-    pub fn step_va(&mut self, view: &dyn NetView, p: StepParams) {
+    pub fn step_va(&mut self, ws: &mut NocWorkspace, view: &impl NetView, p: StepParams) {
+        let base = ws.router_base(self.idx);
         let mut mask = self.va_mask;
         while mask != 0 {
             let flat = mask.trailing_zeros() as usize;
             mask &= mask - 1;
-            {
-                let (port, vc) = (flat / self.vcs, flat % self.vcs);
-                let q = &self.inputs[port][vc];
-                let Some(front) = q.flits.front() else {
-                    self.va_mask &= !(1 << flat);
-                    continue;
-                };
-                debug_assert!(front.head && q.route.is_none());
-                if front.ready_at > p.now {
-                    continue;
-                }
-                let pid = front.packet;
-                let packet = view.packet(pid);
+            let lane = base + flat;
+            if ws.vc_len(lane) == 0 {
+                self.va_mask &= !(1 << flat);
+                continue;
+            }
+            debug_assert!(ws.front_is_head(lane) && ws.route_parts(lane).is_none());
+            if ws.front_ready_at(lane) > p.now {
+                continue;
+            }
+            let pid = ws.front_packet(lane);
+            let packet = view.packet(pid);
 
-                // Bank-aware hold decision, re-evaluated every cycle
-                // against the live busy horizon: once an earlier
-                // request is forwarded and extends the horizon, the
-                // next held packet keeps waiting, so a parent spaces
-                // back-to-back requests by the bank service time.
-                if p.policy.is_bank_aware() {
-                    if let Some(bank) = view.dest_bank(packet) {
-                        if let Some(arrival) = self.arrival_estimate(bank) {
-                            let q = &self.inputs[port][vc];
-                            let held_since = q.held_since;
-                            let over_limit = held_since
-                                .map(|s| p.now.saturating_sub(s) >= p.max_hold)
-                                .unwrap_or(false);
-                            // A held head must not block bystanders —
-                            // but packets behind it headed to the SAME
-                            // busy bank are not bystanders (they would
-                            // only queue at the bank). Release when a
-                            // foreign-destination packet is stuck
-                            // behind, or when this input port has no
-                            // spare request VC left (a blockade would
-                            // stall the whole port).
-                            let blocking = q.flits.iter().any(|f| {
-                                f.head
-                                    && f.packet != pid
-                                    && view.dest_bank(view.packet(f.packet)) != Some(bank)
-                            });
-                            if !over_limit
-                                && !blocking
-                                && self.busy.would_queue_with_slack(
-                                    bank,
-                                    p.now,
-                                    arrival,
-                                    p.hold_slack,
-                                )
-                            {
-                                let q = &mut self.inputs[port][vc];
-                                if held_since.is_none() {
-                                    q.held_since = Some(p.now);
-                                    self.stats.held_packets += 1;
-                                }
-                                q.policy_held = true;
-                                continue;
+            // Bank-aware hold decision, re-evaluated every cycle
+            // against the live busy horizon: once an earlier
+            // request is forwarded and extends the horizon, the
+            // next held packet keeps waiting, so a parent spaces
+            // back-to-back requests by the bank service time.
+            if p.policy.is_bank_aware() {
+                if let Some(bank) = view.dest_bank(packet) {
+                    if let Some(arrival) = self.arrival_estimate(bank) {
+                        let held_since = ws.held_anchor(lane);
+                        let over_limit = held_since
+                            .map(|s| p.now.saturating_sub(s) >= p.max_hold)
+                            .unwrap_or(false);
+                        // A held head must not block bystanders —
+                        // but packets behind it headed to the SAME
+                        // busy bank are not bystanders (they would
+                        // only queue at the bank). Release when a
+                        // foreign-destination packet is stuck
+                        // behind, or when this input port has no
+                        // spare request VC left (a blockade would
+                        // stall the whole port).
+                        let blocking = (0..ws.vc_len(lane)).any(|k| {
+                            let f = ws.flit_at(lane, k);
+                            f.head
+                                && f.packet != pid
+                                && view.dest_bank(view.packet(f.packet)) != Some(bank)
+                        });
+                        if !over_limit
+                            && !blocking
+                            && self
+                                .busy
+                                .would_queue_with_slack(bank, p.now, arrival, p.hold_slack)
+                        {
+                            if held_since.is_none() {
+                                ws.set_held(lane, p.now);
+                                self.stats.held_packets += 1;
                             }
+                            ws.set_policy_held(lane, true);
+                            continue;
                         }
                     }
                 }
-                // Reaching here means the policy is not withholding VA
-                // this cycle; any remaining wait is backpressure. The
-                // `held_since` anchor stays so a later re-hold keeps
-                // counting against the same `max_hold` budget.
-                self.inputs[port][vc].policy_held = false;
+            }
+            // Reaching here means the policy is not withholding VA
+            // this cycle; any remaining wait is backpressure. The
+            // hold anchor stays so a later re-hold keeps counting
+            // against the same `max_hold` budget.
+            ws.set_policy_held(lane, false);
 
-                let dir = view.route(self.coord, packet);
-                let class = packet.kind.class();
-                let range = class.vc_range(self.vcs);
-                let out = &self.outputs[dir.port()];
-                let rr = self.va_rr[dir.port()];
-                let depth = self.depth;
-                // Prefer an output VC whose downstream buffer is empty
-                // (full credits): packets then spread across VCs
-                // instead of stacking behind a possibly-held head.
-                let pick = rr_pick(rr, self.vcs, |v| {
-                    range.contains(&v) && out.owner[v].is_none() && out.credits[v] == depth
+            let dir = view.route(self.coord, packet);
+            let class = packet.kind.class();
+            let range = class.vc_range(self.vcs);
+            let dp = dir.port();
+            let obase = base + dp * self.vcs;
+            let rr = self.va_rr[dp] as usize;
+            let depth = self.depth;
+            // Prefer an output VC whose downstream buffer is empty
+            // (full credits): packets then spread across VCs
+            // instead of stacking behind a possibly-held head.
+            let pick = rr_pick(rr, self.vcs, |v| {
+                range.contains(&v) && ws.owner_is_none(obase + v) && ws.credit(obase + v) == depth
+            })
+            .or_else(|| {
+                rr_pick(rr, self.vcs, |v| {
+                    range.contains(&v) && ws.owner_is_none(obase + v) && ws.credit(obase + v) > 0
                 })
-                .or_else(|| {
-                    rr_pick(rr, self.vcs, |v| {
-                        range.contains(&v) && out.owner[v].is_none() && out.credits[v] > 0
-                    })
-                });
-                if let Some(out_vc) = pick {
-                    self.va_rr[dir.port()] = out_vc;
-                    self.outputs[dir.port()].owner[out_vc] = Some((port as u8, vc as u8));
-                    let held = self.inputs[port][vc].held_since.take();
-                    if let Some(since) = held {
-                        self.stats.held_cycles += p.now - since;
-                    }
-                    if let Some(tap) = &mut self.tap {
-                        tap.va_grants.push((pid, dir, out_vc as u8));
-                        if let Some(since) = held {
-                            tap.hold_delays.push(p.now - since);
-                        }
-                    }
-                    self.inputs[port][vc].route = Some(OutRoute { dir, vc: out_vc });
-                    self.va_mask &= !(1 << flat);
-                    self.sa_mask[dir.port()] |= 1 << flat;
+            });
+            if let Some(out_vc) = pick {
+                let (port, vc) = (flat / self.vcs, flat % self.vcs);
+                self.va_rr[dp] = out_vc as u8;
+                ws.set_owner(obase + out_vc, port as u8, vc as u8);
+                let held = ws.take_held(lane);
+                if let Some(since) = held {
+                    self.stats.held_cycles += p.now - since;
                 }
+                if let Some(tap) = &mut self.tap {
+                    tap.va_grants.push((pid, dir, out_vc as u8));
+                    if let Some(since) = held {
+                        tap.hold_delays.push(p.now - since);
+                    }
+                }
+                ws.set_route(lane, dp, out_vc);
+                self.va_mask &= !(1 << flat);
+                self.sa_mask[dp] |= 1 << flat;
             }
         }
     }
 
-    /// `true` when `(port, vc)` may compete for output `out_dir` this
-    /// cycle.
-    fn sa_candidate(&self, port: usize, vc: usize, out_dir: Direction, now: Cycle) -> bool {
-        let q = &self.inputs[port][vc];
-        let Some(route) = q.route else { return false };
-        if route.dir != out_dir {
-            return false;
-        }
-        let Some(front) = q.flits.front() else {
+    /// `true` when the input VC at `base + flat` may compete for the
+    /// output port `op` this cycle: allocated to it, presenting a
+    /// pipeline-ready front flit, with a downstream credit available.
+    #[inline]
+    fn sa_candidate(
+        &self,
+        ws: &NocWorkspace,
+        base: usize,
+        flat: usize,
+        op: usize,
+        now: Cycle,
+    ) -> bool {
+        let lane = base + flat;
+        let Some((dp, out_vc)) = ws.route_parts(lane) else {
             return false;
         };
-        front.ready_at <= now && self.outputs[out_dir.port()].credits[route.vc] > 0
+        if dp != op || ws.vc_len(lane) == 0 {
+            return false;
+        }
+        ws.front_ready_at(lane) <= now && ws.credit(base + op * self.vcs + out_vc) > 0
     }
 
     /// Switch allocation: one grant per output port, at most one grant
@@ -602,9 +542,15 @@ impl Router {
     /// Returns the granted moves (backed by a persistent per-router
     /// buffer, valid until the next call); flits are already popped and
     /// credits decremented.
-    pub fn step_sa(&mut self, view: &dyn NetView, p: StepParams) -> &[SwitchMove] {
+    pub fn step_sa(
+        &mut self,
+        ws: &mut NocWorkspace,
+        view: &impl NetView,
+        p: StepParams,
+    ) -> &[SwitchMove] {
         self.sa_moves.clear();
         let mut input_port_used = [false; PORTS];
+        let base = ws.router_base(self.idx);
 
         for out_dir in Direction::ALL {
             let op = out_dir.port();
@@ -628,15 +574,15 @@ impl Router {
                 while bits != 0 {
                     let i = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    let (port, vc) = (i / self.vcs, i % self.vcs);
-                    if input_port_used[port] || !self.sa_candidate(port, vc, out_dir, p.now) {
+                    let port = i / self.vcs;
+                    if input_port_used[port] || !self.sa_candidate(ws, base, i, op, p.now) {
                         continue;
                     }
                     if !p.policy.is_bank_aware() {
                         winner = Some(i);
                         break 'outer;
                     }
-                    let rank = self.sa_priority(port, vc, view, p.now);
+                    let rank = self.sa_priority(ws, base + i, view, p.now);
                     if rank == 2 {
                         winner = Some(i);
                         break 'outer;
@@ -650,10 +596,10 @@ impl Router {
             let Some(winner) = winner.or(fallback) else {
                 continue;
             };
-            self.sa_rr[op] = winner;
+            self.sa_rr[op] = winner as u8;
             let (port, vc) = (winner / self.vcs, winner % self.vcs);
             input_port_used[port] = true;
-            let mv = self.grant(port, vc, p);
+            let mv = self.grant(ws, port, vc, p);
             self.sa_moves.push(mv);
         }
         &self.sa_moves
@@ -664,12 +610,11 @@ impl Router {
     /// and responses; 1 — reads to predicted-busy banks (Section 4.2:
     /// "read packets ... are prioritized over write packets" when the
     /// destination bank is busy); 0 — writes to predicted-busy banks.
-    fn sa_priority(&self, port: usize, vc: usize, view: &dyn NetView, now: Cycle) -> u8 {
-        let q = &self.inputs[port][vc];
-        let Some(front) = q.flits.front() else {
+    fn sa_priority(&self, ws: &NocWorkspace, lane: usize, view: &impl NetView, now: Cycle) -> u8 {
+        if ws.vc_len(lane) == 0 {
             return 2;
-        };
-        let packet = view.packet(front.packet);
+        }
+        let packet = view.packet(ws.front_packet(lane));
         if let Some(bank) = view.dest_bank(packet) {
             if let Some(arrival) = self.arrival_estimate(bank) {
                 if self.busy.would_queue(bank, now, arrival) {
@@ -682,11 +627,21 @@ impl Router {
 
     /// Pops the granted flit(s), consuming credits and releasing the
     /// output VC on the tail flit.
-    fn grant(&mut self, port: usize, vc: usize, p: StepParams) -> SwitchMove {
-        let route = self.inputs[port][vc].route.expect("granted VC has a route");
+    fn grant(
+        &mut self,
+        ws: &mut NocWorkspace,
+        port: usize,
+        vc: usize,
+        p: StepParams,
+    ) -> SwitchMove {
+        let base = ws.router_base(self.idx);
+        let lane = base + port * self.vcs + vc;
+        let (dp, out_vc) = ws.route_parts(lane).expect("granted VC has a route");
+        let out_dir = Direction::ALL[dp];
+        let olane = base + dp * self.vcs + out_vc;
         // A wide (256b) region TSB carries up to `1 + tsb_extra` flits
         // of the same packet per cycle (XShare-style combining).
-        let burst = if route.dir == Direction::Down && p.wide_down {
+        let burst = if out_dir == Direction::Down && p.wide_down {
             1 + p.tsb_extra
         } else {
             1
@@ -695,21 +650,14 @@ impl Router {
         let mut flits: Option<FlitBurst> = None;
         let mut tail_sent = false;
         for _ in 0..burst {
-            if tail_sent || self.outputs[route.dir.port()].credits[route.vc] == 0 {
+            if tail_sent || ws.credit(olane) == 0 || ws.vc_len(lane) == 0 {
                 break;
             }
-            let Some(front) = self.inputs[port][vc].flits.front() else {
-                break;
-            };
-            if front.ready_at > p.now {
+            if ws.front_ready_at(lane) > p.now {
                 break;
             }
-            let flit = self.inputs[port][vc]
-                .flits
-                .pop_front()
-                .expect("front checked");
-            self.buffered -= 1;
-            self.outputs[route.dir.port()].credits[route.vc] -= 1;
+            let flit = ws.pop_front(self.idx, lane);
+            ws.spend_credit(olane);
             self.stats.switch_traversals += 1;
             tail_sent = flit.tail;
             match &mut flits {
@@ -720,22 +668,21 @@ impl Router {
         // SA candidacy guarantees a ready front flit with credit.
         let flits = flits.expect("granted VC moves at least one flit");
         if tail_sent {
-            self.outputs[route.dir.port()].owner[route.vc] = None;
+            ws.clear_owner(olane);
             let flat = port * self.vcs + vc;
-            self.sa_mask[route.dir.port()] &= !(1 << flat);
-            let q = &mut self.inputs[port][vc];
-            q.route = None;
-            q.held_since = None;
-            q.policy_held = false;
-            if q.flits.front().map(|f| f.head).unwrap_or(false) {
+            self.sa_mask[dp] &= !(1 << flat);
+            ws.clear_route(lane);
+            ws.take_held(lane);
+            ws.set_policy_held(lane, false);
+            if ws.vc_len(lane) > 0 && ws.front_is_head(lane) {
                 self.va_mask |= 1 << flat;
             }
         }
         SwitchMove {
             in_port: port,
             in_vc: vc,
-            out_dir: route.dir,
-            out_vc: route.vc,
+            out_dir,
+            out_vc,
             flits,
         }
     }
@@ -746,14 +693,16 @@ impl Router {
     ///
     /// `extra_serialization` accounts for the remaining flits of a
     /// multi-flit packet (the bank starts service on the tail flit).
+    #[allow(clippy::too_many_arguments)]
     pub fn note_forward(
         &mut self,
+        ws: &NocWorkspace,
         bank: BankId,
         is_write: bool,
         service: Cycle,
         extra_serialization: Cycle,
         now: Cycle,
-        view: &dyn NetView,
+        view: &impl NetView,
     ) {
         // The busy horizon uses the uncontended arrival: congestion
         // estimates time the *release* of held packets but should not
@@ -770,19 +719,17 @@ impl Router {
             // Figure 3 inset / Figure 13a: buffered request packets in
             // this router whose destination lies exactly H hops away,
             // sampled when a write is forwarded.
+            let lane_base = ws.router_base(self.idx);
             let mut queued = [0u64; 3];
-            for port in &self.inputs {
-                for q in port {
-                    if let Some(front) = q.flits.front() {
-                        if front.head {
-                            let pkt = view.packet(front.packet);
-                            if pkt.kind.is_bank_request() {
-                                let d = self.coord.manhattan(pkt.dst)
-                                    + u32::from(self.coord.layer != pkt.dst.layer);
-                                if (1..=3).contains(&d) {
-                                    queued[(d - 1) as usize] += 1;
-                                }
-                            }
+            for flat in 0..PORTS * self.vcs {
+                let lane = lane_base + flat;
+                if ws.vc_len(lane) > 0 && ws.front_is_head(lane) {
+                    let pkt = view.packet(ws.front_packet(lane));
+                    if pkt.kind.is_bank_request() {
+                        let d = self.coord.manhattan(pkt.dst)
+                            + u32::from(self.coord.layer != pkt.dst.layer);
+                        if (1..=3).contains(&d) {
+                            queued[(d - 1) as usize] += 1;
                         }
                     }
                 }
@@ -859,8 +806,11 @@ mod tests {
         estimator: Estimator::Simple,
     };
 
-    fn mk_router(children: Vec<ChildInfo>) -> Router {
-        Router::new(Coord::new(3, 3, Layer::Cache), 6, 5, children)
+    fn mk_router(children: Vec<ChildInfo>) -> (NocWorkspace, Router) {
+        (
+            NocWorkspace::new(1, 6, 5),
+            Router::new(0, Coord::new(3, 3, Layer::Cache), 6, 5, children),
+        )
     }
 
     fn parent_children() -> Vec<ChildInfo> {
@@ -872,8 +822,9 @@ mod tests {
         }]
     }
 
-    fn put_single(r: &mut Router, port: usize, vc: usize, pid: usize) {
+    fn put_single(r: &mut Router, ws: &mut NocWorkspace, port: usize, vc: usize, pid: usize) {
         r.accept(
+            ws,
             port,
             vc,
             Flit {
@@ -889,17 +840,17 @@ mod tests {
     #[test]
     fn va_then_sa_moves_a_flit() {
         let view = TestView::new(vec![(PacketKind::BankRead, Direction::South, None)]);
-        let mut r = mk_router(vec![]);
-        put_single(&mut r, 0, 0, 0);
+        let (mut ws, mut r) = mk_router(vec![]);
+        put_single(&mut r, &mut ws, 0, 0, 0);
         let p = params(10, ArbitrationPolicy::RoundRobin);
-        r.step_va(&view, p);
-        assert!(r.input_vc(0, 0).route().is_some());
-        let moves = r.step_sa(&view, p);
+        r.step_va(&mut ws, &view, p);
+        assert!(r.input_vc(&ws, 0, 0).route().is_some());
+        let moves = r.step_sa(&mut ws, &view, p);
         assert_eq!(moves.len(), 1);
         let mv = moves[0];
         assert_eq!(mv.out_dir, Direction::South);
-        assert_eq!(r.buffered_flits(), 0);
-        assert_eq!(r.credits(Direction::South, mv.out_vc), 4);
+        assert_eq!(r.buffered_flits(&ws), 0);
+        assert_eq!(r.credits(&ws, Direction::South, mv.out_vc), 4);
         assert_eq!(r.stats.switch_traversals, 1);
         assert_eq!(r.stats.buffer_writes, 1);
     }
@@ -907,8 +858,9 @@ mod tests {
     #[test]
     fn pipeline_delay_gates_allocation() {
         let view = TestView::new(vec![(PacketKind::BankRead, Direction::South, None)]);
-        let mut r = mk_router(vec![]);
+        let (mut ws, mut r) = mk_router(vec![]);
         r.accept(
+            &mut ws,
             0,
             0,
             Flit {
@@ -919,13 +871,14 @@ mod tests {
                 ready_at: 12,
             },
         );
-        r.step_va(&view, params(10, ArbitrationPolicy::RoundRobin));
+        r.step_va(&mut ws, &view, params(10, ArbitrationPolicy::RoundRobin));
         assert!(
-            r.input_vc(0, 0).route().is_none(),
+            r.input_vc(&ws, 0, 0).route().is_none(),
             "not ready until cycle 12"
         );
-        r.step_va(&view, params(12, ArbitrationPolicy::RoundRobin));
-        assert!(r.input_vc(0, 0).route().is_some());
+        assert!(!r.input_vc(&ws, 0, 0).valid(10), "pipeline gates validity");
+        r.step_va(&mut ws, &view, params(12, ArbitrationPolicy::RoundRobin));
+        assert!(r.input_vc(&ws, 0, 0).route().is_some());
     }
 
     #[test]
@@ -935,12 +888,12 @@ mod tests {
             (PacketKind::BankRead, Direction::South, None),
             (PacketKind::DataReply, Direction::South, None),
         ]);
-        let mut r = mk_router(vec![]);
-        put_single(&mut r, 0, 0, 0);
-        put_single(&mut r, 1, 4, 1);
-        r.step_va(&view, params(10, ArbitrationPolicy::RoundRobin));
-        let req_vc = r.input_vc(0, 0).route().unwrap().vc;
-        let rsp_vc = r.input_vc(1, 4).route().unwrap().vc;
+        let (mut ws, mut r) = mk_router(vec![]);
+        put_single(&mut r, &mut ws, 0, 0, 0);
+        put_single(&mut r, &mut ws, 1, 4, 1);
+        r.step_va(&mut ws, &view, params(10, ArbitrationPolicy::RoundRobin));
+        let req_vc = r.input_vc(&ws, 0, 0).route().unwrap().vc;
+        let rsp_vc = r.input_vc(&ws, 1, 4).route().unwrap().vc;
         assert!(TrafficClass::Request.vc_range(6).contains(&req_vc));
         assert!(TrafficClass::Response.vc_range(6).contains(&rsp_vc));
     }
@@ -948,15 +901,15 @@ mod tests {
     #[test]
     fn no_grant_without_credits() {
         let view = TestView::new(vec![(PacketKind::BankRead, Direction::South, None)]);
-        let mut r = mk_router(vec![]);
-        put_single(&mut r, 0, 0, 0);
+        let (mut ws, mut r) = mk_router(vec![]);
+        put_single(&mut r, &mut ws, 0, 0, 0);
         let p = params(10, ArbitrationPolicy::RoundRobin);
-        r.step_va(&view, p);
-        let vc = r.input_vc(0, 0).route().unwrap().vc;
-        let had = r.drain_credits(Direction::South, vc);
-        assert!(r.step_sa(&view, p).is_empty());
-        r.return_credit(Direction::South, vc, had);
-        assert_eq!(r.step_sa(&view, p).len(), 1);
+        r.step_va(&mut ws, &view, p);
+        let vc = r.input_vc(&ws, 0, 0).route().unwrap().vc;
+        let had = r.drain_credits(&mut ws, Direction::South, vc);
+        assert!(r.step_sa(&mut ws, &view, p).is_empty());
+        r.return_credit(&mut ws, Direction::South, vc, had);
+        assert_eq!(r.step_sa(&mut ws, &view, p).len(), 1);
     }
 
     #[test]
@@ -966,16 +919,19 @@ mod tests {
             Direction::South,
             Some(BankId::new(11)),
         )]);
-        let mut r = mk_router(parent_children());
+        let (mut ws, mut r) = mk_router(parent_children());
         r.busy.on_forward(BankId::new(11), 0, 9, 33); // busy until 42
-        put_single(&mut r, 0, 0, 0);
-        r.step_va(&view, params(5, AWARE));
-        assert!(r.input_vc(0, 0).route().is_none(), "held packet gets no VC");
-        assert!(r.input_vc(0, 0).is_held(5));
+        put_single(&mut r, &mut ws, 0, 0, 0);
+        r.step_va(&mut ws, &view, params(5, AWARE));
+        assert!(
+            r.input_vc(&ws, 0, 0).route().is_none(),
+            "held packet gets no VC"
+        );
+        assert!(r.input_vc(&ws, 0, 0).is_held());
         assert_eq!(r.stats.held_packets, 1);
         // Release at busy_until - arrival = 42 - 9 = 33.
-        r.step_va(&view, params(33, AWARE));
-        assert!(r.input_vc(0, 0).route().is_some());
+        r.step_va(&mut ws, &view, params(33, AWARE));
+        assert!(r.input_vc(&ws, 0, 0).route().is_some());
         assert_eq!(r.stats.held_cycles, 33 - 5);
     }
 
@@ -986,12 +942,12 @@ mod tests {
             Direction::South,
             Some(BankId::new(11)),
         )]);
-        let mut r = mk_router(parent_children());
+        let (mut ws, mut r) = mk_router(parent_children());
         r.busy.on_forward(BankId::new(11), 0, 9, 33);
-        put_single(&mut r, 0, 0, 0);
-        r.step_va(&view, params(5, ArbitrationPolicy::RoundRobin));
+        put_single(&mut r, &mut ws, 0, 0, 0);
+        r.step_va(&mut ws, &view, params(5, ArbitrationPolicy::RoundRobin));
         assert!(
-            r.input_vc(0, 0).route().is_some(),
+            r.input_vc(&ws, 0, 0).route().is_some(),
             "RR is STT-RAM oblivious"
         );
         assert_eq!(r.stats.held_packets, 0);
@@ -1004,15 +960,15 @@ mod tests {
             Direction::South,
             Some(BankId::new(11)),
         )]);
-        let mut r = mk_router(parent_children());
+        let (mut ws, mut r) = mk_router(parent_children());
         r.busy.on_forward(BankId::new(11), 0, 9, 33); // busy until 42
         r.child_cong[0] = 20; // heavy congestion: arrival estimate 29
-        put_single(&mut r, 0, 0, 0);
+        put_single(&mut r, &mut ws, 0, 0, 0);
         // At cycle 20 an uncongested request (arrival 9) would still
         // queue (20+9 < 42), but with congestion 20 it would not
         // (20+29 >= 42): no hold.
-        r.step_va(&view, params(20, AWARE));
-        assert!(r.input_vc(0, 0).route().is_some());
+        r.step_va(&mut ws, &view, params(20, AWARE));
+        assert!(r.input_vc(&ws, 0, 0).route().is_some());
         assert_eq!(r.stats.held_packets, 0);
     }
 
@@ -1030,13 +986,13 @@ mod tests {
             ),
             (PacketKind::DataReply, Direction::South, None),
         ]);
-        let mut r = mk_router(parent_children());
-        put_single(&mut r, 0, 0, 0);
-        put_single(&mut r, 1, 4, 1);
-        r.step_va(&view, params(5, AWARE));
+        let (mut ws, mut r) = mk_router(parent_children());
+        put_single(&mut r, &mut ws, 0, 0, 0);
+        put_single(&mut r, &mut ws, 1, 4, 1);
+        r.step_va(&mut ws, &view, params(5, AWARE));
         // The child becomes busy after VA (prediction arrived late).
         r.busy.on_forward(BankId::new(11), 5, 9, 33);
-        let moves = r.step_sa(&view, params(6, AWARE));
+        let moves = r.step_sa(&mut ws, &view, params(6, AWARE));
         assert_eq!(moves.len(), 1, "one output port contested");
         assert_eq!(moves[0].flits[0].packet, PacketId::new(1), "response wins");
     }
@@ -1048,14 +1004,14 @@ mod tests {
             Direction::South,
             Some(BankId::new(11)),
         )]);
-        let mut r = mk_router(parent_children());
+        let (mut ws, mut r) = mk_router(parent_children());
         r.busy.on_forward(BankId::new(11), 0, 9, 1000);
-        put_single(&mut r, 0, 0, 0);
-        r.step_va(&view, params(5, AWARE));
-        assert!(r.input_vc(0, 0).route().is_none());
-        r.step_va(&view, params(106, AWARE));
+        put_single(&mut r, &mut ws, 0, 0, 0);
+        r.step_va(&mut ws, &view, params(5, AWARE));
+        assert!(r.input_vc(&ws, 0, 0).route().is_none());
+        r.step_va(&mut ws, &view, params(106, AWARE));
         assert!(
-            r.input_vc(0, 0).route().is_some(),
+            r.input_vc(&ws, 0, 0).route().is_some(),
             "hold is capped at max_hold"
         );
     }
@@ -1069,23 +1025,23 @@ mod tests {
             Direction::South,
             Some(BankId::new(11)),
         )]);
-        let mut r = mk_router(parent_children());
+        let (mut ws, mut r) = mk_router(parent_children());
         r.busy.on_forward(BankId::new(11), 0, 9, 1000); // busy until 1009
-        put_single(&mut r, 0, 0, 0);
-        r.step_va(&view, params(5, AWARE)); // held from cycle 5
-        assert!(r.input_vc(0, 0).is_held(5));
-        r.step_va(&view, params(104, AWARE)); // age 99 < max_hold 100
+        put_single(&mut r, &mut ws, 0, 0, 0);
+        r.step_va(&mut ws, &view, params(5, AWARE)); // held from cycle 5
+        assert!(r.input_vc(&ws, 0, 0).is_held());
+        r.step_va(&mut ws, &view, params(104, AWARE)); // age 99 < max_hold 100
         assert!(
-            r.input_vc(0, 0).route().is_none(),
+            r.input_vc(&ws, 0, 0).route().is_none(),
             "one cycle short of the cap stays held"
         );
-        r.step_va(&view, params(105, AWARE)); // age exactly 100
+        r.step_va(&mut ws, &view, params(105, AWARE)); // age exactly 100
         assert!(
-            r.input_vc(0, 0).route().is_some(),
+            r.input_vc(&ws, 0, 0).route().is_some(),
             "exactly max_hold cycles forces the release"
         );
         assert_eq!(r.stats.held_cycles, 100);
-        assert!(r.input_vc(0, 0).held_since().is_none());
+        assert!(r.input_vc(&ws, 0, 0).held_since().is_none());
     }
 
     #[test]
@@ -1095,9 +1051,9 @@ mod tests {
             Direction::South,
             Some(BankId::new(11)),
         )]);
-        let mut r = mk_router(parent_children());
-        put_single(&mut r, 0, 0, 0); // a queued request to the child
-        r.note_forward(BankId::new(11), true, 33, 8, 100, &view);
+        let (mut ws, mut r) = mk_router(parent_children());
+        put_single(&mut r, &mut ws, 0, 0, 0); // a queued request to the child
+        r.note_forward(&ws, BankId::new(11), true, 33, 8, 100, &view);
         assert_eq!(r.busy.busy_until(BankId::new(11)), 100 + 9 + 8 + 33);
         assert_eq!(r.stats.child_queue_samples, 1);
         // The queued request's destination (3,1) is 2 hops from this
@@ -1110,18 +1066,18 @@ mod tests {
     #[test]
     fn wide_tsb_moves_two_flits_per_grant() {
         let view = TestView::new(vec![(PacketKind::Writeback, Direction::Down, None)]);
-        let mut r = mk_router(vec![]);
+        let (mut ws, mut r) = mk_router(vec![]);
         for flit in Flit::sequence(PacketId::new(0), 3) {
-            r.accept(Direction::Local.port(), 0, flit);
+            r.accept(&mut ws, Direction::Local.port(), 0, flit);
         }
         let mut p = params(10, ArbitrationPolicy::RoundRobin);
         p.wide_down = true;
         p.tsb_extra = 1;
-        r.step_va(&view, p);
-        let moves = r.step_sa(&view, p);
+        r.step_va(&mut ws, &view, p);
+        let moves = r.step_sa(&mut ws, &view, p);
         assert_eq!(moves.len(), 1);
         assert_eq!(moves[0].flits.len(), 2, "256b TSB carries two 128b flits");
-        let moves = r.step_sa(&view, p);
+        let moves = r.step_sa(&mut ws, &view, p);
         assert_eq!(moves[0].flits.len(), 1, "tail flit alone");
         assert!(moves[0].flits[0].tail);
     }
@@ -1129,15 +1085,15 @@ mod tests {
     #[test]
     fn narrow_ports_move_one_flit_even_with_tsb_extra() {
         let view = TestView::new(vec![(PacketKind::Writeback, Direction::South, None)]);
-        let mut r = mk_router(vec![]);
+        let (mut ws, mut r) = mk_router(vec![]);
         for flit in Flit::sequence(PacketId::new(0), 3) {
-            r.accept(0, 0, flit);
+            r.accept(&mut ws, 0, 0, flit);
         }
         let mut p = params(10, ArbitrationPolicy::RoundRobin);
         p.wide_down = true; // wide TSB applies to Down only
         p.tsb_extra = 1;
-        r.step_va(&view, p);
-        let moves = r.step_sa(&view, p);
+        r.step_va(&mut ws, &view, p);
+        let moves = r.step_sa(&mut ws, &view, p);
         assert_eq!(moves[0].flits.len(), 1);
     }
 
@@ -1147,14 +1103,14 @@ mod tests {
             (PacketKind::BankRead, Direction::South, None),
             (PacketKind::BankRead, Direction::North, None),
         ]);
-        let mut r = mk_router(vec![]);
-        put_single(&mut r, 0, 0, 0);
-        put_single(&mut r, 0, 1, 1);
+        let (mut ws, mut r) = mk_router(vec![]);
+        put_single(&mut r, &mut ws, 0, 0, 0);
+        put_single(&mut r, &mut ws, 0, 1, 1);
         let p = params(10, ArbitrationPolicy::RoundRobin);
-        r.step_va(&view, p);
-        let moves = r.step_sa(&view, p);
+        r.step_va(&mut ws, &view, p);
+        let moves = r.step_sa(&mut ws, &view, p);
         assert_eq!(moves.len(), 1, "crossbar admits one flit per input port");
-        let moves = r.step_sa(&view, p);
+        let moves = r.step_sa(&mut ws, &view, p);
         assert_eq!(moves.len(), 1, "the other VC wins next cycle");
     }
 
@@ -1164,15 +1120,15 @@ mod tests {
             (PacketKind::BankRead, Direction::South, None),
             (PacketKind::BankRead, Direction::South, None),
         ]);
-        let mut r = mk_router(vec![]);
-        put_single(&mut r, 0, 0, 0);
+        let (mut ws, mut r) = mk_router(vec![]);
+        put_single(&mut r, &mut ws, 0, 0, 0);
         let p = params(10, ArbitrationPolicy::RoundRobin);
-        r.step_va(&view, p);
-        let out_vc = r.input_vc(0, 0).route().unwrap().vc;
-        assert!(r.outputs[Direction::South.port()].owner[out_vc].is_some());
-        r.step_sa(&view, p);
-        assert!(r.outputs[Direction::South.port()].owner[out_vc].is_none());
-        assert!(r.input_vc(0, 0).route().is_none());
+        r.step_va(&mut ws, &view, p);
+        let out_vc = r.input_vc(&ws, 0, 0).route().unwrap().vc;
+        assert!(ws.port(0, Direction::South.port()).owner(out_vc).is_some());
+        r.step_sa(&mut ws, &view, p);
+        assert!(ws.port(0, Direction::South.port()).owner(out_vc).is_none());
+        assert!(r.input_vc(&ws, 0, 0).route().is_none());
     }
 
     #[test]
@@ -1191,12 +1147,12 @@ mod tests {
                 Some(BankId::new(11)),
             ),
         ]);
-        let mut r = mk_router(parent_children());
-        put_single(&mut r, 0, 0, 0); // write, first in RR order
-        put_single(&mut r, 1, 1, 1); // read
-        r.step_va(&view, params(5, AWARE));
+        let (mut ws, mut r) = mk_router(parent_children());
+        put_single(&mut r, &mut ws, 0, 0, 0); // write, first in RR order
+        put_single(&mut r, &mut ws, 1, 1, 1); // read
+        r.step_va(&mut ws, &view, params(5, AWARE));
         r.busy.on_forward(BankId::new(11), 5, 9, 33);
-        let moves = r.step_sa(&view, params(6, AWARE));
+        let moves = r.step_sa(&mut ws, &view, params(6, AWARE));
         assert_eq!(moves.len(), 1);
         assert_eq!(moves[0].flits[0].packet, PacketId::new(1), "read wins");
     }
@@ -1209,12 +1165,12 @@ mod tests {
             (PacketKind::BankRead, Direction::South, None),
             (PacketKind::BankRead, Direction::South, None),
         ]);
-        let mut r = mk_router(vec![]);
-        put_single(&mut r, 0, 0, 0);
-        put_single(&mut r, 1, 0, 1);
-        r.step_va(&view, params(10, ArbitrationPolicy::RoundRobin));
-        let a = r.input_vc(0, 0).route().unwrap().vc;
-        let b = r.input_vc(1, 0).route().unwrap().vc;
+        let (mut ws, mut r) = mk_router(vec![]);
+        put_single(&mut r, &mut ws, 0, 0, 0);
+        put_single(&mut r, &mut ws, 1, 0, 1);
+        r.step_va(&mut ws, &view, params(10, ArbitrationPolicy::RoundRobin));
+        let a = r.input_vc(&ws, 0, 0).route().unwrap().vc;
+        let b = r.input_vc(&ws, 1, 0).route().unwrap().vc;
         assert_ne!(a, b, "both got fresh downstream VCs");
     }
 
@@ -1228,16 +1184,16 @@ mod tests {
             ),
             (PacketKind::BankRead, Direction::North, None), // foreign
         ]);
-        let mut r = mk_router(parent_children());
+        let (mut ws, mut r) = mk_router(parent_children());
         r.busy.on_forward(BankId::new(11), 0, 9, 1000);
-        put_single(&mut r, 0, 0, 0);
-        r.step_va(&view, params(5, AWARE));
-        assert!(r.input_vc(0, 0).route().is_none(), "held");
+        put_single(&mut r, &mut ws, 0, 0, 0);
+        r.step_va(&mut ws, &view, params(5, AWARE));
+        assert!(r.input_vc(&ws, 0, 0).route().is_none(), "held");
         // A foreign-destination packet lands behind it in the same VC.
-        put_single(&mut r, 0, 0, 1);
-        r.step_va(&view, params(6, AWARE));
+        put_single(&mut r, &mut ws, 0, 0, 1);
+        r.step_va(&mut ws, &view, params(6, AWARE));
         assert!(
-            r.input_vc(0, 0).route().is_some(),
+            r.input_vc(&ws, 0, 0).route().is_some(),
             "hold released for the bystander"
         );
     }
@@ -1256,13 +1212,13 @@ mod tests {
                 Some(BankId::new(11)),
             ),
         ]);
-        let mut r = mk_router(parent_children());
+        let (mut ws, mut r) = mk_router(parent_children());
         r.busy.on_forward(BankId::new(11), 0, 9, 1000);
-        put_single(&mut r, 0, 0, 0);
-        put_single(&mut r, 0, 0, 1); // same busy bank: not a bystander
-        r.step_va(&view, params(5, AWARE));
-        assert!(r.input_vc(0, 0).route().is_none(), "hold persists");
-        assert!(r.input_vc(0, 0).is_held(5));
+        put_single(&mut r, &mut ws, 0, 0, 0);
+        put_single(&mut r, &mut ws, 0, 0, 1); // same busy bank: not a bystander
+        r.step_va(&mut ws, &view, params(5, AWARE));
+        assert!(r.input_vc(&ws, 0, 0).route().is_none(), "hold persists");
+        assert!(r.input_vc(&ws, 0, 0).is_held());
     }
 
     #[test]
@@ -1271,20 +1227,20 @@ mod tests {
         // its VC, route and the output credit pool intact, and departs
         // normally the cycle the fault clears.
         let view = TestView::new(vec![(PacketKind::BankRead, Direction::South, None)]);
-        let mut r = mk_router(vec![]);
-        put_single(&mut r, 0, 0, 0);
+        let (mut ws, mut r) = mk_router(vec![]);
+        put_single(&mut r, &mut ws, 0, 0, 0);
         let mut p = params(10, ArbitrationPolicy::RoundRobin);
-        r.step_va(&view, p);
-        assert!(r.input_vc(0, 0).route().is_some(), "VA is unaffected");
+        r.step_va(&mut ws, &view, p);
+        assert!(r.input_vc(&ws, 0, 0).route().is_some(), "VA is unaffected");
         p.blocked = 1 << Direction::South.port();
         assert!(
-            r.step_sa(&view, p).is_empty(),
+            r.step_sa(&mut ws, &view, p).is_empty(),
             "blocked port grants nothing"
         );
-        assert_eq!(r.buffered_flits(), 1);
-        assert_eq!(r.credits(Direction::South, 0), 5, "no credit consumed");
+        assert_eq!(r.buffered_flits(&ws), 1);
+        assert_eq!(r.credits(&ws, Direction::South, 0), 5, "no credit consumed");
         p.blocked = 0;
-        let moves = r.step_sa(&view, p);
+        let moves = r.step_sa(&mut ws, &view, p);
         assert_eq!(moves.len(), 1);
         assert_eq!(moves[0].out_dir, Direction::South);
     }
@@ -1295,20 +1251,20 @@ mod tests {
             (PacketKind::BankRead, Direction::South, None),
             (PacketKind::BankRead, Direction::North, None),
         ]);
-        let mut r = mk_router(vec![]);
-        put_single(&mut r, 0, 0, 0);
-        put_single(&mut r, 1, 0, 1);
+        let (mut ws, mut r) = mk_router(vec![]);
+        put_single(&mut r, &mut ws, 0, 0, 0);
+        put_single(&mut r, &mut ws, 1, 0, 1);
         let mut p = params(10, ArbitrationPolicy::RoundRobin);
-        r.step_va(&view, p);
+        r.step_va(&mut ws, &view, p);
         p.blocked = 1 << Direction::South.port();
-        let moves = r.step_sa(&view, p);
+        let moves = r.step_sa(&mut ws, &view, p);
         assert_eq!(moves.len(), 1, "the healthy port still grants");
         assert_eq!(moves[0].out_dir, Direction::North);
     }
 
     #[test]
     fn set_children_rebuilds_the_parent_tables() {
-        let mut r = mk_router(parent_children());
+        let (_ws, mut r) = mk_router(parent_children());
         r.busy.on_forward(BankId::new(11), 0, 9, 33);
         assert!(r.manages(BankId::new(11)));
         let adopted = vec![
@@ -1343,12 +1299,12 @@ mod tests {
 
     #[test]
     fn occupancy_byte_scales() {
-        let mut r = mk_router(vec![]);
-        assert_eq!(r.occupancy_byte(), 0);
+        let (mut ws, mut r) = mk_router(vec![]);
+        assert_eq!(r.occupancy_byte(&ws), 0);
         for flit in Flit::sequence(PacketId::new(0), 5) {
-            r.accept(0, 0, flit);
+            r.accept(&mut ws, 0, 0, flit);
         }
         // 5 of 7*6*5 = 210 slots.
-        assert_eq!(r.occupancy_byte() as usize, 5 * 255 / 210);
+        assert_eq!(r.occupancy_byte(&ws) as usize, 5 * 255 / 210);
     }
 }

@@ -19,6 +19,22 @@ use crate::packet::Packet;
 use crate::regions::RegionMap;
 use snoc_common::config::RequestPathMode;
 use snoc_common::geom::{Coord, Direction, Layer, Mesh};
+use snoc_common::ids::NodeId;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything the table contents depend on: the mesh geometry and the
+/// region->TSB assignment (the restricted half is always computed, so
+/// the path mode is *not* part of the key — both modes share a table).
+type MemoKey = (usize, usize, Vec<u16>);
+
+/// Process-wide cache of computed tables. Sweeps construct hundreds of
+/// networks over a handful of distinct configurations; recomputing the
+/// ~33k-entry table dominated `Network::new`.
+fn memo() -> &'static Mutex<HashMap<MemoKey, Arc<[Direction]>>> {
+    static MEMO: OnceLock<Mutex<HashMap<MemoKey, Arc<[Direction]>>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
 
 /// The routing function for one configuration.
 ///
@@ -32,8 +48,9 @@ pub struct RoutingTable {
     mesh: Mesh,
     mode: RequestPathMode,
     regions: RegionMap,
-    /// `2 * (2n)^2` precomputed next hops, `n` nodes per layer.
-    table: Box<[Direction]>,
+    /// `2 * (2n)^2` precomputed next hops, `n` nodes per layer; shared
+    /// between every table built over the same geometry and regions.
+    table: Arc<[Direction]>,
     /// Chip positions (`2n`): core layer `0..n`, cache layer `n..2n`.
     positions: usize,
 }
@@ -44,7 +61,26 @@ impl RoutingTable {
     pub fn new(mesh: Mesh, mode: RequestPathMode, regions: RegionMap) -> Self {
         let n = mesh.nodes_per_layer();
         let positions = 2 * n;
-        let mut table = vec![Direction::Local; 2 * positions * positions].into_boxed_slice();
+        let key: MemoKey = (
+            mesh.width() as usize,
+            mesh.height() as usize,
+            (0..n)
+                .map(|i| regions.tsb_for(NodeId::new(i as u16)).raw())
+                .collect(),
+        );
+        if let Some(table) = memo().lock().unwrap().get(&key).cloned() {
+            return Self {
+                mesh,
+                mode,
+                regions,
+                table,
+                positions,
+            };
+        }
+        // Compute outside the lock (the table is deterministic, so a
+        // racing builder produces identical contents and either copy
+        // may win the `entry` below).
+        let mut table = vec![Direction::Local; 2 * positions * positions];
         for restricted in [false, true] {
             for at_flat in 0..positions {
                 for dst_flat in 0..positions {
@@ -55,6 +91,8 @@ impl RoutingTable {
                 }
             }
         }
+        let table: Arc<[Direction]> = table.into();
+        let table = memo().lock().unwrap().entry(key).or_insert(table).clone();
         Self {
             mesh,
             mode,
@@ -342,6 +380,16 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tables_over_the_same_geometry_share_storage() {
+        // The memo cache hands both path modes the same table: the
+        // restricted half is always present and mode only selects
+        // which half `next_hop` reads.
+        let a = table(RequestPathMode::AllTsvs);
+        let b = table(RequestPathMode::RegionTsbs);
+        assert!(Arc::ptr_eq(&a.table, &b.table), "memo cache missed");
     }
 
     #[test]

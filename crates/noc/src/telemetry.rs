@@ -28,6 +28,7 @@
 
 use crate::packet::TrafficClass;
 use crate::router::{Router, PORTS};
+use crate::workspace::NocWorkspace;
 use snoc_common::geom::{Coord, Direction, Layer};
 use snoc_common::stats::{Accumulator, Histogram};
 use snoc_common::Cycle;
@@ -364,6 +365,7 @@ impl NetTelemetry {
         &mut self,
         now: Cycle,
         routers: &[Router],
+        ws: &NocWorkspace,
         in_flight: usize,
         delivered: u64,
         wide_down: &[bool],
@@ -378,10 +380,10 @@ impl NetTelemetry {
         let mut children = 0usize;
         let mut held_cycles = 0u64;
         for (i, r) in routers.iter().enumerate() {
-            self.util_sum[i] += r.occupancy_byte() as u64;
-            buffered += r.buffered_flits();
+            self.util_sum[i] += ws.occupancy_byte(i) as u64;
+            buffered += ws.buffered(i);
             if wide_down[i] {
-                tsb_buffered += r.buffered_flits();
+                tsb_buffered += ws.buffered(i);
             }
             if !r.children().is_empty() {
                 busy += r.busy.busy_now(now);
@@ -390,7 +392,7 @@ impl NetTelemetry {
             held_cycles += r.stats.held_cycles;
             for port in 0..PORTS {
                 for (vc, sum) in self.vc_occ_sum.iter_mut().enumerate() {
-                    *sum += r.input_vc(port, vc).len() as u64;
+                    *sum += ws.vc(i, port, vc).len() as u64;
                 }
             }
         }
