@@ -122,7 +122,7 @@ impl fmt::Display for FaultSweep {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
+    let smoke = !snoc_bench::strict_flags(&["--smoke", "--quick"]).is_empty();
     let schemes: &[Scenario] = if smoke {
         &[Scenario::SttRam4TsbWb]
     } else {

@@ -31,20 +31,63 @@ use snoc_noc::{Network, NetworkParams, Packet, PacketKind};
 use snoc_workload::table3 as t3;
 use std::time::Duration;
 
+/// Parsed command line. Parsing is strict: an unknown or misspelled
+/// flag (`--asert-within`, say) must fail loudly *before* any
+/// measurement runs or `BENCH_hotpath.json` is overwritten — this
+/// binary's default output is a checked-in baseline, and silently
+/// rewriting it from a typo'd invocation corrupts the perf record.
+struct Cli {
+    smoke: bool,
+    out: String,
+    assert_within: Option<f64>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        smoke: false,
+        out: "BENCH_hotpath.json".to_string(),
+        assert_within: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => cli.smoke = true,
+            "--out" => {
+                cli.out = args.next().ok_or("--out requires a path operand")?;
+            }
+            "--assert-within" => {
+                let v = args.next().ok_or("--assert-within requires a percentage")?;
+                let pct: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--assert-within: `{v}` is not a number"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(format!("--assert-within: `{v}` must be >= 0"));
+                }
+                cli.assert_within = Some(pct);
+            }
+            _ => return Err(format!("unrecognized argument `{arg}`")),
+        }
+    }
+    Ok(cli)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
-    let assert_within: Option<f64> = args
-        .iter()
-        .position(|a| a == "--assert-within")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok());
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: {} [--smoke] [--out <path>] [--assert-within <pct>]",
+                snoc_bench::bin_name()
+            );
+            std::process::exit(2);
+        }
+    };
+    let Cli {
+        smoke,
+        out,
+        assert_within,
+    } = cli;
 
     let (warmup, measure) = if smoke {
         (Duration::from_millis(20), Duration::from_millis(120))

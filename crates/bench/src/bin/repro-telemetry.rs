@@ -196,6 +196,8 @@ impl fmt::Display for TimeSeries {
 }
 
 fn main() {
+    snoc_bench::strict_flags(&["--smoke"]);
+
     // Force the collector on for this binary regardless of the
     // caller's environment; epoch/trace overrides still apply.
     std::env::set_var("SNOC_TELEMETRY", "1");

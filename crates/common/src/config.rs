@@ -138,6 +138,11 @@ pub struct NocConfig {
     /// Age beyond which an outstanding WB tag is considered lost and
     /// dropped, freeing the child for a fresh sample (4096).
     pub wb_tag_timeout: u64,
+    /// Intra-run mesh partition count for the sharded network stepper
+    /// (0 = unset: resolved from `SNOC_SHARDS`, default serial). Run
+    /// fingerprints are byte-identical at any value; this is purely a
+    /// host-parallelism knob, not a modeled parameter.
+    pub shards: usize,
 }
 
 impl Default for NocConfig {
@@ -154,6 +159,7 @@ impl Default for NocConfig {
             hold_slack: 8,
             wb_expire_period: 1024,
             wb_tag_timeout: 4096,
+            shards: 0,
         }
     }
 }

@@ -128,6 +128,15 @@ impl RunSpec {
         self.telemetry = Some(cfg);
         self
     }
+
+    /// Pins the intra-run mesh partition count for this cell
+    /// (programmatic alternative to `SNOC_SHARDS`, race-free under
+    /// parallel sweeps). Run fingerprints are byte-identical at any
+    /// value; this is purely a host-parallelism knob.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.cfg.noc.shards = shards.max(1);
+        self
+    }
 }
 
 /// Why a cell produced no metrics.

@@ -256,18 +256,19 @@ impl NetAuditor {
     fn check_credits(&mut self, net: &Network, now: Cycle) {
         let mesh = net.mesh();
         let depth = net.params().noc.vc_depth;
+        let ws = net.ws_view();
         for (idx, r) in net.routers.iter().enumerate() {
             let vcs = r.vcs();
             let coord = r.coord();
             for dir in Direction::ALL {
                 for vc in 0..vcs {
-                    let credits = r.credits(&net.ws, dir, vc) as usize;
+                    let credits = r.credits(net.shard(idx), dir, vc) as usize;
                     let (occupied, what) = if dir == Direction::Local {
                         (net.nics[idx].eject_depth(vc), "NI ejection")
                     } else {
                         match mesh.neighbour(coord, dir) {
                             Some(nb) => {
-                                let d = net.ws.vc(net.ridx(nb), dir.arrival_port().port(), vc);
+                                let d = ws.vc(net.ridx(nb), dir.arrival_port().port(), vc);
                                 (d.len(), "link")
                             }
                             None => (0, "edge"),
@@ -287,7 +288,7 @@ impl NetAuditor {
             // NI injection side of the local port.
             for vc in 0..vcs {
                 let credits = net.nics[idx].inject_credits(vc) as usize;
-                let occupied = net.ws.vc(idx, Direction::Local.port(), vc).len();
+                let occupied = ws.vc(idx, Direction::Local.port(), vc).len();
                 if credits + occupied != depth {
                     self.violation(
                         now,
@@ -300,10 +301,10 @@ impl NetAuditor {
             }
             let buffered: usize = (0..crate::router::PORTS)
                 .flat_map(|p| (0..vcs).map(move |v| (p, v)))
-                .map(|(p, v)| net.ws.vc(idx, p, v).len())
+                .map(|(p, v)| ws.vc(idx, p, v).len())
                 .sum();
-            if buffered != net.ws.buffered(idx) {
-                let cached = net.ws.buffered(idx);
+            if buffered != ws.buffered(idx) {
+                let cached = ws.buffered(idx);
                 self.violation(
                     now,
                     format_args!(
@@ -325,6 +326,7 @@ impl NetAuditor {
         }
         let max_hold = net.params().max_hold;
         let hold_slack = net.params().hold_slack;
+        let ws = net.ws_view();
         let mut found: Vec<(usize, String)> = Vec::new();
         for (idx, r) in net.routers.iter().enumerate() {
             if r.children().is_empty() {
@@ -333,7 +335,7 @@ impl NetAuditor {
             for port in 0..crate::router::PORTS {
                 for vc in 0..vcs {
                     let flat = (idx * crate::router::PORTS + port) * vcs + vc;
-                    let q = net.ws.vc(idx, port, vc);
+                    let q = ws.vc(idx, port, vc);
                     let (Some(since), Some(front)) = (q.held_since(), q.front()) else {
                         self.strikes[flat] = (0, 0);
                         continue;
@@ -366,7 +368,7 @@ impl NetAuditor {
                     let dir = net.routing.next_hop(r.coord(), packet);
                     let range = packet.kind.class().vc_range(vcs);
                     let escape =
-                        front.ready_at <= now && r.has_free_credited_vc(&net.ws, dir, range);
+                        front.ready_at <= now && r.has_free_credited_vc(net.shard(idx), dir, range);
                     if !escape {
                         self.strikes[flat] = (0, 0);
                         continue;

@@ -9,11 +9,12 @@ use crate::fault::{FaultPlan, FaultState, FaultSummary};
 use crate::nic::{DeliveryEvent, Nic};
 use crate::packet::{Flit, Packet, TrafficClass, WbTag};
 use crate::parent::ParentMap;
+use crate::partition::PartitionMap;
 use crate::regions::RegionMap;
 use crate::router::{NetView, Router, StepParams, SwitchMove, MAX_BURST, PORTS};
 use crate::routing::RoutingTable;
 use crate::telemetry::{NetTelemetry, TelemetryConfig, TelemetrySummary};
-use crate::workspace::NocWorkspace;
+use crate::workspace::{NocWorkspace, WsView};
 use snoc_common::config::{
     ArbitrationPolicy, Estimator, NocConfig, RequestPathMode, SystemConfig, TsbPlacement,
 };
@@ -64,8 +65,17 @@ impl NetworkParams {
     /// Derives the network parameters from a full system
     /// configuration.
     pub fn from_config(cfg: &SystemConfig) -> Self {
+        let mut noc = cfg.noc;
+        if noc.shards == 0 {
+            // Unset in the config: the `SNOC_SHARDS` environment knob
+            // decides, defaulting to the serial single partition.
+            noc.shards = std::env::var("SNOC_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1);
+        }
         Self {
-            noc: cfg.noc,
+            noc,
             path_mode: cfg.path_mode,
             regions: cfg.regions,
             placement: cfg.tsb_placement,
@@ -168,6 +178,113 @@ impl NetView for View<'_> {
     }
 }
 
+/// Minimum total buffered flits before the partition phase spawns
+/// threads: below this the scope/spawn overhead dwarfs the work.
+/// Gating on load cannot change outputs — the merge phase replays the
+/// partition mailboxes in the same canonical order either way.
+const SPAWN_THRESHOLD: usize = 768;
+
+/// Read-only state shared by every partition during the parallel
+/// phase of a cycle.
+struct StepShared<'a> {
+    view: View<'a>,
+    now: Cycle,
+    router_stages: u64,
+    policy: ArbitrationPolicy,
+    max_hold: Cycle,
+    hold_slack: Cycle,
+    tsb_extra: usize,
+    wide_down: &'a [bool],
+    fault_blocked: Option<&'a [u8]>,
+}
+
+/// One partition's mutable slice of the network: its workspace shard,
+/// its routers and NICs, its wake masks (local bit indices) and its
+/// outbound mailboxes (`moves`, `stamps`), merged serially at the
+/// cycle boundary.
+struct PartCtx<'a> {
+    /// First global router index of the partition.
+    start: usize,
+    ws: &'a mut NocWorkspace,
+    routers: &'a mut [Router],
+    nics: &'a mut [Nic],
+    inject_wake: &'a mut WakeMask,
+    router_wake: &'a mut WakeMask,
+    moves: &'a mut Vec<(usize, SwitchMove)>,
+    stamps: &'a mut Vec<PacketId>,
+}
+
+/// Per-partition mailbox scratch, persistent across cycles.
+#[derive(Debug, Default)]
+struct PartScratch {
+    /// Granted switch moves, in local VA/SA visit order.
+    moves: Vec<(usize, SwitchMove)>,
+    /// Packets whose head flit entered the network this cycle
+    /// (`injected_at` is stamped after the partition barrier).
+    stamps: Vec<PacketId>,
+}
+
+/// The intra-cycle work of one partition: injection at its NICs, then
+/// VC and switch allocation at its routers, all against its own
+/// workspace shard. Granted moves land in the partition mailbox; the
+/// serial merge phase applies them in (partition, collection) order,
+/// which — partitions being contiguous ascending index ranges — is
+/// exactly the global ascending order of the serial stepper.
+fn step_partition(ctx: &mut PartCtx<'_>, sh: &StepShared<'_>) {
+    // Injection: one flit per woken NI per cycle.
+    for w in 0..ctx.inject_wake.words() {
+        let mut word = ctx.inject_wake.word(w);
+        while word != 0 {
+            let li = (w << 6) + word.trailing_zeros() as usize;
+            word &= word - 1;
+            if ctx.nics[li].inject_backlog() == 0 {
+                ctx.inject_wake.clear(li);
+                continue;
+            }
+            if ctx.nics[li].inject_step(
+                &mut ctx.routers[li],
+                ctx.ws,
+                sh.view.arena,
+                sh.now,
+                sh.router_stages,
+                ctx.stamps,
+            ) {
+                ctx.router_wake.set(li);
+            }
+            if ctx.nics[li].inject_backlog() == 0 {
+                ctx.inject_wake.clear(li);
+            }
+        }
+    }
+
+    // VC allocation and switch allocation at every active router.
+    for w in 0..ctx.router_wake.words() {
+        let mut word = ctx.router_wake.word(w);
+        while word != 0 {
+            let li = (w << 6) + word.trailing_zeros() as usize;
+            word &= word - 1;
+            let idx = ctx.start + li;
+            if ctx.ws.buffered(idx) == 0 {
+                ctx.router_wake.clear(li);
+                continue;
+            }
+            let p = StepParams {
+                now: sh.now,
+                policy: sh.policy,
+                max_hold: sh.max_hold,
+                hold_slack: sh.hold_slack,
+                wide_down: sh.wide_down[idx],
+                tsb_extra: sh.tsb_extra,
+                blocked: sh.fault_blocked.map_or(0, |b| b[idx]),
+            };
+            ctx.routers[li].step_va(ctx.ws, &sh.view, p);
+            for m in ctx.routers[li].step_sa(ctx.ws, &sh.view, p) {
+                ctx.moves.push((idx, *m));
+            }
+        }
+    }
+}
+
 /// The cycle-level 3D NoC simulator.
 #[derive(Debug)]
 pub struct Network {
@@ -176,26 +293,37 @@ pub struct Network {
     pub(crate) routing: RoutingTable,
     parents: ParentMap,
     pub(crate) routers: Vec<Router>,
-    /// The shared structure-of-arrays store holding every router's VC
-    /// buffer, credit and hold lanes.
-    pub(crate) ws: NocWorkspace,
+    /// Contiguous band-aligned partitions of the router index space.
+    parts: PartitionMap,
+    /// The structure-of-arrays stores holding every router's VC
+    /// buffer, credit and hold lanes — one shard per partition, each
+    /// indexed by *global* router index.
+    pub(crate) shards: Vec<NocWorkspace>,
     pub(crate) nics: Vec<Nic>,
     pub(crate) arena: Arena,
     estimator: EstimatorState,
     wide_down: Vec<bool>,
     now: Cycle,
     stats: NetStats,
-    /// Routers that may have work: a router is woken when a flit
-    /// enters it and put back to sleep when visited empty.
-    router_wake: WakeMask,
-    /// NICs with injection backlog (woken on enqueue).
-    nic_inject_wake: WakeMask,
-    /// NICs with buffered ejection flits (woken on ejection).
-    nic_eject_wake: WakeMask,
+    /// Per-partition wake lists (local bit indices). Routers that may
+    /// have work: a router is woken when a flit enters it and put back
+    /// to sleep when visited empty.
+    router_wake: Vec<WakeMask>,
+    /// NICs with injection backlog (woken on enqueue), per partition.
+    nic_inject_wake: Vec<WakeMask>,
+    /// NICs with buffered ejection flits (woken on ejection), per
+    /// partition.
+    nic_eject_wake: Vec<WakeMask>,
+    /// Per-partition mailbox scratch, persistent across cycles.
+    scratch: Vec<PartScratch>,
+    /// Whether the partition phase may use scoped threads (more than
+    /// one partition and more than one host core).
+    spawn_threads: bool,
+    /// Cycles whose partition phase actually ran on spawned threads
+    /// (diagnostics: the work gate keeps light cycles inline).
+    spawned_cycles: u64,
     /// Indices of parent routers (non-empty child list), ascending.
     parent_idxs: Vec<u32>,
-    /// Persistent scratch: granted moves of the current cycle.
-    moves: Vec<(usize, SwitchMove)>,
     /// Persistent scratch for the NIC drain credit sink.
     eject_credits: Vec<(usize, u8)>,
     /// Persistent scratch for the NIC drain event sink.
@@ -309,19 +437,48 @@ impl Network {
                 r.tap = Some(Box::default());
             }
         }
+        // Partitions align to bands of two mesh rows (rows of the 2x2
+        // router blocks); a `shards` of 0 or 1 is the serial single
+        // partition.
+        let parts = PartitionMap::new(
+            routers.len(),
+            2 * params.noc.width as usize,
+            params.noc.shards,
+        );
+        let shards = (0..parts.parts())
+            .map(|p| {
+                NocWorkspace::with_base(
+                    parts.start(p),
+                    parts.len(p),
+                    params.noc.vcs_per_port,
+                    params.noc.vc_depth,
+                )
+            })
+            .collect();
+        let spawn_threads = parts.parts() > 1
+            && std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1;
         Self {
             params,
             mesh,
             routing,
             parents,
-            router_wake: WakeMask::new(routers.len()),
-            nic_inject_wake: WakeMask::new(nics.len()),
-            nic_eject_wake: WakeMask::new(nics.len()),
+            router_wake: (0..parts.parts())
+                .map(|p| WakeMask::new(parts.len(p)))
+                .collect(),
+            nic_inject_wake: (0..parts.parts())
+                .map(|p| WakeMask::new(parts.len(p)))
+                .collect(),
+            nic_eject_wake: (0..parts.parts())
+                .map(|p| WakeMask::new(parts.len(p)))
+                .collect(),
+            scratch: (0..parts.parts()).map(|_| PartScratch::default()).collect(),
+            spawn_threads,
+            spawned_cycles: 0,
             parent_idxs,
-            moves: Vec::with_capacity(64),
             eject_credits: Vec::new(),
             eject_events: Vec::new(),
-            ws: NocWorkspace::new(routers.len(), params.noc.vcs_per_port, params.noc.vc_depth),
+            shards,
+            parts,
             routers,
             nics,
             arena: Arena::new(),
@@ -373,6 +530,13 @@ impl Network {
         &self.stats
     }
 
+    /// Cycles whose partition phase ran on spawned threads
+    /// (diagnostics; zero when serial or when every cycle stayed under
+    /// the work gate).
+    pub fn spawned_cycles(&self) -> u64 {
+        self.spawned_cycles
+    }
+
     /// The audit report, when auditing is enabled.
     pub fn audit_report(&self) -> Option<&AuditReport> {
         self.auditor.as_deref().map(NetAuditor::report)
@@ -388,6 +552,59 @@ impl Network {
     /// Read access to the router at a coordinate.
     pub fn router(&self, c: Coord) -> &Router {
         &self.routers[self.ridx(c)]
+    }
+
+    /// The workspace shard owning `router` (global index).
+    pub(crate) fn shard(&self, router: usize) -> &NocWorkspace {
+        &self.shards[self.parts.of(router)]
+    }
+
+    /// A read view over every workspace shard, dispatching global
+    /// router indices (instrumentation and conformance tests).
+    pub fn ws_view(&self) -> WsView<'_> {
+        WsView::new(&self.shards)
+    }
+
+    /// Partition of a router, with a branch instead of a table walk on
+    /// the serial path (the common case, and the one the perf baseline
+    /// gates).
+    #[inline]
+    fn part_of(&self, idx: usize) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            self.parts.of(idx)
+        }
+    }
+
+    #[inline]
+    fn wake_router(&mut self, idx: usize) {
+        if self.router_wake.len() == 1 {
+            self.router_wake[0].set(idx);
+        } else {
+            let p = self.parts.of(idx);
+            self.router_wake[p].set(idx - self.parts.start(p));
+        }
+    }
+
+    #[inline]
+    fn wake_nic_inject(&mut self, idx: usize) {
+        if self.nic_inject_wake.len() == 1 {
+            self.nic_inject_wake[0].set(idx);
+        } else {
+            let p = self.parts.of(idx);
+            self.nic_inject_wake[p].set(idx - self.parts.start(p));
+        }
+    }
+
+    #[inline]
+    fn wake_nic_eject(&mut self, idx: usize) {
+        if self.nic_eject_wake.len() == 1 {
+            self.nic_eject_wake[0].set(idx);
+        } else {
+            let p = self.parts.of(idx);
+            self.nic_eject_wake[p].set(idx - self.parts.start(p));
+        }
     }
 
     /// Iterates all routers.
@@ -414,7 +631,7 @@ impl Network {
         }
         let idx = self.ridx(src);
         self.nics[idx].enqueue(id, class);
-        self.nic_inject_wake.set(idx);
+        self.wake_nic_inject(idx);
         self.stats.offered += 1;
         id
     }
@@ -462,6 +679,16 @@ impl Network {
 
     /// Advances the network by one cycle.
     ///
+    /// The cycle runs in phases. The partition phase — injection plus
+    /// VC/switch allocation — touches only partition-local state and
+    /// may run one scoped thread per partition; everything that
+    /// crosses a partition boundary (link flit transfers, credit
+    /// returns, `injected_at` stamps, telemetry taps) is exchanged
+    /// through per-partition mailboxes replayed serially in
+    /// (partition, collection) order, which equals the global
+    /// ascending-index order of the serial stepper — so run
+    /// fingerprints are byte-identical at any shard count.
+    ///
     /// Each phase walks its wake list instead of every component: the
     /// lists hold a superset of the components with work, are visited
     /// in ascending index order (identical to the former full scans),
@@ -472,118 +699,14 @@ impl Network {
         let now = self.now;
         self.refresh_child_cong();
 
-        // Injection: one flit per woken NI per cycle.
-        for w in 0..self.nic_inject_wake.words() {
-            let mut word = self.nic_inject_wake.word(w);
-            while word != 0 {
-                let i = (w << 6) + word.trailing_zeros() as usize;
-                word &= word - 1;
-                if self.nics[i].inject_backlog() == 0 {
-                    self.nic_inject_wake.clear(i);
-                    continue;
-                }
-                if self.nics[i].inject_step(
-                    &mut self.routers[i],
-                    &mut self.ws,
-                    &mut self.arena,
-                    now,
-                    self.params.noc.router_stages,
-                ) {
-                    self.router_wake.set(i);
-                }
-                if self.nics[i].inject_backlog() == 0 {
-                    self.nic_inject_wake.clear(i);
-                }
-            }
-        }
-
-        // VC allocation and switch allocation at every active router.
-        let mut moves = std::mem::take(&mut self.moves);
-        debug_assert!(moves.is_empty());
-        {
-            let view = View {
-                arena: &self.arena,
-                routing: &self.routing,
-                mesh: self.mesh,
-            };
-            let tsb_extra = self.params.noc.tsb_width_factor.saturating_sub(1);
-            let fault_blocked = self.faults.as_deref().map(FaultState::blocked_masks);
-            for w in 0..self.router_wake.words() {
-                let mut word = self.router_wake.word(w);
-                while word != 0 {
-                    let idx = (w << 6) + word.trailing_zeros() as usize;
-                    word &= word - 1;
-                    if self.ws.buffered(idx) == 0 {
-                        self.router_wake.clear(idx);
-                        continue;
-                    }
-                    let p = StepParams {
-                        now,
-                        policy: self.params.arbitration,
-                        max_hold: self.params.max_hold,
-                        hold_slack: self.params.hold_slack,
-                        wide_down: self.wide_down[idx],
-                        tsb_extra,
-                        blocked: fault_blocked.map_or(0, |b| b[idx]),
-                    };
-                    self.routers[idx].step_va(&mut self.ws, &view, p);
-                    for m in self.routers[idx].step_sa(&mut self.ws, &view, p) {
-                        moves.push((idx, *m));
-                    }
-                    if let Some(t) = &mut self.telemetry {
-                        let coord = self.routers[idx].coord();
-                        if let Some(tap) = self.routers[idx].tap.as_mut() {
-                            for &(pid, dir, vc) in &tap.va_grants {
-                                t.note_va(self.arena.get(pid).uid, coord, dir, vc, now);
-                            }
-                            for &delay in &tap.hold_delays {
-                                t.note_hold(idx, delay);
-                            }
-                            tap.clear();
-                        }
-                    }
-                }
-            }
-        }
-        for (idx, m) in moves.drain(..) {
-            self.apply_move(idx, m, now);
-        }
-        self.moves = moves;
-
-        // Ejection, assembly, estimator events.
-        let mut credits = std::mem::take(&mut self.eject_credits);
-        let mut events = std::mem::take(&mut self.eject_events);
-        for w in 0..self.nic_eject_wake.words() {
-            let mut word = self.nic_eject_wake.word(w);
-            while word != 0 {
-                let i = (w << 6) + word.trailing_zeros() as usize;
-                word &= word - 1;
-                credits.clear();
-                self.nics[i].drain_eject(&mut self.arena, now, &mut credits, &mut events);
-                for &(vc, k) in &credits {
-                    self.routers[i].return_credit(&mut self.ws, Direction::Local, vc, k);
-                }
-                for e in events.drain(..) {
-                    self.handle_event(e);
-                }
-                // Draining may have enqueued a tag ack for injection.
-                if self.nics[i].inject_backlog() > 0 {
-                    self.nic_inject_wake.set(i);
-                }
-                // Back-pressured tails stay buffered and keep the NI
-                // on the wake list.
-                if self.nics[i].eject_buffered() == 0 {
-                    self.nic_eject_wake.clear(i);
-                }
-            }
-        }
-        self.eject_credits = credits;
-        self.eject_events = events;
+        self.step_partitions(now);
+        self.merge_partitions(now);
+        self.drain_ejection(now);
 
         // Estimator upkeep.
         if let EstimatorState::Rca(rca) = &mut self.estimator {
             let routers = &self.routers;
-            let ws = &self.ws;
+            let ws = WsView::new(&self.shards);
             let mesh = self.mesh;
             let n = mesh.nodes_per_layer();
             rca.propagate(
@@ -610,7 +733,7 @@ impl Network {
             t.on_cycle_end(
                 now,
                 &self.routers,
-                &self.ws,
+                &WsView::new(&self.shards),
                 self.arena.live(),
                 self.stats.delivered,
                 &self.wide_down,
@@ -625,6 +748,231 @@ impl Network {
         }
 
         self.now += 1;
+    }
+
+    /// The parallel phase: injection and VC/switch allocation per
+    /// partition. With one partition (or one host core, or too little
+    /// buffered work to amortize a spawn) the partitions step inline
+    /// on this thread — same code, same mailboxes, same results.
+    #[inline]
+    fn step_partitions(&mut self, now: Cycle) {
+        let np = self.parts.parts();
+        if np == 1 {
+            self.step_serial(now);
+            return;
+        }
+        let shared = StepShared {
+            view: View {
+                arena: &self.arena,
+                routing: &self.routing,
+                mesh: self.mesh,
+            },
+            now,
+            router_stages: self.params.noc.router_stages,
+            policy: self.params.arbitration,
+            max_hold: self.params.max_hold,
+            hold_slack: self.params.hold_slack,
+            tsb_extra: self.params.noc.tsb_width_factor.saturating_sub(1),
+            wide_down: &self.wide_down,
+            fault_blocked: self.faults.as_deref().map(FaultState::blocked_masks),
+        };
+
+        let run_parallel = self.spawn_threads
+            && self
+                .shards
+                .iter()
+                .map(NocWorkspace::total_buffered)
+                .sum::<usize>()
+                >= SPAWN_THRESHOLD;
+        let mut ctxs = Vec::with_capacity(np);
+        let mut routers = self.routers.as_mut_slice();
+        let mut nics = self.nics.as_mut_slice();
+        let rest = self
+            .shards
+            .iter_mut()
+            .zip(&mut self.nic_inject_wake)
+            .zip(&mut self.router_wake)
+            .zip(&mut self.scratch);
+        for (p, (((ws, iw), rw), sc)) in rest.enumerate() {
+            let len = self.parts.len(p);
+            let (r, tail) = std::mem::take(&mut routers).split_at_mut(len);
+            routers = tail;
+            let (n, tail) = std::mem::take(&mut nics).split_at_mut(len);
+            nics = tail;
+            ctxs.push(PartCtx {
+                start: self.parts.start(p),
+                ws,
+                routers: r,
+                nics: n,
+                inject_wake: iw,
+                router_wake: rw,
+                moves: &mut sc.moves,
+                stamps: &mut sc.stamps,
+            });
+        }
+        if run_parallel {
+            self.spawned_cycles += 1;
+            let sh = &shared;
+            std::thread::scope(|s| {
+                for ctx in &mut ctxs {
+                    s.spawn(move || step_partition(ctx, sh));
+                }
+            });
+        } else {
+            for ctx in &mut ctxs {
+                step_partition(ctx, &shared);
+            }
+        }
+    }
+
+    /// The single-partition step, inlined over the network's own
+    /// fields: the same injection and VA/SA loops as
+    /// [`step_partition`] (same visit order, same mailboxes), without
+    /// the context indirection — this is the serial hot path the perf
+    /// baseline gates.
+    #[inline]
+    fn step_serial(&mut self, now: Cycle) {
+        let ws = &mut self.shards[0];
+        let sc = &mut self.scratch[0];
+        let iw = &mut self.nic_inject_wake[0];
+        let rw = &mut self.router_wake[0];
+        let router_stages = self.params.noc.router_stages;
+
+        // Injection: one flit per woken NI per cycle.
+        for w in 0..iw.words() {
+            let mut word = iw.word(w);
+            while word != 0 {
+                let i = (w << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if self.nics[i].inject_backlog() == 0 {
+                    iw.clear(i);
+                    continue;
+                }
+                if self.nics[i].inject_step(
+                    &mut self.routers[i],
+                    ws,
+                    &self.arena,
+                    now,
+                    router_stages,
+                    &mut sc.stamps,
+                ) {
+                    rw.set(i);
+                }
+                if self.nics[i].inject_backlog() == 0 {
+                    iw.clear(i);
+                }
+            }
+        }
+
+        // VC allocation and switch allocation at every active router.
+        let view = View {
+            arena: &self.arena,
+            routing: &self.routing,
+            mesh: self.mesh,
+        };
+        let tsb_extra = self.params.noc.tsb_width_factor.saturating_sub(1);
+        let fault_blocked = self.faults.as_deref().map(FaultState::blocked_masks);
+        for w in 0..rw.words() {
+            let mut word = rw.word(w);
+            while word != 0 {
+                let idx = (w << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if ws.buffered(idx) == 0 {
+                    rw.clear(idx);
+                    continue;
+                }
+                let p = StepParams {
+                    now,
+                    policy: self.params.arbitration,
+                    max_hold: self.params.max_hold,
+                    hold_slack: self.params.hold_slack,
+                    wide_down: self.wide_down[idx],
+                    tsb_extra,
+                    blocked: fault_blocked.map_or(0, |b| b[idx]),
+                };
+                self.routers[idx].step_va(ws, &view, p);
+                for m in self.routers[idx].step_sa(ws, &view, p) {
+                    sc.moves.push((idx, *m));
+                }
+            }
+        }
+    }
+
+    /// The serial merge at the cycle boundary: apply every partition's
+    /// mailbox in (partition, collection) order. Contiguous ascending
+    /// partitions make this exactly the order the serial stepper
+    /// produces: stamps partition-major = NIC-ascending, taps drained
+    /// router-ascending (idle routers hold empty taps), moves
+    /// partition-major = VA/SA visit order.
+    #[inline]
+    fn merge_partitions(&mut self, now: Cycle) {
+        for sc in &mut self.scratch {
+            for &pid in &sc.stamps {
+                self.arena.get_mut(pid).injected_at = now;
+            }
+            sc.stamps.clear();
+        }
+
+        if let Some(t) = &mut self.telemetry {
+            for (idx, r) in self.routers.iter_mut().enumerate() {
+                let coord = r.coord();
+                if let Some(tap) = r.tap.as_mut() {
+                    for &(pid, dir, vc) in &tap.va_grants {
+                        t.note_va(self.arena.get(pid).uid, coord, dir, vc, now);
+                    }
+                    for &delay in &tap.hold_delays {
+                        t.note_hold(idx, delay);
+                    }
+                    tap.clear();
+                }
+            }
+        }
+
+        for p in 0..self.scratch.len() {
+            let mut moves = std::mem::take(&mut self.scratch[p].moves);
+            for (idx, m) in moves.drain(..) {
+                self.apply_move(idx, m, now);
+            }
+            self.scratch[p].moves = moves;
+        }
+    }
+
+    /// Ejection, assembly and estimator events, partition-major (=
+    /// global NIC-ascending order).
+    #[inline]
+    fn drain_ejection(&mut self, now: Cycle) {
+        let mut credits = std::mem::take(&mut self.eject_credits);
+        let mut events = std::mem::take(&mut self.eject_events);
+        for p in 0..self.parts.parts() {
+            let start = self.parts.start(p);
+            for w in 0..self.nic_eject_wake[p].words() {
+                let mut word = self.nic_eject_wake[p].word(w);
+                while word != 0 {
+                    let li = (w << 6) + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let i = start + li;
+                    credits.clear();
+                    self.nics[i].drain_eject(&mut self.arena, now, &mut credits, &mut events);
+                    for &(vc, k) in &credits {
+                        self.routers[i].return_credit(&mut self.shards[p], Direction::Local, vc, k);
+                    }
+                    for e in events.drain(..) {
+                        self.handle_event(e);
+                    }
+                    // Draining may have enqueued a tag ack for injection.
+                    if self.nics[i].inject_backlog() > 0 {
+                        self.nic_inject_wake[p].set(li);
+                    }
+                    // Back-pressured tails stay buffered and keep the NI
+                    // on the wake list.
+                    if self.nics[i].eject_buffered() == 0 {
+                        self.nic_eject_wake[p].clear(li);
+                    }
+                }
+            }
+        }
+        self.eject_credits = credits;
+        self.eject_events = events;
     }
 
     /// Runs `cycles` network cycles.
@@ -896,8 +1244,9 @@ impl Network {
                         routing: &self.routing,
                         mesh: self.mesh,
                     };
+                    let ws = &self.shards[self.part_of(idx)];
                     self.routers[idx].note_forward(
-                        &self.ws,
+                        ws,
                         bank,
                         kind.is_bank_write(),
                         service,
@@ -924,7 +1273,9 @@ impl Network {
                 .neighbour(coord, in_dir)
                 .expect("input port has an upstream");
             let uidx = self.ridx(up);
-            self.routers[uidx].return_credit(&mut self.ws, in_dir.arrival_port(), m.in_vc, nflits);
+            let up_part = self.part_of(uidx);
+            let ws = &mut self.shards[up_part];
+            self.routers[uidx].return_credit(ws, in_dir.arrival_port(), m.in_vc, nflits);
         }
 
         // Deliver the flits.
@@ -933,7 +1284,7 @@ impl Network {
                 for f in &m.flits {
                     self.nics[idx].accept_eject(m.out_vc, *f);
                 }
-                self.nic_eject_wake.set(idx);
+                self.wake_nic_eject(idx);
             }
             dir => {
                 let to = self
@@ -943,9 +1294,11 @@ impl Network {
                 let tidx = self.ridx(to);
                 let in_port = dir.arrival_port().port();
                 let ready = now + self.params.noc.link_latency + self.params.noc.router_stages;
+                let to_part = self.part_of(tidx);
+                let ws = &mut self.shards[to_part];
                 for f in &m.flits {
                     self.routers[tidx].accept(
-                        &mut self.ws,
+                        ws,
                         in_port,
                         m.out_vc,
                         Flit {
@@ -954,7 +1307,7 @@ impl Network {
                         },
                     );
                 }
-                self.router_wake.set(tidx);
+                self.wake_router(tidx);
                 if matches!(dir, Direction::Up | Direction::Down) {
                     self.stats.vertical_flits += nflits as u64;
                     if nflits > 1 {
@@ -1748,6 +2101,63 @@ mod tests {
         assert_eq!(a, b, "same seed, same faults, same run");
         let c = run(8);
         assert_ne!(a, c, "a different seed draws a different schedule");
+    }
+
+    #[test]
+    fn threaded_partitions_match_the_serial_stepper() {
+        // Heavy enough traffic to clear the spawn work gate, so the
+        // scoped-thread branch itself is exercised (the host may have
+        // one core; `spawn_threads` is forced on to cover it anyway).
+        let run = |shards: usize, force_threads: bool| {
+            let mut p = params(
+                RequestPathMode::RegionTsbs,
+                ArbitrationPolicy::BankAware {
+                    estimator: Estimator::WindowBased,
+                },
+            );
+            p.wb_window = 2;
+            p.noc.shards = shards;
+            let mut net = Network::new(p);
+            net.spawn_threads = force_threads;
+            for i in 0..600u64 {
+                let src = core(&net, ((i * 7) % 64) as u16);
+                let dst = cache(&net, ((i * 13) % 64) as u16);
+                let kind = if i % 2 == 0 {
+                    PacketKind::Writeback
+                } else {
+                    PacketKind::DataReply
+                };
+                net.inject(Packet::new(kind, src, dst, i, i));
+            }
+            let mut tokens: Vec<u64> = Vec::new();
+            for _ in 0..6000 {
+                net.step();
+                for node in 0..64u16 {
+                    tokens.extend(
+                        net.drain_delivered(cache(&net, node))
+                            .iter()
+                            .map(|p| p.token),
+                    );
+                }
+            }
+            assert_eq!(net.in_flight(), 0);
+            (
+                tokens,
+                net.stats().latency.mean(),
+                net.stats().vertical_flits,
+                net.stats().wide_tsb_flits,
+                net.spawned_cycles(),
+            )
+        };
+        let serial = run(1, false);
+        let threaded = run(4, true);
+        assert_eq!(serial.4, 0, "one partition never spawns");
+        assert!(threaded.4 > 0, "the threaded branch must have run");
+        assert_eq!(
+            (&serial.0, serial.1, serial.2, serial.3),
+            (&threaded.0, threaded.1, threaded.2, threaded.3),
+            "threaded partitions diverged from the serial stepper"
+        );
     }
 
     #[test]

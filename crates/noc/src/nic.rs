@@ -132,13 +132,22 @@ impl Nic {
     /// VCs of their class, then send one flit from a bound VC with
     /// credit, round-robin. Returns `true` if a flit entered the
     /// router (so the caller can wake it).
+    ///
+    /// Runs against a shared `&Arena` so every partition of the
+    /// sharded stepper can inject concurrently: instead of stamping
+    /// `injected_at` in place, the id of a packet whose head flit
+    /// entered the router this cycle is pushed to `stamps`, and the
+    /// network stamps the batch after the partition barrier (nothing
+    /// reads `injected_at` until delivery, so the deferral is
+    /// unobservable).
     pub fn inject_step(
         &mut self,
         router: &mut Router,
         ws: &mut NocWorkspace,
-        arena: &mut Arena,
+        arena: &Arena,
         now: Cycle,
         router_stages: u64,
+        stamps: &mut Vec<PacketId>,
     ) -> bool {
         // Bind queue heads to free VCs in their class partition.
         for (ci, class) in CLASSES.iter().enumerate() {
@@ -170,8 +179,7 @@ impl Nic {
             let total = binding.total;
             let pid = binding.packet;
             if seq == 0 {
-                let p = arena.get_mut(pid);
-                p.injected_at = now;
+                stamps.push(pid);
                 self.injected += 1;
             }
             let flit = Flit {
@@ -322,6 +330,24 @@ mod tests {
         (nic, router, NocWorkspace::new(1, 6, 5), Arena::new())
     }
 
+    /// `inject_step` plus the post-barrier stamp application the
+    /// network performs, so tests see `injected_at` as before.
+    fn inject(
+        nic: &mut Nic,
+        router: &mut Router,
+        ws: &mut NocWorkspace,
+        arena: &mut Arena,
+        now: Cycle,
+        router_stages: u64,
+    ) -> bool {
+        let mut stamps = Vec::new();
+        let sent = nic.inject_step(router, ws, arena, now, router_stages, &mut stamps);
+        for pid in stamps {
+            arena.get_mut(pid).injected_at = now;
+        }
+        sent
+    }
+
     fn drain(
         nic: &mut Nic,
         arena: &mut Arena,
@@ -361,14 +387,14 @@ mod tests {
         let id = arena.insert(p);
         nic.enqueue(id, TrafficClass::Request);
         for cycle in 0..8 {
-            nic.inject_step(&mut router, &mut ws, &mut arena, cycle, 2);
+            inject(&mut nic, &mut router, &mut ws, &mut arena, cycle, 2);
             assert_eq!(
                 router.buffered_flits(&ws),
                 cycle as usize + 1,
                 "one flit per cycle"
             );
         }
-        nic.inject_step(&mut router, &mut ws, &mut arena, 8, 2);
+        inject(&mut nic, &mut router, &mut ws, &mut arena, 8, 2);
         assert_eq!(router.buffered_flits(&ws), 9, "writeback is 9 flits");
         assert_eq!(arena.get(id).injected_at, 0);
         assert_eq!(nic.injected, 1);
@@ -390,7 +416,7 @@ mod tests {
         // Only 5 credits per VC: the 6th flit stalls until a credit
         // returns.
         for cycle in 0..9 {
-            nic.inject_step(&mut router, &mut ws, &mut arena, cycle, 2);
+            inject(&mut nic, &mut router, &mut ws, &mut arena, cycle, 2);
         }
         assert_eq!(router.buffered_flits(&ws), 5);
         // The router forwards two flits downstream, freeing the buffer
@@ -399,8 +425,8 @@ mod tests {
         ws.pop_front(0, lane);
         ws.pop_front(0, lane);
         nic.return_credit(0, 2);
-        nic.inject_step(&mut router, &mut ws, &mut arena, 9, 2);
-        nic.inject_step(&mut router, &mut ws, &mut arena, 10, 2);
+        inject(&mut nic, &mut router, &mut ws, &mut arena, 9, 2);
+        inject(&mut nic, &mut router, &mut ws, &mut arena, 10, 2);
         assert_eq!(router.buffered_flits(&ws), 5, "two more flits entered");
     }
 
@@ -411,8 +437,8 @@ mod tests {
         let rsp = arena.insert(Packet::new(PacketKind::Ack, coord(), coord(), 0, 0));
         nic.enqueue(req, TrafficClass::Request);
         nic.enqueue(rsp, TrafficClass::Response);
-        nic.inject_step(&mut router, &mut ws, &mut arena, 0, 2);
-        nic.inject_step(&mut router, &mut ws, &mut arena, 1, 2);
+        inject(&mut nic, &mut router, &mut ws, &mut arena, 0, 2);
+        inject(&mut nic, &mut router, &mut ws, &mut arena, 1, 2);
         // Request lands in VC 0..2, response in VC 4..6.
         assert_eq!(router.input_vc(&ws, Direction::Local.port(), 0).len(), 1);
         let rsp_vcs: usize = (4..6)
@@ -472,7 +498,7 @@ mod tests {
         assert!(events.is_empty(), "ack is sent, not an event at the child");
         // The ack is queued for injection in the response class.
         assert_eq!(nic.inject_backlog(), 1);
-        nic.inject_step(&mut router, &mut ws, &mut arena, 11, 2);
+        inject(&mut nic, &mut router, &mut ws, &mut arena, 11, 2);
         let v = TrafficClass::Response.vc_range(6).start;
         assert_eq!(router.input_vc(&ws, Direction::Local.port(), v).len(), 1);
     }

@@ -1,0 +1,127 @@
+//! Intra-run mesh partitioning for the sharded network stepper.
+//!
+//! [`PartitionMap`] carves the flat router index space (core layer
+//! first, then cache, row-major within each layer) into contiguous
+//! partitions aligned to *bands* of two mesh rows — i.e. rows of the
+//! 2x2 router blocks the stepper phases over. Contiguity is the load
+//! bearing property: because every partition is a contiguous,
+//! ascending range of router indices, replaying each partition's
+//! cross-partition mailbox in (partition, collection) order is exactly
+//! the global ascending-index order the serial stepper uses, so run
+//! fingerprints are byte-identical at any shard count.
+//!
+//! The requested shard count is clamped to the number of bands (and
+//! floored at one); bands are distributed as evenly as possible, so
+//! e.g. 8 bands over 3 shards split 3/3/2.
+
+/// Contiguous, band-aligned partitions of the router index space.
+#[derive(Debug, Clone)]
+pub(crate) struct PartitionMap {
+    /// Start router index of each partition, plus a final sentinel
+    /// equal to the total router count.
+    starts: Vec<u32>,
+    /// Partition index of each router (O(1) cross-partition dispatch
+    /// on the mailbox merge path).
+    of: Vec<u16>,
+}
+
+impl PartitionMap {
+    /// Partitions `routers` routers into up to `requested` contiguous
+    /// groups aligned to bands of `band` routers (two mesh rows). A
+    /// `requested` of zero means serial (one partition).
+    pub fn new(routers: usize, band: usize, requested: usize) -> Self {
+        assert!(routers > 0 && band > 0);
+        let bands = routers.div_ceil(band);
+        let parts = requested.clamp(1, bands);
+        let mut starts = Vec::with_capacity(parts + 1);
+        for p in 0..parts {
+            // Even band distribution; the final band absorbs any
+            // short remainder of the router space.
+            starts.push(((p * bands / parts) * band).min(routers) as u32);
+        }
+        starts.push(routers as u32);
+        let mut of = vec![0u16; routers];
+        for p in 0..parts {
+            of[starts[p] as usize..starts[p + 1] as usize].fill(p as u16);
+        }
+        Self { starts, of }
+    }
+
+    /// Number of partitions.
+    pub fn parts(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// First router index of partition `p`.
+    #[inline]
+    pub fn start(&self, p: usize) -> usize {
+        self.starts[p] as usize
+    }
+
+    /// Router count of partition `p`.
+    #[inline]
+    pub fn len(&self, p: usize) -> usize {
+        (self.starts[p + 1] - self.starts[p]) as usize
+    }
+
+    /// The partition owning `router`.
+    #[inline]
+    pub fn of(&self, router: usize) -> usize {
+        self.of[router] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges(m: &PartitionMap) -> Vec<(usize, usize)> {
+        (0..m.parts()).map(|p| (m.start(p), m.len(p))).collect()
+    }
+
+    #[test]
+    fn serial_is_one_partition_covering_everything() {
+        for requested in [0, 1] {
+            let m = PartitionMap::new(128, 16, requested);
+            assert_eq!(ranges(&m), vec![(0, 128)]);
+            assert_eq!(m.of(0), 0);
+            assert_eq!(m.of(127), 0);
+        }
+    }
+
+    #[test]
+    fn four_shards_split_the_default_mesh_evenly() {
+        // 128 routers, 16-router bands (two 8-wide rows): 8 bands.
+        let m = PartitionMap::new(128, 16, 4);
+        assert_eq!(ranges(&m), vec![(0, 32), (32, 32), (64, 32), (96, 32)]);
+        for r in 0..128 {
+            let p = m.of(r);
+            assert!(m.start(p) <= r && r < m.start(p) + m.len(p));
+        }
+    }
+
+    #[test]
+    fn uneven_band_counts_distribute_without_gaps() {
+        for requested in 1..=10 {
+            let m = PartitionMap::new(128, 16, requested);
+            assert!(m.parts() <= 8, "clamped to the band count");
+            let mut next = 0;
+            for p in 0..m.parts() {
+                assert_eq!(m.start(p), next, "contiguous");
+                assert!(m.len(p) > 0, "no empty partitions");
+                assert_eq!(m.len(p) % 16, 0, "band aligned");
+                next += m.len(p);
+            }
+            assert_eq!(next, 128, "covers every router");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_requests_clamp_to_the_band_count() {
+        let m = PartitionMap::new(128, 16, 1000);
+        assert_eq!(m.parts(), 8);
+        // A short final band still belongs to the last partition.
+        let m = PartitionMap::new(24, 16, 4);
+        assert_eq!(ranges(&m), vec![(0, 16), (16, 8)]);
+    }
+}

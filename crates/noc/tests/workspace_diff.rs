@@ -11,11 +11,12 @@
 //! move and every piece of observable state (buffer contents, routes,
 //! owners, credits) must agree, cycle by cycle.
 
-use snoc_common::config::{ArbitrationPolicy, Estimator};
+use snoc_common::config::{ArbitrationPolicy, Estimator, NocConfig, RequestPathMode, TsbPlacement};
 use snoc_common::geom::{Coord, Direction, Layer};
-use snoc_common::ids::{BankId, PacketId};
+use snoc_common::ids::{BankId, NodeId, PacketId};
 use snoc_common::rng::SimRng;
 use snoc_common::Cycle;
+use snoc_noc::network::{Network, NetworkParams};
 use snoc_noc::packet::{Flit, Packet, PacketKind};
 use snoc_noc::parent::ChildInfo;
 use snoc_noc::router::{NetView, OutRoute, Router, StepParams, PORTS};
@@ -521,4 +522,164 @@ fn allocation_sweep_never_double_grants_and_credits_stay_bounded() {
 
     assert!(total_moves > 1_500, "traffic too thin: {total_moves} moves");
     assert_eq!(ws.buffered(0), 0, "run must drain (no livelock from holds)");
+}
+
+/// Every observable piece of lane state must agree between two
+/// networks, router by router (the sharded stepper against the serial
+/// reference).
+fn assert_networks_match(a: &Network, b: &Network, cycle: Cycle) {
+    let vcs = a.params().noc.vcs_per_port;
+    let (va, vb) = (a.ws_view(), b.ws_view());
+    assert_eq!(va.routers(), vb.routers());
+    for i in 0..va.routers() {
+        assert_eq!(
+            va.buffered(i),
+            vb.buffered(i),
+            "cycle {cycle}: buffered at router {i}"
+        );
+        for port in 0..PORTS {
+            let (pa, pb) = (va.port(i, port), vb.port(i, port));
+            for vc in 0..vcs {
+                assert_eq!(
+                    pa.credits(vc),
+                    pb.credits(vc),
+                    "cycle {cycle}: credits at {i}/{port}/{vc}"
+                );
+                assert_eq!(
+                    pa.owner(vc),
+                    pb.owner(vc),
+                    "cycle {cycle}: owner at {i}/{port}/{vc}"
+                );
+                let (qa, qb) = (va.vc(i, port, vc), vb.vc(i, port, vc));
+                assert_eq!(
+                    qa.len(),
+                    qb.len(),
+                    "cycle {cycle}: queue length at {i}/{port}/{vc}"
+                );
+                assert_eq!(
+                    qa.route(),
+                    qb.route(),
+                    "cycle {cycle}: route at {i}/{port}/{vc}"
+                );
+                for k in 0..qa.len() {
+                    let (fa, fb) = (qa.flit(k), qb.flit(k));
+                    assert_eq!(
+                        (fa.seq, fa.head, fa.tail, fa.ready_at),
+                        (fb.seq, fb.head, fb.tail, fb.ready_at),
+                        "cycle {cycle}: flit {k} at {i}/{port}/{vc}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The randomized lockstep of the whole network under the partitioned
+/// stepper: identical traffic drives a serial network and sharded ones
+/// (2 and 4 partitions); every cycle the delivered packets must agree,
+/// and periodically every lane of every router must agree.
+#[test]
+fn partitioned_stepper_stays_in_lockstep_with_the_serial_network() {
+    let mk = |shards: usize| {
+        Network::new(NetworkParams {
+            noc: NocConfig {
+                shards,
+                ..NocConfig::default()
+            },
+            path_mode: RequestPathMode::RegionTsbs,
+            regions: 4,
+            placement: TsbPlacement::Corner,
+            parent_hops: 2,
+            arbitration: ArbitrationPolicy::BankAware {
+                estimator: Estimator::WindowBased,
+            },
+            wb_window: 4,
+            bank_read_latency: 3,
+            bank_write_latency: 33,
+            cache_outbox_cap: 4,
+            core_outbox_cap: 64,
+            max_hold: 99,
+            hold_slack: 0,
+            audit: None,
+            telemetry: None,
+            faults: None,
+        })
+    };
+    let mut nets = [mk(1), mk(2), mk(4)];
+    let mut rng = SimRng::for_stream(0x5AAD, 0);
+    let mut delivered = 0usize;
+    let mut offered = 0usize;
+
+    let horizon = 1_500u64;
+    for cycle in 0..horizon + 1_000 {
+        if cycle < horizon && rng.chance(0.5) {
+            // One identical randomized packet into every network.
+            let token = offered as u64;
+            let s = rng.below(64) as u16;
+            let d = rng.below(64) as u16;
+            let (kind, up) = match rng.below(5) {
+                0 => (PacketKind::BankRead, true),
+                1 => (PacketKind::BankWrite, true),
+                2 => (PacketKind::Writeback, true),
+                3 => (PacketKind::DataReply, false),
+                _ => (PacketKind::Inv, false),
+            };
+            for net in &mut nets {
+                let mesh = net.mesh();
+                let (src, dst) = if up {
+                    (
+                        mesh.coord(NodeId::new(s), Layer::Core),
+                        mesh.coord(NodeId::new(d), Layer::Cache),
+                    )
+                } else {
+                    (
+                        mesh.coord(NodeId::new(s), Layer::Cache),
+                        mesh.coord(NodeId::new(d), Layer::Core),
+                    )
+                };
+                net.inject(Packet::new(kind, src, dst, token, token));
+            }
+            offered += 1;
+        }
+        for net in &mut nets {
+            net.step();
+        }
+        // Deliveries must agree node by node, cycle by cycle.
+        for node in 0..128u16 {
+            let mesh = nets[0].mesh();
+            let at = if node < 64 {
+                mesh.coord(NodeId::new(node), Layer::Core)
+            } else {
+                mesh.coord(NodeId::new(node - 64), Layer::Cache)
+            };
+            let tokens = |net: &mut Network| -> Vec<u64> {
+                net.drain_delivered(at).iter().map(|p| p.token).collect()
+            };
+            let [a, b, c] = &mut nets;
+            let (ta, tb, tc) = (tokens(a), tokens(b), tokens(c));
+            assert_eq!(ta, tb, "cycle {cycle}: deliveries at {at} (2 shards)");
+            assert_eq!(ta, tc, "cycle {cycle}: deliveries at {at} (4 shards)");
+            delivered += ta.len();
+        }
+        if cycle % 64 == 0 || cycle >= horizon + 900 {
+            assert_networks_match(&nets[0], &nets[1], cycle);
+            assert_networks_match(&nets[0], &nets[2], cycle);
+        }
+    }
+
+    assert!(offered > 500, "traffic too thin: {offered} offered");
+    assert_eq!(delivered, offered, "every packet arrives everywhere");
+    for net in &nets {
+        assert_eq!(net.in_flight(), 0, "runs must drain");
+        assert_eq!(net.stats().delivered, offered as u64);
+    }
+    let s0 = nets[0].stats();
+    for net in &nets[1..] {
+        let s = net.stats();
+        assert_eq!(
+            (s.latency.mean(), s.vertical_flits, s.tag_acks),
+            (s0.latency.mean(), s0.vertical_flits, s0.tag_acks),
+            "aggregate statistics must be byte-identical"
+        );
+    }
 }
