@@ -4,9 +4,11 @@
 # not change a repro binary's stdout), a partitioned-stepper smoke
 # (SNOC_SHARDS=4 must match the serial stepper byte for byte), a
 # strict-CLI check (a typo'd flag must fail without touching the
-# checked-in baseline), a perf smoke gated against the tracked
-# baseline, a telemetry smoke, the audited fault campaign plus a
-# repro-faults smoke, and an optional coverage floor.
+# checked-in baseline), a sweep-cache leg (a warm rerun must be
+# byte-identical, cache-served, and at least 2x faster), a perf smoke
+# gated against the tracked baseline, a telemetry smoke, the audited
+# fault campaign plus a repro-faults smoke, and an optional coverage
+# floor.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -42,6 +44,30 @@ SNOC_SHARDS=4 cargo run --release -q -p snoc-bench --bin repro-fig3 -- --quick \
     >"$tmp/s4.out" 2>/dev/null
 diff -u "$tmp/t1.out" "$tmp/s4.out"
 echo "ok: identical across shard counts"
+
+echo "== sweep cache: warm rerun byte-identical, cache-served, and 2x faster =="
+export SNOC_CACHE_DIR="$tmp/cellcache"
+t0=$(date +%s%N)
+SNOC_PROGRESS=1 cargo run --release -q -p snoc-bench --bin repro-fig6 -- --quick \
+    >"$tmp/cold.out" 2>"$tmp/cold.err"
+t_cold=$(( $(date +%s%N) - t0 ))
+t0=$(date +%s%N)
+SNOC_PROGRESS=1 cargo run --release -q -p snoc-bench --bin repro-fig6 -- --quick \
+    >"$tmp/warm.out" 2>"$tmp/warm.err"
+t_warm=$(( $(date +%s%N) - t0 ))
+unset SNOC_CACHE_DIR
+diff -u "$tmp/cold.out" "$tmp/warm.out"
+test -s "$tmp/cold.out"
+if ! grep -Eq '[1-9][0-9]* cached' "$tmp/warm.err"; then
+    echo "error: warm rerun reported no cache hits"
+    cat "$tmp/warm.err"
+    exit 1
+fi
+if [ $((t_warm * 2)) -gt "$t_cold" ]; then
+    echo "error: warm rerun (${t_warm} ns) not 2x faster than cold (${t_cold} ns)"
+    exit 1
+fi
+echo "ok: warm rerun identical, served from cache, $((t_cold / t_warm))x faster"
 
 echo "== shard conformance: fingerprints across SNOC_SHARDS, audited and faulted =="
 cargo test --release -q -p snoc-core --test determinism

@@ -1,9 +1,11 @@
 //! Tracked performance baseline for the simulator hot path.
 //!
-//! Times the two workloads the perf trajectory is anchored on — the
-//! bare network-step kernel and one full Quick-scale fig6 cell — and
-//! writes `BENCH_hotpath.json` (override with `--out <path>`) so every
-//! PR lands on a machine-readable perf record.
+//! Times the workloads the perf trajectory is anchored on — the bare
+//! network-step kernel, one full Quick-scale fig6 cell, and the
+//! Quick-scale fig6 sweep both cold (caching and warm reuse off) and
+//! warm (cache-hit steady state) — and writes `BENCH_hotpath.json`
+//! (override with `--out <path>`) so every PR lands on a
+//! machine-readable perf record.
 //!
 //! When `SNOC_BENCH_BASELINE=<path>` names a previous `snoc-bench/1`
 //! document (e.g. a checked-in `BENCH_hotpath.json` from before a
@@ -24,8 +26,9 @@
 use snoc_bench::harness::{self, Timing};
 use snoc_common::config::SystemConfig;
 use snoc_common::geom::{Coord, Layer};
-use snoc_core::experiments::Scale;
+use snoc_core::experiments::{fig6, Scale};
 use snoc_core::scenario::Scenario;
+use snoc_core::sweep::{Experiment, SweepRunner};
 use snoc_core::system::System;
 use snoc_noc::{Network, NetworkParams, Packet, PacketKind};
 use snoc_workload::table3 as t3;
@@ -117,9 +120,29 @@ fn main() {
         System::homogeneous(Scale::Quick.apply(Scenario::SttRam4TsbWb.config()), app).run()
     });
 
+    // The incremental-sweep machinery: one full Quick-scale fig6 grid
+    // per iteration. "Cold" disables result caching and warm-state
+    // reuse (every iteration pays full price); "warm" shares one
+    // runner, whose in-process cache is primed during the harness
+    // warm-up window, so every measured iteration is pure cache hits.
+    let grid = || fig6::Fig6.grid(Scale::Quick);
+    let sweep_cold = harness::bench_with("sweep/fig6_quick_cold", warmup, measure, || {
+        SweepRunner::new()
+            .cache(false)
+            .warm_reuse(false)
+            .run_grid("fig6/bench-cold", grid())
+            .len()
+    });
+    let warm_runner = SweepRunner::new();
+    let sweep_warm = harness::bench_with("sweep/fig6_quick_warm", warmup, measure, || {
+        warm_runner.run_grid("fig6/bench-warm", grid()).len()
+    });
+
     let records = vec![
         ("kernels/network_step".to_string(), network_step),
         ("fig6/cell/sap/SttRam4TsbWb".to_string(), fig6_cell),
+        ("sweep/fig6_quick_cold".to_string(), sweep_cold),
+        ("sweep/fig6_quick_warm".to_string(), sweep_warm),
     ];
     let baseline = std::env::var("SNOC_BENCH_BASELINE")
         .ok()

@@ -51,6 +51,14 @@ pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> Timing {
 }
 
 /// [`bench`] with explicit warm-up and measurement budgets.
+///
+/// Warm-up and measurement are a single sampling loop: any iteration
+/// that *starts* inside the warm-up window is discarded from every
+/// statistic. The discard matters most for `worst` — the first few
+/// iterations of a cold process (lazy allocation, cold caches, CPU
+/// frequency ramp) can run hundreds of times slower than steady state,
+/// and a `worst` that records the warm-up transient instead of the
+/// steady-state tail is noise, not signal.
 pub fn bench_with<R>(
     name: &str,
     warmup: Duration,
@@ -58,21 +66,25 @@ pub fn bench_with<R>(
     mut f: impl FnMut() -> R,
 ) -> Timing {
     let start = Instant::now();
-    while start.elapsed() < warmup {
-        std::hint::black_box(f());
-    }
     let mut iters = 0u64;
     let mut total = Duration::ZERO;
     let mut best = Duration::MAX;
     let mut worst = Duration::ZERO;
-    while total < measure {
+    loop {
         let t0 = Instant::now();
+        let warming = t0.duration_since(start) < warmup;
         std::hint::black_box(f());
         let dt = t0.elapsed();
+        if warming {
+            continue;
+        }
         iters += 1;
         total += dt;
         best = best.min(dt);
         worst = worst.max(dt);
+        if total >= measure {
+            break;
+        }
     }
     let timing = Timing {
         iters,

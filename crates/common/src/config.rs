@@ -488,6 +488,96 @@ impl SystemConfig {
         (hops - 1) * self.noc.router_stages + hops * self.noc.link_latency
     }
 
+    /// Feeds every *modeled* field into `h` for content-addressed
+    /// caching.
+    ///
+    /// The stream is explicit field by field — no derived `Hash` — so
+    /// the digest is stable across compiler releases and only changes
+    /// when a field is added or its meaning shifts (bump the cell
+    /// codec version alongside any such change). `noc.shards` is
+    /// deliberately *excluded*: it is a host-parallelism knob whose
+    /// every value produces byte-identical results, so configs
+    /// differing only in shard count must share a cache entry.
+    pub fn hash_into(&self, h: &mut crate::fingerprint::StableHasher) {
+        let n = &self.noc;
+        h.write_u8(n.width);
+        h.write_u8(n.height);
+        h.write_usize(n.vcs_per_port);
+        h.write_usize(n.vc_depth);
+        h.write_usize(n.data_flits);
+        h.write_u64(n.router_stages);
+        h.write_u64(n.link_latency);
+        h.write_usize(n.tsb_width_factor);
+        h.write_u64(n.hold_slack);
+        h.write_u64(n.wb_expire_period);
+        h.write_u64(n.wb_tag_timeout);
+        let m = &self.mem;
+        h.write_usize(m.l1_bytes);
+        h.write_usize(m.l1_ways);
+        h.write_usize(m.block_bytes);
+        h.write_u64(m.l1_latency);
+        h.write_usize(m.l1_mshrs);
+        h.write_usize(m.l2_bank_bytes);
+        h.write_usize(m.l2_ways);
+        h.write_u64(m.l2_read_latency);
+        h.write_u64(m.stt_write_latency);
+        h.write_usize(m.l2_mshrs);
+        h.write_usize(m.bank_queue);
+        h.write_u64(m.dram_latency);
+        h.write_usize(m.mem_controllers);
+        h.write_usize(m.mc_outstanding);
+        let c = &self.core;
+        h.write_usize(c.window_entries);
+        h.write_usize(c.width);
+        h.write_usize(c.mem_ops_per_cycle);
+        h.write_u8(match self.tech {
+            MemTech::Sram => 0,
+            MemTech::SttRam => 1,
+        });
+        h.write_u8(match self.path_mode {
+            RequestPathMode::AllTsvs => 0,
+            RequestPathMode::RegionTsbs => 1,
+        });
+        h.write_usize(self.regions);
+        h.write_u8(match self.tsb_placement {
+            TsbPlacement::Corner => 0,
+            TsbPlacement::Staggered => 1,
+        });
+        h.write_u32(self.parent_hops);
+        match self.arbitration {
+            ArbitrationPolicy::RoundRobin => h.write_u8(0),
+            ArbitrationPolicy::BankAware { estimator } => {
+                h.write_u8(1);
+                h.write_u8(match estimator {
+                    Estimator::Simple => 0,
+                    Estimator::Rca => 1,
+                    Estimator::WindowBased => 2,
+                });
+            }
+        }
+        h.write_u32(self.wb_window);
+        match self.write_buffer {
+            None => h.write_none(),
+            Some(wb) => {
+                h.write_some();
+                h.write_usize(wb.entries);
+                h.write_u64(wb.detect_cycles);
+                h.write_bool(wb.read_preemption);
+            }
+        }
+        h.write_u64(self.warmup_cycles);
+        h.write_u64(self.measure_cycles);
+        h.write_u64(self.seed);
+    }
+
+    /// The stable structural fingerprint of this configuration (all
+    /// modeled fields; see [`SystemConfig::hash_into`]).
+    pub fn fingerprint(&self) -> crate::fingerprint::Fingerprint {
+        let mut h = crate::fingerprint::StableHasher::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -614,6 +704,39 @@ mod tests {
     #[should_panic(expected = "invalid configuration")]
     fn builder_build_panics_on_invalid() {
         SystemConfig::builder().regions(0).build();
+    }
+
+    #[test]
+    fn fingerprint_ignores_shards_but_sees_every_modeled_knob() {
+        let base = SystemConfig::default();
+        let sharded = base.rebuild().tune(|c| c.noc.shards = 4).build();
+        assert_eq!(
+            base.fingerprint(),
+            sharded.fingerprint(),
+            "shards is a host knob, not a modeled parameter"
+        );
+        let tweaks: Vec<SystemConfig> = vec![
+            base.rebuild().seed(base.seed + 1).build(),
+            base.rebuild().tech(MemTech::SttRam).build(),
+            base.rebuild().cycles(100, 400).build(),
+            base.rebuild().regions(16).build(),
+            base.rebuild()
+                .arbitration(ArbitrationPolicy::BankAware {
+                    estimator: Estimator::WindowBased,
+                })
+                .build(),
+            base.rebuild()
+                .write_buffer(Some(WriteBufferConfig::default()))
+                .build(),
+            base.rebuild().tune(|c| c.noc.vc_depth = 6).build(),
+            base.rebuild().tune(|c| c.mem.bank_queue = 5).build(),
+        ];
+        let mut seen = vec![base.fingerprint()];
+        for cfg in tweaks {
+            let fp = cfg.fingerprint();
+            assert!(!seen.contains(&fp), "fingerprint collision for {cfg:?}");
+            seen.push(fp);
+        }
     }
 
     #[test]

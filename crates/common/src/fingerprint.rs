@@ -1,0 +1,246 @@
+//! Stable structural fingerprints for content-addressed caching.
+//!
+//! The sweep cache keys cells by *what they compute*: every modeled
+//! field of the configuration plus the workload identity, folded
+//! through a hasher whose output is fixed by this file alone. The
+//! standard library's `Hash`/`Hasher` machinery is deliberately not
+//! used — `DefaultHasher` documents no stability across releases, and
+//! a silent key change would turn every on-disk cache entry stale (or
+//! worse, collide). [`StableHasher`] is two independent FNV-1a lanes
+//! over an explicitly serialized byte stream; the 128-bit digest makes
+//! accidental collisions across a sweep's few thousand cells
+//! negligible.
+//!
+//! Every value is written through a typed method (`write_u64`,
+//! `write_str`, ...) with a one-byte domain tag so that adjacent
+//! fields cannot alias (e.g. `("ab", "c")` vs `("a", "bc")`, or a
+//! `None` option vs a zero integer).
+
+/// 64-bit FNV-1a offset basis and prime.
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x00000100000001b3;
+/// Second-lane basis: the first lane's basis folded over the ASCII
+/// bytes of "snoc" — any constant differing from `FNV_OFFSET` works;
+/// what matters is that the two lanes never agree on all inputs.
+const FNV_OFFSET_B: u64 = 0xa1c2e39f5d8b7a11;
+
+/// Byte tags separating value domains in the hashed stream.
+mod tag {
+    pub const U64: u8 = 1;
+    pub const U8: u8 = 2;
+    pub const BOOL: u8 = 3;
+    pub const STR: u8 = 4;
+    pub const F64: u8 = 5;
+    pub const SOME: u8 = 6;
+    pub const NONE: u8 = 7;
+}
+
+/// A deterministic 128-bit structural hasher (two FNV-1a lanes).
+///
+/// The digest is a pure function of the byte sequence fed through the
+/// typed `write_*` methods — independent of compiler version, target,
+/// and the standard library's `Hash` implementations.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset bases.
+    pub fn new() -> Self {
+        Self {
+            a: FNV_OFFSET,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    fn byte(&mut self, byte: u8) {
+        self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Feeds raw bytes (no tag); prefer the typed methods.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.byte(byte);
+        }
+    }
+
+    /// Feeds a tagged `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.byte(tag::U64);
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a tagged `usize` widened to `u64` so the digest does not
+    /// depend on the host word size.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a tagged `u32` widened to `u64`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Feeds a tagged single byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.byte(tag::U8);
+        self.byte(v);
+    }
+
+    /// Feeds a tagged boolean.
+    pub fn write_bool(&mut self, v: bool) {
+        self.byte(tag::BOOL);
+        self.byte(v as u8);
+    }
+
+    /// Feeds a tagged, length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.byte(tag::STR);
+        self.write_bytes(&(s.len() as u64).to_le_bytes());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds a tagged `f64` via its IEEE-754 bit pattern (exact; NaN
+    /// payloads included, so only feed values you produced).
+    pub fn write_f64(&mut self, v: f64) {
+        self.byte(tag::F64);
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// Marks an `Option` as present; follow with the value's writes.
+    pub fn write_some(&mut self) {
+        self.byte(tag::SOME);
+    }
+
+    /// Marks an `Option` as absent.
+    pub fn write_none(&mut self) {
+        self.byte(tag::NONE);
+    }
+
+    /// The 128-bit digest accumulated so far.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint {
+            hi: self.a,
+            lo: self.b,
+        }
+    }
+}
+
+/// A 128-bit content fingerprint, printable as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    /// First FNV lane.
+    pub hi: u64,
+    /// Second FNV lane.
+    pub lo: u64,
+}
+
+impl Fingerprint {
+    /// Renders the digest as 32 lowercase hex digits (the on-disk
+    /// cache file name).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses the 32-hex-digit form back; `None` on any malformed
+    /// input (wrong length, non-hex bytes).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Self { hi, lo })
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// FNV-1a-64 over raw bytes: the checksum used by the on-disk cell
+/// codec (content integrity, not content addressing).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_across_calls() {
+        let mut h1 = StableHasher::new();
+        let mut h2 = StableHasher::new();
+        for h in [&mut h1, &mut h2] {
+            h.write_u64(42);
+            h.write_str("sap");
+            h.write_bool(true);
+            h.write_f64(0.25);
+        }
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn digest_is_pinned() {
+        // Golden value: a change here means every existing cache entry
+        // silently re-keys. Bump the cell codec version when this
+        // moves intentionally.
+        let mut h = StableHasher::new();
+        h.write_u64(1);
+        h.write_str("x");
+        assert_eq!(h.finish().to_hex(), "7de853ce191171768274fb3e5d9b7122");
+    }
+
+    #[test]
+    fn adjacent_strings_do_not_alias() {
+        let mut h1 = StableHasher::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = StableHasher::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn none_does_not_alias_zero() {
+        let mut h1 = StableHasher::new();
+        h1.write_none();
+        let mut h2 = StableHasher::new();
+        h2.write_u64(0);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let mut h = StableHasher::new();
+        h.write_str("round-trip");
+        let fp = h.finish();
+        assert_eq!(Fingerprint::from_hex(&fp.to_hex()), Some(fp));
+        assert_eq!(Fingerprint::from_hex("nope"), None);
+        assert_eq!(Fingerprint::from_hex(&"f".repeat(31)), None);
+    }
+
+    #[test]
+    fn fnv_checksum_matches_reference_vector() {
+        // Published FNV-1a-64 test vector.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

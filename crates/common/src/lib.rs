@@ -4,8 +4,9 @@
 //! workspace: strongly-typed identifiers for nodes, cores, banks and
 //! regions ([`ids`]), mesh geometry for the two stacked 8x8 layers
 //! ([`geom`]), the global simulation configuration ([`config`]),
-//! deterministic random-number helpers ([`rng`]) and lightweight
-//! statistics containers ([`stats`]).
+//! deterministic random-number helpers ([`rng`]), lightweight
+//! statistics containers ([`stats`]) and stable structural hashing
+//! for content-addressed caches ([`fingerprint`]).
 //!
 //! # Example
 //!
@@ -21,6 +22,7 @@
 //! ```
 
 pub mod config;
+pub mod fingerprint;
 pub mod geom;
 pub mod ids;
 pub mod rng;

@@ -132,6 +132,32 @@ impl Histogram {
         Self::new(&[16, 33, 66, 99, 132, 165])
     }
 
+    /// Reconstructs a histogram from previously extracted edges and
+    /// counts (the cell-cache codec's deserialization path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `edges` is empty or not strictly
+    /// increasing, or if `counts` is not exactly one longer than
+    /// `edges` — the invariants [`Histogram::new`] establishes.
+    pub fn from_parts(edges: Vec<u64>, counts: Vec<u64>) -> Result<Self, String> {
+        if edges.is_empty() {
+            return Err("histogram needs at least one edge".into());
+        }
+        if !edges.windows(2).all(|w| w[0] < w[1]) {
+            return Err("edges must be strictly increasing".into());
+        }
+        if counts.len() != edges.len() + 1 {
+            return Err(format!(
+                "expected {} counts for {} edges, got {}",
+                edges.len() + 1,
+                edges.len(),
+                counts.len()
+            ));
+        }
+        Ok(Self { edges, counts })
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         let bin = self.edges.partition_point(|&e| e <= value);
@@ -390,6 +416,20 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_bad_edges() {
         Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn histogram_from_parts_round_trips_and_validates() {
+        let mut h = Histogram::fig3();
+        for v in [5, 20, 40, 200] {
+            h.record(v);
+        }
+        let rebuilt =
+            Histogram::from_parts(h.edges().to_vec(), h.counts().to_vec()).expect("valid parts");
+        assert_eq!(rebuilt, h);
+        assert!(Histogram::from_parts(vec![], vec![0]).is_err());
+        assert!(Histogram::from_parts(vec![10, 10], vec![0, 0, 0]).is_err());
+        assert!(Histogram::from_parts(vec![10, 20], vec![0, 0]).is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! assert!(metrics.instruction_throughput() > 0.0);
 //! ```
 
+pub mod cellcache;
 pub mod experiments;
 pub mod metrics;
 pub mod observer;

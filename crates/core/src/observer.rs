@@ -36,6 +36,8 @@ pub struct SweepSummary {
     pub cell_wall: Duration,
     /// Total simulated cycles across all cells.
     pub sim_cycles: u64,
+    /// Cells served from the result cache instead of simulated.
+    pub cache_hits: usize,
 }
 
 impl SweepSummary {
@@ -82,6 +84,14 @@ pub trait RunObserver: Sync {
     /// `note` is the collector's one-line digest. Called before
     /// [`RunObserver::cell_finished`].
     fn telemetry_note(&self, label: &str, note: &str) {
+        let _ = (label, note);
+    }
+
+    /// The result cache has something worth surfacing for this cell —
+    /// typically that an on-disk entry was corrupt (and is being
+    /// recomputed) or could not be written. Never raised for ordinary
+    /// hits and misses.
+    fn cache_note(&self, label: &str, note: &str) {
         let _ = (label, note);
     }
 
@@ -158,14 +168,19 @@ impl RunObserver for ProgressObserver {
         eprintln!("TELEMETRY {label}: {note}");
     }
 
+    fn cache_note(&self, label: &str, note: &str) {
+        eprintln!("CACHE {label}: {note}");
+    }
+
     fn sweep_finished(&self, s: &SweepSummary) {
         eprintln!(
-            "{}: {} cells in {:.2} s ({}, {} failed)",
+            "{}: {} cells in {:.2} s ({}, {} failed, {} cached)",
             s.name,
             s.cells,
             s.wall.as_secs_f64(),
             fmt_rate(s.sim_cycles, s.wall),
-            s.failed
+            s.failed,
+            s.cache_hits
         );
     }
 }
@@ -207,12 +222,21 @@ impl RunObserver for MachineObserver {
         let _ = std::io::stdout().flush();
     }
 
+    fn cache_note(&self, label: &str, note: &str) {
+        println!(
+            "cache label={} note={}",
+            label.replace(' ', "_"),
+            note.replace(' ', "_")
+        );
+    }
+
     fn sweep_finished(&self, s: &SweepSummary) {
         println!(
-            "done name={} cells={} failed={} wall_us={} sim_cycles={} cyc_per_s={:.0}",
+            "done name={} cells={} failed={} cache_hits={} wall_us={} sim_cycles={} cyc_per_s={:.0}",
             s.name,
             s.cells,
             s.failed,
+            s.cache_hits,
             s.wall.as_micros(),
             s.sim_cycles,
             s.cycles_per_second()
@@ -234,6 +258,7 @@ mod tests {
             wall: Duration::from_secs(2),
             cell_wall: Duration::from_secs(2),
             sim_cycles: 4_000_000,
+            cache_hits: 0,
         };
         assert!((s.cycles_per_second() - 2_000_000.0).abs() < 1.0);
         assert_eq!(fmt_rate(4_000_000, Duration::from_secs(2)), "2.0 Mcyc/s");
@@ -254,6 +279,7 @@ mod tests {
             wall: Duration::ZERO,
             cell_wall: Duration::ZERO,
             sim_cycles: 0,
+            cache_hits: 0,
         });
     }
 }

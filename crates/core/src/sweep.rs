@@ -13,15 +13,36 @@
 //!   results (delivered back **in grid order**) into the figure's
 //!   output type.
 //! * [`SweepRunner`] — executes a grid on `1..=N` `std::thread`
-//!   workers. Cells are claimed from a shared atomic cursor, so the
-//!   schedule is dynamic, but results land in indexed slots: the
-//!   output order — and, because every simulation is a deterministic
-//!   function of its spec, the output *values* — are identical for any
-//!   thread count.
+//!   workers. Each worker owns a deque seeded with a contiguous block
+//!   of the grid and *steals* from the tail of a neighbour's deque
+//!   when its own runs dry, so the schedule is dynamic, but results
+//!   land in indexed slots: the output order — and, because every
+//!   simulation is a deterministic function of its spec, the output
+//!   *values* — are identical for any thread count.
 //!
 //! A cell that panics (a config assertion, an internal invariant) is
 //! caught on its worker and reported as [`CellError`] in that cell's
 //! slot; the rest of the grid still runs.
+//!
+//! # Incremental sweeps
+//!
+//! Two optimizations (both on by default) make re-running a sweep much
+//! cheaper than its first run without changing a single output byte:
+//!
+//! * **Result caching** — plain cells (no fault/audit/telemetry
+//!   instrumentation) are memoized under their content key
+//!   ([`cellcache::cell_key`]) in an in-process map that lives as long
+//!   as the runner (so repeated `run_grid` calls on one runner are
+//!   warm), and additionally
+//!   in an on-disk store when `SNOC_CACHE_DIR` (or
+//!   [`SweepRunner::cache_dir`]) points somewhere. `SNOC_SWEEP_CACHE=0`
+//!   or [`SweepRunner::cache`]`(false)` disables it.
+//! * **Warm-state reuse** — after a cell finishes, its worker keeps the
+//!   fully-allocated [`System`] and rebuilds the next cell *in place*
+//!   ([`System::reset_for_cell`]), reusing the NoC workspace, packet
+//!   arena, routing tables and scratch instead of reallocating them.
+//!   `SNOC_SWEEP_WARM=0` or [`SweepRunner::warm_reuse`]`(false)` falls
+//!   back to a fresh `System` per cell.
 //!
 //! # Example
 //!
@@ -33,6 +54,7 @@
 //! assert!(!result.rows.is_empty());
 //! ```
 
+use crate::cellcache::{self, CellCache};
 use crate::experiments::Scale;
 use crate::metrics::RunMetrics;
 use crate::observer::{NullObserver, RunObserver, SweepSummary};
@@ -41,9 +63,11 @@ use snoc_common::config::SystemConfig;
 use snoc_noc::{AuditConfig, FaultPlan, TelemetryConfig};
 use snoc_workload::mixes::Workload;
 use snoc_workload::BenchmarkProfile;
+use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One grid cell: everything needed to build and run a [`System`].
@@ -232,6 +256,12 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 pub struct SweepRunner {
     threads: usize,
     observer: Box<dyn RunObserver>,
+    cache: bool,
+    warm: bool,
+    cache_dir: Option<PathBuf>,
+    // Lives as long as the runner, so repeated `run_grid` calls on one
+    // runner serve repeated cells from memory even without a disk store.
+    cell_cache: OnceLock<CellCache>,
 }
 
 impl Default for SweepRunner {
@@ -242,17 +272,25 @@ impl Default for SweepRunner {
 
 impl SweepRunner {
     /// A silent single-threaded runner (the deterministic baseline).
+    /// Result caching and warm-state reuse are on; the on-disk store
+    /// is off until [`SweepRunner::cache_dir`] points somewhere.
     pub fn new() -> Self {
         Self {
             threads: 1,
             observer: Box::new(NullObserver),
+            cache: true,
+            warm: true,
+            cache_dir: None,
+            cell_cache: OnceLock::new(),
         }
     }
 
     /// A runner configured from the environment, as the `repro-*`
     /// binaries do: `SNOC_THREADS` sets the worker count (default: the
-    /// machine's available parallelism) and `SNOC_PROGRESS=0` silences
-    /// the per-cell progress lines.
+    /// machine's available parallelism), `SNOC_PROGRESS=0` silences
+    /// the per-cell progress lines, `SNOC_CACHE_DIR` roots the on-disk
+    /// result store, and `SNOC_SWEEP_CACHE=0` / `SNOC_SWEEP_WARM=0`
+    /// switch off result caching / warm-state reuse.
     pub fn from_env() -> Self {
         let threads = std::env::var("SNOC_THREADS")
             .ok()
@@ -263,8 +301,13 @@ impl SweepRunner {
                     .map(|n| n.get())
                     .unwrap_or(1)
             });
-        let runner = Self::new().threads(threads);
-        if std::env::var("SNOC_PROGRESS").is_ok_and(|v| v == "0") {
+        let off = |var: &str| std::env::var(var).is_ok_and(|v| v == "0");
+        let mut runner = Self::new()
+            .threads(threads)
+            .cache(!off("SNOC_SWEEP_CACHE"))
+            .warm_reuse(!off("SNOC_SWEEP_WARM"));
+        runner.cache_dir = cellcache::dir_from_env();
+        if off("SNOC_PROGRESS") {
             runner
         } else {
             runner.observer(crate::observer::ProgressObserver::new())
@@ -284,6 +327,31 @@ impl SweepRunner {
         self
     }
 
+    /// Switches result caching on or off (programmatic counterpart of
+    /// `SNOC_SWEEP_CACHE`, race-free for tests and benches).
+    pub fn cache(mut self, on: bool) -> Self {
+        self.cache = on;
+        self
+    }
+
+    /// Switches warm-state reuse on or off (programmatic counterpart
+    /// of `SNOC_SWEEP_WARM`).
+    pub fn warm_reuse(mut self, on: bool) -> Self {
+        self.warm = on;
+        self
+    }
+
+    /// Roots the on-disk result store at `dir` (programmatic
+    /// counterpart of `SNOC_CACHE_DIR`; implies nothing unless result
+    /// caching is on).
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        // A cache that was already materialized is rooted at the old
+        // directory; drop it rather than serve from the wrong store.
+        self.cell_cache = OnceLock::new();
+        self
+    }
+
     /// Runs the experiment end to end: grid → sweep → assemble.
     pub fn run<E: Experiment>(&self, exp: &E, scale: Scale) -> E::Output {
         let cells = self.run_grid(exp.name(), exp.grid(scale));
@@ -300,69 +368,134 @@ impl SweepRunner {
         observer.sweep_started(name, n, threads);
         let t0 = Instant::now();
 
-        // Each worker claims the next un-started index from the
-        // cursor, takes the spec, and deposits the result in that
-        // index's slot — completion order never leaks into the output.
+        // Workers claim cells from per-worker stealing deques and
+        // deposit results in indexed slots — completion order never
+        // leaks into the output.
         let specs: Vec<Mutex<Option<RunSpec>>> =
             grid.into_iter().map(|s| Mutex::new(Some(s))).collect();
         let slots: Vec<Mutex<Option<CellResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
+        let hits = AtomicUsize::new(0);
+        let cache = self.cache.then(|| {
+            self.cell_cache
+                .get_or_init(|| CellCache::new(self.cache_dir.clone()))
+        });
+        let warm_on = self.warm;
 
-        let work = || loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
+        // Each worker is seeded a contiguous block of the grid (good
+        // locality for warm reuse: neighbouring cells usually share a
+        // topology). A worker pops its own deque from the front; when
+        // that runs dry it scans the other deques in ring order and
+        // steals from the *back*, taking the work its victim would
+        // have reached last.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+            .map(|w| Mutex::new((w * n / threads..(w + 1) * n / threads).collect()))
+            .collect();
+        let claim = |wid: usize| -> Option<usize> {
+            if let Some(i) = queues[wid].lock().unwrap().pop_front() {
+                return Some(i);
             }
-            let spec = specs[i]
-                .lock()
-                .unwrap()
-                .take()
-                .expect("each cell claimed once");
-            observer.cell_started(i, &spec.label);
-            let label = spec.label.clone();
-            let sim_cycles = spec.cfg.warmup_cycles + spec.cfg.measure_cycles;
-            let start = Instant::now();
-            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                let mut system = System::new(spec.cfg, &spec.workload, spec.mode);
-                if let Some(plan) = spec.faults {
-                    system.enable_faults(plan);
-                }
-                if let Some(cfg) = spec.audit {
-                    system.enable_audit(cfg);
-                }
-                if let Some(cfg) = spec.telemetry {
-                    system.enable_telemetry(cfg);
-                }
-                system.run()
-            }))
-            .map_err(|p| CellError::Panicked(panic_message(p)));
-            if let Ok(metrics) = &outcome {
-                if let Some(audit) = &metrics.audit {
-                    for sample in &audit.samples {
-                        observer.audit_violation(&label, sample);
+            (1..threads).find_map(|off| queues[(wid + off) % threads].lock().unwrap().pop_back())
+        };
+
+        let work = |wid: usize| {
+            // The worker's warm System, carried between its cells.
+            let mut warm: Option<System> = None;
+            while let Some(i) = claim(wid) {
+                let spec = specs[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each cell claimed once");
+                observer.cell_started(i, &spec.label);
+                let label = spec.label.clone();
+                let sim_cycles = spec.cfg.warmup_cycles + spec.cfg.measure_cycles;
+                let start = Instant::now();
+
+                // Cache probe. Instrumented cells key to None and are
+                // always simulated.
+                let key = cache.and_then(|_| cellcache::cell_key(&spec));
+                if let (Some(cache), Some(key)) = (cache, key) {
+                    let probe = cache.lookup(key);
+                    if let Some(note) = &probe.note {
+                        observer.cache_note(&label, note);
+                    }
+                    if let Some(metrics) = probe.metrics {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        let result = CellResult {
+                            index: i,
+                            label,
+                            wall: start.elapsed(),
+                            sim_cycles,
+                            outcome: Ok(metrics),
+                        };
+                        observer.cell_finished(&result);
+                        *slots[i].lock().unwrap() = Some(result);
+                        continue;
                     }
                 }
-                if let Some(t) = &metrics.telemetry {
-                    observer.telemetry_note(&label, &t.digest());
+
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                    // Reuse the worker's previous System in place when
+                    // allowed; a panic anywhere in here drops the
+                    // (possibly half-reset) System with the unwind, so
+                    // a poisoned instance is never carried forward.
+                    let mut system = match warm.take() {
+                        Some(mut s) if warm_on => {
+                            s.reset_for_cell(spec.cfg, &spec.workload, spec.mode);
+                            s
+                        }
+                        _ => System::new(spec.cfg, &spec.workload, spec.mode),
+                    };
+                    if let Some(plan) = spec.faults {
+                        system.enable_faults(plan);
+                    }
+                    if let Some(cfg) = spec.audit {
+                        system.enable_audit(cfg);
+                    }
+                    if let Some(cfg) = spec.telemetry {
+                        system.enable_telemetry(cfg);
+                    }
+                    let metrics = system.run();
+                    (metrics, system)
+                }))
+                .map(|(metrics, system)| {
+                    warm = Some(system);
+                    metrics
+                })
+                .map_err(|p| CellError::Panicked(panic_message(p)));
+                if let Ok(metrics) = &outcome {
+                    if let Some(audit) = &metrics.audit {
+                        for sample in &audit.samples {
+                            observer.audit_violation(&label, sample);
+                        }
+                    }
+                    if let Some(t) = &metrics.telemetry {
+                        observer.telemetry_note(&label, &t.digest());
+                    }
+                    if let (Some(cache), Some(key)) = (cache, key) {
+                        if let Err(note) = cache.store(key, metrics) {
+                            observer.cache_note(&label, &note);
+                        }
+                    }
                 }
+                let result = CellResult {
+                    index: i,
+                    label,
+                    wall: start.elapsed(),
+                    sim_cycles: if outcome.is_ok() { sim_cycles } else { 0 },
+                    outcome,
+                };
+                observer.cell_finished(&result);
+                *slots[i].lock().unwrap() = Some(result);
             }
-            let result = CellResult {
-                index: i,
-                label,
-                wall: start.elapsed(),
-                sim_cycles: if outcome.is_ok() { sim_cycles } else { 0 },
-                outcome,
-            };
-            observer.cell_finished(&result);
-            *slots[i].lock().unwrap() = Some(result);
         };
 
         if threads <= 1 {
-            work();
+            work(0);
         } else {
             std::thread::scope(|s| {
-                for _ in 0..threads {
-                    s.spawn(work);
+                for wid in 0..threads {
+                    s.spawn(move || work(wid));
                 }
             });
         }
@@ -379,6 +512,7 @@ impl SweepRunner {
             wall: t0.elapsed(),
             cell_wall: results.iter().map(|r| r.wall).sum(),
             sim_cycles: results.iter().map(|r| r.sim_cycles).sum(),
+            cache_hits: hits.load(Ordering::Relaxed),
         };
         observer.sweep_finished(&summary);
         results
@@ -431,6 +565,94 @@ mod tests {
                 s.label
             );
         }
+    }
+
+    #[test]
+    fn warm_reuse_matches_fresh_systems() {
+        // One worker drives the whole grid through a single reused
+        // System, crossing scenario boundaries (different path modes,
+        // arbitration policies, write-buffer setups); the metrics must
+        // be bit-identical to building a fresh System per cell.
+        let grid = || {
+            let mut g = vec![tiny("a", "tpcc"), tiny("b", "sap")];
+            for sc in [Scenario::SttRam4TsbWb, Scenario::SttRam64Tsb] {
+                let cfg = sc.config().rebuild().cycles(100, 400).build();
+                g.push(RunSpec::homogeneous(
+                    sc.name(),
+                    cfg,
+                    table3::by_name("lbm").unwrap(),
+                ));
+            }
+            g
+        };
+        let fresh = SweepRunner::new()
+            .cache(false)
+            .warm_reuse(false)
+            .run_grid("t", grid());
+        let warm = SweepRunner::new()
+            .cache(false)
+            .warm_reuse(true)
+            .run_grid("t", grid());
+        for (f, w) in fresh.iter().zip(&warm) {
+            assert_eq!(
+                format!("{:?}", f.outcome),
+                format!("{:?}", w.outcome),
+                "cell {} must not see the previous cell's state",
+                f.label
+            );
+        }
+    }
+
+    #[test]
+    fn the_memo_map_outlives_a_single_run_grid_call() {
+        // Rerunning a grid on the *same* runner must be served entirely
+        // from the in-process map — no disk store involved. (A bench
+        // once measured "warm" reruns at cold speed because the map was
+        // rebuilt per call.)
+        struct Spy(std::sync::Arc<AtomicUsize>);
+        impl RunObserver for Spy {
+            fn sweep_finished(&self, s: &SweepSummary) {
+                self.0.store(s.cache_hits, Ordering::Relaxed);
+            }
+        }
+        let hits = std::sync::Arc::new(AtomicUsize::new(0));
+        let runner = SweepRunner::new().observer(Spy(std::sync::Arc::clone(&hits)));
+        let grid = || vec![tiny("a", "tpcc"), tiny("b", "sap")];
+        let first = runner.run_grid("t", grid());
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        let second = runner.run_grid("t", grid());
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            second.len(),
+            "a rerun on the same runner must hit the in-process map"
+        );
+        for (f, s) in first.iter().zip(&second) {
+            assert_eq!(format!("{:?}", f.outcome), format!("{:?}", s.outcome));
+        }
+    }
+
+    #[test]
+    fn warm_reuse_recovers_after_a_panicked_cell() {
+        // A panic mid-cell drops the (possibly half-reset) System; the
+        // worker must fall back to a fresh build for the next cell and
+        // still produce the schedule-independent result.
+        let mut bad = tiny("bad", "sap");
+        bad.cfg.regions = 5; // fails validation -> panic
+        let grid = vec![tiny("a", "tpcc"), bad, tiny("c", "lbm")];
+        let results = SweepRunner::new()
+            .cache(false)
+            .warm_reuse(true)
+            .run_grid("t", grid);
+        assert!(results[0].outcome.is_ok());
+        assert!(matches!(results[1].outcome, Err(CellError::Panicked(_))));
+        let fresh = SweepRunner::new()
+            .cache(false)
+            .warm_reuse(false)
+            .run_grid("t", vec![tiny("c", "lbm")]);
+        assert_eq!(
+            format!("{:?}", results[2].outcome),
+            format!("{:?}", fresh[0].outcome),
+        );
     }
 
     #[test]

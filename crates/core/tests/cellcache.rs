@@ -1,0 +1,180 @@
+//! Cache correctness: a warm-cache sweep rerun must be
+//! fingerprint-identical to the cold run, and a corrupted on-disk
+//! entry must be recomputed (with an observer note), never trusted.
+//!
+//! All cache configuration here is programmatic
+//! (`SweepRunner::cache_dir` etc.), never via environment variables,
+//! so the tests stay race-free under the parallel test harness.
+
+use snoc_core::cellcache::cell_key;
+use snoc_core::observer::{RunObserver, SweepSummary};
+use snoc_core::scenario::Scenario;
+use snoc_core::sweep::{RunSpec, SweepRunner};
+use snoc_workload::table3;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Records cache notes and the final hit count for assertions.
+#[derive(Default)]
+struct Spy {
+    notes: Arc<Mutex<Vec<String>>>,
+    hits: Arc<AtomicUsize>,
+}
+
+impl Spy {
+    fn probes(&self) -> (Arc<Mutex<Vec<String>>>, Arc<AtomicUsize>) {
+        (Arc::clone(&self.notes), Arc::clone(&self.hits))
+    }
+}
+
+impl RunObserver for Spy {
+    fn cache_note(&self, label: &str, note: &str) {
+        self.notes.lock().unwrap().push(format!("{label}: {note}"));
+    }
+
+    fn sweep_finished(&self, s: &SweepSummary) {
+        self.hits.store(s.cache_hits, Ordering::Relaxed);
+    }
+}
+
+fn quick_grid() -> Vec<RunSpec> {
+    // A Quick-flavoured slice of the conformance sweep: three apps
+    // across two scenarios, at cycle counts that keep the test fast.
+    let mut grid = Vec::new();
+    for sc in [Scenario::Sram64Tsb, Scenario::SttRam4TsbWb] {
+        for app in ["tpcc", "sap", "lbm"] {
+            let cfg = sc.config().rebuild().cycles(200, 800).build();
+            grid.push(RunSpec::homogeneous(
+                format!("{}/{app}", sc.name()),
+                cfg,
+                table3::by_name(app).unwrap(),
+            ));
+        }
+    }
+    grid
+}
+
+fn fingerprint(results: &[snoc_core::sweep::CellResult]) -> String {
+    results
+        .iter()
+        .map(|r| format!("{} {:?}\n", r.label, r.outcome))
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snoc-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_cache_rerun_is_fingerprint_identical_to_cold() {
+    let dir = temp_dir("warm");
+
+    let cold = SweepRunner::new()
+        .threads(2)
+        .cache_dir(&dir)
+        .run_grid("conformance", quick_grid());
+    let cold_fp = fingerprint(&cold);
+
+    // A fresh runner (empty in-process map) must serve every cell from
+    // the disk store and reproduce the cold fingerprint exactly.
+    let spy = Spy::default();
+    let (notes, hits) = spy.probes();
+    let warm = SweepRunner::new()
+        .threads(2)
+        .cache_dir(&dir)
+        .observer(spy)
+        .run_grid("conformance", quick_grid());
+    assert_eq!(fingerprint(&warm), cold_fp);
+    assert_eq!(
+        hits.load(Ordering::Relaxed),
+        warm.len(),
+        "every cell of the rerun must be a cache hit"
+    );
+    assert!(
+        notes.lock().unwrap().is_empty(),
+        "clean entries must not raise cache notes: {:?}",
+        notes.lock().unwrap()
+    );
+
+    // Caching off must also reproduce the fingerprint (the cache only
+    // skips work, never changes results).
+    let uncached = SweepRunner::new()
+        .cache(false)
+        .run_grid("conformance", quick_grid());
+    assert_eq!(fingerprint(&uncached), cold_fp);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_disk_entry_is_recomputed_with_a_note() {
+    let dir = temp_dir("corrupt");
+    let grid = quick_grid();
+    let victim = &grid[1];
+    let key = cell_key(victim).expect("plain cells are cacheable");
+
+    let cold = SweepRunner::new()
+        .cache_dir(&dir)
+        .run_grid("conformance", quick_grid());
+    let cold_fp = fingerprint(&cold);
+
+    // Vandalize one entry: truncated tail, so the checksum fails.
+    let path = dir.join(format!("{key}.cell"));
+    let good = std::fs::read_to_string(&path).expect("entry written by the cold run");
+    std::fs::write(&path, &good[..good.len() / 3]).unwrap();
+
+    let spy = Spy::default();
+    let (notes, hits) = spy.probes();
+    let rerun = SweepRunner::new()
+        .cache_dir(&dir)
+        .observer(spy)
+        .run_grid("conformance", quick_grid());
+
+    // Same results as ever — the corrupt entry was recomputed, the
+    // other five served from disk.
+    assert_eq!(fingerprint(&rerun), cold_fp);
+    assert_eq!(hits.load(Ordering::Relaxed), rerun.len() - 1);
+    let notes = notes.lock().unwrap();
+    assert!(
+        notes.iter().any(|n| n.contains("corrupt")),
+        "the corrupt entry must be reported: {notes:?}"
+    );
+
+    // The recompute must have healed the entry on disk.
+    let healed = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(healed, good);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn instrumented_cells_bypass_the_cache() {
+    use snoc_noc::AuditConfig;
+    let dir = temp_dir("instr");
+    let instrumented = || vec![quick_grid().remove(0).with_audit(AuditConfig::default())];
+
+    let spy = Spy::default();
+    let (_, hits) = spy.probes();
+    let first = SweepRunner::new()
+        .cache_dir(&dir)
+        .observer(spy)
+        .run_grid("instr", instrumented());
+    assert!(first[0].metrics().audit.is_some());
+
+    // Rerun: still no hits (never cached), audit report still attached.
+    let spy = Spy::default();
+    let (_, hits2) = spy.probes();
+    let second = SweepRunner::new()
+        .cache_dir(&dir)
+        .observer(spy)
+        .run_grid("instr", instrumented());
+    assert_eq!(hits.load(Ordering::Relaxed), 0);
+    assert_eq!(hits2.load(Ordering::Relaxed), 0);
+    assert!(second[0].metrics().audit.is_some());
+    assert!(cell_key(&instrumented()[0]).is_none());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
