@@ -7,8 +7,9 @@
 # checked-in baseline), a sweep-cache leg (a warm rerun must be
 # byte-identical, cache-served, and at least 2x faster), a perf smoke
 # gated against the tracked baseline, a telemetry smoke, the audited
-# fault campaign plus a repro-faults smoke, and an optional coverage
-# floor.
+# fault campaign plus a repro-faults smoke, a repro-scaling smoke, a
+# byte-identity leg (every legacy results/ file must regenerate exactly
+# under the generalized geometry code), and an optional coverage floor.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -107,6 +108,21 @@ cargo run --release -q -p snoc-bench --bin repro-faults -- --smoke \
     >/dev/null 2>&1
 test -s "$tmp/results/faults/fault_campaign.txt"
 test -s "$tmp/results/faults/fault_campaign.csv"
+
+echo "== scaling smoke: repro-scaling writes the study table =="
+cargo run --release -q -p snoc-bench --bin repro-scaling -- --smoke \
+    >/dev/null 2>&1
+test -s "$tmp/results/scaling/scaling_study.txt"
+test -s "$tmp/results/scaling/scaling_study.csv"
+
+echo "== byte identity: legacy results regenerate exactly (full scale, cache off) =="
+for exp in table2 table3 fig3 fig6 fig7 fig8 fig9 fig10 fig12 fig13 fig14 ablations; do
+    cargo run --release -q -p snoc-bench --bin "repro-$exp" -- \
+        >/dev/null 2>&1
+    diff -u "results/$exp.txt" "$tmp/results/$exp.txt"
+    diff -u "results/$exp.csv" "$tmp/results/$exp.csv"
+done
+echo "ok: all 24 legacy result files byte-identical"
 
 echo "== coverage: line floor over snoc-noc incl. workspace (gated on tool presence) =="
 if cargo llvm-cov --version >/dev/null 2>&1; then

@@ -200,6 +200,15 @@ pub struct MemConfig {
     /// Maximum outstanding memory requests per controller (16 per
     /// processor in the paper; modelled per controller).
     pub mc_outstanding: usize,
+    /// Number of stacked cache dies (1 = the paper's single cache
+    /// layer). Deeper stacks multiply per-bank capacity and add
+    /// `stack_hop_latency` per extra die to every bank access,
+    /// modelling the vertically-folded bank of MemPool-3D-style
+    /// stacking without changing the bank count.
+    pub cache_layers: usize,
+    /// Extra access cycles per cache die beyond the first (TSV hop up
+    /// and down through the stack).
+    pub stack_hop_latency: u64,
 }
 
 impl Default for MemConfig {
@@ -219,6 +228,8 @@ impl Default for MemConfig {
             dram_latency: 320,
             mem_controllers: 4,
             mc_outstanding: 64,
+            cache_layers: 1,
+            stack_hop_latency: 2,
         }
     }
 }
@@ -368,6 +379,12 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Number of stacked cache dies.
+    pub fn cache_layers(mut self, layers: usize) -> Self {
+        self.cfg.mem.cache_layers = layers;
+        self
+    }
+
     /// Optional per-bank write buffer.
     pub fn write_buffer(mut self, wb: Option<WriteBufferConfig>) -> Self {
         self.cfg.write_buffer = wb;
@@ -462,18 +479,56 @@ impl SystemConfig {
         self.cores()
     }
 
-    /// The L2 write service latency for the configured technology.
+    /// The resolved chip geometry: mesh, region tiling, TSB nodes and
+    /// stack depth, all derived from this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mesh cannot be tiled into `regions` equal
+    /// rectangles; [`SystemConfig::validate`] rejects such
+    /// configurations first on every builder path.
+    pub fn geometry(&self) -> crate::geom::Geometry {
+        crate::geom::Geometry::new(
+            crate::geom::Mesh::new(self.noc.width, self.noc.height),
+            self.regions,
+            self.tsb_placement,
+            self.mem.cache_layers,
+        )
+    }
+
+    /// Extra cycles on every bank access from dies beyond the first:
+    /// `(cache_layers - 1) * stack_hop_latency`.
+    pub fn stack_latency(&self) -> u64 {
+        (self.mem.cache_layers as u64 - 1) * self.mem.stack_hop_latency
+    }
+
+    /// The L2 read service latency including the stack traversal.
+    pub fn l2_read_service_latency(&self) -> u64 {
+        self.mem.l2_read_latency + self.stack_latency()
+    }
+
+    /// The L2 write service latency for the configured technology,
+    /// including the stack traversal.
     pub fn l2_write_latency(&self) -> u64 {
-        match self.tech {
+        let array = match self.tech {
             MemTech::Sram => self.mem.l2_read_latency,
             MemTech::SttRam => self.mem.stt_write_latency,
-        }
+        };
+        array + self.stack_latency()
     }
 
     /// Effective per-bank capacity in bytes for the configured
-    /// technology (the STT-RAM bank is 4x denser at equal area).
+    /// technology and stack depth (the STT-RAM bank is 4x denser at
+    /// equal area; each extra cache die folds another bank's worth of
+    /// capacity on top).
     pub fn l2_bank_capacity(&self) -> usize {
-        self.mem.l2_bank_bytes * self.tech.capacity_factor()
+        self.mem.l2_bank_bytes * self.effective_capacity_factor()
+    }
+
+    /// Capacity multiplier relative to a single-layer SRAM bank:
+    /// technology density times stack depth.
+    pub fn effective_capacity_factor(&self) -> usize {
+        self.tech.capacity_factor() * self.mem.cache_layers
     }
 
     /// The minimum uncontended latency from a parent router to a child
@@ -526,6 +581,8 @@ impl SystemConfig {
         h.write_u64(m.dram_latency);
         h.write_usize(m.mem_controllers);
         h.write_usize(m.mc_outstanding);
+        h.write_usize(m.cache_layers);
+        h.write_u64(m.stack_hop_latency);
         let c = &self.core;
         h.write_usize(c.window_entries);
         h.write_usize(c.width);
@@ -586,19 +643,21 @@ impl SystemConfig {
     /// unusable (zero regions, regions not dividing the bank count,
     /// zero VCs, etc.).
     pub fn validate(&self) -> Result<(), String> {
+        if self.noc.width < 2 || self.noc.height < 2 {
+            return Err("mesh must be at least 2x2 (corner memory controllers)".into());
+        }
         if self.noc.vcs_per_port == 0 {
             return Err("vcs_per_port must be at least 1".into());
         }
         if self.noc.vc_depth == 0 {
             return Err("vc_depth must be at least 1".into());
         }
-        if self.regions == 0 || !self.banks().is_multiple_of(self.regions) {
-            return Err(format!(
-                "regions ({}) must evenly divide the bank count ({})",
-                self.regions,
-                self.banks()
-            ));
-        }
+        crate::geom::Geometry::try_new(
+            crate::geom::Mesh::new(self.noc.width, self.noc.height),
+            self.regions,
+            self.tsb_placement,
+            self.mem.cache_layers,
+        )?;
         if self.parent_hops == 0 {
             return Err("parent_hops must be at least 1".into());
         }
@@ -650,8 +709,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_region_counts() {
-        let mut c = SystemConfig::default();
-        c.regions = 3;
+        let mut c = SystemConfig {
+            regions: 3,
+            ..SystemConfig::default()
+        };
         assert!(c.validate().is_err());
         c.regions = 0;
         assert!(c.validate().is_err());
@@ -674,19 +735,21 @@ mod tests {
             .cycles(100, 900)
             .seed(7)
             .build();
-        let mut poked = SystemConfig::default();
-        poked.tech = MemTech::SttRam;
-        poked.path_mode = RequestPathMode::RegionTsbs;
-        poked.arbitration = ArbitrationPolicy::BankAware {
-            estimator: Estimator::WindowBased,
+        let poked = SystemConfig {
+            tech: MemTech::SttRam,
+            path_mode: RequestPathMode::RegionTsbs,
+            arbitration: ArbitrationPolicy::BankAware {
+                estimator: Estimator::WindowBased,
+            },
+            regions: 8,
+            tsb_placement: TsbPlacement::Staggered,
+            parent_hops: 3,
+            wb_window: 50,
+            warmup_cycles: 100,
+            measure_cycles: 900,
+            seed: 7,
+            ..SystemConfig::default()
         };
-        poked.regions = 8;
-        poked.tsb_placement = TsbPlacement::Staggered;
-        poked.parent_hops = 3;
-        poked.wb_window = 50;
-        poked.warmup_cycles = 100;
-        poked.measure_cycles = 900;
-        poked.seed = 7;
         assert_eq!(built, poked);
     }
 
@@ -730,6 +793,8 @@ mod tests {
                 .build(),
             base.rebuild().tune(|c| c.noc.vc_depth = 6).build(),
             base.rebuild().tune(|c| c.mem.bank_queue = 5).build(),
+            base.rebuild().cache_layers(2).build(),
+            base.rebuild().tune(|c| c.mem.stack_hop_latency = 3).build(),
         ];
         let mut seen = vec![base.fingerprint()];
         for cfg in tweaks {
@@ -737,6 +802,46 @@ mod tests {
             assert!(!seen.contains(&fp), "fingerprint collision for {cfg:?}");
             seen.push(fp);
         }
+    }
+
+    #[test]
+    fn stacked_cache_layers_scale_capacity_and_latency() {
+        let single = SystemConfig::builder().tech(MemTech::SttRam).build();
+        assert_eq!(single.stack_latency(), 0);
+        assert_eq!(single.l2_read_service_latency(), 3);
+        assert_eq!(single.l2_write_latency(), 33);
+        assert_eq!(single.effective_capacity_factor(), 4);
+        let stacked = single.rebuild().cache_layers(2).build();
+        assert_eq!(stacked.stack_latency(), 2);
+        assert_eq!(stacked.l2_read_service_latency(), 5);
+        assert_eq!(stacked.l2_write_latency(), 35);
+        assert_eq!(stacked.effective_capacity_factor(), 8);
+        assert_eq!(stacked.l2_bank_capacity(), 8 * 1024 * 1024);
+        assert!(SystemConfig::builder()
+            .tune(|c| c.mem.cache_layers = 0)
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    fn validation_generalizes_beyond_8x8() {
+        let sixteen = SystemConfig::builder()
+            .tune(|c| {
+                c.noc.width = 16;
+                c.noc.height = 16;
+            })
+            .regions(16)
+            .build();
+        assert_eq!(sixteen.cores(), 256);
+        assert_eq!(sixteen.geometry().tsb_nodes().len(), 16);
+        assert!(SystemConfig::builder()
+            .tune(|c| c.noc.width = 1)
+            .try_build()
+            .is_err());
+        // 5 regions cannot tile an 8x8 mesh even though 5 fails the
+        // divisibility test too; 2 regions can.
+        assert!(SystemConfig::builder().regions(5).try_build().is_err());
+        assert!(SystemConfig::builder().regions(2).try_build().is_ok());
     }
 
     #[test]

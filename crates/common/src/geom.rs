@@ -7,7 +7,8 @@
 //! row-major, so node `y * width + x` matches the paper's Figure 4
 //! numbering with node 0 at the south-west corner.
 
-use crate::ids::NodeId;
+use crate::config::TsbPlacement;
+use crate::ids::{NodeId, RegionId};
 use std::fmt;
 
 /// Which die a coordinate refers to.
@@ -283,6 +284,234 @@ impl Mesh {
     }
 }
 
+/// The complete chip geometry of one configuration: the per-layer
+/// mesh, the region tiling of the cache die, the resolved TSB
+/// placement list and the cache-stack depth.
+///
+/// Historically the 8x8 / 64-bank / 4-region design point was baked
+/// into the layers above as constants; `Geometry` is the one place
+/// those numbers are derived now. The mesh and region count come from
+/// [`crate::config::SystemConfig`], the `(tiles_x, tiles_y)`
+/// arrangement and the per-region TSB nodes are computed here, and
+/// everything downstream (region maps, parent maps, routing tables,
+/// workspace lane counts) reads the derived values.
+///
+/// The paper's fixed arrangements for 1/2/4/8/16 regions are kept
+/// verbatim whenever they tile the mesh, so the 8x8 design points
+/// resolve to exactly the historical tiling; other region counts fall
+/// back to the divisor factorization with the squarest tiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Geometry {
+    mesh: Mesh,
+    regions: usize,
+    placement: TsbPlacement,
+    cache_layers: usize,
+    tiles_x: usize,
+    tiles_y: usize,
+    tsbs: Vec<NodeId>,
+}
+
+impl Geometry {
+    /// Resolves the tiling and TSB placement for `regions` regions on
+    /// `mesh` with `cache_layers` stacked cache dies.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the mesh cannot be tiled
+    /// into `regions` equal rectangles or `cache_layers` is zero.
+    pub fn try_new(
+        mesh: Mesh,
+        regions: usize,
+        placement: TsbPlacement,
+        cache_layers: usize,
+    ) -> Result<Self, String> {
+        if regions == 0 {
+            return Err("need at least one region".into());
+        }
+        if cache_layers == 0 {
+            return Err("need at least one cache layer".into());
+        }
+        let (tiles_x, tiles_y) = Self::tile_grid(mesh, regions)?;
+        let tile_w = (mesh.width() as usize / tiles_x) as u8;
+        let tile_h = (mesh.height() as usize / tiles_y) as u8;
+        let tsbs = (0..regions)
+            .map(|r| {
+                let tx = (r % tiles_x) as u8;
+                let ty = (r / tiles_x) as u8;
+                Self::tsb_position(mesh, tile_w, tile_h, tx, ty, placement)
+            })
+            .collect();
+        Ok(Self {
+            mesh,
+            regions,
+            placement,
+            cache_layers,
+            tiles_x,
+            tiles_y,
+            tsbs,
+        })
+    }
+
+    /// Resolves the tiling and TSB placement, panicking on an
+    /// untileable combination (see [`Geometry::try_new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`Geometry::try_new`] would return an error.
+    pub fn new(mesh: Mesh, regions: usize, placement: TsbPlacement, cache_layers: usize) -> Self {
+        match Self::try_new(mesh, regions, placement, cache_layers) {
+            Ok(g) => g,
+            Err(e) => panic!("invalid geometry: {e}"),
+        }
+    }
+
+    /// The `(columns, rows)` arrangement of region tiles: the paper's
+    /// fixed table when it divides the mesh, otherwise the divisor
+    /// factorization whose tiles are closest to square (ties broken
+    /// towards more columns).
+    fn tile_grid(mesh: Mesh, regions: usize) -> Result<(usize, usize), String> {
+        let w = mesh.width() as usize;
+        let h = mesh.height() as usize;
+        let legacy = match regions {
+            1 => Some((1, 1)),
+            2 => Some((2, 1)),
+            4 => Some((2, 2)),
+            8 => Some((2, 4)),
+            16 => Some((4, 4)),
+            _ => None,
+        };
+        if let Some((tx, ty)) = legacy {
+            if w.is_multiple_of(tx) && h.is_multiple_of(ty) {
+                return Ok((tx, ty));
+            }
+        }
+        let mut best: Option<(usize, usize, usize)> = None;
+        for tx in 1..=regions.min(w) {
+            if !regions.is_multiple_of(tx) {
+                continue;
+            }
+            let ty = regions / tx;
+            if !w.is_multiple_of(tx) || !h.is_multiple_of(ty) {
+                continue;
+            }
+            let skew = (w / tx).abs_diff(h / ty);
+            // Strict `<` keeps the first (widest-tile) arrangement on
+            // ties, deterministically.
+            if best.is_none_or(|(s, _, _)| skew < s) {
+                best = Some((skew, tx, ty));
+            }
+        }
+        best.map(|(_, tx, ty)| (tx, ty))
+            .ok_or_else(|| format!("mesh {w}x{h} cannot be tiled into {regions} equal regions"))
+    }
+
+    /// The TSB node of the tile at `(tx, ty)` under `placement` —
+    /// the innermost tile corner (towards the mesh centre), with the
+    /// staggered rule spreading TSB columns across tiles of one column.
+    fn tsb_position(
+        mesh: Mesh,
+        tile_w: u8,
+        tile_h: u8,
+        tx: u8,
+        ty: u8,
+        placement: TsbPlacement,
+    ) -> NodeId {
+        let x0 = tx * tile_w;
+        let y0 = ty * tile_h;
+        let x1 = x0 + tile_w - 1;
+        let y1 = y0 + tile_h - 1;
+        // The "innermost" corner: the tile corner nearest the mesh
+        // centre (between columns w/2-1 and w/2).
+        let cx2 = mesh.width() as i32 - 1; // 2*centre_x
+        let cy2 = mesh.height() as i32 - 1;
+        let inner_x = if (2 * x0 as i32 - cx2).abs() <= (2 * x1 as i32 - cx2).abs() {
+            x0
+        } else {
+            x1
+        };
+        let inner_y = if (2 * y0 as i32 - cy2).abs() <= (2 * y1 as i32 - cy2).abs() {
+            y0
+        } else {
+            y1
+        };
+        let (x, y) = match placement {
+            TsbPlacement::Corner => (inner_x, inner_y),
+            TsbPlacement::Staggered => {
+                // Spread TSBs across distinct columns so Y-direction
+                // flows towards different TSBs do not collide in the
+                // core layer (Figure 11 (b)/(c)).
+                let x = x0 + (ty % tile_w.max(1));
+                (x, inner_y)
+            }
+        };
+        mesh.node(Coord::new(x, y, Layer::Cache))
+    }
+
+    /// The per-layer mesh.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// The TSB placement rule in use.
+    pub fn placement(&self) -> TsbPlacement {
+        self.placement
+    }
+
+    /// Number of stacked cache dies sharing the cache-layer mesh.
+    pub fn cache_layers(&self) -> usize {
+        self.cache_layers
+    }
+
+    /// Number of cores (= nodes per layer).
+    pub fn cores(&self) -> usize {
+        self.mesh.nodes_per_layer()
+    }
+
+    /// Number of L2 banks (= nodes per layer; deeper stack layers add
+    /// capacity to each bank, not bank count).
+    pub fn banks(&self) -> usize {
+        self.mesh.nodes_per_layer()
+    }
+
+    /// Region tile columns.
+    pub fn tiles_x(&self) -> usize {
+        self.tiles_x
+    }
+
+    /// Region tile rows.
+    pub fn tiles_y(&self) -> usize {
+        self.tiles_y
+    }
+
+    /// Tile width in nodes.
+    pub fn tile_width(&self) -> u8 {
+        (self.mesh.width() as usize / self.tiles_x) as u8
+    }
+
+    /// Tile height in nodes.
+    pub fn tile_height(&self) -> u8 {
+        (self.mesh.height() as usize / self.tiles_y) as u8
+    }
+
+    /// The region containing a cache-layer node.
+    pub fn region_of(&self, node: NodeId) -> RegionId {
+        let c = self.mesh.coord(node, Layer::Cache);
+        let tx = (c.x / self.tile_width()) as usize;
+        let ty = (c.y / self.tile_height()) as usize;
+        RegionId::new((ty * self.tiles_x + tx) as u16)
+    }
+
+    /// The resolved TSB node of every region, in region order.
+    pub fn tsb_nodes(&self) -> &[NodeId] {
+        &self.tsbs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +605,70 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn coord_of_out_of_range_node_panics() {
         mesh().coord(NodeId::new(64), Layer::Core);
+    }
+
+    #[test]
+    fn geometry_pins_the_paper_design_point() {
+        // 8x8, 4 regions, corner placement: the TSBs sit at the four
+        // innermost tile corners around the mesh centre.
+        let g = Geometry::new(mesh(), 4, TsbPlacement::Corner, 1);
+        assert_eq!((g.tiles_x(), g.tiles_y()), (2, 2));
+        assert_eq!((g.tile_width(), g.tile_height()), (4, 4));
+        let tsbs: Vec<u16> = g.tsb_nodes().iter().map(|n| n.index() as u16).collect();
+        assert_eq!(tsbs, vec![27, 28, 35, 36]);
+        assert_eq!(g.banks(), 64);
+        assert_eq!(g.region_of(NodeId::new(0)).index(), 0);
+        assert_eq!(g.region_of(NodeId::new(63)).index(), 3);
+    }
+
+    #[test]
+    fn geometry_legacy_tilings_hold_where_they_divide() {
+        for (k, tiles) in [(1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (8, (2, 4))] {
+            let g = Geometry::new(mesh(), k, TsbPlacement::Corner, 1);
+            assert_eq!((g.tiles_x(), g.tiles_y()), tiles, "k={k}");
+        }
+        let g = Geometry::new(Mesh::new(16, 16), 16, TsbPlacement::Corner, 1);
+        assert_eq!((g.tiles_x(), g.tiles_y()), (4, 4));
+    }
+
+    #[test]
+    fn geometry_falls_back_when_legacy_tiling_does_not_divide() {
+        // K=6 has no legacy table entry: on 6x4 the squarest divisor
+        // factorization is 3x2 columns of 2x2 tiles.
+        let g = Geometry::new(Mesh::new(6, 4), 6, TsbPlacement::Corner, 1);
+        assert_eq!((g.tiles_x(), g.tiles_y()), (3, 2));
+        assert_eq!((g.tile_width(), g.tile_height()), (2, 2));
+        // The legacy entry is kept whenever it divides, even away from
+        // 8x8 (8x4 / K=8 -> legacy 2x4 of 4x1 tiles).
+        let g = Geometry::new(Mesh::new(8, 4), 8, TsbPlacement::Corner, 1);
+        assert_eq!((g.tiles_x(), g.tiles_y()), (2, 4));
+        // K=8 on 4x6: legacy 2x4 needs height%4==0 and fails; the
+        // fallback lands on 4x2 columns of 1x3 tiles.
+        let g = Geometry::new(Mesh::new(4, 6), 8, TsbPlacement::Corner, 1);
+        assert_eq!((g.tiles_x(), g.tiles_y()), (4, 2));
+        // K=8 on 6x6 has no valid tiling at all (no tx|6 with ty|6).
+        assert!(Geometry::try_new(Mesh::new(6, 6), 8, TsbPlacement::Corner, 1).is_err());
+        assert!(Geometry::try_new(mesh(), 5, TsbPlacement::Corner, 1).is_err());
+        assert!(Geometry::try_new(mesh(), 4, TsbPlacement::Corner, 0).is_err());
+        assert!(Geometry::try_new(mesh(), 0, TsbPlacement::Corner, 1).is_err());
+    }
+
+    #[test]
+    fn geometry_regions_partition_the_mesh() {
+        for (w, h, k) in [(8u8, 8u8, 4usize), (16, 16, 16), (4, 8, 4), (6, 6, 9)] {
+            let m = Mesh::new(w, h);
+            let g = Geometry::new(m, k, TsbPlacement::Staggered, 1);
+            let mut counts = vec![0usize; k];
+            for n in 0..m.nodes_per_layer() {
+                counts[g.region_of(NodeId::new(n as u16)).index()] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c == m.nodes_per_layer() / k),
+                "{w}x{h} k={k}: {counts:?}"
+            );
+            for (r, &tsb) in g.tsb_nodes().iter().enumerate() {
+                assert_eq!(g.region_of(tsb).index(), r, "{w}x{h} k={k}");
+            }
+        }
     }
 }

@@ -21,7 +21,7 @@
 //!
 //! One file per key, named by the key's 32 hex digits, in a
 //! line-oriented text format headed by
-//! `snoc-cell/1 snoc-bench/1 <crate version>` and terminated by an
+//! `snoc-cell/2 snoc-bench/1 <crate version>` and terminated by an
 //! FNV-1a-64 checksum of everything above it. Floats travel as IEEE
 //! bit patterns, so a round-trip is exact. A reader trusts nothing: a
 //! version/schema mismatch means the entry is stale and is silently
@@ -42,7 +42,7 @@ use std::sync::Mutex;
 
 /// Schema tag of the on-disk cell format. Bump on any codec or
 /// fingerprint change: stale entries are then ignored and recomputed.
-const CELL_SCHEMA: &str = "snoc-cell/1";
+const CELL_SCHEMA: &str = "snoc-cell/2";
 /// The bench document schema this cache's stats vocabulary tracks.
 const BENCH_SCHEMA: &str = "snoc-bench/1";
 

@@ -81,6 +81,28 @@ impl Scenario {
         .build()
     }
 
+    /// The scenario configuration at an arbitrary geometry: mesh
+    /// `width` x `height`, `regions` cache regions and `cache_layers`
+    /// stacked cache dies. `config()` is the 8x8 / 4-region /
+    /// single-layer special case of this.
+    pub fn config_at(
+        self,
+        width: u8,
+        height: u8,
+        regions: usize,
+        cache_layers: usize,
+    ) -> SystemConfig {
+        self.config()
+            .rebuild()
+            .tune(|c| {
+                c.noc.width = width;
+                c.noc.height = height;
+            })
+            .regions(regions)
+            .cache_layers(cache_layers)
+            .build()
+    }
+
     /// `true` for the bank-aware (prioritizing) schemes.
     pub fn is_proposed(self) -> bool {
         matches!(
@@ -123,7 +145,9 @@ mod tests {
     #[test]
     fn configs_validate() {
         for s in Scenario::ALL {
-            s.config().validate().expect(s.name());
+            s.config()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
         }
         buff20_config().validate().unwrap();
         plus_one_vc_config().validate().unwrap();

@@ -115,7 +115,7 @@ impl System {
         let mesh = Mesh::new(cfg.noc.width, cfg.noc.height);
         let net = Network::new(NetworkParams::from_config(&cfg));
         let banks_n = cfg.banks();
-        let cap_factor = cfg.tech.capacity_factor();
+        let cap_factor = cfg.effective_capacity_factor();
 
         let cores: Vec<OooCore> = (0..cfg.cores())
             .map(|i| OooCore::new(CoreId::new(i as u16), cfg.core))
@@ -215,7 +215,7 @@ impl System {
         self.net.reset(NetworkParams::from_config(&cfg));
         self.mesh = Mesh::new(cfg.noc.width, cfg.noc.height);
         let banks_n = cfg.banks();
-        let cap_factor = cfg.tech.capacity_factor();
+        let cap_factor = cfg.effective_capacity_factor();
         self.cores = (0..cfg.cores())
             .map(|i| OooCore::new(CoreId::new(i as u16), cfg.core))
             .collect();

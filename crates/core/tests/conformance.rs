@@ -6,7 +6,8 @@
 //! cells); the engine-level tests live in the root `tests/sweep.rs`.
 
 use snoc_core::experiments::{
-    ablations, fig10, fig12, fig13, fig14, fig3, fig6, fig7, fig8, fig9, table2, table3, Scale,
+    ablations, fig10, fig12, fig13, fig14, fig3, fig6, fig7, fig8, fig9, scaling, table2, table3,
+    Scale,
 };
 use snoc_core::report::Rows;
 use snoc_core::sweep::{Experiment, SweepRunner};
@@ -73,4 +74,12 @@ fn every_experiment_runs_at_quick_scale() {
     check(&fig13::Fig13);
     check(&fig14::Fig14);
     check(&ablations::Ablations);
+    let s = check(&scaling::Scaling);
+    // The scaling study must anchor at the paper's point and cover
+    // every (design point, scenario) pair.
+    assert_eq!(
+        s.rows.len(),
+        scaling::POINTS.len() * scaling::SCENARIOS.len()
+    );
+    assert!(s.rows.iter().all(|r| r.ipc_per_core > 0.0));
 }

@@ -149,3 +149,32 @@ fn quick_cells_are_deterministic_and_audit_clean() {
         );
     }
 }
+
+/// Shard invariance beyond the 8x8 point: one 16x16 / 16-region /
+/// 2-layer cell, serial vs 4 shards, byte-identical metrics. Uses the
+/// race-free `noc.shards` config field only (no env toggles), so this
+/// can be its own `#[test]`.
+#[test]
+fn sixteen_by_sixteen_cell_is_shard_invariant() {
+    let app = t3::by_name("sap").unwrap();
+    let run = |shards: usize| {
+        let mut cfg = Scenario::SttRam4TsbWb
+            .config_at(16, 16, 16, 2)
+            .rebuild()
+            .cycles(200, 1_200)
+            .build();
+        cfg.noc.shards = shards;
+        System::homogeneous(cfg, app).run()
+    };
+    let serial = run(1);
+    let sharded = run(4);
+    assert!(
+        serial.instruction_throughput() > 0.0,
+        "16x16 cell made no progress"
+    );
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&sharded),
+        "16x16/K16/L2: 4 shards diverged from serial"
+    );
+}

@@ -104,16 +104,23 @@ impl L2Bank {
         write_buffer: Option<WriteBufferConfig>,
         mode: TagMode,
     ) -> Self {
-        let capacity = cfg.l2_bank_bytes * tech.capacity_factor();
+        // Each extra stacked cache die folds more capacity onto the
+        // bank and adds a TSV round-trip to every array access.
+        let capacity = cfg.l2_bank_bytes * tech.capacity_factor() * cfg.cache_layers;
+        let stack_latency = (cfg.cache_layers as u64 - 1) * cfg.stack_hop_latency;
         let write_latency = match tech {
             MemTech::Sram => cfg.l2_read_latency,
             MemTech::SttRam => cfg.stt_write_latency,
-        };
+        } + stack_latency;
         Self {
             id,
             mode,
             array: CacheArray::new(capacity, cfg.l2_ways, cfg.block_bytes),
-            ctrl: BankController::new(cfg.l2_read_latency, write_latency, write_buffer),
+            ctrl: BankController::new(
+                cfg.l2_read_latency + stack_latency,
+                write_latency,
+                write_buffer,
+            ),
             mshrs: MshrFile::new(cfg.l2_mshrs),
             txns: HashMap::new(),
             next_txn: 0,

@@ -82,7 +82,7 @@ impl NetworkParams {
             parent_hops: cfg.parent_hops,
             arbitration: cfg.arbitration,
             wb_window: cfg.wb_window,
-            bank_read_latency: cfg.mem.l2_read_latency,
+            bank_read_latency: cfg.l2_read_service_latency(),
             bank_write_latency: cfg.l2_write_latency(),
             cache_outbox_cap: 4,
             core_outbox_cap: 64,
@@ -2162,7 +2162,7 @@ mod tests {
             if cycle % 25 == 0 && injected < 120 {
                 let src = core(&net, ((injected * 11) % 64) as u16);
                 let dst = cache(&net, ((injected * 29) % 64) as u16);
-                let kind = if injected % 3 == 0 {
+                let kind = if injected.is_multiple_of(3) {
                     PacketKind::Writeback
                 } else {
                     PacketKind::BankRead

@@ -8,7 +8,7 @@
 //! prediction relies on.
 
 use snoc_common::config::TsbPlacement;
-use snoc_common::geom::{Coord, Layer, Mesh};
+use snoc_common::geom::{Coord, Geometry, Layer, Mesh};
 use snoc_common::ids::{BankId, NodeId, RegionId};
 
 /// The region tiling and TSB positions for one configuration.
@@ -30,95 +30,29 @@ impl RegionMap {
     /// # Panics
     ///
     /// Panics if the mesh cannot be tiled into `regions` equal
-    /// rectangles with the builtin tiling rule (powers of two up to
-    /// one region per 2x2 tile on an 8x8 mesh).
+    /// rectangles (see [`Geometry::try_new`]).
     pub fn new(mesh: Mesh, regions: usize, placement: TsbPlacement) -> Self {
-        assert!(regions >= 1, "need at least one region");
-        let (tiles_x, tiles_y) = Self::tile_grid(regions);
-        let w = mesh.width() as usize;
-        let h = mesh.height() as usize;
-        assert!(
-            w.is_multiple_of(tiles_x) && h.is_multiple_of(tiles_y),
-            "mesh {w}x{h} cannot be tiled into {tiles_x}x{tiles_y} regions"
-        );
-        let tile_w = (w / tiles_x) as u8;
-        let tile_h = (h / tiles_y) as u8;
+        Self::from_geometry(&Geometry::new(mesh, regions, placement, 1))
+    }
 
-        let mut region_of = vec![RegionId::new(0); mesh.nodes_per_layer()];
-        for node in mesh.nodes() {
-            let c = mesh.coord(node, Layer::Cache);
-            let tx = (c.x / tile_w) as usize;
-            let ty = (c.y / tile_h) as usize;
-            region_of[node.index()] = RegionId::new((ty * tiles_x + tx) as u16);
-        }
-
-        let mut tsb_of = Vec::with_capacity(regions);
-        for r in 0..regions {
-            let tx = (r % tiles_x) as u8;
-            let ty = (r / tiles_x) as u8;
-            tsb_of.push(Self::tsb_position(mesh, tile_w, tile_h, tx, ty, placement));
-        }
-
+    /// Builds the map from an already-resolved [`Geometry`] — the
+    /// tiling and TSB positions are read off the geometry, so every
+    /// consumer of the same geometry agrees on them.
+    pub fn from_geometry(geom: &Geometry) -> Self {
+        let mesh = geom.mesh();
+        let region_of = mesh
+            .nodes()
+            .map(|node| geom.region_of(node))
+            .collect::<Vec<_>>();
         Self {
             mesh,
-            regions,
-            placement,
+            regions: geom.regions(),
+            placement: geom.placement(),
             region_of,
-            tsb_of,
-            tile_w,
-            tile_h,
+            tsb_of: geom.tsb_nodes().to_vec(),
+            tile_w: geom.tile_width(),
+            tile_h: geom.tile_height(),
         }
-    }
-
-    /// The `(columns, rows)` arrangement of tiles for a region count.
-    fn tile_grid(regions: usize) -> (usize, usize) {
-        match regions {
-            1 => (1, 1),
-            2 => (2, 1),
-            4 => (2, 2),
-            8 => (2, 4),
-            16 => (4, 4),
-            _ => panic!("unsupported region count {regions}"),
-        }
-    }
-
-    fn tsb_position(
-        mesh: Mesh,
-        tile_w: u8,
-        tile_h: u8,
-        tx: u8,
-        ty: u8,
-        placement: TsbPlacement,
-    ) -> NodeId {
-        let x0 = tx * tile_w;
-        let y0 = ty * tile_h;
-        let x1 = x0 + tile_w - 1;
-        let y1 = y0 + tile_h - 1;
-        // The "innermost" corner: the tile corner nearest the mesh
-        // centre (between columns w/2-1 and w/2).
-        let cx2 = mesh.width() as i32 - 1; // 2*centre_x
-        let cy2 = mesh.height() as i32 - 1;
-        let inner_x = if (2 * x0 as i32 - cx2).abs() <= (2 * x1 as i32 - cx2).abs() {
-            x0
-        } else {
-            x1
-        };
-        let inner_y = if (2 * y0 as i32 - cy2).abs() <= (2 * y1 as i32 - cy2).abs() {
-            y0
-        } else {
-            y1
-        };
-        let (x, y) = match placement {
-            TsbPlacement::Corner => (inner_x, inner_y),
-            TsbPlacement::Staggered => {
-                // Spread TSBs across distinct columns so Y-direction
-                // flows towards different TSBs do not collide in the
-                // core layer (Figure 11 (b)/(c)).
-                let x = x0 + (ty % tile_w.max(1));
-                (x, inner_y)
-            }
-        };
-        mesh.node(Coord::new(x, y, Layer::Cache))
     }
 
     /// Number of regions.

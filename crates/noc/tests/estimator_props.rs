@@ -33,7 +33,7 @@ fn stamp_round_trips_for_arbitrary_rtts() {
         // Send cycles anywhere in the first 2^48 cycles; RTTs from 0 to
         // well past the 8-bit horizon.
         let sent = rng.bits() >> 16;
-        let rtt = (rng.bits() >> 52) as u64; // 0..4096
+        let rtt = rng.bits() >> 52; // 0..4096
         let now = sent + rtt;
         let decoded = stamp_elapsed(stamp_of(sent), now);
         // The 8-bit decode is exactly the RTT modulo 256: short RTTs
@@ -198,7 +198,7 @@ impl NaiveRca {
         for i in 0..self.values.len() {
             for (slot, dir) in DIRS.into_iter().enumerate() {
                 self.values[i][slot] = match neighbour(i, dir) {
-                    Some(n) => ((occupancy(n) as u16 + prev[n][slot] as u16 + 1) / 2) as u8,
+                    Some(n) => (occupancy(n) as u16 + prev[n][slot] as u16).div_ceil(2) as u8,
                     None => 0,
                 };
             }

@@ -1,0 +1,168 @@
+//! Property tests for the generalized geometry: randomized meshes,
+//! region counts and placements, checking the invariants the paper's
+//! 8x8 / 4-region examples rely on — the region map partitions the
+//! mesh, every bank has exactly one parent, and `retarget_tsb`
+//! re-homing (the mid-run TSB-kill path) moves only the victim
+//! region's descent point.
+
+use snoc_common::config::TsbPlacement;
+use snoc_common::geom::{Geometry, Mesh};
+use snoc_common::ids::{BankId, NodeId, RegionId};
+use snoc_common::rng::SimRng;
+use snoc_noc::parent::ParentMap;
+use snoc_noc::regions::RegionMap;
+
+/// Deterministic sample of valid `(mesh, regions, placement)` triples.
+fn sample_geometries(samples: usize, seed: u64) -> Vec<(Mesh, usize, TsbPlacement)> {
+    let mut rng = SimRng::for_stream(seed, 0);
+    let mut out = Vec::new();
+    while out.len() < samples {
+        let w = (2 + rng.below(15)) as u8; // 2..=16
+        let h = (2 + rng.below(15)) as u8;
+        let mesh = Mesh::new(w, h);
+        let placement = if rng.below(2) == 0 {
+            TsbPlacement::Corner
+        } else {
+            TsbPlacement::Staggered
+        };
+        let tileable: Vec<usize> = (1..=32)
+            .filter(|&k| k <= mesh.nodes_per_layer())
+            .filter(|&k| Geometry::try_new(mesh, k, placement, 1).is_ok())
+            .collect();
+        if tileable.is_empty() {
+            continue;
+        }
+        let k = tileable[rng.below(tileable.len())];
+        out.push((mesh, k, placement));
+    }
+    out
+}
+
+#[test]
+fn region_maps_partition_any_mesh() {
+    for (mesh, k, placement) in sample_geometries(40, 0xA11) {
+        let map = RegionMap::new(mesh, k, placement);
+        let per_region = mesh.nodes_per_layer() / k;
+        for r in 0..k {
+            let rid = RegionId::new(r as u16);
+            assert_eq!(
+                map.banks_in(rid).count(),
+                per_region,
+                "{}x{} k={k} {placement:?} region {r}",
+                mesh.width(),
+                mesh.height()
+            );
+            // The TSB sits inside its own region and on the mesh.
+            let tsb = map.tsb_node(rid);
+            assert!(tsb.index() < mesh.nodes_per_layer());
+            assert_eq!(map.region_of(tsb), rid);
+        }
+        // Distinct regions get distinct TSB nodes.
+        let mut tsbs: Vec<_> = (0..k)
+            .map(|r| map.tsb_node(RegionId::new(r as u16)))
+            .collect();
+        tsbs.sort_unstable();
+        tsbs.dedup();
+        assert_eq!(
+            tsbs.len(),
+            k,
+            "TSBs collide on {}x{}",
+            mesh.width(),
+            mesh.height()
+        );
+    }
+}
+
+#[test]
+fn region_map_agrees_with_its_geometry() {
+    for (mesh, k, placement) in sample_geometries(25, 0xB22) {
+        let geom = Geometry::new(mesh, k, placement, 1);
+        let map = RegionMap::new(mesh, k, placement);
+        for node in mesh.nodes() {
+            assert_eq!(map.region_of(node), geom.region_of(node));
+        }
+        for (r, &tsb) in geom.tsb_nodes().iter().enumerate() {
+            assert_eq!(map.tsb_node(RegionId::new(r as u16)), tsb);
+        }
+    }
+}
+
+#[test]
+fn every_bank_has_exactly_one_parent_at_any_geometry() {
+    for (mesh, k, placement) in sample_geometries(25, 0xC33) {
+        let regions = RegionMap::new(mesh, k, placement);
+        for hops in [1u32, 2, 3] {
+            let map = ParentMap::new(mesh, &regions, hops, 2, 1);
+            // Coverage: summing children over all parents counts every
+            // bank once...
+            let total: usize = map
+                .parents()
+                .map(|p| map.children_of(p).unwrap().len())
+                .sum();
+            assert_eq!(total, mesh.nodes_per_layer());
+            // ...and each bank's recorded parent lists it as a child
+            // with a positive uncontended latency.
+            for n in 0..mesh.nodes_per_layer() {
+                let bank = BankId::new(n as u16);
+                let parent = map.parent_of(bank);
+                let info = map.child_info(parent, bank).unwrap_or_else(|| {
+                    panic!(
+                        "{}x{} k={k} H={hops}: bank {n} missing from its parent",
+                        mesh.width(),
+                        mesh.height()
+                    )
+                });
+                assert!(info.base_latency > 0);
+                assert!(info.hops >= 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn retarget_preserves_partition_and_moves_only_the_victim() {
+    let mut rng = SimRng::for_stream(0xD44, 0);
+    for (mesh, k, placement) in sample_geometries(25, 0xD44) {
+        let mut map = RegionMap::new(mesh, k, placement);
+        let before: Vec<_> = (0..k)
+            .map(|r| map.tsb_node(RegionId::new(r as u16)))
+            .collect();
+        let victim = RegionId::new(rng.below(k) as u16);
+        // Re-home onto another region's surviving TSB when there is
+        // one (the fault path's choice), else onto a random node.
+        let survivor = if k > 1 {
+            before[(victim.index() + 1) % k]
+        } else {
+            NodeId::new(rng.below(mesh.nodes_per_layer()) as u16)
+        };
+        map.retarget_tsb(victim, survivor);
+        for (r, &old_tsb) in before.iter().enumerate() {
+            let rid = RegionId::new(r as u16);
+            // The silicon tiling is untouched.
+            assert_eq!(map.banks_in(rid).count(), mesh.nodes_per_layer() / k);
+            // Only the victim's TSB assignment moved.
+            if rid == victim {
+                assert_eq!(map.tsb_node(rid), survivor);
+            } else {
+                assert_eq!(map.tsb_node(rid), old_tsb);
+            }
+        }
+        // Every bank still resolves to a descent point, and a rebuilt
+        // parent map still covers every bank exactly once.
+        for node in mesh.nodes() {
+            let tsb = map.tsb_for(node);
+            assert!(tsb.index() < mesh.nodes_per_layer());
+        }
+        let parents = ParentMap::new(mesh, &map, 2, 2, 1);
+        let total: usize = parents
+            .parents()
+            .map(|p| parents.children_of(p).unwrap().len())
+            .sum();
+        assert_eq!(total, mesh.nodes_per_layer());
+        // The victim's banks re-homed: each still has exactly one
+        // parent that lists it.
+        for bank in map.banks_in(victim) {
+            assert!(parents.child_info(parents.parent_of(bank), bank).is_some());
+        }
+    }
+}

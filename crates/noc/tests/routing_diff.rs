@@ -6,8 +6,9 @@
 //! modes.
 
 use snoc_common::config::{RequestPathMode, TsbPlacement};
-use snoc_common::geom::{Coord, Direction, Layer, Mesh};
-use snoc_common::ids::NodeId;
+use snoc_common::geom::{Coord, Direction, Geometry, Layer, Mesh};
+use snoc_common::ids::{NodeId, RegionId};
+use snoc_common::rng::SimRng;
 use snoc_noc::packet::{Packet, PacketKind};
 use snoc_noc::regions::RegionMap;
 use snoc_noc::routing::RoutingTable;
@@ -97,6 +98,58 @@ fn memoized_next_hop_agrees_with_the_naive_reference_everywhere() {
         // 128 positions x 128 destinations x 2 kinds.
         assert_eq!(checked, 128 * 128 * 2);
     }
+}
+
+#[test]
+fn memoized_next_hop_agrees_with_the_reference_at_random_geometries() {
+    // The 8x8 sweep above pins the paper's design point; this sweep
+    // drives the same differential over randomized N x N meshes
+    // (N in 4..=16), random region counts, both placement rules and
+    // randomly re-homed TSBs (the post-fault assignment shape), still
+    // over every (at, dst, kind, mode) tuple of each sampled geometry.
+    let mut rng = SimRng::for_stream(0x9E0_D1FF, 1);
+    let kinds = [PacketKind::BankRead, PacketKind::DataReply];
+    let mut checked = 0usize;
+    for _trial in 0..6 {
+        let n = (4 + rng.below(13)) as u8; // 4..=16
+        let mesh = Mesh::new(n, n);
+        let placement = if rng.below(2) == 0 {
+            TsbPlacement::Corner
+        } else {
+            TsbPlacement::Staggered
+        };
+        let tileable: Vec<usize> = (1..=16)
+            .filter(|&k| Geometry::try_new(mesh, k, placement, 1).is_ok())
+            .collect();
+        let k = tileable[rng.below(tileable.len())];
+        let coords = all_coords(mesh);
+        for mode in [RequestPathMode::RegionTsbs, RequestPathMode::AllTsvs] {
+            let mut regions = RegionMap::new(mesh, k, placement);
+            // Re-home a few regions onto arbitrary surviving cache
+            // nodes, as a mid-run TSB kill would.
+            for r in 0..k {
+                if rng.chance(0.3) {
+                    let new_tsb = NodeId::new(rng.below(mesh.nodes_per_layer()) as u16);
+                    regions.retarget_tsb(RegionId::new(r as u16), new_tsb);
+                }
+            }
+            let table = RoutingTable::new(mesh, mode, regions);
+            for &at in &coords {
+                for &dst in &coords {
+                    for kind in kinds {
+                        let p = Packet::new(kind, at, dst, 0, 0);
+                        let restricted =
+                            mode == RequestPathMode::RegionTsbs && kind.is_bank_request();
+                        let want = reference_hop(mesh, table.regions(), at, dst, restricted);
+                        let got = table.next_hop(at, &p);
+                        assert_eq!(got, want, "{n}x{n} k={k} {mode:?} {kind:?} {at} -> {dst}");
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked > 100_000, "sweep too small: {checked}");
 }
 
 #[test]

@@ -395,7 +395,7 @@ fn allocation_sweep_never_double_grants_and_credits_stay_bounded() {
     let mut upstream: Vec<u8> = vec![DEPTH as u8; PORTS * VCS];
     let mut returns: Vec<(Cycle, usize, usize)> = Vec::new();
     // Per output lane: credits spent and not yet returned.
-    let mut outstanding = vec![0u8; PORTS * VCS];
+    let mut outstanding = [0u8; PORTS * VCS];
     let mut total_moves = 0usize;
 
     let horizon = 3_000;
@@ -574,20 +574,30 @@ fn assert_networks_match(a: &Network, b: &Network, cycle: Cycle) {
     }
 }
 
-/// The randomized lockstep of the whole network under the partitioned
-/// stepper: identical traffic drives a serial network and sharded ones
-/// (2 and 4 partitions); every cycle the delivered packets must agree,
-/// and periodically every lane of every router must agree.
-#[test]
-fn partitioned_stepper_stays_in_lockstep_with_the_serial_network() {
+/// Drives one serial network and sharded clones of it in randomized
+/// lockstep at an arbitrary geometry: identical traffic into each,
+/// deliveries compared node by node every cycle, every lane of every
+/// router compared periodically, and aggregate statistics compared at
+/// the end.
+fn lockstep_sharded(
+    width: u8,
+    height: u8,
+    regions: usize,
+    shard_counts: &[usize],
+    horizon: u64,
+    drain: u64,
+    min_offered: usize,
+) {
     let mk = |shards: usize| {
         Network::new(NetworkParams {
             noc: NocConfig {
+                width,
+                height,
                 shards,
                 ..NocConfig::default()
             },
             path_mode: RequestPathMode::RegionTsbs,
-            regions: 4,
+            regions,
             placement: TsbPlacement::Corner,
             parent_hops: 2,
             arbitration: ArbitrationPolicy::BankAware {
@@ -605,18 +615,18 @@ fn partitioned_stepper_stays_in_lockstep_with_the_serial_network() {
             faults: None,
         })
     };
-    let mut nets = [mk(1), mk(2), mk(4)];
-    let mut rng = SimRng::for_stream(0x5AAD, 0);
+    let mut nets: Vec<Network> = shard_counts.iter().map(|&s| mk(s)).collect();
+    let npl = nets[0].mesh().nodes_per_layer();
+    let mut rng = SimRng::for_stream(0x5AAD, ((width as u64) << 8) | height as u64);
     let mut delivered = 0usize;
     let mut offered = 0usize;
 
-    let horizon = 1_500u64;
-    for cycle in 0..horizon + 1_000 {
+    for cycle in 0..horizon + drain {
         if cycle < horizon && rng.chance(0.5) {
             // One identical randomized packet into every network.
             let token = offered as u64;
-            let s = rng.below(64) as u16;
-            let d = rng.below(64) as u16;
+            let s = rng.below(npl) as u16;
+            let d = rng.below(npl) as u16;
             let (kind, up) = match rng.below(5) {
                 0 => (PacketKind::BankRead, true),
                 1 => (PacketKind::BankWrite, true),
@@ -645,29 +655,36 @@ fn partitioned_stepper_stays_in_lockstep_with_the_serial_network() {
             net.step();
         }
         // Deliveries must agree node by node, cycle by cycle.
-        for node in 0..128u16 {
+        for node in 0..2 * npl {
             let mesh = nets[0].mesh();
-            let at = if node < 64 {
-                mesh.coord(NodeId::new(node), Layer::Core)
+            let at = if node < npl {
+                mesh.coord(NodeId::new(node as u16), Layer::Core)
             } else {
-                mesh.coord(NodeId::new(node - 64), Layer::Cache)
+                mesh.coord(NodeId::new((node - npl) as u16), Layer::Cache)
             };
             let tokens = |net: &mut Network| -> Vec<u64> {
                 net.drain_delivered(at).iter().map(|p| p.token).collect()
             };
-            let [a, b, c] = &mut nets;
-            let (ta, tb, tc) = (tokens(a), tokens(b), tokens(c));
-            assert_eq!(ta, tb, "cycle {cycle}: deliveries at {at} (2 shards)");
-            assert_eq!(ta, tc, "cycle {cycle}: deliveries at {at} (4 shards)");
+            let (serial, sharded) = nets.split_first_mut().expect("at least one network");
+            let ta = tokens(serial);
+            for (i, net) in sharded.iter_mut().enumerate() {
+                assert_eq!(
+                    ta,
+                    tokens(net),
+                    "cycle {cycle}: deliveries at {at} ({} shards)",
+                    shard_counts[i + 1]
+                );
+            }
             delivered += ta.len();
         }
-        if cycle % 64 == 0 || cycle >= horizon + 900 {
-            assert_networks_match(&nets[0], &nets[1], cycle);
-            assert_networks_match(&nets[0], &nets[2], cycle);
+        if cycle % 64 == 0 || cycle >= horizon + drain - 100 {
+            for i in 1..nets.len() {
+                assert_networks_match(&nets[0], &nets[i], cycle);
+            }
         }
     }
 
-    assert!(offered > 500, "traffic too thin: {offered} offered");
+    assert!(offered > min_offered, "traffic too thin: {offered} offered");
     assert_eq!(delivered, offered, "every packet arrives everywhere");
     for net in &nets {
         assert_eq!(net.in_flight(), 0, "runs must drain");
@@ -682,6 +699,30 @@ fn partitioned_stepper_stays_in_lockstep_with_the_serial_network() {
             "aggregate statistics must be byte-identical"
         );
     }
+}
+
+/// The randomized lockstep of the whole network under the partitioned
+/// stepper at the paper's 8x8 point: identical traffic drives a serial
+/// network and sharded ones (2 and 4 partitions).
+#[test]
+fn partitioned_stepper_stays_in_lockstep_with_the_serial_network() {
+    lockstep_sharded(8, 8, 4, &[1, 2, 4], 1_500, 1_000, 500);
+}
+
+/// The same lockstep at a non-square mesh: 4x8, 4 regions (2x2 tiles
+/// of 2x4 nodes), pinning `PartitionMap` band alignment when the band
+/// size (2 * width routers) differs between the mesh axes.
+#[test]
+fn partitioned_stepper_lockstep_holds_at_4x8() {
+    lockstep_sharded(4, 8, 4, &[1, 2, 4], 1_200, 900, 300);
+}
+
+/// The same lockstep at 16x16 with 16 regions: 512 routers, 21504
+/// VC lanes — `VcKey` packing and shard partitioning well beyond the
+/// 8x8 point (shorter horizon; each cycle steps 4x the routers).
+#[test]
+fn partitioned_stepper_lockstep_holds_at_16x16() {
+    lockstep_sharded(16, 16, 16, &[1, 2, 4], 400, 900, 100);
 }
 
 /// Warm-state reuse's contract: `Network::reset` must hand back a
