@@ -8,8 +8,11 @@
 # byte-identical, cache-served, and at least 2x faster), a perf smoke
 # gated against the tracked baseline, a telemetry smoke, the audited
 # fault campaign plus a repro-faults smoke, a repro-scaling smoke, a
-# byte-identity leg (every legacy results/ file must regenerate exactly
-# under the generalized geometry code), and an optional coverage floor.
+# snoc-serve smoke (daemon simulates a cell once, serves the repeat
+# from cache, dedups an identical resubmission, and shuts down
+# cleanly), a byte-identity leg (every legacy results/ file must
+# regenerate exactly under the generalized geometry code), and an
+# optional coverage floor.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -81,7 +84,16 @@ if cargo run --release -q -p snoc-bench --bin repro-perf -- --asert-within 8 \
     exit 1
 fi
 echo "$baseline_hash" | sha256sum -c --quiet
-echo "ok: unknown flag rejected, baseline untouched"
+if cargo run --release -q -p snoc-bench --bin snoc-serve -- \
+    --socket "$tmp/never.sock" --requets '{"op":"ping"}' >/dev/null 2>&1; then
+    echo "error: snoc-serve accepted an unknown flag"
+    exit 1
+fi
+if [ -e "$tmp/never.sock" ]; then
+    echo "error: snoc-serve touched its socket before rejecting the flag"
+    exit 1
+fi
+echo "ok: unknown flags rejected, baseline untouched"
 
 echo "== perf gate: repro-perf within 8% of the tracked baseline =="
 # Full measurement budget, not --smoke: best-vs-best over a ~6 s
@@ -114,6 +126,46 @@ cargo run --release -q -p snoc-bench --bin repro-scaling -- --smoke \
     >/dev/null 2>&1
 test -s "$tmp/results/scaling/scaling_study.txt"
 test -s "$tmp/results/scaling/scaling_study.csv"
+
+echo "== serve smoke: one simulation, one cache hit, one dedup, clean shutdown =="
+serve_sock="$tmp/snoc-serve.sock"
+serve_cell='{"label":"ci","scenario":"MRAM-4TSB-WB","app":"sap","warmup":100,"measure":400}'
+cargo run --release -q -p snoc-bench --bin snoc-serve -- --socket "$serve_sock" \
+    2>"$tmp/serve.err" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$serve_sock" ] && break
+    sleep 0.1
+done
+cargo run --release -q -p snoc-bench --bin snoc-serve -- \
+    --socket "$serve_sock" --ping >/dev/null
+first="$(cargo run --release -q -p snoc-bench --bin snoc-serve -- \
+    --socket "$serve_sock" \
+    --request "{\"op\":\"submit\",\"wait\":true,\"cells\":[$serve_cell]}")"
+echo "$first" | grep -q '"deduped":false'
+echo "$first" | grep -q '"cached":false'
+# The same cell under a new label is a *new* job (labels are part of
+# job identity) but must be served from the shared cell cache.
+serve_relabel="${serve_cell/\"ci\"/\"ci-relabel\"}"
+second="$(cargo run --release -q -p snoc-bench --bin snoc-serve -- \
+    --socket "$serve_sock" \
+    --request "{\"op\":\"submit\",\"wait\":true,\"cells\":[$serve_relabel]}")"
+echo "$second" | grep -q '"deduped":false'
+echo "$second" | grep -q '"cached":true'
+echo "$second" | grep -q '"cache_hits":1'
+# An identical resubmission is not even a new job.
+third="$(cargo run --release -q -p snoc-bench --bin snoc-serve -- \
+    --socket "$serve_sock" \
+    --request "{\"op\":\"submit\",\"wait\":true,\"cells\":[$serve_cell]}")"
+echo "$third" | grep -q '"deduped":true'
+cargo run --release -q -p snoc-bench --bin snoc-serve -- \
+    --socket "$serve_sock" --shutdown >/dev/null
+wait "$serve_pid"
+if [ -e "$serve_sock" ]; then
+    echo "error: snoc-serve left its socket file behind"
+    exit 1
+fi
+echo "ok: serve smoke passed"
 
 echo "== byte identity: legacy results regenerate exactly (full scale, cache off) =="
 for exp in table2 table3 fig3 fig6 fig7 fig8 fig9 fig10 fig12 fig13 fig14 ablations; do

@@ -1,0 +1,176 @@
+//! Long-running sweep service over a Unix-domain socket.
+//!
+//! Server mode (the default) binds `--socket` and serves the
+//! newline-delimited JSON protocol of `snoc_core::serve` until a client
+//! sends `{"op":"shutdown"}`:
+//!
+//! ```text
+//! snoc-serve --socket /tmp/snoc.sock --threads 2 --cache-dir .snoc-cache
+//! ```
+//!
+//! Client mode sends one request line and prints every response line to
+//! stdout (exiting 1 if the server reports an error), which is all a
+//! shell script needs to drive the service:
+//!
+//! ```text
+//! snoc-serve --socket /tmp/snoc.sock \
+//!   --request '{"op":"submit","wait":true,"experiment":"fig6","scale":"quick"}'
+//! snoc-serve --socket /tmp/snoc.sock --shutdown
+//! ```
+//!
+//! Parsing is strict in the `repro-perf` mould: an unknown or
+//! misspelled flag aborts with exit code 2 before any socket is bound,
+//! any file touched, or any request sent.
+
+use snoc_core::serve::json::Json;
+use snoc_core::serve::{ServeOptions, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+struct Cli {
+    socket: Option<PathBuf>,
+    threads: usize,
+    cache: bool,
+    cache_dir: Option<PathBuf>,
+    verbose: bool,
+    /// One-shot client request line; `None` means server mode.
+    request: Option<String>,
+}
+
+const USAGE: &str = "usage: snoc-serve --socket <path> \
+ [--threads <n>] [--no-cache] [--cache-dir <dir>] [--verbose] \
+ [--request <json-line> | --shutdown | --ping]";
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        socket: None,
+        threads: 1,
+        cache: true,
+        cache_dir: None,
+        verbose: false,
+        request: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => {
+                cli.socket = Some(
+                    args.next()
+                        .ok_or("--socket requires a path operand")?
+                        .into(),
+                );
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads requires a count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a count"))?;
+                if n == 0 {
+                    return Err("--threads: must be at least 1".into());
+                }
+                cli.threads = n;
+            }
+            "--no-cache" => cli.cache = false,
+            "--cache-dir" => {
+                cli.cache_dir = Some(
+                    args.next()
+                        .ok_or("--cache-dir requires a directory operand")?
+                        .into(),
+                );
+            }
+            "--verbose" => cli.verbose = true,
+            "--request" => {
+                cli.request = Some(args.next().ok_or("--request requires a JSON line")?);
+            }
+            "--shutdown" => cli.request = Some(r#"{"op":"shutdown"}"#.to_string()),
+            "--ping" => cli.request = Some(r#"{"op":"ping"}"#.to_string()),
+            _ => return Err(format!("unrecognized argument `{arg}`")),
+        }
+    }
+    if cli.socket.is_none() {
+        return Err("--socket is required".into());
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let socket = cli.socket.expect("validated above");
+
+    match cli.request {
+        Some(line) => client(&socket, &line),
+        None => {
+            let mut opts = ServeOptions::new(socket);
+            opts.threads = cli.threads;
+            opts.cache = cli.cache;
+            opts.cache_dir = cli.cache_dir;
+            opts.verbose = cli.verbose;
+            match Server::start(opts) {
+                Ok(server) => server.wait(),
+                Err(e) => {
+                    eprintln!("error: could not start server: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+/// Sends one request line, streams every response line to stdout, and
+/// exits 1 if the server reported an error on any of them.
+fn client(socket: &std::path::Path, line: &str) {
+    let mut stream = match UnixStream::connect(socket) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not connect to {}: {e}", socket.display());
+            std::process::exit(1);
+        }
+    };
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    });
+    if writeln!(stream, "{line}")
+        .and_then(|()| stream.flush())
+        .is_err()
+        || stream.shutdown(Shutdown::Write).is_err()
+    {
+        eprintln!("error: could not send request");
+        std::process::exit(1);
+    }
+    let mut failed = false;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for response in reader.lines() {
+        let response = match response {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: connection lost: {e}");
+                std::process::exit(1);
+            }
+        };
+        if Json::parse(&response)
+            .ok()
+            .and_then(|v| v.get("ok").and_then(Json::as_bool))
+            == Some(false)
+        {
+            failed = true;
+        }
+        let _ = writeln!(out, "{response}");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -37,8 +37,9 @@ use snoc_common::fingerprint::{fnv1a_64, Fingerprint, StableHasher};
 use snoc_common::stats::Histogram;
 use snoc_energy::EnergyBreakdown;
 use std::collections::HashMap;
-use std::path::PathBuf;
-use std::sync::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Schema tag of the on-disk cell format. Bump on any codec or
 /// fingerprint change: stale entries are then ignored and recomputed.
@@ -119,11 +120,26 @@ impl CellCache {
         self.dir.as_ref().map(|d| d.join(format!("{key}.cell")))
     }
 
+    /// The in-process map, recovered from poisoning.
+    ///
+    /// The cache is best-effort bookkeeping: a worker that panics
+    /// while the map mutex is held (an OOM mid-`insert`, an assertion
+    /// in a key's `Eq`) must not cascade into every *other* worker
+    /// panicking on `lock().unwrap()` forever after — one isolated
+    /// cell failure would take down the whole runner or server. The
+    /// map's state is always coherent from the lock's point of view
+    /// (`HashMap` insert/get never leave it torn across a panic we
+    /// could observe), so the poison flag is cleared and the guard
+    /// handed out.
+    fn mem(&self) -> MutexGuard<'_, HashMap<Fingerprint, RunMetrics>> {
+        self.mem.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Probes memory, then disk. A disk hit is promoted into the
     /// in-process map; a corrupt or stale disk entry is reported as a
     /// miss (with a note when corrupt) so the caller recomputes.
     pub fn lookup(&self, key: Fingerprint) -> Lookup {
-        if let Some(m) = self.mem.lock().unwrap().get(&key) {
+        if let Some(m) = self.mem().get(&key) {
             return Lookup {
                 metrics: Some(m.clone()),
                 source: Some(CacheSource::Memory),
@@ -145,7 +161,7 @@ impl CellCache {
         };
         match decode(&text, key) {
             Ok(m) => {
-                self.mem.lock().unwrap().insert(key, m.clone());
+                self.mem().insert(key, m.clone());
                 Lookup {
                     metrics: Some(m),
                     source: Some(CacheSource::Disk),
@@ -171,7 +187,7 @@ impl CellCache {
     /// Returns a diagnostic when the disk write fails (the in-process
     /// insert always succeeds; the cache stays best-effort).
     pub fn store(&self, key: Fingerprint, metrics: &RunMetrics) -> Result<(), String> {
-        self.mem.lock().unwrap().insert(key, metrics.clone());
+        self.mem().insert(key, metrics.clone());
         let Some(path) = self.entry_path(key) else {
             return Ok(());
         };
@@ -182,12 +198,46 @@ impl CellCache {
             }
             // Write-then-rename so a concurrent reader never sees a
             // half-written entry (checksum would catch it anyway).
-            let tmp = path.with_extension(format!("tmp.{:x}", std::process::id()));
+            let tmp = tmp_store_path(&path);
             std::fs::write(&tmp, &doc)?;
             std::fs::rename(&tmp, &path)
         };
         write().map_err(|e| format!("could not write cache entry {}: {e}", path.display()))
     }
+}
+
+/// A scratch path for writing `path`'s entry before the atomic rename.
+///
+/// The suffix must be unique per *writer*, not per process: two
+/// workers of one process storing the same key at once would otherwise
+/// interleave their `fs::write`s on a single tmp file and rename a
+/// corrupt byte-mix into place — the checksum then flags the entry on
+/// every later probe and the cache silently recomputes that cell
+/// forever. A process-wide counter keeps concurrent writers on
+/// disjoint tmp files (last rename wins, and every candidate is a
+/// complete, valid document); the pid keeps concurrent *processes*
+/// sharing one cache directory apart.
+fn tmp_store_path(path: &Path) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    path.with_extension(format!("tmp.{:x}.{n:x}", std::process::id()))
+}
+
+/// Serializes plain-cell metrics (no audit/telemetry/fault
+/// attachments) in the exact on-disk cell format, sealed by `key`. The
+/// sweep server reuses this codec for its result payloads so a client
+/// round-trip is bit-exact.
+pub fn encode_metrics(metrics: &RunMetrics, key: Fingerprint) -> String {
+    encode(metrics, key)
+}
+
+/// Decodes a document produced by [`encode_metrics`] under the same
+/// `key`, rejecting stale or tampered text with a diagnostic.
+pub fn decode_metrics(text: &str, key: Fingerprint) -> Result<RunMetrics, String> {
+    decode(text, key).map_err(|e| match e {
+        DecodeError::Stale => "stale schema/version".to_string(),
+        DecodeError::Corrupt(why) => why,
+    })
 }
 
 enum DecodeError {
@@ -417,6 +467,7 @@ pub(crate) fn dir_from_env() -> Option<PathBuf> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::AssertUnwindSafe;
 
     fn sample_metrics() -> RunMetrics {
         let mut hist = Histogram::fig3();
@@ -544,6 +595,125 @@ mod tests {
         assert!(probe.metrics.is_none());
         assert!(probe.note.unwrap().contains("corrupt"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_store_paths_are_writer_unique() {
+        // Regression: the tmp suffix was pid-only, so two same-process
+        // workers storing the same key shared one tmp path and could
+        // rename an interleaved write into place. Every call — from
+        // any thread — must now yield a fresh path.
+        let entry = PathBuf::from("/cache/0123.cell");
+        let a = tmp_store_path(&entry);
+        let b = tmp_store_path(&entry);
+        assert_ne!(a, b, "two writers were handed the same tmp path");
+        let from_thread = std::thread::spawn({
+            let entry = entry.clone();
+            move || tmp_store_path(&entry)
+        })
+        .join()
+        .unwrap();
+        assert_ne!(a, from_thread);
+        assert_ne!(b, from_thread);
+        for p in [&a, &b, &from_thread] {
+            assert!(p.to_string_lossy().contains("tmp."), "scratch-named: {p:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_stores_of_one_key_never_corrupt_the_entry() {
+        let dir =
+            std::env::temp_dir().join(format!("snoc-cellcache-concurrent-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CellCache::new(Some(dir.clone()));
+        let k = key();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..24 {
+                        cache.store(k, &sample_metrics()).expect("store succeeds");
+                    }
+                });
+            }
+        });
+        // A cold cache must read back a pristine entry — no corruption
+        // note, no silent recompute.
+        let cold = CellCache::new(Some(dir.clone()));
+        let probe = cold.lookup(k);
+        assert!(probe.note.is_none(), "corrupt entry: {:?}", probe.note);
+        assert_eq!(probe.source, Some(CacheSource::Disk));
+        assert_eq!(
+            format!("{:?}", probe.metrics.unwrap()),
+            format!("{:?}", sample_metrics())
+        );
+        // Every tmp file was renamed away.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x != "cell"))
+            .collect();
+        assert!(stray.is_empty(), "leftover tmp files: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_poisoned_map_mutex_degrades_gracefully() {
+        // Regression: a panic while the map mutex was held poisoned it,
+        // and every later lookup/store panicked on `lock().unwrap()` —
+        // one isolated failure cascaded into killing the runner. The
+        // cache must shrug the poison off and keep serving.
+        let cache = CellCache::new(None);
+        let k = key();
+        cache.store(k, &sample_metrics()).unwrap();
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = cache.mem.lock().unwrap();
+            panic!("worker dies holding the cache lock");
+        }));
+        assert!(cache.mem.is_poisoned(), "the panic must have poisoned");
+        let hit = cache.lookup(k);
+        assert_eq!(hit.source, Some(CacheSource::Memory));
+        cache
+            .store(k, &sample_metrics())
+            .expect("store still works");
+    }
+
+    #[test]
+    fn a_poisoned_shared_cache_does_not_kill_a_sweep() {
+        // The same defect observed from above: pre-fix, a sweep whose
+        // shared cache had been poisoned panicked on the very first
+        // cell probe (outside the per-cell catch_unwind), taking the
+        // whole runner — and in the server, every later job — with it.
+        use crate::scenario::Scenario;
+        use crate::sweep::{RunSpec, SweepRunner};
+        let cache = std::sync::Arc::new(CellCache::new(None));
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = cache.mem.lock().unwrap();
+            panic!("cell worker dies holding the cache lock");
+        }));
+        assert!(cache.mem.is_poisoned());
+        let cfg = Scenario::Sram64Tsb
+            .config()
+            .rebuild()
+            .cycles(100, 400)
+            .build();
+        let grid = vec![RunSpec::homogeneous(
+            "a",
+            cfg,
+            snoc_workload::table3::by_name("tpcc").unwrap(),
+        )];
+        let results = SweepRunner::new()
+            .shared_cache(std::sync::Arc::clone(&cache))
+            .run_grid("poisoned", grid);
+        assert!(results[0].outcome.is_ok(), "sweep survived the poison");
+    }
+
+    #[test]
+    fn public_codec_wrappers_round_trip() {
+        let m = sample_metrics();
+        let doc = encode_metrics(&m, key());
+        let back = decode_metrics(&doc, key()).expect("round trip");
+        assert_eq!(format!("{m:?}"), format!("{back:?}"));
+        assert!(decode_metrics("garbage", key()).is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod metrics;
 pub mod observer;
 pub mod report;
 pub mod scenario;
+pub mod serve;
 pub mod sweep;
 pub mod system;
 

@@ -1,0 +1,361 @@
+//! The sweep-service wire protocol: newline-delimited JSON.
+//!
+//! A client writes one request object per line; the server answers
+//! each request with one or more response lines and then waits for the
+//! next request on the same connection. Every response line is either
+//! an acknowledgement (`{"ok":...}`) or a stream event
+//! (`{"event":...}`); streams always terminate with a `"done"` event,
+//! so a line-oriented client never has to guess.
+//!
+//! # Requests
+//!
+//! | op | fields | effect |
+//! |---|---|---|
+//! | `ping` | — | liveness probe |
+//! | `submit` | `experiment`+`scale` *or* `cells`, optional `wait` | enqueue a grid (idempotent by job key) |
+//! | `status` | `job` | one-line job status |
+//! | `wait` | `job` | stream progress events until the job is done |
+//! | `results` | `job` | block until done, then stream per-cell results |
+//! | `shutdown` | — | finish the running job, then stop the server |
+//!
+//! A `submit` with `"wait":true` behaves like a `submit` immediately
+//! followed by a `wait` on the same connection.
+
+use super::json::{escape, Json};
+use crate::experiments::Scale;
+use crate::sweep::CellResult;
+use snoc_common::fingerprint::Fingerprint;
+
+/// One raw grid cell, described over the wire.
+#[derive(Debug, Clone)]
+pub struct CellRequest {
+    /// Presentation label (defaults to `scenario/app`).
+    pub label: Option<String>,
+    /// Scenario name as printed by `Scenario::name` (e.g.
+    /// `MRAM-4TSB-WB`).
+    pub scenario: String,
+    /// Application name from the Table 3 profile set.
+    pub app: String,
+    /// Warm-up cycles (default: the Quick scale's).
+    pub warmup: Option<u64>,
+    /// Measured cycles (default: the Quick scale's).
+    pub measure: Option<u64>,
+    /// Region-count override (validated at run time, so a bad value
+    /// yields a per-cell error, never a dead server).
+    pub regions: Option<usize>,
+}
+
+/// What a `submit` asks to run.
+#[derive(Debug, Clone)]
+pub enum JobRequest {
+    /// A checked-in experiment grid by name (`fig6`, `table3`, ...).
+    Experiment {
+        /// Experiment name.
+        name: String,
+        /// Grid scale.
+        scale: Scale,
+    },
+    /// An explicit list of raw cells.
+    Cells(Vec<CellRequest>),
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Enqueue a job; `wait` additionally streams progress to done.
+    Submit {
+        /// The requested grid.
+        job: JobRequest,
+        /// Stream progress events after the acknowledgement.
+        wait: bool,
+    },
+    /// One-line status of a job.
+    Status(Fingerprint),
+    /// Stream progress events until the job completes.
+    Wait(Fingerprint),
+    /// Block until the job completes, then stream per-cell results.
+    Results(Fingerprint),
+    /// Stop the server after the running job finishes.
+    Shutdown,
+}
+
+fn job_field(v: &Json) -> Result<Fingerprint, String> {
+    v.get("job")
+        .and_then(Json::as_str)
+        .and_then(Fingerprint::from_hex)
+        .ok_or_else(|| "field 'job' must be a 32-hex-digit job key".to_string())
+}
+
+fn parse_cell(v: &Json) -> Result<CellRequest, String> {
+    let field = |name: &str| v.get(name).and_then(Json::as_str).map(String::from);
+    Ok(CellRequest {
+        label: field("label"),
+        scenario: field("scenario").ok_or("cell needs a 'scenario' name")?,
+        app: field("app").ok_or("cell needs an 'app' name")?,
+        warmup: v.get("warmup").and_then(Json::as_u64),
+        measure: v.get("measure").and_then(Json::as_u64),
+        regions: v.get("regions").and_then(Json::as_u64).map(|r| r as usize),
+    })
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request needs an 'op' string")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "status" => Ok(Request::Status(job_field(&v)?)),
+        "wait" => Ok(Request::Wait(job_field(&v)?)),
+        "results" => Ok(Request::Results(job_field(&v)?)),
+        "submit" => {
+            let wait = v.get("wait").and_then(Json::as_bool).unwrap_or(false);
+            let job = if let Some(name) = v.get("experiment").and_then(Json::as_str) {
+                let scale = match v.get("scale").and_then(Json::as_str).unwrap_or("quick") {
+                    "quick" => Scale::Quick,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+                JobRequest::Experiment {
+                    name: name.to_string(),
+                    scale,
+                }
+            } else if let Some(cells) = v.get("cells").and_then(Json::as_arr) {
+                if cells.is_empty() {
+                    return Err("'cells' must not be empty".into());
+                }
+                JobRequest::Cells(
+                    cells
+                        .iter()
+                        .map(parse_cell)
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            } else {
+                return Err("submit needs 'experiment' or 'cells'".into());
+            };
+            Ok(Request::Submit { job, wait })
+        }
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+/// Coarse job lifecycle, as reported on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireState {
+    /// Accepted, not yet started.
+    Queued,
+    /// Cells are being simulated.
+    Running,
+    /// All cells accounted for.
+    Done,
+    /// Abandoned by a server shutdown before it ran.
+    Aborted,
+}
+
+impl WireState {
+    fn as_str(self) -> &'static str {
+        match self {
+            WireState::Queued => "queued",
+            WireState::Running => "running",
+            WireState::Done => "done",
+            WireState::Aborted => "aborted",
+        }
+    }
+}
+
+/// `{"ok":false,...}` — request rejected (the connection stays up).
+pub fn error_line(message: &str) -> String {
+    format!("{{\"ok\":false,\"error\":{}}}", escape(message))
+}
+
+/// `ping` acknowledgement.
+pub fn pong_line() -> String {
+    "{\"ok\":true,\"pong\":true}".to_string()
+}
+
+/// `submit` acknowledgement.
+pub fn submit_line(job: Fingerprint, state: WireState, deduped: bool, cells: usize) -> String {
+    format!(
+        "{{\"ok\":true,\"job\":\"{job}\",\"state\":\"{}\",\"deduped\":{deduped},\"cells\":{cells}}}",
+        state.as_str()
+    )
+}
+
+/// `status` acknowledgement.
+pub fn status_line(
+    job: Fingerprint,
+    state: WireState,
+    cells: usize,
+    done: usize,
+    failed: usize,
+    cache_hits: usize,
+) -> String {
+    format!(
+        "{{\"ok\":true,\"job\":\"{job}\",\"state\":\"{}\",\"cells\":{cells},\
+         \"done\":{done},\"failed\":{failed},\"cache_hits\":{cache_hits}}}",
+        state.as_str()
+    )
+}
+
+/// `shutdown` acknowledgement.
+pub fn shutdown_line() -> String {
+    "{\"ok\":true,\"shutting_down\":true}".to_string()
+}
+
+/// Streamed per-cell progress event.
+pub fn cell_event(job: Fingerprint, r: &CellResult) -> String {
+    format!(
+        "{{\"event\":\"cell\",\"job\":\"{job}\",\"index\":{},\"label\":{},\
+         \"ok\":{},\"cached\":{},\"wall_us\":{}}}",
+        r.index,
+        escape(&r.label),
+        r.outcome.is_ok(),
+        r.cached,
+        r.wall.as_micros()
+    )
+}
+
+/// Streamed diagnostic note (cache corruption etc.).
+pub fn note_event(job: Fingerprint, label: &str, note: &str) -> String {
+    format!(
+        "{{\"event\":\"note\",\"job\":\"{job}\",\"label\":{},\"note\":{}}}",
+        escape(label),
+        escape(note)
+    )
+}
+
+/// Stream terminator: the job finished (or was abandoned).
+pub fn done_event(
+    job: Fingerprint,
+    state: WireState,
+    cells: usize,
+    failed: usize,
+    cache_hits: usize,
+) -> String {
+    format!(
+        "{{\"event\":\"done\",\"job\":\"{job}\",\"state\":\"{}\",\"cells\":{cells},\
+         \"failed\":{failed},\"cache_hits\":{cache_hits}}}",
+        state.as_str()
+    )
+}
+
+/// Streamed per-cell result payload. `metrics` is the exact text codec
+/// of [`crate::cellcache::encode_metrics`] sealed under `metrics_key`
+/// (instrumentation attachments stripped — `instrumented` says whether
+/// any were present); errors carry the panic message instead.
+pub fn result_event(
+    job: Fingerprint,
+    index: usize,
+    label: &str,
+    payload: &Result<(Fingerprint, String, bool), String>,
+) -> String {
+    match payload {
+        Ok((metrics_key, doc, instrumented)) => format!(
+            "{{\"event\":\"result\",\"job\":\"{job}\",\"index\":{index},\"label\":{},\
+             \"ok\":true,\"instrumented\":{instrumented},\"metrics_key\":\"{metrics_key}\",\
+             \"metrics\":{}}}",
+            escape(label),
+            escape(doc)
+        ),
+        Err(e) => format!(
+            "{{\"event\":\"result\",\"job\":\"{job}\",\"index\":{index},\"label\":{},\
+             \"ok\":false,\"error\":{}}}",
+            escape(label),
+            escape(e)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert!(matches!(
+            parse_request(r#"{"op":"ping"}"#),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+        let key = "0123456789abcdef0123456789abcdef";
+        for (op, want_wait) in [("status", false), ("wait", false), ("results", false)] {
+            let line = format!("{{\"op\":\"{op}\",\"job\":\"{key}\"}}");
+            assert!(parse_request(&line).is_ok(), "op {op} (wait {want_wait})");
+        }
+        let sub = parse_request(
+            r#"{"op":"submit","wait":true,"cells":[{"scenario":"MRAM-4TSB-WB","app":"sap"}]}"#,
+        )
+        .unwrap();
+        match sub {
+            Request::Submit {
+                job: JobRequest::Cells(cells),
+                wait,
+            } => {
+                assert!(wait);
+                assert_eq!(cells[0].scenario, "MRAM-4TSB-WB");
+                assert_eq!(cells[0].app, "sap");
+                assert!(cells[0].warmup.is_none());
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let exp = parse_request(r#"{"op":"submit","experiment":"fig6","scale":"full"}"#).unwrap();
+        match exp {
+            Request::Submit {
+                job: JobRequest::Experiment { name, scale },
+                wait,
+            } => {
+                assert_eq!(name, "fig6");
+                assert_eq!(scale, Scale::Full);
+                assert!(!wait);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_diagnostics() {
+        for bad in [
+            "not json",
+            r#"{"noop":1}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"status"}"#,
+            r#"{"op":"status","job":"xyz"}"#,
+            r#"{"op":"submit"}"#,
+            r#"{"op":"submit","cells":[]}"#,
+            r#"{"op":"submit","cells":[{"app":"sap"}]}"#,
+            r#"{"op":"submit","experiment":"fig6","scale":"medium"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn response_lines_are_valid_single_line_json() {
+        use super::super::json::Json;
+        let key = Fingerprint::from_hex("0123456789abcdef0123456789abcdef").unwrap();
+        let lines = [
+            error_line("bad \"thing\"\nwith newline"),
+            pong_line(),
+            submit_line(key, WireState::Queued, true, 3),
+            status_line(key, WireState::Running, 3, 1, 0, 1),
+            shutdown_line(),
+            note_event(key, "a/b", "corrupt entry"),
+            done_event(key, WireState::Done, 3, 0, 2),
+            result_event(key, 0, "a", &Err("boom".into())),
+            result_event(key, 1, "b", &Ok((key, "doc\nlines\n".into(), false))),
+        ];
+        for line in lines {
+            assert!(!line.contains('\n'), "multi-line: {line}");
+            let v = Json::parse(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert!(matches!(v, Json::Obj(_)));
+        }
+    }
+}

@@ -60,14 +60,14 @@ use crate::metrics::RunMetrics;
 use crate::observer::{NullObserver, RunObserver, SweepSummary};
 use crate::system::{DriveMode, System};
 use snoc_common::config::SystemConfig;
-use snoc_noc::{AuditConfig, FaultPlan, TelemetryConfig};
+use snoc_noc::{AuditConfig, FaultPlan, NocEnv, TelemetryConfig};
 use snoc_workload::mixes::Workload;
 use snoc_workload::BenchmarkProfile;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One grid cell: everything needed to build and run a [`System`].
@@ -161,6 +161,27 @@ impl RunSpec {
         self.cfg.noc.shards = shards.max(1);
         self
     }
+
+    /// Folds a captured environment snapshot into this spec's explicit
+    /// fields: programmatic settings win, the snapshot fills whatever
+    /// was left unset. After this, running the spec touches no
+    /// environment variable at all — the runner builds its [`System`]s
+    /// against the hermetic [`NocEnv::default`].
+    pub fn resolve_env(mut self, env: &NocEnv) -> Self {
+        if self.audit.is_none() {
+            self.audit = env.audit;
+        }
+        if self.telemetry.is_none() {
+            self.telemetry = env.telemetry;
+        }
+        if self.faults.is_none() {
+            self.faults = env.faults;
+        }
+        if self.cfg.noc.shards == 0 {
+            self.cfg.noc.shards = env.shards.unwrap_or(1);
+        }
+        self
+    }
 }
 
 /// Why a cell produced no metrics.
@@ -191,6 +212,9 @@ pub struct CellResult {
     pub wall: Duration,
     /// Simulated cycles (warm-up + measurement; 0 on failure).
     pub sim_cycles: u64,
+    /// Whether the result was served from the cell cache instead of
+    /// simulated.
+    pub cached: bool,
     /// The metrics, or the reason there are none.
     pub outcome: Result<RunMetrics, CellError>,
 }
@@ -259,9 +283,15 @@ pub struct SweepRunner {
     cache: bool,
     warm: bool,
     cache_dir: Option<PathBuf>,
+    // Environment fallbacks, captured once at construction. Workers
+    // never read the environment: a mid-flight mutation cannot alter a
+    // grid this runner was already handed.
+    env: NocEnv,
     // Lives as long as the runner, so repeated `run_grid` calls on one
-    // runner serve repeated cells from memory even without a disk store.
-    cell_cache: OnceLock<CellCache>,
+    // runner serve repeated cells from memory even without a disk
+    // store. `Arc` so several runners (the sweep server builds one per
+    // job) can share one cache.
+    cell_cache: OnceLock<Arc<CellCache>>,
 }
 
 impl Default for SweepRunner {
@@ -273,7 +303,11 @@ impl Default for SweepRunner {
 impl SweepRunner {
     /// A silent single-threaded runner (the deterministic baseline).
     /// Result caching and warm-state reuse are on; the on-disk store
-    /// is off until [`SweepRunner::cache_dir`] points somewhere.
+    /// is off until [`SweepRunner::cache_dir`] points somewhere. The
+    /// NoC environment fallbacks (`SNOC_AUDIT`/`SNOC_TELEMETRY`/
+    /// `SNOC_FAULTS`/`SNOC_SHARDS`) are snapshotted *now*: grids run
+    /// later see this moment's environment, never a mid-flight
+    /// mutation ([`SweepRunner::noc_env`] overrides the snapshot).
     pub fn new() -> Self {
         Self {
             threads: 1,
@@ -281,6 +315,7 @@ impl SweepRunner {
             cache: true,
             warm: true,
             cache_dir: None,
+            env: NocEnv::capture(),
             cell_cache: OnceLock::new(),
         }
     }
@@ -352,6 +387,28 @@ impl SweepRunner {
         self
     }
 
+    /// Replaces the environment snapshot taken at construction.
+    /// `NocEnv::default()` makes the runner fully hermetic (no audit/
+    /// telemetry/fault fallbacks, serial stepping unless a spec pins
+    /// `noc.shards`); a snapshot captured at server startup pins every
+    /// job of a long-running process to that one resolution.
+    pub fn noc_env(mut self, env: NocEnv) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// Shares a pre-built cell cache with this runner instead of
+    /// letting it materialize its own. This is how the sweep server
+    /// serves repeat cells across jobs and clients: every per-job
+    /// runner is handed the same `Arc`. Overrides any
+    /// [`SweepRunner::cache_dir`] already applied (the shared cache
+    /// carries its own disk root).
+    pub fn shared_cache(mut self, cache: Arc<CellCache>) -> Self {
+        self.cell_cache = OnceLock::new();
+        let _ = self.cell_cache.set(cache);
+        self
+    }
+
     /// Runs the experiment end to end: grid → sweep → assemble.
     pub fn run<E: Experiment>(&self, exp: &E, scale: Scale) -> E::Output {
         let cells = self.run_grid(exp.name(), exp.grid(scale));
@@ -368,16 +425,27 @@ impl SweepRunner {
         observer.sweep_started(name, n, threads);
         let t0 = Instant::now();
 
+        // Resolve the environment snapshot into every spec's explicit
+        // fields up front: from here on, running the grid touches no
+        // environment variable (workers build their `System`s against
+        // the hermetic `NocEnv::default`), so mutating the process
+        // environment mid-flight cannot alter a grid already accepted.
+        let env = self.env;
+        let pinned = NocEnv::default();
+
         // Workers claim cells from per-worker stealing deques and
         // deposit results in indexed slots — completion order never
         // leaks into the output.
-        let specs: Vec<Mutex<Option<RunSpec>>> =
-            grid.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let specs: Vec<Mutex<Option<RunSpec>>> = grid
+            .into_iter()
+            .map(|s| Mutex::new(Some(s.resolve_env(&env))))
+            .collect();
         let slots: Vec<Mutex<Option<CellResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let hits = AtomicUsize::new(0);
-        let cache = self.cache.then(|| {
-            self.cell_cache
-                .get_or_init(|| CellCache::new(self.cache_dir.clone()))
+        let cache: Option<&CellCache> = self.cache.then(|| {
+            &**self
+                .cell_cache
+                .get_or_init(|| Arc::new(CellCache::new(self.cache_dir.clone())))
         });
         let warm_on = self.warm;
 
@@ -426,6 +494,7 @@ impl SweepRunner {
                             label,
                             wall: start.elapsed(),
                             sim_cycles,
+                            cached: true,
                             outcome: Ok(metrics),
                         };
                         observer.cell_finished(&result);
@@ -441,10 +510,10 @@ impl SweepRunner {
                     // a poisoned instance is never carried forward.
                     let mut system = match warm.take() {
                         Some(mut s) if warm_on => {
-                            s.reset_for_cell(spec.cfg, &spec.workload, spec.mode);
+                            s.reset_for_cell_env(spec.cfg, &spec.workload, spec.mode, &pinned);
                             s
                         }
-                        _ => System::new(spec.cfg, &spec.workload, spec.mode),
+                        _ => System::with_env(spec.cfg, &spec.workload, spec.mode, &pinned),
                     };
                     if let Some(plan) = spec.faults {
                         system.enable_faults(plan);
@@ -483,6 +552,7 @@ impl SweepRunner {
                     label,
                     wall: start.elapsed(),
                     sim_cycles: if outcome.is_ok() { sim_cycles } else { 0 },
+                    cached: false,
                     outcome,
                 };
                 observer.cell_finished(&result);
@@ -696,6 +766,7 @@ mod tests {
             label: "bad".into(),
             wall: Duration::ZERO,
             sim_cycles: 0,
+            cached: false,
             outcome: Err(CellError::Panicked("boom".into())),
         };
         r.metrics();

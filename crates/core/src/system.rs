@@ -26,7 +26,7 @@ use snoc_mem::mem_ctrl::Fill;
 use snoc_mem::protocol::{BankIn, BankMsg, L1In, L1Msg};
 use snoc_mem::tech::TechParams;
 use snoc_mem::{L1Cache, L2Bank, MemoryController};
-use snoc_noc::{Network, NetworkParams, Packet, PacketKind, TrafficClass};
+use snoc_noc::{Network, NetworkParams, NocEnv, Packet, PacketKind, TrafficClass};
 use snoc_workload::mixes::Workload;
 use snoc_workload::{generator, BenchmarkProfile, FullStackStream, ProfileStream};
 use std::collections::HashMap;
@@ -110,10 +110,27 @@ impl System {
     /// Panics if the configuration fails [`SystemConfig::validate`] or
     /// the workload does not cover every core.
     pub fn new(cfg: SystemConfig, workload: &Workload, mode: DriveMode) -> Self {
+        Self::with_env(cfg, workload, mode, &NocEnv::capture())
+    }
+
+    /// Builds a system like [`System::new`], but with every NoC
+    /// environment fallback (`SNOC_AUDIT`/`SNOC_TELEMETRY`/
+    /// `SNOC_FAULTS`/`SNOC_SHARDS`) taken from the pre-captured `env`
+    /// snapshot instead of the live process environment. Multi-cell
+    /// engines (the sweep runner, the sweep server) resolve the
+    /// environment once and build every cell through this, so a
+    /// mid-flight environment mutation can never alter an accepted
+    /// cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`] or
+    /// the workload does not cover every core.
+    pub fn with_env(cfg: SystemConfig, workload: &Workload, mode: DriveMode, env: &NocEnv) -> Self {
         cfg.validate().expect("valid configuration");
         assert_eq!(workload.apps.len(), cfg.cores(), "one application per core");
         let mesh = Mesh::new(cfg.noc.width, cfg.noc.height);
-        let net = Network::new(NetworkParams::from_config(&cfg));
+        let net = Network::new(NetworkParams::resolve(&cfg, env));
         let banks_n = cfg.banks();
         let cap_factor = cfg.effective_capacity_factor();
 
@@ -210,9 +227,26 @@ impl System {
     /// Panics if the configuration fails [`SystemConfig::validate`] or
     /// the workload does not cover every core.
     pub fn reset_for_cell(&mut self, cfg: SystemConfig, workload: &Workload, mode: DriveMode) {
+        self.reset_for_cell_env(cfg, workload, mode, &NocEnv::capture());
+    }
+
+    /// [`System::reset_for_cell`] with the environment fallbacks taken
+    /// from the pre-captured `env` snapshot (see [`System::with_env`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`] or
+    /// the workload does not cover every core.
+    pub fn reset_for_cell_env(
+        &mut self,
+        cfg: SystemConfig,
+        workload: &Workload,
+        mode: DriveMode,
+        env: &NocEnv,
+    ) {
         cfg.validate().expect("valid configuration");
         assert_eq!(workload.apps.len(), cfg.cores(), "one application per core");
-        self.net.reset(NetworkParams::from_config(&cfg));
+        self.net.reset(NetworkParams::resolve(&cfg, env));
         self.mesh = Mesh::new(cfg.noc.width, cfg.noc.height);
         let banks_n = cfg.banks();
         let cap_factor = cfg.effective_capacity_factor();

@@ -48,7 +48,7 @@ pub mod workspace;
 pub use arena::{Arena, ArenaFull};
 pub use audit::{AuditConfig, AuditReport, NetAuditor};
 pub use fault::{FaultPlan, FaultSummary};
-pub use network::{NetStats, Network, NetworkParams};
+pub use network::{NetStats, Network, NetworkParams, NocEnv};
 pub use packet::{Flit, Packet, PacketKind, TrafficClass};
 pub use telemetry::{TelemetryConfig, TelemetrySummary};
 pub use workspace::{NocWorkspace, PortRef, VcRef, WsView};

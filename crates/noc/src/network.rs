@@ -61,18 +61,64 @@ pub struct NetworkParams {
     pub faults: Option<FaultPlan>,
 }
 
+/// A one-time snapshot of the NoC environment fallbacks
+/// (`SNOC_AUDIT`, `SNOC_TELEMETRY`, `SNOC_FAULTS`, `SNOC_SHARDS`).
+///
+/// [`NetworkParams::from_config`] historically read those variables at
+/// *construction time*, i.e. once per simulation cell. In a
+/// long-running multi-tenant process (the sweep server) that is
+/// cross-job contamination: an environment mutation between accepting
+/// a job and running its cells would alter the accepted job. Capturing
+/// the environment once into a `NocEnv` and resolving parameters
+/// through [`NetworkParams::resolve`] pins every cell to the snapshot
+/// taken at startup. `NocEnv::default()` is the hermetic "no
+/// environment" snapshot (everything off, serial stepping).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NocEnv {
+    /// `SNOC_AUDIT` resolution (`None` = off).
+    pub audit: Option<AuditConfig>,
+    /// `SNOC_TELEMETRY` resolution (`None` = off).
+    pub telemetry: Option<TelemetryConfig>,
+    /// `SNOC_FAULTS` resolution (`None` = off).
+    pub faults: Option<FaultPlan>,
+    /// `SNOC_SHARDS` resolution (`None` = unset, i.e. serial).
+    pub shards: Option<usize>,
+}
+
+impl NocEnv {
+    /// Reads all four fallback variables, once, now.
+    pub fn capture() -> Self {
+        Self {
+            audit: AuditConfig::from_env(),
+            telemetry: TelemetryConfig::from_env(),
+            faults: FaultPlan::from_env(),
+            shards: std::env::var("SNOC_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+        }
+    }
+}
+
 impl NetworkParams {
     /// Derives the network parameters from a full system
-    /// configuration.
+    /// configuration, reading the environment fallbacks *now* (the
+    /// historical per-cell behaviour; single-shot binaries and direct
+    /// [`Network::new`] users keep it). Multi-cell engines should
+    /// capture a [`NocEnv`] once and call [`NetworkParams::resolve`].
     pub fn from_config(cfg: &SystemConfig) -> Self {
+        Self::resolve(cfg, &NocEnv::capture())
+    }
+
+    /// Derives the network parameters from a full system
+    /// configuration, with every environment fallback taken from the
+    /// pre-captured `env` snapshot instead of the live process
+    /// environment.
+    pub fn resolve(cfg: &SystemConfig, env: &NocEnv) -> Self {
         let mut noc = cfg.noc;
         if noc.shards == 0 {
-            // Unset in the config: the `SNOC_SHARDS` environment knob
+            // Unset in the config: the captured `SNOC_SHARDS` knob
             // decides, defaulting to the serial single partition.
-            noc.shards = std::env::var("SNOC_SHARDS")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(1);
+            noc.shards = env.shards.unwrap_or(1);
         }
         Self {
             noc,
@@ -88,9 +134,9 @@ impl NetworkParams {
             core_outbox_cap: 64,
             max_hold: 3 * cfg.mem.stt_write_latency,
             hold_slack: cfg.noc.hold_slack,
-            audit: AuditConfig::from_env(),
-            telemetry: TelemetryConfig::from_env(),
-            faults: FaultPlan::from_env(),
+            audit: env.audit,
+            telemetry: env.telemetry,
+            faults: env.faults,
         }
     }
 }
